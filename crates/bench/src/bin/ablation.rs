@@ -1,0 +1,78 @@
+//! Ablation study of Chipmunk's crash-state design choices (§3.3,
+//! Observation 7): what does each mechanism buy?
+//!
+//! Four configurations re-hunt every ACE-findable bug with `stop_on_first`:
+//!
+//! * **baseline** — size-ordered subsets, data-write coalescing, usability
+//!   probe (the paper's configuration);
+//! * **no-coalesce** — every non-temporal store replayed as its own write:
+//!   expect the same bugs found at the cost of many more crash states (the
+//!   paper: splitting a data memcpy "adds states without adding bugs");
+//! * **no-probe** — skip the create/delete usability probe: expect
+//!   unusable-but-superficially-consistent states (undeletable files) to
+//!   take longer or escape;
+//! * **large-first** — enumerate big subsets before small ones: expect the
+//!   same bugs but far more states examined before the find (Observation 7:
+//!   buggy crash states usually involve few writes, so small-first wins).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin ablation
+//! ```
+
+use bench::hunt_with_ace;
+use chipmunk::TestConfig;
+use vfs::bugs::bug_table;
+
+struct Row {
+    name: &'static str,
+    cfg: TestConfig,
+}
+
+fn main() {
+    let base = TestConfig { stop_on_first: true, ..TestConfig::default() };
+    let rows = [
+        Row { name: "baseline", cfg: base.clone() },
+        Row { name: "no-coalesce", cfg: TestConfig { coalesce_data: false, ..base.clone() } },
+        Row { name: "no-probe", cfg: TestConfig { probe: false, ..base.clone() } },
+        Row {
+            name: "large-first",
+            cfg: TestConfig { large_first_subsets: true, ..base.clone() },
+        },
+    ];
+
+    println!("ablation of crash-state construction (ACE-findable corpus, stop-on-first)\n");
+    println!(
+        "{:<12} {:>6} {:>14} {:>18}",
+        "config", "found", "total states", "mean states/find"
+    );
+    println!("{}", "-".repeat(54));
+    for row in &rows {
+        let mut found = 0u64;
+        let mut total_states = 0u64;
+        let mut find_states = 0u64;
+        for info in bug_table() {
+            if !info.ace_findable {
+                continue;
+            }
+            let (hit, _wl, states) = hunt_with_ace(info.id, &row.cfg, 200);
+            total_states += states;
+            if let Some(r) = hit {
+                found += 1;
+                find_states += r.states;
+            }
+        }
+        println!(
+            "{:<12} {:>6} {:>14} {:>18.1}",
+            row.name,
+            found,
+            total_states,
+            find_states as f64 / found.max(1) as f64
+        );
+    }
+    println!();
+    println!("expected shape: no-coalesce finds the same bugs over more states;");
+    println!("dropping the probe loses the unusable-state finding tree walks can't");
+    println!("see (and burns that hunt's whole budget). Subset order barely moves");
+    println!("the ACE numbers because metadata ops keep 1-3 writes in flight");
+    println!("(Observation 7) — ordering only pays on deep data ops.");
+}

@@ -1,0 +1,63 @@
+//! Regenerates the §4.3 crash-state-count comparison: "The number of crash
+//! states to check on each workload varies as much as 3× between file
+//! systems, with PMFS generally checking the most and WineFS checking the
+//! fewest."
+//!
+//! ```sh
+//! cargo run --release -p bench --bin crash_states
+//! ```
+
+use bench::{mode_for, run_suite, STRONG_SYSTEMS};
+use chipmunk::TestConfig;
+use vfs::{BugSet, FsName};
+use workloads::ace::seq1;
+
+fn main() {
+    let cfg = TestConfig::default();
+    println!("crash states explored per file system over the ACE seq-1 suite (fixed bugs)\n");
+    println!(
+        "{:<12} {:>10} {:>13} {:>13} {:>16}",
+        "FS", "workloads", "crash points", "crash states", "states/workload"
+    );
+    println!("{}", "-".repeat(68));
+    let mut per_fs: Vec<(FsName, f64)> = Vec::new();
+    for fs in STRONG_SYSTEMS.into_iter().chain([FsName::Ext4Dax, FsName::XfsDax]) {
+        let stats = run_suite(fs, BugSet::fixed(), seq1(mode_for(fs)), &cfg);
+        let per = stats.crash_states as f64 / stats.workloads as f64;
+        println!(
+            "{:<12} {:>10} {:>13} {:>13} {:>16.1}",
+            fs.to_string(),
+            stats.workloads,
+            stats.crash_points,
+            stats.crash_states,
+            per
+        );
+        if !matches!(fs, FsName::Ext4Dax | FsName::XfsDax) {
+            per_fs.push((fs, per));
+        }
+    }
+    println!("{}", "-".repeat(68));
+    let max = per_fs.iter().cloned().fold((FsName::Nova, 0.0f64), |a, b| {
+        if b.1 > a.1 {
+            b
+        } else {
+            a
+        }
+    });
+    let min = per_fs.iter().cloned().fold((FsName::Nova, f64::MAX), |a, b| {
+        if b.1 < a.1 {
+            b
+        } else {
+            a
+        }
+    });
+    println!(
+        "most: {} ({:.1}/workload); fewest: {} ({:.1}/workload); ratio {:.2}x",
+        max.0,
+        max.1,
+        min.0,
+        min.1,
+        max.1 / min.1
+    );
+    println!("paper: up to 3x variation; PMFS most, WineFS fewest");
+}

@@ -1,0 +1,64 @@
+//! Regenerates the Observation 7 / §3.2 in-flight-write measurements: "the
+//! average number of in-flight writes for metadata operations is three and
+//! the maximum is 10 in the tested systems"; "the highest in-flight write
+//! count we observed, 20 writes in some PMFS write calls".
+//!
+//! ```sh
+//! cargo run --release -p bench --bin inflight
+//! ```
+
+use bench::{mode_for, run_suite, STRONG_SYSTEMS};
+use chipmunk::TestConfig;
+use vfs::{BugSet, Op, Workload};
+use workloads::ace::{seq1, seq2};
+
+fn percentile(sorted: &[usize], p: f64) -> usize {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[((sorted.len() - 1) as f64 * p) as usize]
+}
+
+fn main() {
+    let cfg = TestConfig::default();
+
+    println!("in-flight writes per crash point, ACE seq-1 + sampled seq-2 (fixed bugs)");
+    println!("('busy' columns exclude the post-syscall points whose epochs already drained)\n");
+    println!(
+        "{:<12} {:>8} {:>10} {:>10} {:>8} {:>8}",
+        "FS", "mean", "busy mean", "busy p95", "max", "points"
+    );
+    println!("{}", "-".repeat(62));
+    for fs in STRONG_SYSTEMS {
+        let mut workloads = seq1(mode_for(fs));
+        workloads.extend(seq2(mode_for(fs)).step_by(41));
+        let stats = run_suite(fs, BugSet::fixed(), workloads, &cfg);
+        let mut v = stats.inflight.clone();
+        v.sort_unstable();
+        let mean = v.iter().sum::<usize>() as f64 / v.len().max(1) as f64;
+        let busy: Vec<usize> = v.iter().copied().filter(|&n| n > 0).collect();
+        let busy_mean = busy.iter().sum::<usize>() as f64 / busy.len().max(1) as f64;
+        println!(
+            "{:<12} {:>8.2} {:>10.2} {:>10} {:>8} {:>8}",
+            fs.to_string(),
+            mean,
+            busy_mean,
+            percentile(&busy, 0.95),
+            v.last().copied().unwrap_or(0),
+            v.len(),
+        );
+    }
+    println!("\npaper: metadata ops average 3 in-flight writes, max 10");
+
+    // The paper's outlier: large PMFS writes. A 64 KiB write spans 16
+    // blocks, each its own non-temporal burst.
+    let big = Workload::new(
+        "pmfs-big-write",
+        vec![Op::WritePath { path: "/big".into(), off: 0, size: 64 * 1024 }],
+    );
+    let stats = run_suite(vfs::FsName::Pmfs, BugSet::fixed(), vec![big], &cfg);
+    println!(
+        "\nPMFS 64 KiB write: max in-flight = {} (paper: up to 20 for some PMFS writes)",
+        stats.inflight.iter().max().copied().unwrap_or(0)
+    );
+}

@@ -1,0 +1,290 @@
+#![warn(missing_docs)]
+
+//! Shared machinery for the evaluation harnesses (one binary per paper
+//! table/figure — see DESIGN.md §4 for the index).
+
+use std::time::{Duration, Instant};
+
+use chipmunk::{test_workload, TestConfig, TestOutcome};
+use ext4dax::Ext4DaxKind;
+use novafs::NovaKind;
+use pmfs::PmfsKind;
+use splitfs::SplitFsKind;
+use vfs::{
+    fs::{FsKind, FsOptions},
+    BugId, BugSet, Cov, FsName, Workload,
+};
+use winefs::WineFsKind;
+use xfsdax::XfsDaxKind;
+use workloads::{
+    ace::{seq1, seq2, seq3_metadata, AceMode},
+    fuzz::{FuzzConfig, Fuzzer},
+};
+
+/// Rank-2 helper: run a generic closure against the `FsKind` for a given
+/// file system (the kinds are distinct types, so plain closures cannot be
+/// generic over them).
+pub trait WithKind {
+    /// The result type.
+    type Out;
+    /// Invoked with the concrete kind.
+    fn call<K: FsKind>(self, kind: K) -> Self::Out;
+}
+
+/// Dispatches `w` to the concrete [`FsKind`] for `fs` built from `opts`.
+pub fn dispatch<W: WithKind>(fs: FsName, opts: FsOptions, w: W) -> W::Out {
+    match fs {
+        FsName::Nova => w.call(NovaKind { opts, fortis: false }),
+        FsName::NovaFortis => w.call(NovaKind { opts, fortis: true }),
+        FsName::Pmfs => w.call(PmfsKind { opts }),
+        FsName::WineFs => w.call(WineFsKind { opts, strict: true }),
+        FsName::SplitFs => w.call(SplitFsKind { opts }),
+        FsName::Ext4Dax => w.call(Ext4DaxKind { opts }),
+        FsName::XfsDax => w.call(XfsDaxKind { opts }),
+    }
+}
+
+/// The ACE mode appropriate for a file system.
+pub fn mode_for(fs: FsName) -> AceMode {
+    if matches!(fs, FsName::Ext4Dax | FsName::XfsDax) {
+        AceMode::Weak
+    } else {
+        AceMode::Strong
+    }
+}
+
+/// Result of hunting one bug with one frontend.
+#[derive(Debug, Clone)]
+pub struct HuntResult {
+    /// CPU time until the first violation.
+    pub elapsed: Duration,
+    /// Workloads executed until then.
+    pub workloads: u64,
+    /// Crash states checked until then.
+    pub states: u64,
+    /// The first report's violation class.
+    pub class: String,
+    /// The first report's one-line description.
+    pub detail: String,
+    /// Whether the injected bug's code path was traced during the finding
+    /// run (ground-truth attribution).
+    pub traced: bool,
+}
+
+struct AceHunt<'a> {
+    bug: BugId,
+    cfg: &'a TestConfig,
+    max_seq3: usize,
+}
+
+impl WithKind for AceHunt<'_> {
+    type Out = (Option<HuntResult>, u64, u64);
+
+    fn call<K: FsKind>(self, kind: K) -> Self::Out {
+        let start = Instant::now();
+        let mode = mode_for(kind.name());
+        let mut workloads = 0u64;
+        let mut states = 0u64;
+        let seq3: Box<dyn Iterator<Item = Workload>> = if mode == AceMode::Strong {
+            Box::new(seq3_metadata().step_by(37).take(self.max_seq3))
+        } else {
+            Box::new(std::iter::empty())
+        };
+        for w in seq1(mode).into_iter().chain(seq2(mode)).chain(seq3) {
+            workloads += 1;
+            let out = test_workload(&kind, &w, self.cfg);
+            states += out.crash_states;
+            if let Some(r) = out.reports.first() {
+                return (
+                    Some(HuntResult {
+                        elapsed: start.elapsed(),
+                        workloads,
+                        states,
+                        class: r.violation.class().to_string(),
+                        detail: format!("{} @ {}", r.op_desc, r.violation.detail()),
+                        traced: out.traced_bugs.contains(&self.bug),
+                    }),
+                    workloads,
+                    states,
+                );
+            }
+        }
+        (None, workloads, states)
+    }
+}
+
+/// Hunts `bug` (enabled in isolation) with the ACE frontend: seq-1, then
+/// seq-2, then a deterministic sample of seq-3-metadata. Returns the find
+/// (if any) plus total workloads and crash states examined.
+pub fn hunt_with_ace(bug: BugId, cfg: &TestConfig, max_seq3: usize) -> (Option<HuntResult>, u64, u64) {
+    let opts = FsOptions::with_bugs(BugSet::only(&[bug]));
+    dispatch(bug.info().fs, opts, AceHunt { bug, cfg, max_seq3 })
+}
+
+struct FuzzHunt<'a> {
+    bug: BugId,
+    cfg: &'a TestConfig,
+    seed: u64,
+    budget: u64,
+}
+
+impl WithKind for FuzzHunt<'_> {
+    type Out = (Option<HuntResult>, u64, u64);
+
+    fn call<K: FsKind>(self, kind: K) -> Self::Out {
+        let start = Instant::now();
+        let cov = kind.options().cov.clone();
+        let mut fuzzer = Fuzzer::new(self.seed, FuzzConfig::default());
+        let mut seen = std::collections::HashSet::new();
+        let mut states = 0u64;
+        for i in 0..self.budget {
+            let w = fuzzer.next_workload();
+            cov.clear();
+            let out = test_workload(&kind, &w, self.cfg);
+            states += out.crash_states;
+            let new = cov.merge_into(&mut seen);
+            fuzzer.feedback(&w, new);
+            if let Some(r) = out.reports.first() {
+                return (
+                    Some(HuntResult {
+                        elapsed: start.elapsed(),
+                        workloads: i + 1,
+                        states,
+                        class: r.violation.class().to_string(),
+                        detail: format!("{} @ {}", r.op_desc, r.violation.detail()),
+                        traced: out.traced_bugs.contains(&self.bug),
+                    }),
+                    i + 1,
+                    states,
+                );
+            }
+        }
+        (None, self.budget, states)
+    }
+}
+
+/// Hunts `bug` (enabled in isolation) with the fuzzer frontend under the
+/// paper's fuzzing configuration (crash-state cap of two, early exit).
+pub fn hunt_with_fuzzer(
+    bug: BugId,
+    cfg: &TestConfig,
+    seed: u64,
+    budget: u64,
+) -> (Option<HuntResult>, u64, u64) {
+    let opts = FsOptions {
+        bugs: BugSet::only(&[bug]),
+        cov: Cov::enabled(),
+        ..Default::default()
+    };
+    dispatch(bug.info().fs, opts, FuzzHunt { bug, cfg, seed, budget })
+}
+
+struct SuiteRun<'a> {
+    workloads: Vec<Workload>,
+    cfg: &'a TestConfig,
+}
+
+/// Aggregate counters from running a suite.
+#[derive(Debug, Default, Clone)]
+pub struct SuiteStats {
+    /// Workloads executed.
+    pub workloads: u64,
+    /// Crash points visited.
+    pub crash_points: u64,
+    /// Crash states checked.
+    pub crash_states: u64,
+    /// Violations reported.
+    pub reports: u64,
+    /// In-flight write counts at each crash point.
+    pub inflight: Vec<usize>,
+    /// Wall time.
+    pub elapsed: Duration,
+}
+
+impl WithKind for SuiteRun<'_> {
+    type Out = SuiteStats;
+
+    fn call<K: FsKind>(self, kind: K) -> SuiteStats {
+        let start = Instant::now();
+        let mut s = SuiteStats::default();
+        for w in &self.workloads {
+            let out: TestOutcome = test_workload(&kind, w, self.cfg);
+            s.workloads += 1;
+            s.crash_points += out.crash_points;
+            s.crash_states += out.crash_states;
+            s.reports += out.reports.len() as u64;
+            s.inflight.extend(out.inflight_sizes);
+        }
+        s.elapsed = start.elapsed();
+        s
+    }
+}
+
+/// Runs a workload suite on `fs` with the given bug set, returning
+/// aggregate statistics.
+pub fn run_suite(
+    fs: FsName,
+    bugs: BugSet,
+    workloads: Vec<Workload>,
+    cfg: &TestConfig,
+) -> SuiteStats {
+    dispatch(fs, FsOptions::with_bugs(bugs), SuiteRun { workloads, cfg })
+}
+
+/// The five strong-guarantee systems of the evaluation, in Table 1 order.
+pub const STRONG_SYSTEMS: [FsName; 5] = [
+    FsName::Nova,
+    FsName::NovaFortis,
+    FsName::Pmfs,
+    FsName::WineFs,
+    FsName::SplitFs,
+];
+
+/// Formats a duration compactly for tables.
+pub fn fmt_dur(d: Duration) -> String {
+    if d.as_secs() >= 1 {
+        format!("{:.2}s", d.as_secs_f64())
+    } else {
+        format!("{:.1}ms", d.as_secs_f64() * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_reaches_each_fs() {
+        struct NameOf;
+        impl WithKind for NameOf {
+            type Out = FsName;
+            fn call<K: FsKind>(self, kind: K) -> FsName {
+                kind.name()
+            }
+        }
+        for fs in STRONG_SYSTEMS.into_iter().chain([FsName::Ext4Dax, FsName::XfsDax]) {
+            assert_eq!(dispatch(fs, FsOptions::fixed(), NameOf), fs);
+        }
+    }
+
+    #[test]
+    fn ace_hunt_finds_an_easy_bug_quickly() {
+        let cfg = TestConfig { stop_on_first: true, ..TestConfig::default() };
+        let (hit, workloads, _) = hunt_with_ace(BugId::B04, &cfg, 0);
+        let hit = hit.expect("bug 4 must fall to ACE");
+        assert!(hit.traced);
+        assert_eq!(hit.class, "atomicity");
+        assert!(workloads <= 56 + 3136);
+    }
+
+    #[test]
+    fn suite_stats_accumulate() {
+        let cfg = TestConfig::default();
+        let ws = seq1(AceMode::Strong).into_iter().take(5).collect();
+        let s = run_suite(FsName::Nova, BugSet::fixed(), ws, &cfg);
+        assert_eq!(s.workloads, 5);
+        assert!(s.crash_states > 0);
+        assert_eq!(s.reports, 0);
+        assert_eq!(s.inflight.len() as u64, s.crash_points);
+    }
+}

@@ -1,0 +1,308 @@
+//! Crash-state generation: in-flight tracking, coalescing, and subset
+//! enumeration (§3.3).
+
+use pmlog::LogEntry;
+
+/// One logical in-flight write awaiting a fence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingWrite {
+    /// Destination offset.
+    pub off: u64,
+    /// Data.
+    pub data: Vec<u8>,
+    /// Whether the write came from a non-temporal store (candidate for
+    /// data-write coalescing).
+    pub nt: bool,
+}
+
+impl PendingWrite {
+    /// Builds from a log write entry.
+    pub fn from_entry(e: &LogEntry) -> Option<PendingWrite> {
+        match e {
+            LogEntry::Nt { off, data } => {
+                Some(PendingWrite { off: *off, data: data.clone(), nt: true })
+            }
+            LogEntry::Flush { off, data } => {
+                Some(PendingWrite { off: *off, data: data.clone(), nt: false })
+            }
+            // Plain stores appear only in eADR logs, where they are durable
+            // on landing.
+            LogEntry::Store { off, data } => {
+                Some(PendingWrite { off: *off, data: data.clone(), nt: false })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Coalesces address-contiguous consecutive non-temporal writes into single
+/// logical writes — the paper's file-data heuristic: a large non-temporal
+/// memcpy "usually indicates a file data write", and replaying its pieces
+/// independently adds states without adding bugs found.
+pub fn coalesce(writes: &[PendingWrite]) -> Vec<PendingWrite> {
+    let mut out: Vec<PendingWrite> = Vec::with_capacity(writes.len());
+    for w in writes {
+        if let Some(last) = out.last_mut() {
+            if last.nt && w.nt && last.off + last.data.len() as u64 == w.off {
+                last.data.extend_from_slice(&w.data);
+                continue;
+            }
+        }
+        out.push(w.clone());
+    }
+    out
+}
+
+/// Enumerates the subsets of `n` in-flight writes to replay, in increasing
+/// subset size (Observation 7: buggy crash states usually involve few
+/// writes, so small subsets first finds bugs quickly).
+///
+/// The empty subset is excluded (it equals the already-checked base state).
+/// With a `cap`, subsets larger than the cap are skipped but the *full* set
+/// is always included — it is the state an actual crash immediately before
+/// the fence would most plausibly leave, and it is the next base. At most
+/// `max_states` subsets are returned.
+pub fn enumerate_subsets(n: usize, cap: Option<usize>, max_states: u64) -> Vec<Vec<usize>> {
+    enumerate_subsets_ordered(n, cap, max_states, false)
+}
+
+/// [`enumerate_subsets`] with an explicit size order. `large_first` visits
+/// big subsets before small ones — the ablation control for Observation 7
+/// (with stop-on-first, small-first should reach the buggy state in far
+/// fewer mounts, because buggy crash states usually involve few writes).
+pub fn enumerate_subsets_ordered(
+    n: usize,
+    cap: Option<usize>,
+    max_states: u64,
+    large_first: bool,
+) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    if n == 0 {
+        return out;
+    }
+    let limit = cap.unwrap_or(n).min(n);
+    let sizes: Vec<usize> = if large_first {
+        (1..=limit).rev().collect()
+    } else {
+        (1..=limit).collect()
+    };
+    'outer: for size in sizes {
+        for combo in Combinations::new(n, size) {
+            out.push(combo);
+            if out.len() as u64 >= max_states {
+                break 'outer;
+            }
+        }
+    }
+    // Ensure the full set is present.
+    if limit < n && out.len() as u64 != max_states {
+        out.push((0..n).collect());
+    } else if limit < n {
+        *out.last_mut().expect("max_states >= 1") = (0..n).collect();
+    }
+    out
+}
+
+/// Iterator over k-combinations of `0..n` in lexicographic order.
+struct Combinations {
+    n: usize,
+    k: usize,
+    cur: Vec<usize>,
+    done: bool,
+}
+
+impl Combinations {
+    fn new(n: usize, k: usize) -> Self {
+        Combinations { n, k, cur: (0..k).collect(), done: k > n }
+    }
+}
+
+impl Iterator for Combinations {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.done {
+            return None;
+        }
+        let item = self.cur.clone();
+        // Advance.
+        let mut i = self.k;
+        loop {
+            if i == 0 {
+                self.done = true;
+                break;
+            }
+            i -= 1;
+            if self.cur[i] < self.n - (self.k - i) {
+                self.cur[i] += 1;
+                for j in i + 1..self.k {
+                    self.cur[j] = self.cur[j - 1] + 1;
+                }
+                break;
+            }
+        }
+        Some(item)
+    }
+}
+
+/// Applies the writes selected by `subset` (in program order) onto `img`.
+pub fn apply_subset(img: &mut pmem::CowDevice<'_>, writes: &[PendingWrite], subset: &[usize]) {
+    let mut order = subset.to_vec();
+    order.sort_unstable();
+    for &i in &order {
+        img.apply(writes[i].off, &writes[i].data);
+    }
+}
+
+/// Human-readable description of a subset for bug reports.
+pub fn describe_subset(writes: &[PendingWrite], subset: &[usize]) -> String {
+    let parts: Vec<String> = subset
+        .iter()
+        .map(|&i| {
+            let w = &writes[i];
+            format!(
+                "{}#{i}@{:#x}+{}",
+                if w.nt { "nt" } else { "flush" },
+                w.off,
+                w.data.len()
+            )
+        })
+        .collect();
+    format!("[{}] of {} in-flight", parts.join(", "), writes.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subsets_of_three_exhaustive() {
+        let s = enumerate_subsets(3, None, 1 << 20);
+        // 2^3 - 1 = 7 non-empty subsets.
+        assert_eq!(s.len(), 7);
+        // Ordered by size.
+        assert!(s[0].len() == 1 && s[1].len() == 1 && s[2].len() == 1);
+        assert!(s[3].len() == 2 && s[6].len() == 3);
+        // All distinct.
+        let set: std::collections::HashSet<Vec<usize>> = s.iter().cloned().collect();
+        assert_eq!(set.len(), 7);
+    }
+
+    #[test]
+    fn paper_counts_hold() {
+        // "For n in-flight writes, there will be 2^n - 1 crash states."
+        for n in 1..=10 {
+            let s = enumerate_subsets(n, None, u64::MAX);
+            assert_eq!(s.len(), (1usize << n) - 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn cap_keeps_small_subsets_plus_full() {
+        let s = enumerate_subsets(5, Some(2), 1 << 20);
+        // C(5,1) + C(5,2) + full = 5 + 10 + 1.
+        assert_eq!(s.len(), 16);
+        assert_eq!(s.last().unwrap().len(), 5);
+        assert!(s[..15].iter().all(|c| c.len() <= 2));
+    }
+
+    #[test]
+    fn cap_equal_to_n_is_exhaustive_without_duplicate_full() {
+        let s = enumerate_subsets(3, Some(3), 1 << 20);
+        assert_eq!(s.len(), 7);
+    }
+
+    #[test]
+    fn large_first_reverses_size_order_only() {
+        let small = enumerate_subsets_ordered(4, None, u64::MAX, false);
+        let large = enumerate_subsets_ordered(4, None, u64::MAX, true);
+        assert_eq!(small.len(), 15);
+        assert_eq!(large.len(), 15);
+        // Same subsets, opposite size progression.
+        let a: std::collections::HashSet<Vec<usize>> = small.iter().cloned().collect();
+        let b: std::collections::HashSet<Vec<usize>> = large.iter().cloned().collect();
+        assert_eq!(a, b);
+        assert_eq!(small[0].len(), 1);
+        assert_eq!(large[0].len(), 4);
+        assert_eq!(small.last().unwrap().len(), 4);
+        assert_eq!(large.last().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn large_first_with_cap_still_includes_full_set() {
+        let s = enumerate_subsets_ordered(5, Some(2), 1 << 20, true);
+        assert!(s.iter().any(|c| c.len() == 5));
+        assert_eq!(s[0].len(), 2);
+    }
+
+    #[test]
+    fn max_states_truncates() {
+        let s = enumerate_subsets(10, None, 20);
+        assert_eq!(s.len(), 20);
+    }
+
+    #[test]
+    fn zero_inflight_yields_nothing() {
+        assert!(enumerate_subsets(0, None, 100).is_empty());
+    }
+
+    #[test]
+    fn coalesce_merges_contiguous_nt_runs() {
+        let w = |off: u64, len: usize, nt: bool| PendingWrite {
+            off,
+            data: vec![1u8; len],
+            nt,
+        };
+        let v = vec![w(0, 64, true), w(64, 64, true), w(128, 64, true), w(512, 8, false)];
+        let c = coalesce(&v);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c[0].data.len(), 192);
+        assert!(!c[1].nt);
+    }
+
+    #[test]
+    fn coalesce_keeps_non_contiguous_and_flush_separate() {
+        let w = |off: u64, len: usize, nt: bool| PendingWrite {
+            off,
+            data: vec![1u8; len],
+            nt,
+        };
+        let v = vec![w(0, 64, true), w(128, 64, true), w(192, 64, false), w(256, 64, false)];
+        assert_eq!(coalesce(&v).len(), 4);
+    }
+
+    proptest::proptest! {
+        /// Large-first enumeration is always a permutation of small-first
+        /// (same subsets, same cap semantics, full set always present when
+        /// capped) for any n/cap combination.
+        #[test]
+        fn ordered_enumeration_is_a_permutation(
+            n in 1usize..10,
+            cap in proptest::option::of(1usize..10),
+        ) {
+            let a = enumerate_subsets_ordered(n, cap, u64::MAX, false);
+            let b = enumerate_subsets_ordered(n, cap, u64::MAX, true);
+            let sa: std::collections::HashSet<Vec<usize>> = a.iter().cloned().collect();
+            let sb: std::collections::HashSet<Vec<usize>> = b.iter().cloned().collect();
+            proptest::prop_assert_eq!(a.len(), b.len());
+            proptest::prop_assert_eq!(&sa, &sb);
+            proptest::prop_assert!(sa.contains(&(0..n).collect::<Vec<_>>()));
+        }
+    }
+
+    #[test]
+    fn apply_subset_respects_program_order() {
+        let base = vec![0u8; 4096];
+        let writes = vec![
+            PendingWrite { off: 0, data: vec![1u8; 8], nt: true },
+            PendingWrite { off: 0, data: vec![2u8; 8], nt: true },
+        ];
+        let mut cow = pmem::CowDevice::new(&base);
+        // Pass indices out of order: program order must still hold.
+        apply_subset(&mut cow, &writes, &[1, 0]);
+        let mut buf = [0u8; 8];
+        use pmem::PmBackend;
+        cow.read(0, &mut buf);
+        assert_eq!(buf, [2u8; 8]);
+    }
+}

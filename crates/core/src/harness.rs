@@ -1,0 +1,474 @@
+//! The top-level test harness: record, replay, check (§3.3, Figure 2).
+
+use std::collections::BTreeSet;
+
+use pmem::PmDevice;
+use pmlog::{LogEntry, LogHandle, LoggingPm, Marker, OpRecord};
+use vfs::{
+    fs::SyscallKind,
+    BugId, FsKind, Workload,
+};
+
+use crate::{
+    checker::{check_crash_state, CheckKind, DataRelax},
+    config::TestConfig,
+    crashgen::{coalesce, describe_subset, enumerate_subsets_ordered, PendingWrite},
+    exec::Executor,
+    oracle::{build_oracle, Oracle},
+    report::{BugReport, CrashPhase, Violation},
+};
+
+/// Everything a test run produced.
+#[derive(Debug, Default)]
+pub struct TestOutcome {
+    /// Detected violations (deduplicated within the run, capped).
+    pub reports: Vec<BugReport>,
+    /// Number of crash points visited (fences + syscall boundaries).
+    pub crash_points: u64,
+    /// Number of crash states constructed and checked.
+    pub crash_states: u64,
+    /// In-flight write counts observed at each crash point (before
+    /// coalescing) — the data behind Observation 7.
+    pub inflight_sizes: Vec<usize>,
+    /// Injected-bug code paths that executed during the run (ground truth
+    /// for attribution; detection never uses this).
+    pub traced_bugs: BTreeSet<BugId>,
+    /// The workload name.
+    pub workload: String,
+}
+
+impl TestOutcome {
+    /// Whether any violation was found.
+    pub fn found_bug(&self) -> bool {
+        !self.reports.is_empty()
+    }
+}
+
+const MAX_REPORTS: usize = 200;
+
+fn push_report(out: &mut TestOutcome, report: BugReport) {
+    if out.reports.len() >= MAX_REPORTS {
+        return;
+    }
+    // Exact-duplicate suppression (same op + same violation).
+    if out
+        .reports
+        .iter()
+        .any(|r| r.op_seq == report.op_seq && r.violation == report.violation)
+    {
+        return;
+    }
+    out.reports.push(report);
+}
+
+/// Runs the full Chipmunk pipeline on one workload:
+///
+/// 1. oracle run (crash-free, snapshots around every op);
+/// 2. recorded run through the write logger;
+/// 3. crash-state construction and checking at every crash point.
+pub fn test_workload<K: FsKind>(kind: &K, workload: &Workload, cfg: &TestConfig) -> TestOutcome {
+    let mut out = TestOutcome { workload: workload.name.clone(), ..Default::default() };
+    let guarantees = kind.guarantees();
+    kind.options().trace.clear();
+
+    // ---- 1. Oracle ----
+    let oracle = match build_oracle(kind, workload, cfg.device_size) {
+        Ok(o) => o,
+        Err(e) => {
+            push_report(
+                &mut out,
+                BugReport {
+                    workload: workload.name.clone(),
+                    op_seq: 0,
+                    op_desc: "(oracle run)".into(),
+                    phase: CrashPhase::DuringSyscall,
+                    subset: "-".into(),
+                    violation: Violation::RuntimeError(format!("oracle run failed: {e}")),
+                },
+            );
+            return out;
+        }
+    };
+
+    // ---- 2. Recorded run ----
+    let log = LogHandle::new();
+    let dev = PmDevice::new(cfg.device_size);
+    let lp = if cfg.eadr {
+        LoggingPm::new_eadr(dev, log.clone())
+    } else {
+        LoggingPm::new(dev, log.clone())
+    };
+    let mut fs = match kind.mkfs(lp) {
+        Ok(fs) => fs,
+        Err(e) => {
+            push_report(
+                &mut out,
+                BugReport {
+                    workload: workload.name.clone(),
+                    op_seq: 0,
+                    op_desc: "(mkfs)".into(),
+                    phase: CrashPhase::DuringSyscall,
+                    subset: "-".into(),
+                    violation: Violation::RuntimeError(format!("mkfs failed: {e}")),
+                },
+            );
+            return out;
+        }
+    };
+    let mut ex = Executor::new();
+    let mut rec_results = Vec::with_capacity(workload.ops.len());
+    for (seq, op) in workload.ops.iter().enumerate() {
+        log.marker(Marker::SyscallBegin(OpRecord { seq, desc: op.describe() }));
+        let r = ex.exec(&mut fs, op, seq);
+        log.marker(Marker::SyscallEnd { seq, ok: r.result.is_ok() });
+        rec_results.push(r);
+    }
+    drop(fs);
+    let log = log.take();
+
+    // Functional divergence between the recorded run and the oracle, and
+    // non-benign runtime errors, are reported even though they are not
+    // crash-consistency violations (§4.4, non-crash-consistency bugs).
+    for (seq, (rec, ora)) in rec_results.iter().zip(oracle.results.iter()).enumerate() {
+        let desc = workload.ops[seq].describe();
+        if let Err(e) = &rec.result {
+            if !e.is_benign() {
+                push_report(
+                    &mut out,
+                    BugReport {
+                        workload: workload.name.clone(),
+                        op_seq: seq,
+                        op_desc: desc.clone(),
+                        phase: CrashPhase::DuringSyscall,
+                        subset: "-".into(),
+                        violation: Violation::RuntimeError(e.to_string()),
+                    },
+                );
+            }
+        }
+        if rec.result.is_ok() != ora.result.is_ok() {
+            push_report(
+                &mut out,
+                BugReport {
+                    workload: workload.name.clone(),
+                    op_seq: seq,
+                    op_desc: desc,
+                    phase: CrashPhase::DuringSyscall,
+                    subset: "-".into(),
+                    violation: Violation::OracleDivergence(format!(
+                        "recorded run returned {:?}, oracle returned {:?}",
+                        rec.result, ora.result
+                    )),
+                },
+            );
+        }
+    }
+
+    // ---- 3. Replay and check ----
+    replay_and_check(kind, workload, cfg, &oracle, &rec_results, &log, guarantees, &mut out);
+
+    out.traced_bugs = kind.options().trace.snapshot();
+    out
+}
+
+/// Picks the data-relaxation mode for a mid-syscall atomicity check: data
+/// writes may legally be torn (or must be all-or-nothing when the FS claims
+/// atomic data writes), and the path-addressed `fallocate` bundles an
+/// `O_CREAT` open, so the created-but-empty intermediate state is allowed.
+fn atomicity_relax<'a>(
+    op: &vfs::Op,
+    target: Option<&'a str>,
+    guarantees: vfs::Guarantees,
+) -> DataRelax<'a> {
+    let is_data = matches!(op.kind(), SyscallKind::Write | SyscallKind::Pwrite);
+    let is_falloc = matches!(op.kind(), SyscallKind::Falloc);
+    match (target, is_data) {
+        (Some(t), true) if guarantees.atomic_data_writes => DataRelax::Atomic(t),
+        (Some(t), true) => DataRelax::Torn(t),
+        (Some(t), false) if is_falloc => DataRelax::Atomic(t),
+        _ => DataRelax::None,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn replay_and_check<K: FsKind>(
+    kind: &K,
+    workload: &Workload,
+    cfg: &TestConfig,
+    oracle: &Oracle,
+    rec_results: &[crate::exec::OpResult],
+    log: &pmlog::Log,
+    guarantees: vfs::Guarantees,
+    out: &mut TestOutcome,
+) {
+    let mut base = vec![0u8; cfg.device_size as usize];
+    let mut pending: Vec<PendingWrite> = Vec::new();
+    let mut cur_op: Option<usize> = None;
+    let mut last_done: Option<usize> = None;
+    let mut started = false;
+    let mut stop = false;
+
+    for entry in log.entries() {
+        if stop {
+            // Keep replaying to completion is unnecessary once stopping.
+            break;
+        }
+        match entry {
+            LogEntry::Marker(Marker::SyscallBegin(OpRecord { seq, .. })) => {
+                started = true;
+                cur_op = Some(*seq);
+            }
+            LogEntry::Marker(Marker::SyscallEnd { seq, .. }) => {
+                cur_op = None;
+                last_done = Some(*seq);
+                let op = &workload.ops[*seq];
+                if !op.is_mutating() {
+                    continue;
+                }
+                if guarantees.strong {
+                    let check = CheckKind::Synchrony { cur: oracle.after(*seq) };
+                    visit_crash_point(
+                        kind, workload, cfg, &base, &pending, *seq,
+                        CrashPhase::AfterSyscall, &check, true, out, &mut stop,
+                    );
+                } else if matches!(op.kind(), SyscallKind::Fsync | SyscallKind::Sync) {
+                    let target = rec_results[*seq].target.as_deref();
+                    let target = if op.kind() == SyscallKind::Sync { None } else { target };
+                    let check = CheckKind::WeakFsync { cur: oracle.after(*seq), target };
+                    visit_crash_point(
+                        kind, workload, cfg, &base, &pending, *seq,
+                        CrashPhase::AfterFsync, &check, true, out, &mut stop,
+                    );
+                }
+            }
+            LogEntry::Fence => {
+                if cfg.eadr {
+                    // eADR: fences are pure ordering points. Every store has
+                    // already been visited as its own crash state, and the
+                    // state at the fence equals the state after the last
+                    // store, so there is nothing new to check here.
+                    continue;
+                }
+                if started && guarantees.strong && !pending.is_empty() {
+                    match cur_op {
+                        Some(seq) => {
+                            let relax = atomicity_relax(
+                                &workload.ops[seq],
+                                rec_results[seq].target.as_deref(),
+                                guarantees,
+                            );
+                            let check = CheckKind::Atomicity {
+                                prev: oracle.before(seq),
+                                cur: oracle.after(seq),
+                                relax,
+                            };
+                            visit_crash_point(
+                                kind, workload, cfg, &base, &pending, seq,
+                                CrashPhase::DuringSyscall, &check, false, out, &mut stop,
+                            );
+                        }
+                        None => {
+                            // Fence between syscalls (e.g. deferred work):
+                            // the state must still be the post-state of the
+                            // last completed op.
+                            if let Some(seq) = last_done {
+                                let check = CheckKind::Synchrony { cur: oracle.after(seq) };
+                                visit_crash_point(
+                                    kind, workload, cfg, &base, &pending, seq,
+                                    CrashPhase::AfterSyscall, &check, false, out, &mut stop,
+                                );
+                            }
+                        }
+                    }
+                }
+                for w in pending.drain(..) {
+                    base[w.off as usize..w.off as usize + w.data.len()].copy_from_slice(&w.data);
+                }
+            }
+            e => {
+                if let Some(w) = PendingWrite::from_entry(e) {
+                    if cfg.eadr {
+                        // Persistent caches: durable the moment it lands, and
+                        // the instant after any store is a real crash state —
+                        // not just fence boundaries. (A torn in-place update
+                        // is only visible *between* the stores that make it
+                        // up; see bug 19.)
+                        base[w.off as usize..w.off as usize + w.data.len()]
+                            .copy_from_slice(&w.data);
+                        if started && guarantees.strong {
+                            match cur_op {
+                                Some(seq) if workload.ops[seq].is_mutating() => {
+                                    let relax = atomicity_relax(
+                                        &workload.ops[seq],
+                                        rec_results[seq].target.as_deref(),
+                                        guarantees,
+                                    );
+                                    let check = CheckKind::Atomicity {
+                                        prev: oracle.before(seq),
+                                        cur: oracle.after(seq),
+                                        relax,
+                                    };
+                                    visit_crash_point(
+                                        kind, workload, cfg, &base, &[], seq,
+                                        CrashPhase::DuringSyscall, &check, true, out,
+                                        &mut stop,
+                                    );
+                                }
+                                None => {
+                                    // Deferred work between syscalls: the
+                                    // durable state must still match the
+                                    // post-state of the last completed op.
+                                    if let Some(seq) = last_done {
+                                        let check =
+                                            CheckKind::Synchrony { cur: oracle.after(seq) };
+                                        visit_crash_point(
+                                            kind, workload, cfg, &base, &[], seq,
+                                            CrashPhase::AfterSyscall, &check, true, out,
+                                            &mut stop,
+                                        );
+                                    }
+                                }
+                                _ => {}
+                            }
+                        }
+                    } else {
+                        pending.push(w);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Checks all crash states at one crash point: optionally the bare base
+/// state, then every enumerated subset of the in-flight writes.
+#[allow(clippy::too_many_arguments)]
+fn visit_crash_point<K: FsKind>(
+    kind: &K,
+    workload: &Workload,
+    cfg: &TestConfig,
+    base: &[u8],
+    pending: &[PendingWrite],
+    seq: usize,
+    phase: CrashPhase,
+    check: &CheckKind<'_>,
+    check_base: bool,
+    out: &mut TestOutcome,
+    stop: &mut bool,
+) {
+    out.crash_points += 1;
+    out.inflight_sizes.push(pending.len());
+    let writes = if cfg.coalesce_data { coalesce(pending) } else { pending.to_vec() };
+    let op_desc = workload.ops[seq].describe();
+
+    let run_one = |subset: &[usize], out: &mut TestOutcome| -> bool {
+        out.crash_states += 1;
+        if let Some(v) = check_crash_state(kind, base, &writes, subset, check, cfg) {
+            push_report(
+                out,
+                BugReport {
+                    workload: workload.name.clone(),
+                    op_seq: seq,
+                    op_desc: op_desc.clone(),
+                    phase,
+                    subset: describe_subset(&writes, subset),
+                    violation: v,
+                },
+            );
+            if cfg.stop_on_first {
+                return true;
+            }
+        }
+        false
+    };
+
+    if check_base && run_one(&[], out) {
+        *stop = true;
+        return;
+    }
+    for subset in enumerate_subsets_ordered(
+        writes.len(),
+        cfg.cap,
+        cfg.max_states_per_point,
+        cfg.large_first_subsets,
+    ) {
+        if run_one(&subset, out) {
+            *stop = true;
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ext4dax::Ext4DaxKind;
+    use vfs::Op;
+
+    fn w(name: &str, ops: Vec<Op>) -> Workload {
+        Workload::new(name, ops)
+    }
+
+    #[test]
+    fn ext4dax_clean_workload_passes() {
+        let kind = Ext4DaxKind::default();
+        let wl = w(
+            "basic",
+            vec![
+                Op::Mkdir { path: "/d".into() },
+                Op::Creat { path: "/d/f".into() },
+                Op::WritePath { path: "/d/f".into(), off: 0, size: 1000 },
+                Op::FsyncPath { path: "/d/f".into() },
+                Op::Rename { old: "/d/f".into(), new: "/g".into() },
+                Op::Sync,
+            ],
+        );
+        let out = test_workload(&kind, &wl, &TestConfig::default());
+        assert!(out.reports.is_empty(), "{:#?}", out.reports);
+        // Weak guarantees: crash points only at the fsync and the sync.
+        assert_eq!(out.crash_points, 2);
+        assert!(out.crash_states >= 2);
+    }
+
+    #[test]
+    fn weak_mode_ignores_unsynced_loss() {
+        // Without any fsync, no crash points exist and nothing is checked —
+        // matching the paper's handling of ext4-DAX.
+        let kind = Ext4DaxKind::default();
+        let wl = w("nosync", vec![Op::Creat { path: "/x".into() }]);
+        let out = test_workload(&kind, &wl, &TestConfig::default());
+        assert_eq!(out.crash_points, 0);
+        assert!(out.reports.is_empty());
+    }
+
+    #[test]
+    fn failing_ops_are_consistent_with_oracle() {
+        let kind = Ext4DaxKind::default();
+        let wl = w(
+            "enoent",
+            vec![
+                Op::Unlink { path: "/missing".into() },
+                Op::Creat { path: "/f".into() },
+                Op::FsyncPath { path: "/f".into() },
+            ],
+        );
+        let out = test_workload(&kind, &wl, &TestConfig::default());
+        assert!(out.reports.is_empty(), "{:#?}", out.reports);
+    }
+
+    #[test]
+    fn outcome_counters_populate() {
+        let kind = Ext4DaxKind::default();
+        let wl = w(
+            "counts",
+            vec![
+                Op::Creat { path: "/f".into() },
+                Op::WritePath { path: "/f".into(), off: 0, size: 8192 },
+                Op::Sync,
+            ],
+        );
+        let out = test_workload(&kind, &wl, &TestConfig::default());
+        assert!(out.reports.is_empty(), "{:#?}", out.reports);
+        assert_eq!(out.inflight_sizes.len() as u64, out.crash_points);
+    }
+}

@@ -1,0 +1,560 @@
+//! The oracle: legal post-crash states captured from a crash-free run.
+//!
+//! Chipmunk's checker compares each crash state against oracle versions of
+//! the file-system tree (§3.3). The oracle runs the same workload on a
+//! fresh instance of the same file system (on its own device, never
+//! crashed) and snapshots the whole tree before every system call plus once
+//! at the end, so snapshot *k* is the legal state "before op *k*" and
+//! snapshot *k+1* the legal state "after op *k*".
+
+use std::collections::BTreeMap;
+
+use pmem::PmDevice;
+use vfs::{FileSystem, FileType, FsError, FsKind, Workload};
+
+use crate::exec::{Executor, OpResult};
+
+/// Snapshot of one file or directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeSnap {
+    /// A regular file: metadata and full contents.
+    File {
+        /// Inode number (compared only when configured).
+        ino: u64,
+        /// Link count.
+        nlink: u64,
+        /// Size in bytes.
+        size: u64,
+        /// Full contents.
+        data: Vec<u8>,
+    },
+    /// A directory: link count and child names.
+    Dir {
+        /// Inode number.
+        ino: u64,
+        /// Link count.
+        nlink: u64,
+        /// Sorted child names.
+        entries: Vec<String>,
+    },
+}
+
+/// A whole-tree snapshot: path → node.
+pub type Tree = BTreeMap<String, NodeSnap>;
+
+/// Walks the file system from the root, producing a [`Tree`].
+///
+/// Any corruption error surfaced during the walk is returned as `Err` with
+/// a description — on a crash state this is itself a consistency violation.
+pub fn snapshot_tree<F: FileSystem>(fs: &F) -> Result<Tree, String> {
+    let mut tree = Tree::new();
+    let mut queue = vec!["/".to_string()];
+    while let Some(dir) = queue.pop() {
+        let entries = fs
+            .readdir(&dir)
+            .map_err(|e| format!("readdir({dir}) failed during tree walk: {e}"))?;
+        let names: Vec<String> = entries.iter().map(|e| e.name.clone()).collect();
+        let meta =
+            fs.stat(&dir).map_err(|e| format!("stat({dir}) failed during tree walk: {e}"))?;
+        tree.insert(
+            dir.clone(),
+            NodeSnap::Dir { ino: meta.ino, nlink: meta.nlink, entries: names },
+        );
+        for e in entries {
+            let path = if dir == "/" { format!("/{}", e.name) } else { format!("{dir}/{}", e.name) };
+            match e.ftype {
+                FileType::Directory => queue.push(path),
+                FileType::Regular => {
+                    let meta = fs
+                        .stat(&path)
+                        .map_err(|e| format!("stat({path}) failed during tree walk: {e}"))?;
+                    let data = fs
+                        .read_file(&path)
+                        .map_err(|e| format!("read({path}) failed during tree walk: {e}"))?;
+                    tree.insert(
+                        path,
+                        NodeSnap::File {
+                            ino: meta.ino,
+                            nlink: meta.nlink,
+                            size: meta.size,
+                            data,
+                        },
+                    );
+                }
+            }
+        }
+    }
+    Ok(tree)
+}
+
+/// The oracle for one workload: per-op snapshots and results.
+#[derive(Debug)]
+pub struct Oracle {
+    /// `snaps[k]` is the tree before op `k`; `snaps[n]` the final tree.
+    pub snaps: Vec<Tree>,
+    /// Per-op results from the crash-free run.
+    pub results: Vec<OpResult>,
+}
+
+impl Oracle {
+    /// The legal state before op `k`.
+    pub fn before(&self, k: usize) -> &Tree {
+        &self.snaps[k]
+    }
+
+    /// The legal state after op `k`.
+    pub fn after(&self, k: usize) -> &Tree {
+        &self.snaps[k + 1]
+    }
+}
+
+/// Runs `workload` crash-free on a fresh `kind` instance, capturing
+/// snapshots.
+pub fn build_oracle<K: FsKind>(
+    kind: &K,
+    workload: &Workload,
+    device_size: u64,
+) -> Result<Oracle, FsError> {
+    let dev = PmDevice::new(device_size);
+    let mut fs = kind.mkfs(dev)?;
+    let mut ex = Executor::new();
+    let mut snaps = Vec::with_capacity(workload.ops.len() + 1);
+    let mut results = Vec::with_capacity(workload.ops.len());
+    for (seq, op) in workload.ops.iter().enumerate() {
+        snaps.push(snapshot_tree(&fs).map_err(FsError::Corrupt)?);
+        results.push(ex.exec(&mut fs, op, seq));
+    }
+    snaps.push(snapshot_tree(&fs).map_err(FsError::Corrupt)?);
+    Ok(Oracle { snaps, results })
+}
+
+/// Compares a crash-state tree against an oracle tree.
+///
+/// Returns `None` on a match, or a human-readable first difference.
+pub fn diff_trees(actual: &Tree, expect: &Tree, compare_ino: bool) -> Option<String> {
+    for (path, enode) in expect {
+        match actual.get(path) {
+            None => return Some(format!("{path} missing (expected to exist)")),
+            Some(anode) => {
+                if let Some(d) = diff_nodes(path, anode, enode, compare_ino) {
+                    return Some(d);
+                }
+            }
+        }
+    }
+    for path in actual.keys() {
+        if !expect.contains_key(path) {
+            return Some(format!("{path} present (expected not to exist)"));
+        }
+    }
+    None
+}
+
+fn diff_nodes(path: &str, actual: &NodeSnap, expect: &NodeSnap, compare_ino: bool) -> Option<String> {
+    match (actual, expect) {
+        (
+            NodeSnap::File { ino: ai, nlink: an, size: asz, data: ad },
+            NodeSnap::File { ino: ei, nlink: en, size: esz, data: ed },
+        ) => {
+            if compare_ino && ai != ei {
+                return Some(format!("{path}: ino {ai} != expected {ei}"));
+            }
+            if an != en {
+                return Some(format!("{path}: nlink {an} != expected {en}"));
+            }
+            if asz != esz {
+                return Some(format!("{path}: size {asz} != expected {esz}"));
+            }
+            if ad != ed {
+                let first = ad.iter().zip(ed.iter()).position(|(a, b)| a != b);
+                return Some(format!(
+                    "{path}: contents differ (first difference at offset {})",
+                    first.map_or_else(|| ad.len().min(ed.len()).to_string(), |o| o.to_string())
+                ));
+            }
+            None
+        }
+        (
+            NodeSnap::Dir { ino: ai, nlink: an, entries: ae },
+            NodeSnap::Dir { ino: ei, nlink: en, entries: ee },
+        ) => {
+            if compare_ino && ai != ei {
+                return Some(format!("{path}: ino {ai} != expected {ei}"));
+            }
+            if an != en {
+                return Some(format!("{path}: dir nlink {an} != expected {en}"));
+            }
+            let (mut a, mut e) = (ae.clone(), ee.clone());
+            a.sort();
+            e.sort();
+            if a != e {
+                return Some(format!("{path}: entries {a:?} != expected {e:?}"));
+            }
+            None
+        }
+        _ => Some(format!("{path}: file/directory type mismatch")),
+    }
+}
+
+/// All paths that name the same inode as `target` in `tree` — the write's
+/// alias set. A data write through one name is equally visible through
+/// every hard link, so the relaxation must cover them all. Always contains
+/// `target` itself; inode 0 is treated as "unknown" and never grouped.
+fn write_aliases<'t>(tree: &'t Tree, target: &'t str) -> std::collections::BTreeSet<&'t str> {
+    let mut set = std::collections::BTreeSet::new();
+    set.insert(target);
+    if let Some(NodeSnap::File { ino, .. }) = tree.get(target) {
+        if *ino != 0 {
+            for (p, n) in tree {
+                if matches!(n, NodeSnap::File { ino: i, .. } if i == ino) {
+                    set.insert(p.as_str());
+                }
+            }
+        }
+    }
+    set
+}
+
+/// Relaxed comparison for crashes in the middle of a non-atomic data write:
+/// every file other than the written inode (under any of its hard-linked
+/// names) must match `cur`, while the written file's size must be the old
+/// or new size and every byte must be explainable as the old byte, the new
+/// byte, or zero (an allocated-but-unwritten block).
+pub fn diff_relaxed_write(
+    actual: &Tree,
+    prev: &Tree,
+    cur: &Tree,
+    target: &str,
+    compare_ino: bool,
+) -> Option<String> {
+    let aliases = write_aliases(cur, target);
+    // Check all non-target nodes against the current oracle.
+    for (path, enode) in cur {
+        if aliases.contains(path.as_str()) {
+            continue;
+        }
+        match actual.get(path) {
+            None => return Some(format!("{path} missing (untouched by the data write)")),
+            Some(anode) => {
+                if let Some(d) = diff_nodes(path, anode, enode, compare_ino) {
+                    return Some(format!("untouched file changed: {d}"));
+                }
+            }
+        }
+    }
+    for path in actual.keys() {
+        if !aliases.contains(path.as_str()) && !cur.contains_key(path) {
+            return Some(format!("{path} appeared (untouched by the data write)"));
+        }
+    }
+    // Check the written file byte-wise, under each of its names.
+    for &alias in &aliases {
+        let (pd, cd) = match (prev.get(alias), cur.get(alias)) {
+            (Some(NodeSnap::File { data: pd, .. }), Some(NodeSnap::File { data: cd, .. })) => {
+                (pd, cd)
+            }
+            // Created by this write: treat missing previous as empty.
+            (None, Some(NodeSnap::File { data: cd, .. })) => {
+                static EMPTY: Vec<u8> = Vec::new();
+                (&EMPTY, cd)
+            }
+            _ => return Some(format!("{alias}: not a regular file in the oracle")),
+        };
+        match actual.get(alias) {
+            None if pd.is_empty() => {} // file not yet created: previous state
+            None => return Some(format!("{alias} missing (had data before the write)")),
+            Some(NodeSnap::File { size, data, .. }) => {
+                if *size != pd.len() as u64 && *size != cd.len() as u64 {
+                    return Some(format!(
+                        "{alias}: size {size} is neither old ({}) nor new ({})",
+                        pd.len(),
+                        cd.len()
+                    ));
+                }
+                for (i, &b) in data.iter().enumerate() {
+                    let old = pd.get(i).copied().unwrap_or(0);
+                    let new = cd.get(i).copied().unwrap_or(0);
+                    if b != old && b != new && b != 0 {
+                        return Some(format!(
+                            "{alias}: byte {i} = {b:#04x} is neither old ({old:#04x}), new \
+                             ({new:#04x}), nor zero"
+                        ));
+                    }
+                }
+            }
+            Some(NodeSnap::Dir { .. }) => return Some(format!("{alias}: became a directory")),
+        }
+    }
+    None
+}
+
+/// Atomic-data-write comparison (WineFS/SplitFS strict modes): every file
+/// other than `target` must match `cur`, and `target` must be *exactly* the
+/// previous version, the new version, or the freshly created empty file (a
+/// bundled create-then-write op legitimately crashes between its two
+/// underlying system calls) — torn contents are violations.
+pub fn diff_atomic_write(
+    actual: &Tree,
+    prev: &Tree,
+    cur: &Tree,
+    target: &str,
+    compare_ino: bool,
+) -> Option<String> {
+    let aliases = write_aliases(cur, target);
+    for (path, enode) in cur {
+        if aliases.contains(path.as_str()) {
+            continue;
+        }
+        match actual.get(path) {
+            None => return Some(format!("{path} missing (untouched by the data write)")),
+            Some(anode) => {
+                if let Some(d) = diff_nodes(path, anode, enode, compare_ino) {
+                    return Some(format!("untouched file changed: {d}"));
+                }
+            }
+        }
+    }
+    for path in actual.keys() {
+        if !aliases.contains(path.as_str()) && !cur.contains_key(path) {
+            return Some(format!("{path} appeared (untouched by the data write)"));
+        }
+    }
+    for &alias in &aliases {
+        let ok = match actual.get(alias) {
+            None => !prev.contains_key(alias),
+            Some(NodeSnap::File { size, data, .. }) => {
+                let is_prev = matches!(
+                    prev.get(alias),
+                    Some(NodeSnap::File { data: pd, .. }) if pd == data
+                );
+                let is_cur = matches!(
+                    cur.get(alias),
+                    Some(NodeSnap::File { data: cd, .. }) if cd == data
+                );
+                let is_fresh_empty = *size == 0 && !prev.contains_key(alias);
+                is_prev || is_cur || is_fresh_empty
+            }
+            Some(NodeSnap::Dir { .. }) => false,
+        };
+        if !ok {
+            return Some(format!(
+                "{alias}: contents are neither the old version, the new version, nor a freshly \
+                 created empty file — the atomic write tore"
+            ));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::PmBackend;
+    use vfs::model::ModelFs;
+    use vfs::Op;
+
+    fn file(nlink: u64, data: &[u8]) -> NodeSnap {
+        NodeSnap::File { ino: 0, nlink, size: data.len() as u64, data: data.to_vec() }
+    }
+
+    #[test]
+    fn snapshot_walks_nested_dirs() {
+        let mut m = ModelFs::new();
+        m.mkdir("/a").unwrap();
+        m.mkdir("/a/b").unwrap();
+        m.creat("/a/b/f").unwrap();
+        let t = snapshot_tree(&m).unwrap();
+        assert_eq!(t.len(), 4);
+        assert!(matches!(t.get("/a/b/f"), Some(NodeSnap::File { .. })));
+        assert!(matches!(t.get("/a/b"), Some(NodeSnap::Dir { .. })));
+    }
+
+    #[test]
+    fn diff_detects_everything() {
+        let mut a = Tree::new();
+        let mut b = Tree::new();
+        a.insert("/f".into(), file(1, b"xx"));
+        b.insert("/f".into(), file(1, b"xx"));
+        assert_eq!(diff_trees(&a, &b, false), None);
+        b.insert("/f".into(), file(2, b"xx"));
+        assert!(diff_trees(&a, &b, false).unwrap().contains("nlink"));
+        b.insert("/f".into(), file(1, b"xy"));
+        assert!(diff_trees(&a, &b, false).unwrap().contains("contents"));
+        b.insert("/f".into(), file(1, b"xxx"));
+        assert!(diff_trees(&a, &b, false).unwrap().contains("size"));
+        b.remove("/f");
+        assert!(diff_trees(&a, &b, false).unwrap().contains("present"));
+        a.remove("/f");
+        b.insert("/g".into(), file(1, b""));
+        assert!(diff_trees(&a, &b, false).unwrap().contains("missing"));
+    }
+
+    #[test]
+    fn oracle_snapshots_bracket_ops() {
+        let kind = TestModelKind;
+        let w = Workload::new(
+            "t",
+            vec![Op::Creat { path: "/f".into() }, Op::Unlink { path: "/f".into() }],
+        );
+        let o = build_oracle(&kind, &w, 1024).unwrap();
+        assert_eq!(o.snaps.len(), 3);
+        assert!(!o.before(0).contains_key("/f"));
+        assert!(o.after(0).contains_key("/f"));
+        assert!(!o.after(1).contains_key("/f"));
+    }
+
+    #[test]
+    fn relaxed_write_accepts_torn_data() {
+        let mut prev = Tree::new();
+        let mut cur = Tree::new();
+        prev.insert("/".into(), NodeSnap::Dir { ino: 1, nlink: 2, entries: vec!["f".into()] });
+        cur.insert("/".into(), NodeSnap::Dir { ino: 1, nlink: 2, entries: vec!["f".into()] });
+        prev.insert("/f".into(), file(1, &[1, 1, 1, 1]));
+        cur.insert("/f".into(), file(1, &[2, 2, 2, 2]));
+        let mut actual = cur.clone();
+        // Torn: half old, half new — allowed.
+        actual.insert("/f".into(), file(1, &[1, 1, 2, 2]));
+        assert_eq!(diff_relaxed_write(&actual, &prev, &cur, "/f", false), None);
+        // Zeros (unwritten allocated block) — allowed.
+        actual.insert("/f".into(), file(1, &[0, 0, 2, 2]));
+        assert_eq!(diff_relaxed_write(&actual, &prev, &cur, "/f", false), None);
+        // Garbage — rejected.
+        actual.insert("/f".into(), file(1, &[9, 9, 9, 9]));
+        assert!(diff_relaxed_write(&actual, &prev, &cur, "/f", false).is_some());
+        // Wrong size — rejected.
+        actual.insert("/f".into(), file(1, &[1, 1]));
+        assert!(diff_relaxed_write(&actual, &prev, &cur, "/f", false)
+            .unwrap()
+            .contains("size"));
+    }
+
+    fn file_ino(ino: u64, nlink: u64, data: &[u8]) -> NodeSnap {
+        NodeSnap::File { ino, nlink, size: data.len() as u64, data: data.to_vec() }
+    }
+
+    #[test]
+    fn relaxed_write_covers_hard_link_aliases() {
+        // /f and /d/g are the same inode; a write through /f tears both
+        // names identically. The relaxation must accept the alias too.
+        let mut prev = Tree::new();
+        let mut cur = Tree::new();
+        for t in [&mut prev, &mut cur] {
+            t.insert("/".into(), NodeSnap::Dir { ino: 1, nlink: 3, entries: vec!["d".into(), "f".into()] });
+            t.insert("/d".into(), NodeSnap::Dir { ino: 2, nlink: 2, entries: vec!["g".into()] });
+        }
+        prev.insert("/f".into(), file_ino(7, 2, &[1, 1, 1, 1]));
+        prev.insert("/d/g".into(), file_ino(7, 2, &[1, 1, 1, 1]));
+        cur.insert("/f".into(), file_ino(7, 2, &[2, 2, 2, 2]));
+        cur.insert("/d/g".into(), file_ino(7, 2, &[2, 2, 2, 2]));
+        let mut actual = cur.clone();
+        actual.insert("/f".into(), file_ino(7, 2, &[1, 1, 2, 2]));
+        actual.insert("/d/g".into(), file_ino(7, 2, &[1, 1, 2, 2]));
+        assert_eq!(diff_relaxed_write(&actual, &prev, &cur, "/f", false), None);
+        // The torn mix is fine for the relaxed check but not the atomic one.
+        assert!(diff_atomic_write(&actual, &prev, &cur, "/f", false).is_some());
+        // Old version under both names passes the atomic check.
+        actual.insert("/f".into(), file_ino(7, 2, &[1, 1, 1, 1]));
+        actual.insert("/d/g".into(), file_ino(7, 2, &[1, 1, 1, 1]));
+        assert_eq!(diff_atomic_write(&actual, &prev, &cur, "/f", false), None);
+        // A garbage alias is still rejected.
+        actual.insert("/d/g".into(), file_ino(7, 2, &[9, 9, 9, 9]));
+        assert!(diff_relaxed_write(&actual, &prev, &cur, "/f", false).is_some());
+        // A changed *unrelated* file (different inode) is still rejected.
+        let mut actual = cur.clone();
+        actual.insert("/f".into(), file_ino(7, 2, &[1, 1, 2, 2]));
+        actual.insert("/d/g".into(), file_ino(8, 1, &[5, 5, 5, 5]));
+        let mut cur2 = cur.clone();
+        cur2.insert("/d/g".into(), file_ino(8, 1, &[2, 2, 2, 2]));
+        let mut prev2 = prev.clone();
+        prev2.insert("/d/g".into(), file_ino(8, 1, &[2, 2, 2, 2]));
+        assert!(diff_relaxed_write(&actual, &prev2, &cur2, "/f", false)
+            .unwrap()
+            .contains("untouched"));
+    }
+
+    /// A trivial FsKind over the in-memory model, for oracle unit tests.
+    #[derive(Clone)]
+    struct TestModelKind;
+
+    struct ModelWithDev(ModelFs);
+
+    impl FileSystem for ModelWithDev {
+        fn open(&mut self, p: &str, f: vfs::OpenFlags) -> Result<vfs::Fd, FsError> {
+            self.0.open(p, f)
+        }
+        fn close(&mut self, fd: vfs::Fd) -> Result<(), FsError> {
+            self.0.close(fd)
+        }
+        fn mkdir(&mut self, p: &str) -> Result<(), FsError> {
+            self.0.mkdir(p)
+        }
+        fn rmdir(&mut self, p: &str) -> Result<(), FsError> {
+            self.0.rmdir(p)
+        }
+        fn unlink(&mut self, p: &str) -> Result<(), FsError> {
+            self.0.unlink(p)
+        }
+        fn link(&mut self, a: &str, b: &str) -> Result<(), FsError> {
+            self.0.link(a, b)
+        }
+        fn rename(&mut self, a: &str, b: &str) -> Result<(), FsError> {
+            self.0.rename(a, b)
+        }
+        fn truncate(&mut self, p: &str, s: u64) -> Result<(), FsError> {
+            self.0.truncate(p, s)
+        }
+        fn fallocate(
+            &mut self,
+            fd: vfs::Fd,
+            m: vfs::FallocMode,
+            o: u64,
+            l: u64,
+        ) -> Result<(), FsError> {
+            self.0.fallocate(fd, m, o, l)
+        }
+        fn write(&mut self, fd: vfs::Fd, d: &[u8]) -> Result<usize, FsError> {
+            self.0.write(fd, d)
+        }
+        fn pwrite(&mut self, fd: vfs::Fd, o: u64, d: &[u8]) -> Result<usize, FsError> {
+            self.0.pwrite(fd, o, d)
+        }
+        fn pread(&self, fd: vfs::Fd, o: u64, b: &mut [u8]) -> Result<usize, FsError> {
+            self.0.pread(fd, o, b)
+        }
+        fn fsync(&mut self, fd: vfs::Fd) -> Result<(), FsError> {
+            self.0.fsync(fd)
+        }
+        fn sync(&mut self) -> Result<(), FsError> {
+            self.0.sync()
+        }
+        fn stat(&self, p: &str) -> Result<vfs::Metadata, FsError> {
+            self.0.stat(p)
+        }
+        fn readdir(&self, p: &str) -> Result<Vec<vfs::DirEntry>, FsError> {
+            self.0.readdir(p)
+        }
+        fn read_file(&self, p: &str) -> Result<Vec<u8>, FsError> {
+            self.0.read_file(p)
+        }
+    }
+
+    impl FsKind for TestModelKind {
+        type Fs<D: PmBackend> = ModelWithDev;
+        fn name(&self) -> vfs::FsName {
+            vfs::FsName::Ext4Dax
+        }
+        fn options(&self) -> &vfs::fs::FsOptions {
+            static OPTS: std::sync::OnceLock<vfs::fs::FsOptions> = std::sync::OnceLock::new();
+            OPTS.get_or_init(vfs::fs::FsOptions::default)
+        }
+        fn guarantees(&self) -> vfs::Guarantees {
+            vfs::Guarantees { strong: false, atomic_data_writes: false }
+        }
+        fn mkfs<D: PmBackend>(&self, _dev: D) -> Result<Self::Fs<D>, FsError> {
+            Ok(ModelWithDev(ModelFs::new()))
+        }
+        fn mount<D: PmBackend>(&self, _dev: D) -> Result<Self::Fs<D>, FsError> {
+            Ok(ModelWithDev(ModelFs::new()))
+        }
+    }
+}

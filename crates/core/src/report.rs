@@ -1,0 +1,283 @@
+//! Bug reports and triage.
+//!
+//! Chipmunk emits a report per detected inconsistency with enough detail to
+//! reproduce it: the workload, the system call, the crash point, the subset
+//! of in-flight writes replayed, and the violated property. Fuzzing
+//! campaigns produce many duplicates (multiple crash states trigger the same
+//! bug), so [`triage`] clusters reports by lexical similarity, as the
+//! paper's extended Syzkaller does (§3.4.2).
+
+use std::collections::BTreeSet;
+
+/// Where the simulated crash was injected relative to the system call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPhase {
+    /// In the middle of a system call (atomicity is checked).
+    DuringSyscall,
+    /// After the system call returned (synchrony is checked).
+    AfterSyscall,
+    /// After an fsync-family call on a weak-guarantee file system.
+    AfterFsync,
+}
+
+impl std::fmt::Display for CrashPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrashPhase::DuringSyscall => write!(f, "during syscall"),
+            CrashPhase::AfterSyscall => write!(f, "after syscall"),
+            CrashPhase::AfterFsync => write!(f, "after fsync"),
+        }
+    }
+}
+
+/// The consistency property a crash state violated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// The file system refused to mount the crash state.
+    Unmountable(String),
+    /// Mounting succeeded but reading the tree surfaced corruption
+    /// (unreadable file or directory, failed checksum, ...).
+    CorruptState(String),
+    /// A crash during a syscall left a state matching neither the
+    /// before-state nor the after-state.
+    AtomicityViolation(String),
+    /// A crash after a syscall lost some of its supposedly durable effects.
+    SynchronyViolation(String),
+    /// The mounted state could not be exercised (create/delete probe
+    /// failed).
+    UnusableState(String),
+    /// The recorded run and the oracle run disagreed on a syscall result —
+    /// a functional (non-crash) divergence.
+    OracleDivergence(String),
+    /// The file system reported an internal invariant violation during the
+    /// recorded run (KASAN/BUG() analogue).
+    RuntimeError(String),
+}
+
+impl Violation {
+    /// Short class name (stable; used as the primary triage key).
+    pub fn class(&self) -> &'static str {
+        match self {
+            Violation::Unmountable(_) => "unmountable",
+            Violation::CorruptState(_) => "corrupt-state",
+            Violation::AtomicityViolation(_) => "atomicity",
+            Violation::SynchronyViolation(_) => "synchrony",
+            Violation::UnusableState(_) => "unusable",
+            Violation::OracleDivergence(_) => "oracle-divergence",
+            Violation::RuntimeError(_) => "runtime-error",
+        }
+    }
+
+    /// The detail message.
+    pub fn detail(&self) -> &str {
+        match self {
+            Violation::Unmountable(s)
+            | Violation::CorruptState(s)
+            | Violation::AtomicityViolation(s)
+            | Violation::SynchronyViolation(s)
+            | Violation::UnusableState(s)
+            | Violation::OracleDivergence(s)
+            | Violation::RuntimeError(s) => s,
+        }
+    }
+}
+
+/// One detected inconsistency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BugReport {
+    /// Workload name.
+    pub workload: String,
+    /// Index of the system call the crash point belongs to.
+    pub op_seq: usize,
+    /// Description of that system call.
+    pub op_desc: String,
+    /// Crash point position.
+    pub phase: CrashPhase,
+    /// Which in-flight writes were replayed to build the state.
+    pub subset: String,
+    /// The violated property.
+    pub violation: Violation,
+}
+
+impl BugReport {
+    /// Renders the report as the multi-line text form shown to users.
+    pub fn to_text(&self) -> String {
+        format!(
+            "BUG: {} violation\n  workload: {}\n  crash point: {} {} (op #{})\n  replayed \
+             writes: {}\n  detail: {}\n",
+            self.violation.class(),
+            self.workload,
+            self.phase,
+            self.op_desc,
+            self.op_seq,
+            self.subset,
+            self.violation.detail()
+        )
+    }
+
+    fn tokens(&self) -> BTreeSet<String> {
+        let mut t: BTreeSet<String> = BTreeSet::new();
+        t.insert(format!("class:{}", self.violation.class()));
+        for w in self.op_desc.split(|c: char| !c.is_alphanumeric() && c != '/') {
+            if !w.is_empty() {
+                t.insert(w.to_string());
+            }
+        }
+        for w in self
+            .violation
+            .detail()
+            .split(|c: char| !c.is_alphanumeric() && c != '/')
+        {
+            // Skip pure numbers: offsets and sizes vary between duplicates
+            // of the same bug.
+            if !w.is_empty() && !w.chars().all(|c| c.is_ascii_digit()) {
+                t.insert(w.to_string());
+            }
+        }
+        t
+    }
+}
+
+impl BugReport {
+    /// Renders the report as a single JSON object (hand-rolled writer — the
+    /// report structure is flat enough that a serialization framework would
+    /// be overkill). Used to export fuzzing-campaign results for external
+    /// triage dashboards, mirroring the paper's Syzkaller UI integration.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        format!(
+            "{{\"workload\":\"{}\",\"op_seq\":{},\"op\":\"{}\",\"phase\":\"{}\",\
+             \"subset\":\"{}\",\"class\":\"{}\",\"detail\":\"{}\"}}",
+            esc(&self.workload),
+            self.op_seq,
+            esc(&self.op_desc),
+            self.phase,
+            esc(&self.subset),
+            self.violation.class(),
+            esc(self.violation.detail()),
+        )
+    }
+}
+
+fn jaccard(a: &BTreeSet<String>, b: &BTreeSet<String>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count() as f64;
+    let union = a.union(b).count() as f64;
+    inter / union
+}
+
+/// Clusters reports by lexical similarity (greedy single-link, Jaccard over
+/// word tokens). Returns clusters as index lists; reports within a cluster
+/// are likely duplicates of one root cause.
+pub fn triage(reports: &[BugReport], threshold: f64) -> Vec<Vec<usize>> {
+    let toks: Vec<BTreeSet<String>> = reports.iter().map(|r| r.tokens()).collect();
+    let mut clusters: Vec<Vec<usize>> = Vec::new();
+    for i in 0..reports.len() {
+        let mut placed = false;
+        for c in clusters.iter_mut() {
+            if c.iter().any(|&j| {
+                reports[i].violation.class() == reports[j].violation.class()
+                    && jaccard(&toks[i], &toks[j]) >= threshold
+            }) {
+                c.push(i);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            clusters.push(vec![i]);
+        }
+    }
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(class: u8, op: &str, detail: &str) -> BugReport {
+        BugReport {
+            workload: "w".into(),
+            op_seq: 0,
+            op_desc: op.into(),
+            phase: CrashPhase::DuringSyscall,
+            subset: "[]".into(),
+            violation: match class {
+                0 => Violation::AtomicityViolation(detail.into()),
+                1 => Violation::SynchronyViolation(detail.into()),
+                _ => Violation::Unmountable(detail.into()),
+            },
+        }
+    }
+
+    #[test]
+    fn near_duplicates_cluster_together() {
+        let reports = vec![
+            report(0, "rename(/foo, /bar)", "/bar missing (expected to exist)"),
+            report(0, "rename(/foo, /baz)", "/baz missing (expected to exist)"),
+            report(2, "truncate(/f, 100)", "journal entry address out of range"),
+        ];
+        let clusters = triage(&reports, 0.4);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0], vec![0, 1]);
+        assert_eq!(clusters[1], vec![2]);
+    }
+
+    #[test]
+    fn different_classes_never_merge() {
+        let reports = vec![
+            report(0, "link(/a, /b)", "x y z"),
+            report(1, "link(/a, /b)", "x y z"),
+        ];
+        assert_eq!(triage(&reports, 0.1).len(), 2);
+    }
+
+    #[test]
+    fn numbers_are_ignored_as_tokens() {
+        let a = report(0, "pwrite(/f, off=0, n=100)", "contents differ at offset 4096");
+        let b = report(0, "pwrite(/f, off=8192, n=200)", "contents differ at offset 64");
+        assert_eq!(triage(&[a, b], 0.5).len(), 1);
+    }
+
+    #[test]
+    fn json_escapes_and_round_trips_fields() {
+        let r = BugReport {
+            workload: "w\"q".into(),
+            op_seq: 3,
+            op_desc: "rename(/a, /b)".into(),
+            phase: CrashPhase::AfterSyscall,
+            subset: "[nt#0@0x10+8]".into(),
+            violation: Violation::SynchronyViolation("line1\nline2".into()),
+        };
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"op_seq\":3"));
+        assert!(j.contains("w\\\"q"), "{j}");
+        assert!(j.contains("line1\\nline2"), "{j}");
+        assert!(j.contains("\"class\":\"synchrony\""));
+    }
+
+    #[test]
+    fn report_text_contains_key_fields() {
+        let r = report(2, "mkdir(/d)", "bad magic");
+        let t = r.to_text();
+        assert!(t.contains("unmountable"));
+        assert!(t.contains("mkdir(/d)"));
+        assert!(t.contains("bad magic"));
+    }
+}

@@ -1,0 +1,250 @@
+//! Edge-case tests for the harness and checker that the mainline FS suites
+//! do not isolate: weak-mode comparison details, cap semantics, report
+//! bookkeeping, and stop-on-first behaviour.
+
+use chipmunk::{test_workload, TestConfig};
+use ext4dax::Ext4DaxKind;
+use vfs::{Op, OpenFlags, Workload};
+
+fn w(name: &str, ops: Vec<Op>) -> Workload {
+    Workload::new(name, ops)
+}
+
+#[test]
+fn weak_mode_checks_only_the_synced_file() {
+    // Two files dirty; fsync only one. A crash after the fsync may lose the
+    // other file entirely — the weak check must not flag that.
+    let kind = Ext4DaxKind::default();
+    let wl = w(
+        "selective",
+        vec![
+            Op::Creat { path: "/synced".into() },
+            Op::Creat { path: "/unsynced".into() },
+            Op::WritePath { path: "/synced".into(), off: 0, size: 500 },
+            Op::WritePath { path: "/unsynced".into(), off: 0, size: 500 },
+            Op::FsyncPath { path: "/synced".into() },
+        ],
+    );
+    let out = test_workload(&kind, &wl, &TestConfig::default());
+    assert!(out.reports.is_empty(), "{:#?}", out.reports);
+    assert_eq!(out.crash_points, 1);
+}
+
+#[test]
+fn weak_mode_sync_checks_everything() {
+    let kind = Ext4DaxKind::default();
+    let wl = w(
+        "sync-all",
+        vec![
+            Op::Mkdir { path: "/d".into() },
+            Op::WritePath { path: "/d/f".into(), off: 0, size: 100 },
+            Op::Sync,
+        ],
+    );
+    let out = test_workload(&kind, &wl, &TestConfig::default());
+    assert!(out.reports.is_empty(), "{:#?}", out.reports);
+}
+
+#[test]
+fn fsync_of_fresh_file_requires_parent_linkage() {
+    // fsync on ext4 commits the whole journal, so the new file's dentry
+    // must be durable too; the weak check verifies the file is reachable.
+    let kind = Ext4DaxKind::default();
+    let wl = w(
+        "fsync-new",
+        vec![
+            Op::Mkdir { path: "/d".into() },
+            Op::Creat { path: "/d/new".into() },
+            Op::FsyncPath { path: "/d/new".into() },
+        ],
+    );
+    let out = test_workload(&kind, &wl, &TestConfig::default());
+    assert!(out.reports.is_empty(), "{:#?}", out.reports);
+    assert!(out.crash_states >= 1);
+}
+
+#[test]
+fn cap_reduces_states_but_full_set_always_checked() {
+    use novafs::NovaKind;
+    use vfs::fs::FsOptions;
+    let kind = NovaKind { opts: FsOptions::fixed(), fortis: false };
+    let wl = w(
+        "states",
+        vec![
+            Op::Mkdir { path: "/d".into() },
+            Op::WritePath { path: "/d/f".into(), off: 0, size: 12_288 },
+        ],
+    );
+    let uncapped = test_workload(&kind, &wl, &TestConfig::default());
+    let capped = test_workload(&kind, &wl, &TestConfig::default().with_cap(1));
+    assert!(uncapped.reports.is_empty() && capped.reports.is_empty());
+    assert!(
+        capped.crash_states < uncapped.crash_states,
+        "cap did not reduce states: {} vs {}",
+        capped.crash_states,
+        uncapped.crash_states
+    );
+    // Crash points are placement-only and unaffected by the cap.
+    assert_eq!(capped.crash_points, uncapped.crash_points);
+}
+
+#[test]
+fn stop_on_first_halts_early() {
+    use novafs::NovaKind;
+    use vfs::{fs::FsOptions, BugId, BugSet};
+    let kind = NovaKind {
+        opts: FsOptions::with_bugs(BugSet::only(&[BugId::B04])),
+        fortis: false,
+    };
+    let wl = w(
+        "early",
+        vec![
+            Op::Creat { path: "/a".into() },
+            Op::Rename { old: "/a".into(), new: "/b".into() },
+            Op::Creat { path: "/c".into() },
+        ],
+    );
+    let all = test_workload(&kind, &wl, &TestConfig::default());
+    let first = test_workload(
+        &kind,
+        &wl,
+        &TestConfig { stop_on_first: true, ..TestConfig::default() },
+    );
+    assert!(all.found_bug() && first.found_bug());
+    assert_eq!(first.reports.len(), 1);
+    assert!(first.crash_states <= all.crash_states);
+}
+
+#[test]
+fn duplicate_reports_are_suppressed_within_a_run() {
+    use vfs::{fs::FsOptions, BugId, BugSet};
+    use winefs::WineFsKind;
+    // Bug 15 produces the same synchrony violation at several crash points;
+    // the harness keeps one report per (op, violation) pair.
+    let kind = WineFsKind {
+        opts: FsOptions::with_bugs(BugSet::only(&[BugId::B15])),
+        strict: true,
+    };
+    let wl = w("dups", vec![Op::WritePath { path: "/f".into(), off: 0, size: 512 }]);
+    let out = test_workload(&kind, &wl, &TestConfig::default());
+    assert!(out.found_bug());
+    let mut keyed: Vec<(usize, String)> = out
+        .reports
+        .iter()
+        .map(|r| (r.op_seq, r.violation.detail().to_string()))
+        .collect();
+    let before = keyed.len();
+    keyed.sort();
+    keyed.dedup();
+    assert_eq!(keyed.len(), before, "duplicate (op, detail) pairs survived");
+}
+
+#[test]
+fn nonmutating_ops_host_no_crash_points() {
+    let kind = Ext4DaxKind::default();
+    let wl = w(
+        "reads",
+        vec![
+            Op::Open { slot: 0, path: "/f".into(), flags: OpenFlags::CREAT_TRUNC },
+            Op::Pwrite { slot: 0, off: 0, size: 64 },
+            Op::Read { slot: 0, off: 0, len: 64 },
+            Op::Fsync { slot: 0 },
+            Op::Read { slot: 0, off: 0, len: 64 },
+        ],
+    );
+    let out = test_workload(&kind, &wl, &TestConfig::default());
+    assert!(out.reports.is_empty(), "{:#?}", out.reports);
+    // Only the fsync creates a weak-mode crash point; the reads never do.
+    assert_eq!(out.crash_points, 1);
+}
+
+#[test]
+fn eadr_hides_pm_bugs_but_not_logic_bugs() {
+    use novafs::NovaKind;
+    use vfs::{fs::FsOptions, BugId, BugSet};
+    let eadr = TestConfig { eadr: true, ..TestConfig::default() };
+    let adr = TestConfig::default();
+
+    // Bug 2 (PM: inode never flushed): visible under ADR, gone under eADR —
+    // persistent caches make the missing flush irrelevant.
+    let pm_kind = NovaKind {
+        opts: FsOptions::with_bugs(BugSet::only(&[BugId::B02])),
+        fortis: false,
+    };
+    let wl = w("pm", vec![Op::Mkdir { path: "/d".into() }]);
+    assert!(test_workload(&pm_kind, &wl, &adr).found_bug(), "B02 must show under ADR");
+    let out = test_workload(&pm_kind, &wl, &eadr);
+    assert!(!out.found_bug(), "B02 must vanish under eADR: {:#?}", out.reports);
+
+    // Bug 4 (logic: in-place rename invalidation): visible under both.
+    let logic_kind = NovaKind {
+        opts: FsOptions::with_bugs(BugSet::only(&[BugId::B04])),
+        fortis: false,
+    };
+    let wl = w(
+        "logic",
+        vec![
+            Op::Creat { path: "/a".into() },
+            Op::Rename { old: "/a".into(), new: "/b".into() },
+        ],
+    );
+    assert!(test_workload(&logic_kind, &wl, &adr).found_bug());
+    assert!(
+        test_workload(&logic_kind, &wl, &eadr).found_bug(),
+        "B04 must persist under eADR"
+    );
+}
+
+#[test]
+fn subset_order_changes_cost_not_outcome() {
+    use novafs::NovaKind;
+    use vfs::{fs::FsOptions, BugId, BugSet};
+    // Observation 7 ablation: large-first enumeration visits the same
+    // subsets in a different order, so without stop-on-first the outcome
+    // AND the total cost are identical; with stop-on-first only the cost
+    // may differ (the aggregate effect is measured by `bench --bin
+    // ablation`, not per-workload).
+    let kind = NovaKind {
+        opts: FsOptions::with_bugs(BugSet::only(&[BugId::B04])),
+        fortis: false,
+    };
+    let wl = w(
+        "order",
+        vec![
+            Op::Creat { path: "/a".into() },
+            Op::Rename { old: "/a".into(), new: "/b".into() },
+        ],
+    );
+    let small = test_workload(&kind, &wl, &TestConfig::default());
+    let large = test_workload(
+        &kind,
+        &wl,
+        &TestConfig { large_first_subsets: true, ..TestConfig::default() },
+    );
+    assert!(small.found_bug() && large.found_bug());
+    assert_eq!(small.crash_states, large.crash_states);
+    assert_eq!(small.crash_points, large.crash_points);
+    // Stop-on-first still finds it under both orders.
+    let early = TestConfig { stop_on_first: true, large_first_subsets: true, ..TestConfig::default() };
+    assert!(test_workload(&kind, &wl, &early).found_bug());
+}
+
+#[test]
+fn eadr_fixed_filesystems_stay_clean() {
+    use novafs::NovaKind;
+    use vfs::fs::FsOptions;
+    let eadr = TestConfig { eadr: true, ..TestConfig::default() };
+    let kind = NovaKind { opts: FsOptions::fixed(), fortis: false };
+    let wl = w(
+        "clean",
+        vec![
+            Op::Mkdir { path: "/d".into() },
+            Op::WritePath { path: "/d/f".into(), off: 0, size: 3000 },
+            Op::Rename { old: "/d/f".into(), new: "/g".into() },
+            Op::Unlink { path: "/g".into() },
+        ],
+    );
+    let out = test_workload(&kind, &wl, &eadr);
+    assert!(out.reports.is_empty(), "{:#?}", out.reports);
+    assert!(out.crash_states > 0);
+}

@@ -1,0 +1,141 @@
+//! Property tests for the checker's data-write relaxation
+//! (`diff_relaxed_write` / `diff_atomic_write`): soundness (legal torn
+//! states are always accepted) and completeness (states containing bytes
+//! no crash could produce are always rejected).
+
+use chipmunk::oracle::{diff_atomic_write, diff_relaxed_write, NodeSnap, Tree};
+use proptest::prelude::*;
+
+fn file(ino: u64, nlink: u64, data: &[u8]) -> NodeSnap {
+    NodeSnap::File { ino, nlink, size: data.len() as u64, data: data.to_vec() }
+}
+
+/// Builds the minimal oracle tree: root plus one file at `/f` (and, when
+/// `linked`, a hard link at `/g`).
+fn tree(data: &[u8], linked: bool) -> Tree {
+    let mut t = Tree::new();
+    let mut entries = vec!["f".to_string()];
+    let nlink = if linked { 2 } else { 1 };
+    if linked {
+        entries.push("g".into());
+        t.insert("/g".into(), file(7, nlink, data));
+    }
+    t.insert("/".into(), NodeSnap::Dir { ino: 1, nlink: 2, entries });
+    t.insert("/f".into(), file(7, nlink, data));
+    t
+}
+
+/// A torn mix of `old` and `new` (with zeros for unwritten blocks),
+/// byte-wise — exactly the states a crash inside a non-atomic data write
+/// may legally leave.
+fn torn_mix(old: &[u8], new: &[u8], picks: &[u8]) -> Vec<u8> {
+    (0..new.len().max(old.len()))
+        .map(|i| match picks.get(i).map(|p| p % 3).unwrap_or(0) {
+            0 => old.get(i).copied().unwrap_or(0),
+            1 => new.get(i).copied().unwrap_or(0),
+            _ => 0,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any byte-wise mix of old, new, and zero is a legal torn state — for
+    /// the written path and equally for a hard-linked alias.
+    #[test]
+    fn torn_mixes_are_accepted(
+        old in proptest::collection::vec(1u8..=255, 1..40),
+        new in proptest::collection::vec(1u8..=255, 1..40),
+        picks in proptest::collection::vec(any::<u8>(), 40),
+        linked in any::<bool>(),
+    ) {
+        let prev = tree(&old, linked);
+        let cur = tree(&new, linked);
+        let mixed = torn_mix(&old, &new, &picks);
+        // The torn image must have the old or new *size* to be legal; force
+        // that by truncating/extending to one of the two lengths.
+        let mixed = &mixed[..if picks.first().unwrap_or(&0) % 2 == 0 { old.len() } else { new.len() }];
+        let mut actual = cur.clone();
+        actual.insert("/f".into(), file(7, if linked { 2 } else { 1 }, mixed));
+        if linked {
+            actual.insert("/g".into(), file(7, 2, mixed));
+        }
+        prop_assert_eq!(diff_relaxed_write(&actual, &prev, &cur, "/f", false), None);
+    }
+
+    /// A byte that is neither old, new, nor zero can never be produced by
+    /// a crash inside the write — the relaxation must reject it.
+    #[test]
+    fn garbage_bytes_are_rejected(
+        old in proptest::collection::vec(1u8..=100, 4..40),
+        pos_frac in 0.0f64..1.0,
+    ) {
+        // new = old + 100 keeps every byte in 101..=200; garbage byte 255
+        // is neither old, new, nor zero.
+        let new: Vec<u8> = old.iter().map(|b| b + 100).collect();
+        let prev = tree(&old, false);
+        let cur = tree(&new, false);
+        let mut data = new.clone();
+        let pos = ((data.len() - 1) as f64 * pos_frac) as usize;
+        data[pos] = 255;
+        let mut actual = cur.clone();
+        actual.insert("/f".into(), file(7, 1, &data));
+        prop_assert!(diff_relaxed_write(&actual, &prev, &cur, "/f", false).is_some());
+    }
+
+    /// The atomic relaxation accepts exactly {old, new, fresh-empty} and
+    /// rejects every proper mix.
+    #[test]
+    fn atomic_accepts_only_endpoints(
+        old in proptest::collection::vec(1u8..=100, 2..30),
+        flip in any::<bool>(),
+    ) {
+        let new: Vec<u8> = old.iter().map(|b| b + 100).collect();
+        let prev = tree(&old, false);
+        let cur = tree(&new, false);
+
+        let endpoint = if flip { &old } else { &new };
+        let mut actual = cur.clone();
+        actual.insert("/f".into(), file(7, 1, endpoint));
+        prop_assert_eq!(diff_atomic_write(&actual, &prev, &cur, "/f", false), None);
+
+        // Half-and-half mix: must be rejected (sizes are equal by
+        // construction, so only the contents distinguish it).
+        let mid = old.len() / 2;
+        let mut mix = old.clone();
+        mix[mid..].copy_from_slice(&new[mid..]);
+        prop_assert_ne!(&mix, &old);
+        prop_assert_ne!(&mix, &new);
+        let mut actual = cur.clone();
+        actual.insert("/f".into(), file(7, 1, &mix));
+        prop_assert!(diff_atomic_write(&actual, &prev, &cur, "/f", false).is_some());
+    }
+
+    /// Changes to a file the write never touched are rejected by both
+    /// relaxations regardless of what happened to the target.
+    #[test]
+    fn unrelated_changes_always_rejected(
+        old in proptest::collection::vec(1u8..=100, 1..30),
+        bystander in proptest::collection::vec(1u8..=255, 1..30),
+    ) {
+        let new: Vec<u8> = old.iter().map(|b| b + 100).collect();
+        let mut prev = tree(&old, false);
+        let mut cur = tree(&new, false);
+        for t in [&mut prev, &mut cur] {
+            if let Some(NodeSnap::Dir { entries, .. }) = t.get_mut("/") {
+                entries.push("b".into());
+            }
+            t.insert("/b".into(), file(9, 1, &bystander));
+        }
+        let mut actual = cur.clone();
+        // Target torn (legal) ...
+        actual.insert("/f".into(), file(7, 1, &old));
+        // ... but the bystander changed (illegal).
+        let mut changed = bystander.clone();
+        changed[0] ^= 0xff;
+        actual.insert("/b".into(), file(9, 1, &changed));
+        prop_assert!(diff_relaxed_write(&actual, &prev, &cur, "/f", false).is_some());
+        prop_assert!(diff_atomic_write(&actual, &prev, &cur, "/f", false).is_some());
+    }
+}

@@ -1,0 +1,4 @@
+//! Re-export of the shared volatile page cache (see [`vfs::pagecache`]);
+//! ext4-DAX and XFS-DAX share it just as they share the Linux page cache.
+
+pub use vfs::pagecache::{BlockClass, PageCache};

@@ -1,0 +1,214 @@
+//! On-device layout: superblock, inode table, bitmap, directory entries.
+
+use vfs::{FsError, FsResult};
+
+/// Block size in bytes.
+pub const BLOCK: u64 = 4096;
+
+/// Superblock magic ("EXT4DAXC" as little-endian u64).
+pub const MAGIC: u64 = u64::from_le_bytes(*b"EXT4DAXC");
+
+/// Inode size in bytes.
+pub const INODE_SIZE: u64 = 256;
+
+/// Number of direct block pointers per inode.
+pub const NDIRECT: usize = 12;
+
+/// Pointers per indirect block.
+pub const PTRS_PER_BLOCK: u64 = BLOCK / 8;
+
+/// Maximum file size in blocks (direct + one indirect).
+pub const MAX_FILE_BLOCKS: u64 = NDIRECT as u64 + PTRS_PER_BLOCK;
+
+/// Size of an on-disk directory entry.
+pub const DENTRY_SIZE: u64 = 56;
+
+/// Maximum name length in a directory entry.
+pub const DENTRY_NAME_MAX: usize = 47;
+
+/// The root directory's inode number.
+pub const ROOT_INO: u64 = 1;
+
+/// File type tags stored in inodes.
+pub mod itype {
+    /// Free inode slot.
+    pub const FREE: u64 = 0;
+    /// Regular file.
+    pub const FILE: u64 = 1;
+    /// Directory.
+    pub const DIR: u64 = 2;
+}
+
+/// Field offsets within an inode.
+pub mod ioff {
+    /// File type tag (u64).
+    pub const FTYPE: u64 = 0;
+    /// Link count (u64).
+    pub const NLINK: u64 = 8;
+    /// Size in bytes (u64).
+    pub const SIZE: u64 = 16;
+    /// Xattr block number, 0 if none (u64).
+    pub const XATTR: u64 = 24;
+    /// First direct pointer (12 × u64).
+    pub const DIRECT: u64 = 32;
+    /// Indirect block pointer (u64).
+    pub const INDIRECT: u64 = 128;
+}
+
+/// Computed region geometry for a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Total device blocks.
+    pub total_blocks: u64,
+    /// Number of inodes.
+    pub inode_count: u64,
+    /// First journal block.
+    pub journal_start: u64,
+    /// Journal length in blocks.
+    pub journal_blocks: u64,
+    /// First bitmap block.
+    pub bitmap_start: u64,
+    /// Bitmap length in blocks.
+    pub bitmap_blocks: u64,
+    /// First inode-table block.
+    pub itable_start: u64,
+    /// Inode table length in blocks.
+    pub itable_blocks: u64,
+    /// First general-purpose data block.
+    pub data_start: u64,
+}
+
+impl Geometry {
+    /// Computes the layout for a device of `size` bytes.
+    pub fn for_device(size: u64) -> FsResult<Geometry> {
+        let total_blocks = size / BLOCK;
+        if total_blocks < 32 {
+            return Err(FsError::NoSpace);
+        }
+        // Block 1 is the epoch block (see `Ext4Dax::set_epoch`).
+        let journal_start = 2;
+        let journal_blocks = (total_blocks / 16).clamp(8, 256);
+        let bitmap_start = journal_start + journal_blocks;
+        let bitmap_blocks = total_blocks.div_ceil(BLOCK * 8).max(1);
+        let itable_start = bitmap_start + bitmap_blocks;
+        let inode_count = (total_blocks / 4).clamp(64, 4096);
+        let itable_blocks = (inode_count * INODE_SIZE).div_ceil(BLOCK);
+        let data_start = itable_start + itable_blocks;
+        if data_start + 8 > total_blocks {
+            return Err(FsError::NoSpace);
+        }
+        Ok(Geometry {
+            total_blocks,
+            inode_count,
+            journal_start,
+            journal_blocks,
+            bitmap_start,
+            bitmap_blocks,
+            itable_start,
+            itable_blocks,
+            data_start,
+        })
+    }
+
+    /// Device byte offset of inode `ino`.
+    pub fn inode_off(&self, ino: u64) -> u64 {
+        debug_assert!(ino >= 1 && ino <= self.inode_count);
+        self.itable_start * BLOCK + (ino - 1) * INODE_SIZE
+    }
+}
+
+/// Superblock field offsets (block 0).
+pub mod sboff {
+    /// Magic (u64).
+    pub const MAGIC: u64 = 0;
+    /// Total blocks (u64).
+    pub const TOTAL_BLOCKS: u64 = 8;
+    /// Inode count (u64).
+    pub const INODE_COUNT: u64 = 16;
+    /// Journal start block (u64).
+    pub const JOURNAL_START: u64 = 24;
+    /// Journal length in blocks (u64).
+    pub const JOURNAL_BLOCKS: u64 = 32;
+    /// Bitmap start block (u64).
+    pub const BITMAP_START: u64 = 40;
+    /// Bitmap length (u64).
+    pub const BITMAP_BLOCKS: u64 = 48;
+    /// Inode table start block (u64).
+    pub const ITABLE_START: u64 = 56;
+    /// Inode table length (u64).
+    pub const ITABLE_BLOCKS: u64 = 64;
+    /// First data block (u64).
+    pub const DATA_START: u64 = 72;
+    /// Journal head: next transaction id expected at recovery (u64).
+    pub const JOURNAL_SEQ: u64 = 80;
+}
+
+/// Serialized directory entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawDentry {
+    /// Target inode, 0 for a free slot.
+    pub ino: u64,
+    /// Entry name.
+    pub name: String,
+}
+
+impl RawDentry {
+    /// Encodes into the fixed 56-byte on-disk form.
+    pub fn encode(&self) -> [u8; DENTRY_SIZE as usize] {
+        let mut buf = [0u8; DENTRY_SIZE as usize];
+        buf[0..8].copy_from_slice(&self.ino.to_le_bytes());
+        let name = self.name.as_bytes();
+        debug_assert!(name.len() <= DENTRY_NAME_MAX);
+        buf[8] = name.len() as u8;
+        buf[9..9 + name.len()].copy_from_slice(name);
+        buf
+    }
+
+    /// Decodes from the on-disk form. Returns `None` for a free slot.
+    pub fn decode(buf: &[u8]) -> Option<RawDentry> {
+        let ino = u64::from_le_bytes(buf[0..8].try_into().ok()?);
+        if ino == 0 {
+            return None;
+        }
+        let len = (buf[8] as usize).min(DENTRY_NAME_MAX);
+        let name = String::from_utf8_lossy(&buf[9..9 + len]).into_owned();
+        Some(RawDentry { ino, name })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_partitions_do_not_overlap() {
+        let g = Geometry::for_device(8 * 1024 * 1024).unwrap();
+        assert!(g.journal_start >= 1);
+        assert!(g.bitmap_start >= g.journal_start + g.journal_blocks);
+        assert!(g.itable_start >= g.bitmap_start + g.bitmap_blocks);
+        assert!(g.data_start >= g.itable_start + g.itable_blocks);
+        assert!(g.data_start < g.total_blocks);
+        assert!(g.inode_count >= 64);
+    }
+
+    #[test]
+    fn tiny_device_rejected() {
+        assert_eq!(Geometry::for_device(16 * 1024), Err(FsError::NoSpace));
+    }
+
+    #[test]
+    fn dentry_round_trip() {
+        let d = RawDentry { ino: 42, name: "hello.txt".into() };
+        let enc = d.encode();
+        assert_eq!(RawDentry::decode(&enc), Some(d));
+        let free = [0u8; DENTRY_SIZE as usize];
+        assert_eq!(RawDentry::decode(&free), None);
+    }
+
+    #[test]
+    fn inode_offsets_are_disjoint() {
+        let g = Geometry::for_device(8 * 1024 * 1024).unwrap();
+        assert_eq!(g.inode_off(2) - g.inode_off(1), INODE_SIZE);
+        assert!(g.inode_off(g.inode_count) + INODE_SIZE <= g.data_start * BLOCK);
+    }
+}

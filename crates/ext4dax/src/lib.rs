@@ -1,0 +1,68 @@
+#![warn(missing_docs)]
+
+//! An ext4-DAX-style file system with *weak* crash-consistency guarantees.
+//!
+//! The paper tests ext4-DAX and XFS-DAX as mature baselines: disk-era file
+//! systems run in DAX mode so reads/writes go straight to PM, but retaining
+//! their original crash-consistency contract — **nothing is guaranteed
+//! durable until `fsync`/`fdatasync`/`sync`** (§2, "weak guarantees"). The
+//! paper found no bugs in them, attributing this to the maturity of the
+//! shared non-DAX code; this crate plays the same role here: a correct,
+//! journaling control file system, and the kernel-component substrate that
+//! `splitfs` builds on.
+//!
+//! Architecture (deliberately ext4-like):
+//!
+//! * All reads and writes go through a volatile page cache; PM is only
+//!   touched at commit points.
+//! * `fsync` writes the file's data blocks in place (ordered mode), then
+//!   commits all dirty metadata blocks through a physical redo journal
+//!   (descriptor block, payload blocks, commit block with checksum), then
+//!   checkpoints them home and retires the journal.
+//! * Mount replays any committed-but-uncheckpointed transaction and ignores
+//!   a torn tail.
+
+pub mod cache;
+pub mod fsimpl;
+pub mod journal;
+pub mod layout;
+
+pub use fsimpl::Ext4Dax;
+
+use pmem::PmBackend;
+use vfs::{
+    fs::{FsKind, FsOptions, Guarantees},
+    FsName, FsResult,
+};
+
+/// Factory for [`Ext4Dax`] instances.
+#[derive(Debug, Clone, Default)]
+pub struct Ext4DaxKind {
+    /// Construction options (ext4-DAX has no injected bugs; options carry
+    /// coverage config).
+    pub opts: FsOptions,
+}
+
+impl FsKind for Ext4DaxKind {
+    type Fs<D: PmBackend> = Ext4Dax<D>;
+
+    fn name(&self) -> FsName {
+        FsName::Ext4Dax
+    }
+
+    fn options(&self) -> &FsOptions {
+        &self.opts
+    }
+
+    fn guarantees(&self) -> Guarantees {
+        Guarantees { strong: false, atomic_data_writes: false }
+    }
+
+    fn mkfs<D: PmBackend>(&self, dev: D) -> FsResult<Self::Fs<D>> {
+        Ext4Dax::mkfs(dev, &self.opts)
+    }
+
+    fn mount<D: PmBackend>(&self, dev: D) -> FsResult<Self::Fs<D>> {
+        Ext4Dax::mount(dev, &self.opts)
+    }
+}

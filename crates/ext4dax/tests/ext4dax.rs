@@ -1,0 +1,232 @@
+//! Functional and crash tests for the ext4-DAX analogue.
+
+use ext4dax::{Ext4Dax, Ext4DaxKind};
+use pmem::PmDevice;
+use vfs::{
+    fs::{FileSystem, FsKind, FsOptions},
+    model::ModelFs,
+    FsError, FileType, OpenFlags,
+};
+
+const DEV: u64 = 8 * 1024 * 1024;
+
+fn fresh() -> Ext4Dax<PmDevice> {
+    Ext4Dax::mkfs(PmDevice::new(DEV), &FsOptions::default()).unwrap()
+}
+
+/// Crashes the file system right now (dropping everything not yet fenced)
+/// and remounts on the resulting image.
+fn crash_and_remount(fs: Ext4Dax<PmDevice>) -> Result<Ext4Dax<PmDevice>, FsError> {
+    let dev = fs.into_device();
+    let img = dev.persistent_image().to_vec();
+    Ext4Dax::mount(PmDevice::from_image(img), &FsOptions::default())
+}
+
+#[test]
+fn create_write_read() {
+    let mut fs = fresh();
+    let fd = fs.open("/foo", OpenFlags::CREAT_TRUNC).unwrap();
+    fs.pwrite(fd, 0, b"hello world").unwrap();
+    fs.close(fd).unwrap();
+    assert_eq!(fs.read_file("/foo").unwrap(), b"hello world");
+    let st = fs.stat("/foo").unwrap();
+    assert_eq!(st.size, 11);
+    assert_eq!(st.ftype, FileType::Regular);
+    assert_eq!(st.nlink, 1);
+}
+
+#[test]
+fn directories_and_links() {
+    let mut fs = fresh();
+    fs.mkdir("/d").unwrap();
+    fs.creat("/d/f").unwrap();
+    fs.link("/d/f", "/d/g").unwrap();
+    assert_eq!(fs.stat("/d/f").unwrap().nlink, 2);
+    assert_eq!(fs.stat("/d").unwrap().nlink, 2);
+    fs.mkdir("/d/sub").unwrap();
+    assert_eq!(fs.stat("/d").unwrap().nlink, 3);
+    let names: Vec<String> = fs.readdir("/d").unwrap().into_iter().map(|e| e.name).collect();
+    assert_eq!(names, vec!["f", "g", "sub"]);
+    assert_eq!(fs.rmdir("/d"), Err(FsError::NotEmpty));
+    fs.unlink("/d/f").unwrap();
+    fs.unlink("/d/g").unwrap();
+    fs.rmdir("/d/sub").unwrap();
+    fs.rmdir("/d").unwrap();
+    assert_eq!(fs.stat("/d"), Err(FsError::NotFound));
+}
+
+#[test]
+fn rename_replaces_target() {
+    let mut fs = fresh();
+    let fd = fs.open("/a", OpenFlags::CREAT_TRUNC).unwrap();
+    fs.pwrite(fd, 0, b"AAA").unwrap();
+    fs.close(fd).unwrap();
+    fs.creat("/b").unwrap();
+    fs.rename("/a", "/b").unwrap();
+    assert_eq!(fs.stat("/a"), Err(FsError::NotFound));
+    assert_eq!(fs.read_file("/b").unwrap(), b"AAA");
+}
+
+#[test]
+fn sync_persists_remount_sees_state() {
+    let mut fs = fresh();
+    fs.mkdir("/d").unwrap();
+    let fd = fs.open("/d/f", OpenFlags::CREAT_TRUNC).unwrap();
+    fs.pwrite(fd, 100, b"persistent").unwrap();
+    fs.close(fd).unwrap();
+    fs.sync().unwrap();
+    let fs2 = crash_and_remount(fs).unwrap();
+    assert_eq!(fs2.stat("/d").unwrap().ftype, FileType::Directory);
+    let data = fs2.read_file("/d/f").unwrap();
+    assert_eq!(data.len(), 110);
+    assert_eq!(&data[100..], b"persistent");
+}
+
+#[test]
+fn unsynced_state_lost_but_fs_mountable() {
+    let mut fs = fresh();
+    fs.creat("/gone").unwrap();
+    // No sync: a crash loses the file, which weak guarantees allow.
+    let fs2 = crash_and_remount(fs).unwrap();
+    assert_eq!(fs2.stat("/gone"), Err(FsError::NotFound));
+    assert_eq!(fs2.readdir("/").unwrap().len(), 0);
+}
+
+#[test]
+fn fsync_persists_one_file() {
+    let mut fs = fresh();
+    let fd = fs.open("/f", OpenFlags::CREAT_TRUNC).unwrap();
+    fs.pwrite(fd, 0, b"synced data").unwrap();
+    fs.fsync(fd).unwrap();
+    fs.close(fd).unwrap();
+    let fs2 = crash_and_remount(fs).unwrap();
+    assert_eq!(fs2.read_file("/f").unwrap(), b"synced data");
+}
+
+#[test]
+fn truncate_then_extend_reads_zeros() {
+    let mut fs = fresh();
+    let fd = fs.open("/f", OpenFlags::CREAT_TRUNC).unwrap();
+    fs.pwrite(fd, 0, &[7u8; 5000]).unwrap();
+    fs.close(fd).unwrap();
+    fs.truncate("/f", 100).unwrap();
+    fs.truncate("/f", 200).unwrap();
+    let data = fs.read_file("/f").unwrap();
+    assert_eq!(&data[..100], &[7u8; 100][..]);
+    assert_eq!(&data[100..], &[0u8; 100][..]);
+}
+
+#[test]
+fn multiblock_and_indirect_files() {
+    let mut fs = fresh();
+    let fd = fs.open("/big", OpenFlags::CREAT_TRUNC).unwrap();
+    // Beyond the 12 direct blocks (48 KiB) into the indirect range.
+    let data: Vec<u8> = (0..60_000u32).map(|i| (i % 251) as u8).collect();
+    fs.pwrite(fd, 0, &data).unwrap();
+    fs.fsync(fd).unwrap();
+    fs.close(fd).unwrap();
+    let fs2 = crash_and_remount(fs).unwrap();
+    assert_eq!(fs2.read_file("/big").unwrap(), data);
+}
+
+#[test]
+fn xattrs_roundtrip() {
+    let mut fs = fresh();
+    fs.creat("/f").unwrap();
+    fs.setxattr("/f", "user.tag", b"value1").unwrap();
+    fs.setxattr("/f", "user.other", b"v2").unwrap();
+    fs.removexattr("/f", "user.tag").unwrap();
+    assert_eq!(fs.removexattr("/f", "user.tag"), Err(FsError::NotFound));
+    assert_eq!(fs.removexattr("/f", "user.missing"), Err(FsError::NotFound));
+}
+
+#[test]
+fn append_mode_and_offsets() {
+    let mut fs = fresh();
+    let fd = fs.open("/f", OpenFlags::CREAT_TRUNC).unwrap();
+    fs.write(fd, b"one").unwrap();
+    fs.write(fd, b"two").unwrap();
+    fs.close(fd).unwrap();
+    let fd = fs.open("/f", OpenFlags::APPEND).unwrap();
+    fs.write(fd, b"!").unwrap();
+    fs.close(fd).unwrap();
+    assert_eq!(fs.read_file("/f").unwrap(), b"onetwo!");
+}
+
+#[test]
+fn block_reuse_after_delete() {
+    let mut fs = fresh();
+    for round in 0..5 {
+        let path = format!("/f{round}");
+        let fd = fs.open(&path, OpenFlags::CREAT_TRUNC).unwrap();
+        fs.pwrite(fd, 0, &vec![round as u8; 20_000]).unwrap();
+        fs.close(fd).unwrap();
+        fs.unlink(&path).unwrap();
+    }
+    fs.sync().unwrap();
+    let fs2 = crash_and_remount(fs).unwrap();
+    assert!(fs2.readdir("/").unwrap().is_empty());
+}
+
+#[test]
+fn mount_rejects_garbage() {
+    let dev = PmDevice::new(DEV);
+    assert!(matches!(
+        Ext4Dax::mount(dev, &FsOptions::default()),
+        Err(FsError::Unmountable(_))
+    ));
+}
+
+#[test]
+fn kind_factory_roundtrip() {
+    let kind = Ext4DaxKind::default();
+    assert!(!kind.guarantees().strong);
+    let mut fs = kind.mkfs(PmDevice::new(DEV)).unwrap();
+    fs.creat("/x").unwrap();
+    fs.sync().unwrap();
+    let img = fs.into_device().persistent_image().to_vec();
+    let fs2 = kind.mount(PmDevice::from_image(img)).unwrap();
+    assert!(fs2.stat("/x").is_ok());
+}
+
+/// Crash-free behavioural parity with the reference model over a scripted
+/// op mix (the full randomized version lives in the property-test suite).
+#[test]
+fn model_parity_scripted() {
+    let mut fs = fresh();
+    let mut model = ModelFs::new();
+    type Step = Box<dyn Fn(&mut dyn FileSystem) -> Result<(), FsError>>;
+    let script: Vec<Step> = vec![
+        Box::new(|f| f.mkdir("/A")),
+        Box::new(|f| f.creat("/A/x")),
+        Box::new(|f| f.link("/A/x", "/y")),
+        Box::new(|f| {
+            let fd = f.open("/y", OpenFlags::RDWR)?;
+            f.pwrite(fd, 10, b"abc")?;
+            f.close(fd)
+        }),
+        Box::new(|f| f.rename("/A/x", "/z")),
+        Box::new(|f| f.truncate("/z", 5)),
+        Box::new(|f| f.unlink("/y")),
+        Box::new(|f| f.mkdir("/A/B")),
+        Box::new(|f| f.rename("/A/B", "/B")),
+        Box::new(|f| f.rmdir("/A")),
+    ];
+    for step in &script {
+        let r1 = step(&mut fs);
+        let r2 = step(&mut model);
+        assert_eq!(r1.is_ok(), r2.is_ok());
+    }
+    for path in ["/z", "/B", "/A", "/y"] {
+        match (fs.stat(path), model.stat(path)) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.ftype, b.ftype, "{path}");
+                assert_eq!(a.size, b.size, "{path}");
+                assert_eq!(a.nlink, b.nlink, "{path}");
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => panic!("{path}: fs={a:?} model={b:?}"),
+        }
+    }
+    assert_eq!(fs.read_file("/z").unwrap(), model.read_file("/z").unwrap());
+}

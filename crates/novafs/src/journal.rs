@@ -1,0 +1,192 @@
+//! The lite journal: an undo journal of 8-byte word records.
+//!
+//! NOVA uses a small journal to make metadata updates spanning multiple
+//! 8-byte words atomic (rename touches two directory logs; link and unlink
+//! touch a directory log and a link count). The protocol:
+//!
+//! 1. record `(address, old value)` for every word the transaction will
+//!    modify, flush the records, fence;
+//! 2. persist the journal tail (the transaction is now *active*), fence;
+//! 3. perform the in-place updates;
+//! 4. commit by persisting tail = 0.
+//!
+//! Recovery finds `tail != 0` ⇒ an active transaction crashed mid-update,
+//! and rolls back by restoring the old values (in reverse).
+//!
+//! Record addresses are stored **relative to the start of the inode-table
+//! region** — every word NOVA journals is an inode field. Bug 3 lives in
+//! the recovery path: it interprets the relative addresses as absolute
+//! device addresses, fails its own range validation, and aborts the mount.
+
+use pmem::PmBackend;
+use vfs::{covpoint, BugId, BugSet, Cov, FsError, FsResult};
+
+use crate::layout::{Geometry, BLOCK};
+
+/// Journal block header: tail (number of records; 0 = no active txn).
+const JTAIL: u64 = 0;
+/// First record offset within the journal block.
+const JRECS: u64 = 16;
+/// Record size: address (u64) + old value (u64).
+const RECSZ: u64 = 16;
+
+/// Maximum records per transaction.
+pub const MAX_RECORDS: u64 = (BLOCK - JRECS) / RECSZ;
+
+/// A started (active) journal transaction.
+pub struct Txn {
+    n: u64,
+}
+
+/// Begins a transaction covering the absolute device addresses `words`
+/// (each must lie in the inode-table region).
+pub fn txn_begin<D: PmBackend>(dev: &mut D, geo: &Geometry, words: &[u64]) -> FsResult<Txn> {
+    debug_assert!(words.len() as u64 <= MAX_RECORDS);
+    let jbase = geo.journal * BLOCK;
+    let itable_base = geo.itable * BLOCK;
+    for (i, &addr) in words.iter().enumerate() {
+        debug_assert!(
+            addr >= itable_base && addr + 8 <= geo.itable_end(),
+            "journaled word outside the inode tables: {addr:#x}"
+        );
+        let old = dev.read_u64(addr);
+        let rec = jbase + JRECS + i as u64 * RECSZ;
+        dev.store_u64(rec, addr - itable_base);
+        dev.store_u64(rec + 8, old);
+    }
+    dev.flush(jbase + JRECS, words.len() as u64 * RECSZ);
+    dev.fence();
+    dev.persist_u64(jbase + JTAIL, words.len() as u64);
+    Ok(Txn { n: words.len() as u64 })
+}
+
+/// Commits the transaction: the in-place updates are already durable; clear
+/// the tail so recovery will not roll them back.
+pub fn txn_commit<D: PmBackend>(dev: &mut D, geo: &Geometry, txn: Txn) {
+    let _ = txn.n;
+    dev.persist_u64(geo.journal * BLOCK + JTAIL, 0);
+}
+
+/// Journal recovery at mount. Rolls back an active transaction, restoring
+/// the old values in reverse record order.
+///
+/// With bug 3 present, record addresses are misread as absolute device
+/// addresses; the range check then rejects them and the mount fails.
+pub fn recover<D: PmBackend>(
+    dev: &mut D,
+    geo: &Geometry,
+    bugs: BugSet,
+    cov: &Cov,
+    trace: &vfs::BugTrace,
+) -> FsResult<bool> {
+    let jbase = geo.journal * BLOCK;
+    let tail = dev.read_u64(jbase + JTAIL);
+    if tail == 0 {
+        return Ok(false);
+    }
+    covpoint!(cov);
+    if tail > MAX_RECORDS {
+        return Err(FsError::Unmountable(format!(
+            "journal tail {tail} exceeds capacity {MAX_RECORDS}"
+        )));
+    }
+    let itable_base = geo.itable * BLOCK;
+    for i in (0..tail).rev() {
+        let rec = jbase + JRECS + i * RECSZ;
+        let rel = dev.read_u64(rec);
+        let old = dev.read_u64(rec + 8);
+        let addr = if bugs.has(BugId::B03) {
+            // BUG 3 (logic): the recovery path forgets that record
+            // addresses are inode-table-relative and treats them as
+            // absolute device addresses.
+            trace.hit(BugId::B03);
+            rel
+        } else {
+            itable_base + rel
+        };
+        if addr < itable_base || addr + 8 > geo.itable_end() {
+            covpoint!(cov);
+            return Err(FsError::Unmountable(format!(
+                "journal record {i} restore address {addr:#x} outside the inode tables"
+            )));
+        }
+        dev.store_u64(addr, old);
+        dev.flush(addr, 8);
+    }
+    dev.fence();
+    dev.persist_u64(jbase + JTAIL, 0);
+    Ok(true)
+}
+
+/// Whether a transaction is currently active (used by the bug-1 recovery
+/// assertion).
+pub fn txn_active<D: PmBackend>(dev: &D, geo: &Geometry) -> bool {
+    dev.read_u64(geo.journal * BLOCK + JTAIL) != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::PmDevice;
+    use vfs::BugTrace;
+
+    fn setup() -> (PmDevice, Geometry) {
+        let size = 4 << 20;
+        (PmDevice::new(size), Geometry::for_device(size).unwrap())
+    }
+
+    #[test]
+    fn txn_rollback_restores_old_values() {
+        let (mut dev, geo) = setup();
+        let a = geo.inode_off(1);
+        let b = geo.inode_off(2) + 8;
+        dev.persist_u64(a, 111);
+        dev.persist_u64(b, 222);
+        let _txn = txn_begin(&mut dev, &geo, &[a, b]).unwrap();
+        // Mid-transaction updates, then crash (no commit).
+        dev.persist_u64(a, 999);
+        dev.persist_u64(b, 888);
+        let rolled =
+            recover(&mut dev, &geo, BugSet::fixed(), &Cov::disabled(), &BugTrace::new()).unwrap();
+        assert!(rolled);
+        assert_eq!(dev.read_u64(a), 111);
+        assert_eq!(dev.read_u64(b), 222);
+        assert!(!txn_active(&dev, &geo));
+    }
+
+    #[test]
+    fn committed_txn_not_rolled_back() {
+        let (mut dev, geo) = setup();
+        let a = geo.inode_off(3);
+        dev.persist_u64(a, 1);
+        let txn = txn_begin(&mut dev, &geo, &[a]).unwrap();
+        dev.persist_u64(a, 2);
+        txn_commit(&mut dev, &geo, txn);
+        let rolled =
+            recover(&mut dev, &geo, BugSet::fixed(), &Cov::disabled(), &BugTrace::new()).unwrap();
+        assert!(!rolled);
+        assert_eq!(dev.read_u64(a), 2);
+    }
+
+    #[test]
+    fn bug3_misinterprets_addresses_and_aborts() {
+        let (mut dev, geo) = setup();
+        let a = geo.inode_off(1);
+        dev.persist_u64(a, 5);
+        let _txn = txn_begin(&mut dev, &geo, &[a]).unwrap();
+        dev.persist_u64(a, 6);
+        let trace = BugTrace::new();
+        let r = recover(&mut dev, &geo, BugSet::only(&[BugId::B03]), &Cov::disabled(), &trace);
+        assert!(matches!(r, Err(FsError::Unmountable(_))), "{r:?}");
+        assert!(trace.contains(BugId::B03));
+    }
+
+    #[test]
+    fn empty_journal_recovers_to_nothing() {
+        let (mut dev, geo) = setup();
+        let rolled =
+            recover(&mut dev, &geo, BugSet::as_released(), &Cov::disabled(), &BugTrace::new())
+                .unwrap();
+        assert!(!rolled);
+    }
+}

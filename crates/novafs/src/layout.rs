@@ -1,0 +1,321 @@
+//! On-device layout: superblock, inode tables, log pages, and the log-entry
+//! codecs.
+
+use vfs::{FsError, FsResult};
+
+/// Block size in bytes.
+pub const BLOCK: u64 = 4096;
+
+/// Superblock magic ("NOVALOGF").
+pub const MAGIC: u64 = u64::from_le_bytes(*b"NOVALOGF");
+
+/// Inode size in bytes.
+pub const INODE_SIZE: u64 = 128;
+
+/// Log entry size in bytes.
+pub const ENTRY_SIZE: u64 = 48;
+
+/// Byte offset of the first entry within a log page (after the next-page
+/// pointer).
+pub const PAGE_HDR: u64 = 8;
+
+/// Entries per log page.
+pub const ENTRIES_PER_PAGE: u64 = (BLOCK - PAGE_HDR) / ENTRY_SIZE;
+
+/// Maximum name length in a directory log entry.
+pub const NAME_MAX: usize = 32;
+
+/// The root directory's inode number.
+pub const ROOT_INO: u64 = 1;
+
+/// Superblock field offsets.
+pub mod sboff {
+    /// Magic (u64).
+    pub const MAGIC: u64 = 0;
+    /// Total blocks (u64).
+    pub const TOTAL_BLOCKS: u64 = 8;
+    /// Inode count (u64).
+    pub const INODE_COUNT: u64 = 16;
+    /// Journal block number (u64).
+    pub const JOURNAL: u64 = 24;
+    /// Primary inode-table start block (u64).
+    pub const ITABLE: u64 = 32;
+    /// Replica inode-table start block (u64, Fortis).
+    pub const ITABLE2: u64 = 40;
+    /// First allocatable block (u64).
+    pub const DATA_START: u64 = 48;
+    /// Generation counter bumped at syscall entry (u64).
+    pub const GEN_A: u64 = 56;
+    /// Generation counter bumped at syscall exit (u64).
+    pub const GEN_B: u64 = 64;
+    /// Fortis flag (u64: 0/1), set at mkfs.
+    pub const FORTIS: u64 = 72;
+}
+
+/// The Fortis deallocation record, stored in the spare tail of the journal
+/// block: `[ino u64][count u64][block numbers ...]`. `ino == 0` means no
+/// record. Written by `truncate` before freeing blocks, cleared afterwards;
+/// replayed at mount (bug 11 lives in the replay).
+pub mod dealloc {
+    /// Byte offset of the record within the journal block.
+    pub const OFF: u64 = 2816;
+    /// Maximum number of recorded block numbers.
+    pub const CAP: usize = 158;
+}
+
+/// Inode field offsets.
+pub mod ioff {
+    /// File type (u64): see [`super::itype`].
+    pub const FTYPE: u64 = 0;
+    /// Link count (u64; meaningful for regular files — directory link
+    /// counts are derived from the rebuild scan).
+    pub const NLINK: u64 = 8;
+    /// First log page block number (u64; 0 = none).
+    pub const LOG_HEAD: u64 = 16;
+    /// Log tail: absolute device byte offset of the next free entry slot.
+    pub const LOG_TAIL: u64 = 24;
+    /// Fortis: checksum over the first 32 bytes of the inode.
+    pub const CSUM: u64 = 32;
+}
+
+/// Inode type tags.
+pub mod itype {
+    /// Free slot.
+    pub const FREE: u64 = 0;
+    /// Regular file.
+    pub const FILE: u64 = 1;
+    /// Directory.
+    pub const DIR: u64 = 2;
+}
+
+/// Computed device geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Total blocks.
+    pub total_blocks: u64,
+    /// Number of inodes.
+    pub inode_count: u64,
+    /// Journal block.
+    pub journal: u64,
+    /// Primary inode table start block.
+    pub itable: u64,
+    /// Replica inode table start block.
+    pub itable2: u64,
+    /// First allocatable block.
+    pub data_start: u64,
+}
+
+impl Geometry {
+    /// Computes the layout for a device of `size` bytes.
+    pub fn for_device(size: u64) -> FsResult<Geometry> {
+        let total_blocks = size / BLOCK;
+        if total_blocks < 32 {
+            return Err(FsError::NoSpace);
+        }
+        let journal = 1;
+        let itable = 2;
+        let inode_count = (total_blocks / 4).clamp(64, 2048);
+        let itable_blocks = (inode_count * INODE_SIZE).div_ceil(BLOCK);
+        let itable2 = itable + itable_blocks;
+        let data_start = itable2 + itable_blocks;
+        if data_start + 8 > total_blocks {
+            return Err(FsError::NoSpace);
+        }
+        Ok(Geometry { total_blocks, inode_count, journal, itable, itable2, data_start })
+    }
+
+    /// Device byte offset of inode `ino` in the primary table.
+    pub fn inode_off(&self, ino: u64) -> u64 {
+        debug_assert!(ino >= 1 && ino <= self.inode_count);
+        self.itable * BLOCK + (ino - 1) * INODE_SIZE
+    }
+
+    /// Device byte offset of inode `ino` in the replica table.
+    pub fn replica_off(&self, ino: u64) -> u64 {
+        self.itable2 * BLOCK + (ino - 1) * INODE_SIZE
+    }
+
+    /// End of the inode-table region (exclusive) — used to validate journal
+    /// restore addresses.
+    pub fn itable_end(&self) -> u64 {
+        self.itable2 * BLOCK + self.inode_count * INODE_SIZE
+    }
+}
+
+/// A decoded log entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogRecord {
+    /// Adds (`valid = true`) a name in this directory's namespace.
+    Dentry {
+        /// Liveness flag — in-place invalidation clears it (bug 4's
+        /// vehicle).
+        valid: bool,
+        /// Generation of the syscall that appended the entry.
+        gen: u64,
+        /// Child inode number.
+        ino: u64,
+        /// Entry name.
+        name: String,
+    },
+    /// Maps `nblocks` blocks starting at `block` into the file at
+    /// byte offset `off` (copy-on-write); `block == 0` unmaps (hole).
+    FileWrite {
+        /// Generation.
+        gen: u64,
+        /// File byte offset (block aligned).
+        off: u64,
+        /// Number of blocks.
+        nblocks: u64,
+        /// First device block (contiguous run), or 0 for a hole.
+        block: u64,
+        /// File size after this write.
+        size_after: u64,
+        /// Fortis: checksum of the run's data (fnv over all blocks).
+        csum: u32,
+    },
+    /// Sets the file size (truncate/fallocate).
+    SetAttr {
+        /// Generation.
+        gen: u64,
+        /// New size.
+        size: u64,
+    },
+}
+
+mod tag {
+    pub const DENTRY: u8 = 1;
+    pub const FILE_WRITE: u8 = 2;
+    pub const SET_ATTR: u8 = 3;
+}
+
+impl LogRecord {
+    /// Encodes into the fixed 48-byte on-log form.
+    pub fn encode(&self) -> [u8; ENTRY_SIZE as usize] {
+        let mut b = [0u8; ENTRY_SIZE as usize];
+        match self {
+            LogRecord::Dentry { valid, gen, ino, name } => {
+                b[0] = tag::DENTRY;
+                b[1] = u8::from(*valid);
+                b[2] = name.len() as u8;
+                b[4..8].copy_from_slice(&(*ino as u32).to_le_bytes());
+                b[8..16].copy_from_slice(&gen.to_le_bytes());
+                debug_assert!(name.len() <= NAME_MAX);
+                b[16..16 + name.len()].copy_from_slice(name.as_bytes());
+            }
+            LogRecord::FileWrite { gen, off, nblocks, block, size_after, csum } => {
+                b[0] = tag::FILE_WRITE;
+                b[4..8].copy_from_slice(&csum.to_le_bytes());
+                b[8..16].copy_from_slice(&gen.to_le_bytes());
+                b[16..24].copy_from_slice(&off.to_le_bytes());
+                b[24..32].copy_from_slice(&nblocks.to_le_bytes());
+                b[32..40].copy_from_slice(&block.to_le_bytes());
+                b[40..48].copy_from_slice(&size_after.to_le_bytes());
+            }
+            LogRecord::SetAttr { gen, size } => {
+                b[0] = tag::SET_ATTR;
+                b[8..16].copy_from_slice(&gen.to_le_bytes());
+                b[16..24].copy_from_slice(&size.to_le_bytes());
+            }
+        }
+        b
+    }
+
+    /// Decodes an entry; `None` for an unrecognized tag (torn/garbage).
+    pub fn decode(b: &[u8]) -> Option<LogRecord> {
+        let gen = u64::from_le_bytes(b[8..16].try_into().ok()?);
+        match b[0] {
+            tag::DENTRY => {
+                let nlen = (b[2] as usize).min(NAME_MAX);
+                Some(LogRecord::Dentry {
+                    valid: b[1] != 0,
+                    gen,
+                    ino: u32::from_le_bytes(b[4..8].try_into().ok()?) as u64,
+                    name: String::from_utf8_lossy(&b[16..16 + nlen]).into_owned(),
+                })
+            }
+            tag::FILE_WRITE => Some(LogRecord::FileWrite {
+                gen,
+                csum: u32::from_le_bytes(b[4..8].try_into().ok()?),
+                off: u64::from_le_bytes(b[16..24].try_into().ok()?),
+                nblocks: u64::from_le_bytes(b[24..32].try_into().ok()?),
+                block: u64::from_le_bytes(b[32..40].try_into().ok()?),
+                size_after: u64::from_le_bytes(b[40..48].try_into().ok()?),
+            }),
+            tag::SET_ATTR => Some(LogRecord::SetAttr {
+                gen,
+                size: u64::from_le_bytes(b[16..24].try_into().ok()?),
+            }),
+            _ => None,
+        }
+    }
+
+    /// The generation stamped on the entry.
+    pub fn gen(&self) -> u64 {
+        match self {
+            LogRecord::Dentry { gen, .. }
+            | LogRecord::FileWrite { gen, .. }
+            | LogRecord::SetAttr { gen, .. } => *gen,
+        }
+    }
+}
+
+/// Checksum for Fortis inode integrity (FNV over the covered bytes).
+pub fn inode_csum(bytes: &[u8]) -> u64 {
+    vfs::cov::fnv1a(bytes)
+}
+
+/// Checksum for Fortis file-data integrity.
+pub fn data_csum(bytes: &[u8]) -> u32 {
+    vfs::cov::fnv1a(bytes) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_sane() {
+        let g = Geometry::for_device(8 << 20).unwrap();
+        assert!(g.itable2 > g.itable);
+        assert!(g.data_start > g.itable2);
+        assert!(g.data_start < g.total_blocks);
+        assert_eq!(g.inode_off(2) - g.inode_off(1), INODE_SIZE);
+        assert!(g.itable_end() <= g.data_start * BLOCK);
+        assert!(Geometry::for_device(1024).is_err());
+    }
+
+    #[test]
+    fn dentry_roundtrip() {
+        let e = LogRecord::Dentry { valid: true, gen: 7, ino: 42, name: "file.txt".into() };
+        assert_eq!(LogRecord::decode(&e.encode()), Some(e));
+        let t = LogRecord::Dentry { valid: false, gen: 9, ino: 3, name: "x".into() };
+        assert_eq!(LogRecord::decode(&t.encode()), Some(t));
+    }
+
+    #[test]
+    fn filewrite_roundtrip() {
+        let e = LogRecord::FileWrite {
+            gen: 3,
+            off: 8192,
+            nblocks: 4,
+            block: 100,
+            size_after: 20_000,
+            csum: 0xdead,
+        };
+        assert_eq!(LogRecord::decode(&e.encode()), Some(e));
+    }
+
+    #[test]
+    fn setattr_roundtrip_and_garbage() {
+        let e = LogRecord::SetAttr { gen: 1, size: 4096 };
+        assert_eq!(LogRecord::decode(&e.encode()), Some(e));
+        assert_eq!(LogRecord::decode(&[0xffu8; 48]), None);
+        assert_eq!(LogRecord::decode(&[0u8; 48]), None);
+    }
+
+    #[test]
+    fn entries_fit_pages() {
+        assert_eq!(ENTRIES_PER_PAGE, 85);
+        const _FITS: () = assert!(PAGE_HDR + ENTRIES_PER_PAGE * ENTRY_SIZE <= BLOCK);
+    }
+}

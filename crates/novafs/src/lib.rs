@@ -1,0 +1,90 @@
+#![warn(missing_docs)]
+
+//! A NOVA-style log-structured PM file system (FAST '16), with the
+//! NOVA-Fortis (SOSP '17) resilience extensions as a mount mode.
+//!
+//! Architecture, mirroring the paper's description of NOVA (§2, §5):
+//!
+//! * **Per-inode logs.** Every inode owns a linked list of 4 KiB log pages
+//!   holding append-only entries: directory entries (and their
+//!   invalidations), copy-on-write file-write entries, and set-attribute
+//!   entries. The log tail in the inode is advanced with an atomic 8-byte
+//!   persistent store after the entries are durable.
+//! * **Copy-on-write data.** File writes allocate fresh blocks, write them
+//!   with non-temporal stores, and only then append a log entry mapping
+//!   them into the file.
+//! * **A lite journal** makes multi-word metadata transactions (rename,
+//!   link, unlink, and tail+attribute updates in the write path) atomic:
+//!   an undo journal of (address, old value) word records.
+//! * **Volatile state rebuilt at mount.** Block allocator, per-file block
+//!   maps, directory hash tables, and sizes live in DRAM and are rebuilt by
+//!   scanning every inode's log at mount — the error-prone recovery code the
+//!   paper's Observation 3 is about.
+//! * **NOVA-Fortis mode** adds inode checksums, replica inodes, file-data
+//!   block checksums, and a persistent deallocation record — the resilience
+//!   machinery behind bugs 9–12.
+//!
+//! The eight NOVA bugs and four NOVA-Fortis bugs of Table 1 are injected
+//! here, each guarded by [`vfs::BugSet`] (see `vfs::bugs` for the catalog).
+
+pub mod fsimpl;
+pub mod journal;
+pub mod layout;
+pub mod rebuild;
+pub mod state;
+
+pub use fsimpl::Nova;
+
+use pmem::PmBackend;
+use vfs::{
+    fs::{FsKind, FsOptions, Guarantees},
+    FsName, FsResult,
+};
+
+/// Factory for [`Nova`] instances.
+#[derive(Debug, Clone, Default)]
+pub struct NovaKind {
+    /// Construction options (bug set, coverage, trace).
+    pub opts: FsOptions,
+    /// Mount in NOVA-Fortis mode (checksums, replicas, dealloc records).
+    pub fortis: bool,
+}
+
+impl NovaKind {
+    /// A NOVA-Fortis factory with the given options.
+    pub fn fortis(opts: FsOptions) -> Self {
+        NovaKind { opts, fortis: true }
+    }
+}
+
+impl FsKind for NovaKind {
+    type Fs<D: PmBackend> = Nova<D>;
+
+    fn name(&self) -> FsName {
+        if self.fortis {
+            FsName::NovaFortis
+        } else {
+            FsName::Nova
+        }
+    }
+
+    fn options(&self) -> &FsOptions {
+        &self.opts
+    }
+
+    fn guarantees(&self) -> Guarantees {
+        // NOVA is synchronous and atomic for metadata; data writes are
+        // copy-on-write and effectively atomic per write, but NOVA does not
+        // guarantee multi-block write atomicity, so Chipmunk applies the
+        // relaxed data check.
+        Guarantees { strong: true, atomic_data_writes: false }
+    }
+
+    fn mkfs<D: PmBackend>(&self, dev: D) -> FsResult<Self::Fs<D>> {
+        Nova::mkfs(dev, &self.opts, self.fortis)
+    }
+
+    fn mount<D: PmBackend>(&self, dev: D) -> FsResult<Self::Fs<D>> {
+        Nova::mount(dev, &self.opts, self.fortis)
+    }
+}

@@ -1,0 +1,193 @@
+//! Volatile (DRAM) state: the structures NOVA rebuilds at every mount.
+//!
+//! NOVA keeps its allocator, per-file block maps, directory tables, and
+//! sizes in DRAM for speed and write endurance, persisting only logs and
+//! inodes (§2, Observation 3). Everything in this module is rebuilt by
+//! [`crate::rebuild`] from the persistent logs.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use vfs::{FsError, FsResult};
+
+/// In-DRAM state of one inode.
+#[derive(Debug, Clone, Default)]
+pub struct InodeState {
+    /// File type tag (see [`crate::layout::itype`]).
+    pub ftype: u64,
+    /// Link count (files: dentry references; dirs: 2 + subdirs, derived).
+    pub nlink: u64,
+    /// File size in bytes.
+    pub size: u64,
+    /// Block map: file block index → device block (files).
+    pub blocks: BTreeMap<u64, u64>,
+    /// Fortis: per-file-block-run data checksums, keyed by first file block
+    /// index of the run (validated on reads of runs not written this
+    /// mount).
+    pub run_csums: BTreeMap<u64, (u64, u32)>,
+    /// Fortis: file block runs written (and therefore known-good) this
+    /// mount.
+    pub fresh_runs: BTreeSet<u64>,
+    /// Directory table: name → child ino (directories).
+    pub children: BTreeMap<String, u64>,
+    /// Device byte offset of the last live dentry log record per name —
+    /// the in-place invalidation target (bug 4's vehicle).
+    pub dentry_pos: HashMap<String, u64>,
+    /// Current log tail (absolute device byte offset; 0 = no log yet).
+    pub log_tail: u64,
+    /// First log page (device block number; 0 = none).
+    pub log_head: u64,
+}
+
+/// The volatile block allocator, rebuilt at mount.
+#[derive(Debug, Clone, Default)]
+pub struct Allocator {
+    free: BTreeSet<u64>,
+}
+
+impl Allocator {
+    /// Builds an allocator over `[data_start, total)` minus `used`.
+    pub fn new(data_start: u64, total: u64, used: &BTreeSet<u64>) -> Self {
+        let free = (data_start..total).filter(|b| !used.contains(b)).collect();
+        Allocator { free }
+    }
+
+    /// Allocates the lowest free block (deterministic).
+    pub fn alloc(&mut self) -> FsResult<u64> {
+        let b = *self.free.iter().next().ok_or(FsError::NoSpace)?;
+        self.free.remove(&b);
+        Ok(b)
+    }
+
+    /// Allocates `n` blocks, contiguous if possible (NOVA prefers
+    /// contiguous runs for file data so a write is one extent).
+    pub fn alloc_run(&mut self, n: u64) -> FsResult<Vec<u64>> {
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        // Look for a contiguous run.
+        let mut run_start = None;
+        let mut prev = None;
+        let mut len = 0u64;
+        for &b in self.free.iter() {
+            match prev {
+                Some(p) if b == p + 1 => len += 1,
+                _ => {
+                    run_start = Some(b);
+                    len = 1;
+                }
+            }
+            prev = Some(b);
+            if len == n {
+                let start = run_start.expect("run tracked");
+                for blk in start..start + n {
+                    self.free.remove(&blk);
+                }
+                return Ok((start..start + n).collect());
+            }
+        }
+        // Fragmented fallback: any n blocks.
+        if (self.free.len() as u64) < n {
+            return Err(FsError::NoSpace);
+        }
+        let picked: Vec<u64> = self.free.iter().take(n as usize).copied().collect();
+        for &b in &picked {
+            self.free.remove(&b);
+        }
+        Ok(picked)
+    }
+
+    /// Returns a block to the free set. Fails on double free — the
+    /// detection behind bug 11's consequence.
+    pub fn free(&mut self, b: u64) -> FsResult<()> {
+        if !self.free.insert(b) {
+            return Err(FsError::Detected(format!(
+                "attempt to deallocate already-free block {b}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Number of free blocks.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+}
+
+/// Whole-FS volatile state.
+#[derive(Debug, Default)]
+pub struct Volatile {
+    /// Per-inode DRAM state (present only for live inodes).
+    pub inodes: HashMap<u64, InodeState>,
+    /// The block allocator.
+    pub alloc: Allocator,
+    /// Open-descriptor table: fd → (ino, offset, append).
+    pub fds: HashMap<u64, (u64, u64, bool)>,
+    /// Next descriptor number.
+    pub next_fd: u64,
+    /// Current generation (mirrors the persistent GEN_A/GEN_B pair).
+    pub gen: u64,
+    /// Current simulated CPU (unused by NOVA; kept for interface parity).
+    pub cpu: usize,
+}
+
+impl Volatile {
+    /// Looks up a live inode's state.
+    pub fn inode(&self, ino: u64) -> FsResult<&InodeState> {
+        self.inodes.get(&ino).ok_or(FsError::NotFound)
+    }
+
+    /// Mutable inode state.
+    pub fn inode_mut(&mut self, ino: u64) -> FsResult<&mut InodeState> {
+        self.inodes.get_mut(&ino).ok_or(FsError::NotFound)
+    }
+
+    /// Number of descriptors open on `ino`.
+    pub fn open_count(&self, ino: u64) -> usize {
+        self.fds.values().filter(|(i, _, _)| *i == ino).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocator_is_deterministic_and_detects_double_free() {
+        let used: BTreeSet<u64> = [10u64, 11].into_iter().collect();
+        let mut a = Allocator::new(10, 20, &used);
+        assert_eq!(a.free_count(), 8);
+        assert_eq!(a.alloc().unwrap(), 12);
+        assert_eq!(a.alloc().unwrap(), 13);
+        a.free(12).unwrap();
+        assert_eq!(a.alloc().unwrap(), 12);
+        assert!(a.free(13).is_ok());
+        assert!(matches!(a.free(13), Err(FsError::Detected(_))));
+    }
+
+    #[test]
+    fn alloc_run_prefers_contiguous() {
+        let used: BTreeSet<u64> = [12u64].into_iter().collect();
+        let mut a = Allocator::new(10, 30, &used);
+        // 10, 11 free then 12 used: a 3-run must start at 13.
+        let run = a.alloc_run(3).unwrap();
+        assert_eq!(run, vec![13, 14, 15]);
+    }
+
+    #[test]
+    fn alloc_run_falls_back_when_fragmented() {
+        let used: BTreeSet<u64> = (10..20).filter(|b| b % 2 == 0).collect();
+        let mut a = Allocator::new(10, 20, &used);
+        let run = a.alloc_run(3).unwrap();
+        assert_eq!(run.len(), 3);
+        assert!(a.alloc_run(10).is_err());
+    }
+
+    #[test]
+    fn alloc_exhaustion() {
+        let used = BTreeSet::new();
+        let mut a = Allocator::new(10, 12, &used);
+        a.alloc().unwrap();
+        a.alloc().unwrap();
+        assert!(matches!(a.alloc(), Err(FsError::NoSpace)));
+    }
+}

@@ -1,0 +1,61 @@
+//! The §4.4 non-crash-consistency extras: KASAN/BUG()-style findings that
+//! surface through the harness as runtime-error reports.
+
+use chipmunk::{test_workload, TestConfig, Violation};
+use novafs::NovaKind;
+use pmem::PmDevice;
+use vfs::{
+    fs::{FileSystem, FsKind, FsOptions},
+    FsError, Op, OpenFlags, Workload,
+};
+
+#[test]
+fn huge_write_exhausts_allocator_when_buggy() {
+    // Paper §4.4: "NOVA does not properly handle write calls where the
+    // number of bytes to write is extremely large; it will allocate all
+    // remaining space for the file, causing most subsequent operations to
+    // fail."
+    let kind = NovaKind {
+        opts: FsOptions { extra_bugs: true, ..FsOptions::fixed() },
+        fortis: false,
+    };
+    let mut fs = kind.mkfs(PmDevice::new(4 << 20)).unwrap();
+    let fd = fs.open("/f", OpenFlags::CREAT_TRUNC).unwrap();
+    let huge = vec![0u8; 64 << 20]; // far beyond the device
+    let r = fs.pwrite(fd, 0, &huge);
+    assert!(matches!(r, Err(FsError::Detected(_))), "{r:?}");
+    // The allocator was drained: subsequent creations fail.
+    assert_eq!(fs.creat("/g"), Err(FsError::NoSpace));
+}
+
+#[test]
+fn huge_write_clean_without_extras() {
+    let kind = NovaKind { opts: FsOptions::fixed(), fortis: false };
+    let mut fs = kind.mkfs(PmDevice::new(4 << 20)).unwrap();
+    let fd = fs.open("/f", OpenFlags::CREAT_TRUNC).unwrap();
+    let huge = vec![0u8; 64 << 20];
+    // Clean ENOSPC, no side effects.
+    assert_eq!(fs.pwrite(fd, 0, &huge), Err(FsError::NoSpace));
+    fs.creat("/g").unwrap();
+}
+
+#[test]
+fn harness_reports_extras_as_runtime_errors() {
+    let kind = NovaKind {
+        opts: FsOptions { extra_bugs: true, ..FsOptions::fixed() },
+        fortis: false,
+    };
+    let w = Workload::new(
+        "huge",
+        vec![
+            Op::Open { slot: 0, path: "/f".into(), flags: OpenFlags::CREAT_TRUNC },
+            Op::Pwrite { slot: 0, off: 0, size: 64 << 20 },
+        ],
+    );
+    let out = test_workload(&kind, &w, &TestConfig::default());
+    assert!(
+        out.reports.iter().any(|r| matches!(r.violation, Violation::RuntimeError(_))),
+        "{:#?}",
+        out.reports
+    );
+}

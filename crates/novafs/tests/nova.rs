@@ -1,0 +1,580 @@
+//! Functional, crash, and per-bug tests for the NOVA analogue.
+
+use chipmunk::{test_workload, TestConfig, Violation};
+use novafs::{Nova, NovaKind};
+use pmem::PmDevice;
+use vfs::{
+    fs::{FileSystem, FsKind, FsOptions},
+    BugId, BugSet, FsError, FileType, Op, OpenFlags, Workload,
+};
+
+const DEV: u64 = 4 * 1024 * 1024;
+
+fn fixed_kind() -> NovaKind {
+    NovaKind { opts: FsOptions::fixed(), fortis: false }
+}
+
+fn fortis_fixed_kind() -> NovaKind {
+    NovaKind { opts: FsOptions::fixed(), fortis: true }
+}
+
+fn kind_with(bugs: &[BugId], fortis: bool) -> NovaKind {
+    NovaKind { opts: FsOptions::with_bugs(BugSet::only(bugs)), fortis }
+}
+
+fn fresh(kind: &NovaKind) -> Nova<PmDevice> {
+    kind.mkfs(PmDevice::new(DEV)).unwrap()
+}
+
+/// Crash now (drop unfenced writes) and remount.
+fn crash_and_remount(kind: &NovaKind, fs: Nova<PmDevice>) -> Result<Nova<PmDevice>, FsError> {
+    let img = fs.into_device().persistent_image().to_vec();
+    kind.mount(PmDevice::from_image(img))
+}
+
+// ---- functional tests (fixed configuration) ----
+
+#[test]
+fn create_write_read_roundtrip() {
+    let kind = fixed_kind();
+    let mut fs = fresh(&kind);
+    let fd = fs.open("/foo", OpenFlags::CREAT_TRUNC).unwrap();
+    fs.pwrite(fd, 100, b"hello nova").unwrap();
+    fs.close(fd).unwrap();
+    let data = fs.read_file("/foo").unwrap();
+    assert_eq!(data.len(), 110);
+    assert_eq!(&data[100..], b"hello nova");
+    assert_eq!(&data[..100], &[0u8; 100][..]);
+}
+
+#[test]
+fn synchronous_semantics_every_op_survives_crash() {
+    // NOVA's headline property: every completed call is durable with no
+    // fsync. Crash after each op and verify.
+    let kind = fixed_kind();
+    let mut fs = fresh(&kind);
+
+    fs.mkdir("/d").unwrap();
+    fs = crash_and_remount(&kind, fs).unwrap();
+    assert_eq!(fs.stat("/d").unwrap().ftype, FileType::Directory);
+
+    fs.creat("/d/f").unwrap();
+    fs = crash_and_remount(&kind, fs).unwrap();
+    assert!(fs.stat("/d/f").is_ok());
+
+    let fd = fs.open("/d/f", OpenFlags::RDWR).unwrap();
+    fs.pwrite(fd, 0, &[7u8; 5000]).unwrap();
+    fs.close(fd).unwrap();
+    fs = crash_and_remount(&kind, fs).unwrap();
+    assert_eq!(fs.read_file("/d/f").unwrap(), vec![7u8; 5000]);
+
+    fs.link("/d/f", "/g").unwrap();
+    fs = crash_and_remount(&kind, fs).unwrap();
+    assert_eq!(fs.stat("/g").unwrap().nlink, 2);
+
+    fs.rename("/g", "/h").unwrap();
+    fs = crash_and_remount(&kind, fs).unwrap();
+    assert!(fs.stat("/g").is_err());
+    assert_eq!(fs.stat("/h").unwrap().nlink, 2);
+
+    fs.truncate("/h", 100).unwrap();
+    fs = crash_and_remount(&kind, fs).unwrap();
+    assert_eq!(fs.stat("/h").unwrap().size, 100);
+
+    fs.unlink("/h").unwrap();
+    fs.unlink("/d/f").unwrap();
+    fs.rmdir("/d").unwrap();
+    fs = crash_and_remount(&kind, fs).unwrap();
+    assert!(fs.readdir("/").unwrap().is_empty());
+}
+
+#[test]
+fn rename_variants() {
+    let kind = fixed_kind();
+    let mut fs = fresh(&kind);
+    fs.mkdir("/a").unwrap();
+    fs.mkdir("/b").unwrap();
+    fs.creat("/a/x").unwrap();
+    // Cross-directory.
+    fs.rename("/a/x", "/b/y").unwrap();
+    assert!(fs.stat("/a/x").is_err());
+    assert!(fs.stat("/b/y").is_ok());
+    // Same-directory with replacement.
+    fs.creat("/b/z").unwrap();
+    fs.rename("/b/y", "/b/z").unwrap();
+    assert!(fs.stat("/b/y").is_err());
+    // Directory rename updates parent link counts.
+    assert_eq!(fs.stat("/").unwrap().nlink, 4);
+    fs.rename("/b", "/a/b").unwrap();
+    assert_eq!(fs.stat("/").unwrap().nlink, 3);
+    assert_eq!(fs.stat("/a").unwrap().nlink, 3);
+    assert!(fs.stat("/a/b/z").is_ok());
+    // Into own subtree is rejected.
+    assert_eq!(fs.rename("/a", "/a/b/c"), Err(FsError::Invalid));
+}
+
+#[test]
+fn truncate_zeroing_and_extension() {
+    let kind = fixed_kind();
+    let mut fs = fresh(&kind);
+    let fd = fs.open("/f", OpenFlags::CREAT_TRUNC).unwrap();
+    fs.pwrite(fd, 0, &[9u8; 6000]).unwrap();
+    fs.close(fd).unwrap();
+    fs.truncate("/f", 100).unwrap();
+    fs.truncate("/f", 6000).unwrap();
+    let data = fs.read_file("/f").unwrap();
+    assert_eq!(&data[..100], &[9u8; 100][..]);
+    assert!(data[100..].iter().all(|&b| b == 0), "stale bytes after shrink+extend");
+}
+
+#[test]
+fn fallocate_modes_work() {
+    let kind = fixed_kind();
+    let mut fs = fresh(&kind);
+    let fd = fs.open("/f", OpenFlags::CREAT_TRUNC).unwrap();
+    fs.pwrite(fd, 0, &[5u8; 4096]).unwrap();
+    fs.fallocate(fd, vfs::FallocMode::Allocate, 4096, 8192).unwrap();
+    assert_eq!(fs.stat("/f").unwrap().size, 12288);
+    fs.fallocate(fd, vfs::FallocMode::KeepSize, 20000, 4096).unwrap();
+    assert_eq!(fs.stat("/f").unwrap().size, 12288);
+    fs.fallocate(fd, vfs::FallocMode::ZeroRange, 0, 100).unwrap();
+    let data = fs.read_file("/f").unwrap();
+    assert!(data[..100].iter().all(|&b| b == 0));
+    assert_eq!(data[100], 5);
+    fs.fallocate(fd, vfs::FallocMode::PunchHole, 0, 4096).unwrap();
+    assert!(fs.read_file("/f").unwrap()[..4096].iter().all(|&b| b == 0));
+    fs.close(fd).unwrap();
+    // Survives a crash.
+    let fs2 = crash_and_remount(&kind, fs).unwrap();
+    assert_eq!(fs2.stat("/f").unwrap().size, 12288);
+}
+
+#[test]
+fn unlinked_open_file_freed_at_close_and_crash_orphan_reclaimed() {
+    let kind = fixed_kind();
+    let mut fs = fresh(&kind);
+    let fd = fs.open("/f", OpenFlags::CREAT_TRUNC).unwrap();
+    fs.pwrite(fd, 0, &[1u8; 8192]).unwrap();
+    fs.unlink("/f").unwrap();
+    // Still readable through the descriptor.
+    let mut buf = [0u8; 4];
+    assert_eq!(fs.pread(fd, 0, &mut buf).unwrap(), 4);
+    // Crash with the orphan outstanding: remount reclaims it.
+    let fs2 = crash_and_remount(&kind, fs).unwrap();
+    assert!(fs2.readdir("/").unwrap().is_empty());
+    assert!(fs2.stat("/f").is_err());
+}
+
+#[test]
+fn log_grows_across_pages() {
+    let kind = fixed_kind();
+    let mut fs = fresh(&kind);
+    // More than 85 entries in the root log: creations + deletions.
+    for i in 0..60 {
+        fs.creat(&format!("/f{i}")).unwrap();
+    }
+    for i in 0..30 {
+        fs.unlink(&format!("/f{i}")).unwrap();
+    }
+    let fs2 = crash_and_remount(&kind, fs).unwrap();
+    let entries = fs2.readdir("/").unwrap();
+    assert_eq!(entries.len(), 30);
+}
+
+#[test]
+fn fortis_roundtrip_and_validation() {
+    let kind = fortis_fixed_kind();
+    let mut fs = fresh(&kind);
+    let fd = fs.open("/f", OpenFlags::CREAT_TRUNC).unwrap();
+    fs.pwrite(fd, 0, &[3u8; 10000]).unwrap();
+    fs.close(fd).unwrap();
+    fs.truncate("/f", 5000).unwrap();
+    let fs2 = crash_and_remount(&kind, fs).unwrap();
+    // Reads validate checksums after remount; the fixed truncate recomputed
+    // the boundary checksum.
+    assert_eq!(fs2.read_file("/f").unwrap(), vec![3u8; 5000]);
+}
+
+#[test]
+fn fortis_detects_media_corruption() {
+    let kind = fortis_fixed_kind();
+    let mut fs = fresh(&kind);
+    let fd = fs.open("/f", OpenFlags::CREAT_TRUNC).unwrap();
+    fs.pwrite(fd, 0, &[3u8; 4096]).unwrap();
+    fs.close(fd).unwrap();
+    // Corrupt the file data directly on "media" and remount.
+    let mut img = fs.into_device().persistent_image().to_vec();
+    // Find the data block: it is the block whose bytes are all 3.
+    let blk = (0..img.len() / 4096)
+        .find(|&b| img[b * 4096..(b + 1) * 4096].iter().all(|&x| x == 3))
+        .expect("data block present");
+    img[blk * 4096 + 10] ^= 0xff;
+    let fs2 = kind.mount(PmDevice::from_image(img)).unwrap();
+    assert!(matches!(fs2.read_file("/f"), Err(FsError::Corrupt(_))));
+}
+
+// ---- whole-pipeline crash-consistency tests via chipmunk ----
+
+fn wl(name: &str, ops: Vec<Op>) -> Workload {
+    Workload::new(name, ops)
+}
+
+fn check(kind: &NovaKind, w: &Workload) -> chipmunk::TestOutcome {
+    test_workload(kind, w, &TestConfig::default())
+}
+
+#[test]
+fn fixed_nova_passes_core_workloads() {
+    let kind = fixed_kind();
+    let workloads = vec![
+        wl("creat", vec![Op::Creat { path: "/A".into() }]),
+        wl(
+            "mkdir-creat",
+            vec![Op::Mkdir { path: "/d".into() }, Op::Creat { path: "/d/f".into() }],
+        ),
+        wl(
+            "write",
+            vec![
+                Op::Creat { path: "/f".into() },
+                Op::WritePath { path: "/f".into(), off: 0, size: 5000 },
+            ],
+        ),
+        wl(
+            "link-unlink",
+            vec![
+                Op::Creat { path: "/f".into() },
+                Op::Link { old: "/f".into(), new: "/g".into() },
+                Op::Unlink { path: "/f".into() },
+            ],
+        ),
+        wl(
+            "rename-same-dir",
+            vec![
+                Op::Creat { path: "/a".into() },
+                Op::Rename { old: "/a".into(), new: "/b".into() },
+            ],
+        ),
+        wl(
+            "rename-cross-dir",
+            vec![
+                Op::Mkdir { path: "/d".into() },
+                Op::Creat { path: "/d/a".into() },
+                Op::Rename { old: "/d/a".into(), new: "/b".into() },
+            ],
+        ),
+        wl(
+            "rename-replace",
+            vec![
+                Op::Creat { path: "/a".into() },
+                Op::Creat { path: "/b".into() },
+                Op::WritePath { path: "/a".into(), off: 0, size: 100 },
+                Op::Rename { old: "/a".into(), new: "/b".into() },
+            ],
+        ),
+        wl(
+            "truncate",
+            vec![
+                Op::WritePath { path: "/f".into(), off: 0, size: 5000 },
+                Op::Truncate { path: "/f".into(), size: 1000 },
+            ],
+        ),
+        wl(
+            "falloc",
+            vec![
+                Op::WritePath { path: "/f".into(), off: 0, size: 3000 },
+                Op::FallocPath {
+                    path: "/f".into(),
+                    mode: vfs::FallocMode::Allocate,
+                    off: 0,
+                    len: 8192,
+                },
+            ],
+        ),
+        wl(
+            "rmdir",
+            vec![Op::Mkdir { path: "/d".into() }, Op::Rmdir { path: "/d".into() }],
+        ),
+    ];
+    for w in &workloads {
+        let out = check(&kind, w);
+        assert!(
+            out.reports.is_empty(),
+            "fixed NOVA violated {}:\n{}",
+            w.name,
+            out.reports.iter().map(|r| r.to_text()).collect::<String>()
+        );
+        assert!(out.crash_states > 0, "{}: no crash states explored", w.name);
+    }
+}
+
+#[test]
+fn fixed_fortis_passes_core_workloads() {
+    let kind = fortis_fixed_kind();
+    let workloads = vec![
+        wl(
+            "fortis-mix",
+            vec![
+                Op::Mkdir { path: "/d".into() },
+                Op::WritePath { path: "/d/f".into(), off: 0, size: 5000 },
+                Op::Link { old: "/d/f".into(), new: "/g".into() },
+                Op::Truncate { path: "/d/f".into(), size: 1000 },
+                Op::Unlink { path: "/g".into() },
+                Op::Rename { old: "/d/f".into(), new: "/h".into() },
+                Op::Rmdir { path: "/d".into() },
+            ],
+        ),
+    ];
+    for w in &workloads {
+        let out = check(&kind, w);
+        assert!(
+            out.reports.is_empty(),
+            "fixed NOVA-Fortis violated {}:\n{}",
+            w.name,
+            out.reports.iter().map(|r| r.to_text()).collect::<String>()
+        );
+    }
+}
+
+// ---- per-bug detection tests: each bug found with exactly it enabled ----
+
+fn assert_bug_found(kind: &NovaKind, w: &Workload, bug: BugId, class: &str) {
+    let out = test_workload(kind, w, &TestConfig::default());
+    assert!(
+        out.reports.iter().any(|r| r.violation.class() == class),
+        "{bug} not detected as {class} on {}; reports: {:#?}",
+        w.name,
+        out.reports
+    );
+    assert!(out.traced_bugs.contains(&bug), "{bug} code path did not execute");
+}
+
+#[test]
+fn bug01_unmountable_detected() {
+    let kind = kind_with(&[BugId::B01], false);
+    let w = wl("b01", vec![Op::Creat { path: "/f".into() }]);
+    assert_bug_found(&kind, &w, BugId::B01, "unmountable");
+}
+
+#[test]
+fn bug02_ghost_inode_detected() {
+    let kind = kind_with(&[BugId::B02], false);
+    let w = wl("b02", vec![Op::Mkdir { path: "/d".into() }]);
+    let out = test_workload(&kind, &w, &TestConfig::default());
+    assert!(
+        out.reports
+            .iter()
+            .any(|r| matches!(r.violation, Violation::CorruptState(_) | Violation::UnusableState(_))),
+        "bug 2 not detected: {:#?}",
+        out.reports
+    );
+}
+
+#[test]
+fn bug03_journal_replay_detected() {
+    let kind = kind_with(&[BugId::B03], false);
+    let w = wl(
+        "b03",
+        vec![
+            Op::Creat { path: "/f".into() },
+            Op::Link { old: "/f".into(), new: "/g".into() },
+        ],
+    );
+    assert_bug_found(&kind, &w, BugId::B03, "unmountable");
+}
+
+#[test]
+fn bug04_rename_file_disappears() {
+    let kind = kind_with(&[BugId::B04], false);
+    let w = wl(
+        "b04",
+        vec![
+            Op::Creat { path: "/a".into() },
+            Op::Rename { old: "/a".into(), new: "/b".into() },
+        ],
+    );
+    assert_bug_found(&kind, &w, BugId::B04, "atomicity");
+}
+
+#[test]
+fn bug05_rename_old_file_remains() {
+    let kind = kind_with(&[BugId::B05], false);
+    let w = wl(
+        "b05",
+        vec![
+            Op::Mkdir { path: "/d".into() },
+            Op::Creat { path: "/d/a".into() },
+            Op::Rename { old: "/d/a".into(), new: "/b".into() },
+        ],
+    );
+    assert_bug_found(&kind, &w, BugId::B05, "atomicity");
+}
+
+#[test]
+fn bug06_link_count_early() {
+    let kind = kind_with(&[BugId::B06], false);
+    let w = wl(
+        "b06",
+        vec![
+            Op::Creat { path: "/f".into() },
+            Op::Link { old: "/f".into(), new: "/g".into() },
+        ],
+    );
+    assert_bug_found(&kind, &w, BugId::B06, "atomicity");
+}
+
+#[test]
+fn bug07_truncate_data_loss() {
+    let kind = kind_with(&[BugId::B07], false);
+    let w = wl(
+        "b07",
+        vec![
+            Op::WritePath { path: "/f".into(), off: 0, size: 5000 },
+            Op::Truncate { path: "/f".into(), size: 100 },
+        ],
+    );
+    assert_bug_found(&kind, &w, BugId::B07, "atomicity");
+}
+
+#[test]
+fn bug08_fallocate_data_loss() {
+    let kind = kind_with(&[BugId::B08], false);
+    let w = wl(
+        "b08",
+        vec![
+            Op::WritePath { path: "/f".into(), off: 0, size: 3000 },
+            Op::FallocPath {
+                path: "/f".into(),
+                mode: vfs::FallocMode::KeepSize,
+                off: 0,
+                len: 8192,
+            },
+        ],
+    );
+    let out = test_workload(&kind, &w, &TestConfig::default());
+    assert!(
+        out.reports.iter().any(|r| r.violation.class() == "synchrony"
+            || r.violation.class() == "atomicity"),
+        "bug 8 not detected: {:#?}",
+        out.reports
+    );
+    assert!(out.traced_bugs.contains(&BugId::B08));
+}
+
+#[test]
+fn bug09_stale_checksum_detected() {
+    let kind = kind_with(&[BugId::B09], true);
+    let w = wl(
+        "b09",
+        vec![
+            Op::Creat { path: "/f".into() },
+            Op::Unlink { path: "/f".into() },
+        ],
+    );
+    let out = test_workload(&kind, &w, &TestConfig::default());
+    assert!(
+        out.reports.iter().any(|r| matches!(
+            r.violation,
+            Violation::CorruptState(_) | Violation::UnusableState(_) | Violation::Unmountable(_)
+        )),
+        "bug 9 not detected: {:#?}",
+        out.reports
+    );
+    assert!(out.traced_bugs.contains(&BugId::B09));
+}
+
+#[test]
+fn bug10_replica_divergence_undeletable() {
+    let kind = kind_with(&[BugId::B10], true);
+    let w = wl(
+        "b10",
+        vec![
+            Op::Creat { path: "/f".into() },
+            Op::Link { old: "/f".into(), new: "/g".into() },
+        ],
+    );
+    let out = test_workload(&kind, &w, &TestConfig::default());
+    assert!(
+        out.reports.iter().any(|r| matches!(r.violation, Violation::UnusableState(_))),
+        "bug 10 not detected: {:#?}",
+        out.reports
+    );
+    assert!(out.traced_bugs.contains(&BugId::B10));
+}
+
+#[test]
+fn bug11_double_free_on_recovery() {
+    let kind = kind_with(&[BugId::B11], true);
+    let w = wl(
+        "b11",
+        vec![
+            Op::WritePath { path: "/f".into(), off: 0, size: 10000 },
+            Op::Truncate { path: "/f".into(), size: 0 },
+        ],
+    );
+    assert_bug_found(&kind, &w, BugId::B11, "unmountable");
+}
+
+#[test]
+fn bug12_truncate_unreadable_file() {
+    let kind = kind_with(&[BugId::B12], true);
+    let w = wl(
+        "b12",
+        vec![
+            Op::WritePath { path: "/f".into(), off: 0, size: 5000 },
+            Op::Truncate { path: "/f".into(), size: 100 },
+        ],
+    );
+    let out = test_workload(&kind, &w, &TestConfig::default());
+    assert!(
+        out.reports.iter().any(|r| matches!(r.violation, Violation::CorruptState(_))),
+        "bug 12 not detected: {:#?}",
+        out.reports
+    );
+    assert!(out.traced_bugs.contains(&BugId::B12));
+}
+
+#[test]
+fn fixed_bugs_stay_fixed_on_trigger_workloads() {
+    // The workloads that expose each bug must be clean with bugs disabled.
+    let plain = fixed_kind();
+    let fortis = fortis_fixed_kind();
+    let cases: Vec<(&NovaKind, Workload)> = vec![
+        (&plain, wl("f01", vec![Op::Creat { path: "/f".into() }])),
+        (
+            &plain,
+            wl(
+                "f04",
+                vec![
+                    Op::Creat { path: "/a".into() },
+                    Op::Rename { old: "/a".into(), new: "/b".into() },
+                ],
+            ),
+        ),
+        (
+            &fortis,
+            wl(
+                "f11",
+                vec![
+                    Op::WritePath { path: "/f".into(), off: 0, size: 10000 },
+                    Op::Truncate { path: "/f".into(), size: 0 },
+                ],
+            ),
+        ),
+        (
+            &fortis,
+            wl(
+                "f09",
+                vec![Op::Creat { path: "/f".into() }, Op::Unlink { path: "/f".into() }],
+            ),
+        ),
+    ];
+    for (kind, w) in cases {
+        let out = test_workload(kind, &w, &TestConfig::default());
+        assert!(
+            out.reports.is_empty(),
+            "fixed configuration still violates {}:\n{}",
+            w.name,
+            out.reports.iter().map(|r| r.to_text()).collect::<String>()
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! Copy-on-write device overlay for mounting crash states.
+//!
+//! The Chipmunk test harness checks thousands of crash states per workload.
+//! Each crash state is "base persistent image at the last fence" plus a small
+//! subset of in-flight writes, and the consistency checks themselves mutate
+//! the state (mount-time recovery, the usability probe). CrashMonkey used a
+//! copy-on-write block device for the same reason; [`CowDevice`] is the PM
+//! equivalent: a page-granular overlay over a borrowed base image, so
+//! constructing a crash state never copies the whole device and rolling back
+//! checker mutations is just dropping the overlay.
+
+use std::collections::HashMap;
+
+use crate::{backend::PmBackend, cost::SimCost};
+
+/// Overlay page size.
+const PAGE: u64 = 4096;
+
+/// A copy-on-write view over an immutable base image.
+///
+/// All writes (including non-temporal stores and flushes) are applied
+/// directly to overlay pages: a crash state is by definition already "on
+/// media", and the file system mounted on it runs recovery and checker
+/// probes whose persistence behaviour is not itself under test.
+pub struct CowDevice<'a> {
+    base: &'a [u8],
+    pages: HashMap<u64, Box<[u8]>>,
+}
+
+impl<'a> CowDevice<'a> {
+    /// Creates an overlay over `base`.
+    pub fn new(base: &'a [u8]) -> Self {
+        CowDevice { base, pages: HashMap::new() }
+    }
+
+    /// Applies `data` at `off` (used by the replayer to lay a subset of
+    /// in-flight writes over the base snapshot).
+    pub fn apply(&mut self, off: u64, data: &[u8]) {
+        self.write_bytes(off, data);
+    }
+
+    /// Number of dirtied overlay pages.
+    pub fn dirty_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Discards all overlay modifications, reverting to the base image.
+    pub fn rollback(&mut self) {
+        self.pages.clear();
+    }
+
+    fn page_mut(&mut self, pno: u64) -> &mut [u8] {
+        let base = self.base;
+        self.pages.entry(pno).or_insert_with(|| {
+            let start = (pno * PAGE) as usize;
+            let end = (start + PAGE as usize).min(base.len());
+            let mut p = vec![0u8; PAGE as usize];
+            p[..end - start].copy_from_slice(&base[start..end]);
+            p.into_boxed_slice()
+        })
+    }
+
+    fn write_bytes(&mut self, off: u64, data: &[u8]) {
+        assert!(
+            (off as usize).checked_add(data.len()).is_some_and(|e| e <= self.base.len()),
+            "CowDevice write out of range: off={off} len={}",
+            data.len()
+        );
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let cur = off + pos as u64;
+            let pno = cur / PAGE;
+            let in_page = (cur % PAGE) as usize;
+            let n = (PAGE as usize - in_page).min(data.len() - pos);
+            self.page_mut(pno)[in_page..in_page + n].copy_from_slice(&data[pos..pos + n]);
+            pos += n;
+        }
+    }
+
+    fn read_bytes(&self, off: u64, buf: &mut [u8]) {
+        assert!(
+            (off as usize).checked_add(buf.len()).is_some_and(|e| e <= self.base.len()),
+            "CowDevice read out of range: off={off} len={}",
+            buf.len()
+        );
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let cur = off + pos as u64;
+            let pno = cur / PAGE;
+            let in_page = (cur % PAGE) as usize;
+            let n = (PAGE as usize - in_page).min(buf.len() - pos);
+            match self.pages.get(&pno) {
+                Some(p) => buf[pos..pos + n].copy_from_slice(&p[in_page..in_page + n]),
+                None => {
+                    let start = cur as usize;
+                    buf[pos..pos + n].copy_from_slice(&self.base[start..start + n]);
+                }
+            }
+            pos += n;
+        }
+    }
+}
+
+impl PmBackend for CowDevice<'_> {
+    fn len(&self) -> u64 {
+        self.base.len() as u64
+    }
+
+    fn read(&self, off: u64, buf: &mut [u8]) {
+        self.read_bytes(off, buf);
+    }
+
+    fn store(&mut self, off: u64, data: &[u8]) {
+        self.write_bytes(off, data);
+    }
+
+    fn memcpy_nt(&mut self, off: u64, data: &[u8]) {
+        self.write_bytes(off, data);
+    }
+
+    fn memset_nt(&mut self, off: u64, val: u8, len: u64) {
+        self.write_bytes(off, &vec![val; len as usize]);
+    }
+
+    fn flush(&mut self, _off: u64, _len: u64) {}
+
+    fn fence(&mut self) {}
+
+    fn sim_cost(&self) -> SimCost {
+        SimCost::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_fall_through_to_base() {
+        let mut base = vec![0u8; 8192];
+        base[5000] = 77;
+        let cow = CowDevice::new(&base);
+        let mut b = [0u8; 1];
+        cow.read(5000, &mut b);
+        assert_eq!(b[0], 77);
+    }
+
+    #[test]
+    fn writes_shadow_base_and_rollback_restores() {
+        let base = vec![1u8; 8192];
+        let mut cow = CowDevice::new(&base);
+        cow.store(100, &[9u8; 10]);
+        let mut b = [0u8; 10];
+        cow.read(100, &mut b);
+        assert_eq!(b, [9u8; 10]);
+        assert_eq!(cow.dirty_pages(), 1);
+        cow.rollback();
+        cow.read(100, &mut b);
+        assert_eq!(b, [1u8; 10]);
+        assert_eq!(cow.dirty_pages(), 0);
+    }
+
+    #[test]
+    fn cross_page_write_and_read() {
+        let base = vec![0u8; 3 * 4096];
+        let mut cow = CowDevice::new(&base);
+        let data: Vec<u8> = (0..5000).map(|i| (i % 251) as u8).collect();
+        cow.apply(3000, &data);
+        let mut got = vec![0u8; 5000];
+        cow.read(3000, &mut got);
+        assert_eq!(got, data);
+        assert_eq!(cow.dirty_pages(), 2);
+    }
+
+    #[test]
+    fn base_unmodified_by_writes() {
+        let base = vec![0u8; 4096];
+        let mut cow = CowDevice::new(&base);
+        cow.store(0, &[255u8; 64]);
+        drop(cow);
+        assert_eq!(base[0], 0);
+    }
+
+    #[test]
+    fn unaligned_base_length_tail_page() {
+        let base = vec![4u8; 5000];
+        let mut cow = CowDevice::new(&base);
+        cow.store(4990, &[8u8; 10]);
+        let mut b = [0u8; 10];
+        cow.read(4990, &mut b);
+        assert_eq!(b, [8u8; 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_read_panics() {
+        let base = vec![0u8; 100];
+        let cow = CowDevice::new(&base);
+        let mut b = [0u8; 8];
+        cow.read(96, &mut b);
+    }
+}

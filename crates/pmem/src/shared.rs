@@ -1,0 +1,217 @@
+//! Shared device handles and sub-range windows.
+//!
+//! SplitFS splits one PM device between its user-space component (staging
+//! files, operation log) and the region managed by its ext4-DAX-style kernel
+//! component. Both components must issue I/O against the *same* underlying
+//! device so that the logger observes one coherent write stream.
+//! [`SharedDev`] provides a cloneable handle to a single backend and
+//! [`Window`] exposes an offset/length sub-range of it.
+
+use std::{cell::RefCell, rc::Rc};
+
+use crate::{backend::PmBackend, cost::SimCost};
+
+/// A cloneable shared handle to a PM backend.
+///
+/// Interior mutability via `RefCell` is sufficient: workloads are executed
+/// sequentially (the paper runs one system call at a time, §3.1).
+pub struct SharedDev<D> {
+    inner: Rc<RefCell<D>>,
+}
+
+impl<D> Clone for SharedDev<D> {
+    fn clone(&self) -> Self {
+        SharedDev { inner: Rc::clone(&self.inner) }
+    }
+}
+
+impl<D: PmBackend> SharedDev<D> {
+    /// Wraps `dev` in a shared handle.
+    pub fn new(dev: D) -> Self {
+        SharedDev { inner: Rc::new(RefCell::new(dev)) }
+    }
+
+    /// Runs `f` with mutable access to the underlying device.
+    pub fn with<R>(&self, f: impl FnOnce(&mut D) -> R) -> R {
+        f(&mut self.inner.borrow_mut())
+    }
+
+    /// Creates a window exposing `[base, base + len)` of this device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window extends past the end of the device.
+    pub fn window(&self, base: u64, len: u64) -> Window<D> {
+        let dev_len = self.inner.borrow().len();
+        assert!(
+            base.checked_add(len).is_some_and(|e| e <= dev_len),
+            "window [{base}, +{len}) out of range for device of {dev_len} bytes"
+        );
+        Window { dev: self.clone(), base, win_len: len }
+    }
+}
+
+impl<D: PmBackend> PmBackend for SharedDev<D> {
+    fn len(&self) -> u64 {
+        self.inner.borrow().len()
+    }
+
+    fn read(&self, off: u64, buf: &mut [u8]) {
+        self.inner.borrow().read(off, buf);
+    }
+
+    fn store(&mut self, off: u64, data: &[u8]) {
+        self.inner.borrow_mut().store(off, data);
+    }
+
+    fn memcpy_nt(&mut self, off: u64, data: &[u8]) {
+        self.inner.borrow_mut().memcpy_nt(off, data);
+    }
+
+    fn memset_nt(&mut self, off: u64, val: u8, len: u64) {
+        self.inner.borrow_mut().memset_nt(off, val, len);
+    }
+
+    fn flush(&mut self, off: u64, len: u64) {
+        self.inner.borrow_mut().flush(off, len);
+    }
+
+    fn fence(&mut self) {
+        self.inner.borrow_mut().fence();
+    }
+
+    fn note_media_read(&mut self, len: u64) {
+        self.inner.borrow_mut().note_media_read(len);
+    }
+
+    fn sim_cost(&self) -> SimCost {
+        self.inner.borrow().sim_cost()
+    }
+}
+
+/// An offset window into a shared device. All offsets are translated by
+/// `base` before being forwarded, so the bottom-level logger still observes
+/// absolute device offsets.
+pub struct Window<D> {
+    dev: SharedDev<D>,
+    base: u64,
+    win_len: u64,
+}
+
+impl<D: PmBackend> Window<D> {
+    /// The absolute device offset this window starts at.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    fn translate(&self, off: u64, len: usize) -> u64 {
+        assert!(
+            off.checked_add(len as u64).is_some_and(|e| e <= self.win_len),
+            "window access out of range: off={off} len={len} window={}",
+            self.win_len
+        );
+        self.base + off
+    }
+}
+
+impl<D: PmBackend> Clone for Window<D> {
+    fn clone(&self) -> Self {
+        Window { dev: self.dev.clone(), base: self.base, win_len: self.win_len }
+    }
+}
+
+impl<D: PmBackend> PmBackend for Window<D> {
+    fn len(&self) -> u64 {
+        self.win_len
+    }
+
+    fn read(&self, off: u64, buf: &mut [u8]) {
+        let abs = self.translate(off, buf.len());
+        self.dev.read(abs, buf);
+    }
+
+    fn store(&mut self, off: u64, data: &[u8]) {
+        let abs = self.translate(off, data.len());
+        self.dev.store(abs, data);
+    }
+
+    fn memcpy_nt(&mut self, off: u64, data: &[u8]) {
+        let abs = self.translate(off, data.len());
+        self.dev.memcpy_nt(abs, data);
+    }
+
+    fn memset_nt(&mut self, off: u64, val: u8, len: u64) {
+        let abs = self.translate(off, len as usize);
+        self.dev.memset_nt(abs, val, len);
+    }
+
+    fn flush(&mut self, off: u64, len: u64) {
+        let abs = self.translate(off, len as usize);
+        self.dev.flush(abs, len);
+    }
+
+    fn fence(&mut self) {
+        self.dev.fence();
+    }
+
+    fn note_media_read(&mut self, len: u64) {
+        self.dev.note_media_read(len);
+    }
+
+    fn sim_cost(&self) -> SimCost {
+        self.dev.sim_cost()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::PmDevice;
+
+    #[test]
+    fn window_translates_offsets() {
+        let shared = SharedDev::new(PmDevice::new(8192));
+        let mut win = shared.window(4096, 4096);
+        win.store(0, b"abcd");
+        win.flush(0, 4);
+        win.fence();
+        // Visible at absolute offset 4096 on the underlying device.
+        shared.with(|d| {
+            assert_eq!(&d.persistent_image()[4096..4100], b"abcd");
+        });
+        let mut b = [0u8; 4];
+        win.read(0, &mut b);
+        assert_eq!(&b, b"abcd");
+    }
+
+    #[test]
+    fn two_windows_share_fences() {
+        let shared = SharedDev::new(PmDevice::new(8192));
+        let mut a = shared.window(0, 4096);
+        let mut b = shared.window(4096, 4096);
+        a.memcpy_nt(0, &[1u8; 8]);
+        b.memcpy_nt(0, &[2u8; 8]);
+        shared.with(|d| assert_eq!(d.inflight().len(), 2));
+        a.fence();
+        shared.with(|d| {
+            assert!(d.inflight().is_empty());
+            assert_eq!(d.persistent_image()[0], 1);
+            assert_eq!(d.persistent_image()[4096], 2);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn window_bounds_enforced() {
+        let shared = SharedDev::new(PmDevice::new(8192));
+        let mut win = shared.window(0, 64);
+        win.store(60, &[0u8; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn window_creation_bounds_enforced() {
+        let shared = SharedDev::new(PmDevice::new(100));
+        let _ = shared.window(64, 64);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests of the epoch persistence model — the foundation
+//! every crash state in the framework is built on.
+
+use proptest::prelude::*;
+
+use pmem::{PmBackend, PmDevice};
+
+const DEV: u64 = 64 * 1024;
+
+/// One operation against the device.
+#[derive(Debug, Clone)]
+enum DevOp {
+    Store { off: u64, len: usize, val: u8 },
+    Nt { off: u64, len: usize, val: u8 },
+    Flush { off: u64, len: u64 },
+    Fence,
+}
+
+fn dev_op() -> impl Strategy<Value = DevOp> {
+    prop_oneof![
+        (0u64..DEV - 512, 1usize..256, any::<u8>())
+            .prop_map(|(off, len, val)| DevOp::Store { off, len, val }),
+        (0u64..DEV - 512, 1usize..256, any::<u8>())
+            .prop_map(|(off, len, val)| DevOp::Nt { off, len, val }),
+        (0u64..DEV - 512, 1u64..512).prop_map(|(off, len)| DevOp::Flush { off, len }),
+        Just(DevOp::Fence),
+    ]
+}
+
+fn apply(dev: &mut PmDevice, op: &DevOp) {
+    match op {
+        DevOp::Store { off, len, val } => dev.store(*off, &vec![*val; *len]),
+        DevOp::Nt { off, len, val } => dev.memcpy_nt(*off, &vec![*val; *len]),
+        DevOp::Flush { off, len } => dev.flush(*off, *len),
+        DevOp::Fence => dev.fence(),
+    }
+}
+
+proptest! {
+    /// After a final flush-everything + fence, the persistent image equals
+    /// the logical view: nothing is ever lost once properly persisted.
+    #[test]
+    fn full_persistence_converges(ops in proptest::collection::vec(dev_op(), 0..60)) {
+        let mut dev = PmDevice::new(DEV);
+        for op in &ops {
+            apply(&mut dev, op);
+        }
+        dev.flush(0, DEV);
+        dev.fence();
+        prop_assert_eq!(dev.persistent_image(), dev.view());
+    }
+
+    /// A crash image persisting the full in-flight set equals a fence; a
+    /// crash persisting nothing equals the current persistent image. Any
+    /// other subset only differs from the base at in-flight destinations.
+    #[test]
+    fn crash_subsets_bounded_by_inflight(
+        ops in proptest::collection::vec(dev_op(), 0..60),
+        subset_mask in any::<u64>(),
+    ) {
+        let mut dev = PmDevice::new(DEV);
+        for op in &ops {
+            apply(&mut dev, op);
+        }
+        let none = dev.crash_image_with(&[]);
+        prop_assert_eq!(&none[..], dev.persistent_image());
+
+        let n = dev.inflight().len();
+        let subset: Vec<usize> = (0..n).filter(|i| subset_mask >> (i % 64) & 1 == 1).collect();
+        let img = dev.crash_image_with(&subset);
+        // Bytes outside every in-flight range are untouched.
+        let mut touched = vec![false; DEV as usize];
+        for w in dev.inflight() {
+            for b in w.off..w.off + w.data.len() as u64 {
+                touched[b as usize] = true;
+            }
+        }
+        for i in 0..DEV as usize {
+            if !touched[i] {
+                prop_assert_eq!(img[i], dev.persistent_image()[i], "byte {} changed", i);
+            }
+        }
+
+        // The full set then a fence agree.
+        let full: Vec<usize> = (0..n).collect();
+        let all_img = dev.crash_image_with(&full);
+        let mut fenced = dev.clone();
+        fenced.fence();
+        prop_assert_eq!(&all_img[..], fenced.persistent_image());
+    }
+
+    /// Monotonicity: once a byte is persistent and no further write covers
+    /// it, every later crash image preserves it.
+    #[test]
+    fn persistence_is_monotonic(
+        pre in proptest::collection::vec(dev_op(), 0..30),
+        post in proptest::collection::vec(dev_op(), 0..30),
+    ) {
+        let mut dev = PmDevice::new(DEV);
+        for op in &pre {
+            apply(&mut dev, op);
+        }
+        dev.flush(0, DEV);
+        dev.fence();
+        let settled = dev.persistent_image().to_vec();
+
+        // Track which bytes the post ops may write.
+        let mut may_write = vec![false; DEV as usize];
+        for op in &post {
+            if let DevOp::Store { off, len, .. } | DevOp::Nt { off, len, .. } = op {
+                for b in *off..*off + *len as u64 {
+                    may_write[b as usize] = true;
+                }
+            }
+            apply(&mut dev, op);
+        }
+        let img = dev.crash_image_where(|i| i % 2 == 0);
+        for i in 0..DEV as usize {
+            if !may_write[i] {
+                prop_assert_eq!(img[i], settled[i], "untouched byte {} corrupted", i);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The gray-box log is faithful: replaying every logged write onto a
+    /// zeroed image reproduces the device's persistent image exactly, for
+    /// arbitrary operation sequences ending in a global flush + fence.
+    #[test]
+    fn log_replay_matches_device(ops in proptest::collection::vec(dev_op(), 0..60)) {
+        use pmlog::{LogHandle, LoggingPm};
+        let log = LogHandle::new();
+        let mut lp = LoggingPm::new(PmDevice::new(DEV), log.clone());
+        for op in &ops {
+            match op {
+                DevOp::Store { off, len, val } => lp.store(*off, &vec![*val; *len]),
+                DevOp::Nt { off, len, val } => lp.memcpy_nt(*off, &vec![*val; *len]),
+                DevOp::Flush { off, len } => lp.flush(*off, *len),
+                DevOp::Fence => lp.fence(),
+            }
+        }
+        lp.flush(0, DEV);
+        lp.fence();
+        let img = pmlog::materialize_full(&log.snapshot(), DEV);
+        prop_assert_eq!(&img[..], lp.inner().persistent_image());
+    }
+}

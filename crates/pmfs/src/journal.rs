@@ -1,0 +1,204 @@
+//! The PMFS undo journal: variable-length byte-range records.
+//!
+//! Unlike NOVA's word-granularity lite journal, PMFS journals arbitrary
+//! byte ranges (a whole 56-byte dentry, an inode field run). Records are
+//! written from the start of the journal block; the persistent tail (total
+//! record bytes) activates the transaction, and committing resets the tail
+//! to zero **without erasing the records** — the stale bytes left behind
+//! are what bug 16's replay walks into.
+
+use pmem::PmBackend;
+use vfs::{covpoint, BugId, BugSet, BugTrace, Cov, FsError, FsResult};
+
+use crate::layout::{Geometry, BLOCK};
+
+/// Offset of the persistent tail within the journal block.
+const JTAIL: u64 = 0;
+/// First record offset.
+const JRECS: u64 = 16;
+/// Maximum bytes a record may cover.
+pub const MAX_RECORD_DATA: u64 = 64;
+
+fn pad8(n: u64) -> u64 {
+    n.div_ceil(8) * 8
+}
+
+/// A pending undo transaction.
+pub struct Txn {
+    bytes: u64,
+}
+
+/// Begins a transaction covering the absolute byte ranges `ranges`
+/// (address, length). Old contents are recorded, flushed, and activated.
+pub fn txn_begin<D: PmBackend>(
+    dev: &mut D,
+    geo: &Geometry,
+    ranges: &[(u64, u64)],
+) -> FsResult<Txn> {
+    let jbase = geo.journal * BLOCK;
+    let mut pos = JRECS;
+    for &(addr, len) in ranges {
+        debug_assert!(len > 0 && len <= MAX_RECORD_DATA);
+        debug_assert!(addr + len <= geo.total_blocks * BLOCK);
+        if pos + 16 + pad8(len) > BLOCK {
+            return Err(FsError::NoSpace);
+        }
+        let old = dev.read_vec(addr, len);
+        dev.store_u64(jbase + pos, addr);
+        dev.store_u64(jbase + pos + 8, len);
+        dev.store(jbase + pos + 16, &old);
+        pos += 16 + pad8(len);
+    }
+    dev.flush(jbase + JRECS, pos - JRECS);
+    dev.fence();
+    dev.persist_u64(jbase + JTAIL, pos - JRECS);
+    Ok(Txn { bytes: pos - JRECS })
+}
+
+/// Commits: resets the tail; record bytes stay behind.
+pub fn txn_commit<D: PmBackend>(dev: &mut D, geo: &Geometry, txn: Txn) {
+    let _ = txn.bytes;
+    dev.persist_u64(geo.journal * BLOCK + JTAIL, 0);
+}
+
+/// Recovery: rolls back an active transaction by restoring the recorded
+/// old bytes (reverse order).
+///
+/// The fixed walk stops exactly at the persistent tail. With bug 16, the
+/// walk instead continues until it sees a zero address word — trusting
+/// whatever stale record lengths it meets beyond the tail, and erroring
+/// out of the journal area.
+pub fn recover<D: PmBackend>(
+    dev: &mut D,
+    geo: &Geometry,
+    bugs: BugSet,
+    cov: &Cov,
+    trace: &BugTrace,
+) -> FsResult<bool> {
+    let jbase = geo.journal * BLOCK;
+    let tail = dev.read_u64(jbase + JTAIL);
+    if tail == 0 {
+        return Ok(false);
+    }
+    covpoint!(cov);
+    if tail > BLOCK - JRECS {
+        return Err(FsError::Unmountable(format!(
+            "journal tail {tail} exceeds the journal block"
+        )));
+    }
+    // Collect records first (so rollback can apply them in reverse).
+    let mut recs: Vec<(u64, Vec<u8>)> = Vec::new();
+    let mut pos = JRECS;
+    loop {
+        if bugs.has(BugId::B16) {
+            // BUG 16 (logic): the loop keys on a zero address sentinel
+            // instead of the transaction tail, walking into stale records
+            // from earlier transactions.
+            trace.hit(BugId::B16);
+            if pos + 16 > BLOCK {
+                covpoint!(cov, 1);
+                return Err(FsError::Unmountable(format!(
+                    "journal replay walked out of the journal area at offset {pos}"
+                )));
+            }
+            if dev.read_u64(jbase + pos) == 0 {
+                break;
+            }
+        } else if pos >= JRECS + tail {
+            break;
+        }
+        let addr = dev.read_u64(jbase + pos);
+        let len = dev.read_u64(jbase + pos + 8);
+        if len == 0 || len > MAX_RECORD_DATA || pos + 16 + len > BLOCK {
+            covpoint!(cov, 2);
+            return Err(FsError::Unmountable(format!(
+                "journal record at offset {pos} has invalid length {len}"
+            )));
+        }
+        if addr + len > geo.total_blocks * BLOCK {
+            covpoint!(cov, 3);
+            return Err(FsError::Unmountable(format!(
+                "journal record at offset {pos} targets out-of-range address {addr:#x}"
+            )));
+        }
+        let old = dev.read_vec(jbase + pos + 16, len);
+        recs.push((addr, old));
+        pos += 16 + pad8(len);
+    }
+    for (addr, old) in recs.iter().rev() {
+        dev.store(*addr, old);
+        dev.flush(*addr, old.len() as u64);
+    }
+    dev.fence();
+    dev.persist_u64(jbase + JTAIL, 0);
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::PmDevice;
+
+    fn setup() -> (PmDevice, Geometry) {
+        let size = 4 << 20;
+        (PmDevice::new(size), Geometry::for_device(size).unwrap())
+    }
+
+    #[test]
+    fn rollback_restores_ranges() {
+        let (mut dev, geo) = setup();
+        let a = geo.inode_off(1);
+        dev.persist(a, &[1u8; 56]);
+        let _txn = txn_begin(&mut dev, &geo, &[(a, 56)]).unwrap();
+        dev.persist(a, &[9u8; 56]);
+        // Crash without commit.
+        let rolled =
+            recover(&mut dev, &geo, BugSet::fixed(), &Cov::disabled(), &BugTrace::new()).unwrap();
+        assert!(rolled);
+        assert_eq!(dev.read_vec(a, 56), vec![1u8; 56]);
+    }
+
+    #[test]
+    fn commit_prevents_rollback_but_leaves_stale_bytes() {
+        let (mut dev, geo) = setup();
+        let a = geo.inode_off(2);
+        dev.persist_u64(a, 7);
+        let txn = txn_begin(&mut dev, &geo, &[(a, 8)]).unwrap();
+        dev.persist_u64(a, 8);
+        txn_commit(&mut dev, &geo, txn);
+        assert!(!recover(&mut dev, &geo, BugSet::fixed(), &Cov::disabled(), &BugTrace::new())
+            .unwrap());
+        assert_eq!(dev.read_u64(a), 8);
+        // Stale record bytes remain.
+        assert_ne!(dev.read_u64(geo.journal * BLOCK + JRECS), 0);
+    }
+
+    #[test]
+    fn bug16_walks_into_stale_records() {
+        let (mut dev, geo) = setup();
+        // Transaction A: long (several records), committed.
+        let base = geo.inode_off(1);
+        let ranges: Vec<(u64, u64)> = (0..6).map(|i| (base + i * 64, 56)).collect();
+        for &(a, l) in &ranges {
+            dev.persist(a, &vec![0xa5u8; l as usize]);
+        }
+        let txn = txn_begin(&mut dev, &geo, &ranges).unwrap();
+        txn_commit(&mut dev, &geo, txn);
+        // Transaction B: short, crashes mid-flight.
+        let _txn = txn_begin(&mut dev, &geo, &[(base, 8)]).unwrap();
+        let trace = BugTrace::new();
+        let r = recover(&mut dev, &geo, BugSet::only(&[BugId::B16]), &Cov::disabled(), &trace);
+        assert!(matches!(r, Err(FsError::Unmountable(_))), "{r:?}");
+        assert!(trace.contains(BugId::B16));
+        // The fixed walk handles the same image.
+        let (mut dev2, _) = setup();
+        for &(a, l) in &ranges {
+            dev2.persist(a, &vec![0xa5u8; l as usize]);
+        }
+        let txn = txn_begin(&mut dev2, &geo, &ranges).unwrap();
+        txn_commit(&mut dev2, &geo, txn);
+        let _txn = txn_begin(&mut dev2, &geo, &[(base, 8)]).unwrap();
+        assert!(recover(&mut dev2, &geo, BugSet::fixed(), &Cov::disabled(), &BugTrace::new())
+            .unwrap());
+    }
+}

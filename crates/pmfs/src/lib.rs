@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+
+//! A PMFS-style PM file system (EuroSys '14).
+//!
+//! PMFS pioneered in-kernel PM file systems: block-based layout, *in-place*
+//! file data writes (no copy-on-write), fine-grained metadata updates made
+//! atomic through a variable-length **undo journal**, a persistent
+//! **truncate list** that completes interrupted truncations at mount, and a
+//! volatile free list rebuilt by scanning the inode table (§2, §5 of the
+//! Chipmunk paper; bug 13 is exactly the truncate-list/free-list ordering
+//! bug, bug 16 the journal-replay out-of-bounds walk).
+//!
+//! Persistence discipline: every metadata mutation runs under an undo
+//! transaction (old bytes journaled first), with data writes going straight
+//! to their home location. Because data writes are in place, PMFS does
+//! *not* guarantee data-write atomicity — Chipmunk applies its relaxed
+//! torn-write check.
+//!
+//! Injected bugs (Table 1): 13 (truncate-list replay before the free list
+//! exists), 14 (write path returns without the final fence), 16 (journal
+//! replay walks past the transaction tail into stale records), 17 (the
+//! non-temporal copy optimization leaves the partial tail cache line
+//! unflushed).
+
+pub mod fsimpl;
+pub mod journal;
+pub mod layout;
+
+pub use fsimpl::Pmfs;
+
+use pmem::PmBackend;
+use vfs::{
+    fs::{FsKind, FsOptions, Guarantees},
+    FsName, FsResult,
+};
+
+/// Factory for [`Pmfs`] instances.
+#[derive(Debug, Clone, Default)]
+pub struct PmfsKind {
+    /// Construction options (bug set, coverage, trace).
+    pub opts: FsOptions,
+}
+
+impl FsKind for PmfsKind {
+    type Fs<D: PmBackend> = Pmfs<D>;
+
+    fn name(&self) -> FsName {
+        FsName::Pmfs
+    }
+
+    fn options(&self) -> &FsOptions {
+        &self.opts
+    }
+
+    fn guarantees(&self) -> Guarantees {
+        Guarantees { strong: true, atomic_data_writes: false }
+    }
+
+    fn mkfs<D: PmBackend>(&self, dev: D) -> FsResult<Self::Fs<D>> {
+        Pmfs::mkfs(dev, &self.opts)
+    }
+
+    fn mount<D: PmBackend>(&self, dev: D) -> FsResult<Self::Fs<D>> {
+        Pmfs::mount(dev, &self.opts)
+    }
+}

@@ -1,0 +1,28 @@
+//! PMFS §4.4 extra: fallocate range overflow (KASAN analogue).
+
+use pmfs::PmfsKind;
+use pmem::PmDevice;
+use vfs::{
+    fs::{FileSystem, FsKind, FsOptions},
+    FallocMode, FsError, OpenFlags,
+};
+
+#[test]
+fn fallocate_overflow_detected_when_buggy() {
+    let kind = PmfsKind { opts: FsOptions { extra_bugs: true, ..FsOptions::fixed() } };
+    let mut fs = kind.mkfs(PmDevice::new(4 << 20)).unwrap();
+    let fd = fs.open("/f", OpenFlags::CREAT_TRUNC).unwrap();
+    let r = fs.fallocate(fd, FallocMode::Allocate, u64::MAX - 4, 16);
+    assert!(matches!(r, Err(FsError::Detected(_))), "{r:?}");
+}
+
+#[test]
+fn fallocate_overflow_is_einval_without_extras() {
+    let kind = PmfsKind { opts: FsOptions::fixed() };
+    let mut fs = kind.mkfs(PmDevice::new(4 << 20)).unwrap();
+    let fd = fs.open("/f", OpenFlags::CREAT_TRUNC).unwrap();
+    assert_eq!(
+        fs.fallocate(fd, FallocMode::Allocate, u64::MAX - 4, 16),
+        Err(FsError::Invalid)
+    );
+}

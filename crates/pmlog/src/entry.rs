@@ -1,0 +1,93 @@
+//! Log entry types recorded during a workload run.
+
+/// A record of one intercepted persistence operation or harness marker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogEntry {
+    /// A cache-line write-back: the captured contents of the written-back
+    /// lines at flush time. `off` is line-aligned.
+    Flush {
+        /// Line-aligned destination offset.
+        off: u64,
+        /// Contents of the written-back lines.
+        data: Vec<u8>,
+    },
+    /// A non-temporal store (from `memcpy_nt`/`memset_nt`).
+    Nt {
+        /// Destination offset.
+        off: u64,
+        /// The stored bytes.
+        data: Vec<u8>,
+    },
+    /// A plain cached store. Only recorded when the logger runs in eADR
+    /// mode (persistent caches make every store durable, so the replayer
+    /// needs to see them); invisible to the default epoch-model logger,
+    /// matching function-level interception.
+    Store {
+        /// Destination offset.
+        off: u64,
+        /// The stored bytes.
+        data: Vec<u8>,
+    },
+    /// A store fence: everything logged before this entry is persistent once
+    /// the fence completes.
+    Fence,
+    /// A harness marker (not produced by the file system).
+    Marker(Marker),
+}
+
+impl LogEntry {
+    /// Returns `true` for entries that represent in-flight data (flushes and
+    /// non-temporal stores).
+    pub fn is_write(&self) -> bool {
+        matches!(self, LogEntry::Flush { .. } | LogEntry::Nt { .. } | LogEntry::Store { .. })
+    }
+
+    /// Destination and data of a write entry, if this is one.
+    pub fn as_write(&self) -> Option<(u64, &[u8])> {
+        match self {
+            LogEntry::Flush { off, data }
+            | LogEntry::Nt { off, data }
+            | LogEntry::Store { off, data } => Some((*off, data)),
+            _ => None,
+        }
+    }
+}
+
+/// Identifies the system call a group of writes belongs to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpRecord {
+    /// Index of the operation within the workload.
+    pub seq: usize,
+    /// Human-readable description, e.g. `rename("/foo", "/bar")`.
+    pub desc: String,
+}
+
+/// Harness markers inserted into the log at system-call boundaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Marker {
+    /// Start of system call `op`.
+    SyscallBegin(OpRecord),
+    /// End of system call `seq`; `ok` records whether it succeeded.
+    SyscallEnd {
+        /// Index of the operation within the workload.
+        seq: usize,
+        /// Whether the call returned success.
+        ok: bool,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_entry_classification() {
+        let f = LogEntry::Flush { off: 64, data: vec![1, 2] };
+        let n = LogEntry::Nt { off: 0, data: vec![3] };
+        assert!(f.is_write());
+        assert!(n.is_write());
+        assert!(!LogEntry::Fence.is_write());
+        assert_eq!(f.as_write(), Some((64, &[1u8, 2][..])));
+        assert_eq!(LogEntry::Fence.as_write(), None);
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Gray-box PM write logging — the record half of Chipmunk's
+//! record-and-replay design.
+//!
+//! In the paper, Chipmunk instruments each file system's *centralized
+//! persistence functions* with Kprobes/Uprobes and records every
+//! non-temporal store, cache-line write-back, and store fence, together with
+//! markers delimiting each system call (§3.3). In this reproduction the file
+//! systems issue all PM I/O through the [`pmem::PmBackend`] trait, so the
+//! logger is simply a backend wrapper: [`LoggingPm`] forwards every operation
+//! to the real device and appends [`LogEntry`] records to a shared
+//! [`LogHandle`]. The test harness pushes [`Marker`] entries into the same
+//! log at system-call boundaries, exactly like the paper's user-space
+//! harness.
+//!
+//! The log captures the same information the paper's logger modules capture:
+//!
+//! * for a flush: the destination range and the *contents of the written-back
+//!   cache lines at flush time* (a line write-back persists the whole line);
+//! * for a non-temporal store: destination and data;
+//! * fences; and
+//! * system-call begin/end markers.
+//!
+//! Plain cached stores are **not** logged — the paper's function-level
+//! interception cannot see them either, and they are irrelevant to crash
+//! states (unflushed data is lost).
+
+pub mod entry;
+pub mod logger;
+pub mod replay;
+
+pub use entry::{LogEntry, Marker, OpRecord};
+pub use logger::{Log, LogHandle, LoggingPm};
+pub use replay::materialize_full;

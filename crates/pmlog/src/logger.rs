@@ -1,0 +1,307 @@
+//! The logging backend wrapper and the shared log.
+
+use std::{cell::RefCell, collections::BTreeSet, rc::Rc};
+
+use pmem::{
+    backend::{line_base, lines_overlapping, PmBackend, CACHE_LINE},
+    cost::SimCost,
+};
+
+use crate::entry::{LogEntry, Marker};
+
+/// The recorded write log for one workload run.
+#[derive(Debug, Default, Clone)]
+pub struct Log {
+    entries: Vec<LogEntry>,
+}
+
+impl Log {
+    /// Appends an entry.
+    pub fn push(&mut self, e: LogEntry) {
+        self.entries.push(e);
+    }
+
+    /// All entries in record order.
+    pub fn entries(&self) -> &[LogEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of fence entries.
+    pub fn fence_count(&self) -> usize {
+        self.entries.iter().filter(|e| matches!(e, LogEntry::Fence)).count()
+    }
+
+    /// Number of write entries (flushes + non-temporal stores).
+    pub fn write_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_write()).count()
+    }
+}
+
+/// A cloneable shared handle to a [`Log`].
+///
+/// The harness holds one handle (to insert system-call markers and read the
+/// log back) while the [`LoggingPm`] wrapper holds another.
+#[derive(Debug, Clone, Default)]
+pub struct LogHandle(Rc<RefCell<Log>>);
+
+impl LogHandle {
+    /// Creates a handle to a fresh empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an entry to the log.
+    pub fn push(&self, e: LogEntry) {
+        self.0.borrow_mut().push(e);
+    }
+
+    /// Appends a harness marker.
+    pub fn marker(&self, m: Marker) {
+        self.push(LogEntry::Marker(m));
+    }
+
+    /// Runs `f` with shared access to the log.
+    pub fn with<R>(&self, f: impl FnOnce(&Log) -> R) -> R {
+        f(&self.0.borrow())
+    }
+
+    /// Takes the accumulated log, leaving an empty one behind.
+    pub fn take(&self) -> Log {
+        std::mem::take(&mut self.0.borrow_mut())
+    }
+
+    /// Clones the current log contents.
+    pub fn snapshot(&self) -> Log {
+        self.0.borrow().clone()
+    }
+}
+
+/// A [`PmBackend`] wrapper that records the persistence-function stream.
+///
+/// This is the reproduction's analogue of the paper's Kprobes/Uprobes logger
+/// modules: it sees exactly the operations a function-level probe on the
+/// centralized persistence functions would see, and captures flush contents
+/// by reading the device at flush time.
+pub struct LoggingPm<D> {
+    dev: D,
+    log: LogHandle,
+    /// Dirty (stored but not yet written back) cache-line bases — tracked so
+    /// a flush only logs lines that actually contain unwritten data, matching
+    /// the device's in-flight accounting.
+    dirty_lines: BTreeSet<u64>,
+    /// eADR mode: plain stores are recorded too (persistent caches make
+    /// every store durable the moment it lands).
+    log_plain_stores: bool,
+}
+
+impl<D: PmBackend> LoggingPm<D> {
+    /// Wraps `dev`, recording into the log behind `log`.
+    pub fn new(dev: D, log: LogHandle) -> Self {
+        LoggingPm { dev, log, dirty_lines: BTreeSet::new(), log_plain_stores: false }
+    }
+
+    /// An eADR-model logger: plain cached stores are recorded as durable
+    /// writes (see the paper's §3.6 — supporting a new persistence model
+    /// means teaching the logger and replayer its semantics).
+    pub fn new_eadr(dev: D, log: LogHandle) -> Self {
+        LoggingPm { dev, log, dirty_lines: BTreeSet::new(), log_plain_stores: true }
+    }
+
+    /// A handle to the log this wrapper records into.
+    pub fn log(&self) -> LogHandle {
+        self.log.clone()
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.dev
+    }
+
+    /// Unwraps, returning the underlying device.
+    pub fn into_inner(self) -> D {
+        self.dev
+    }
+}
+
+impl<D: PmBackend> PmBackend for LoggingPm<D> {
+    fn len(&self) -> u64 {
+        self.dev.len()
+    }
+
+    fn read(&self, off: u64, buf: &mut [u8]) {
+        self.dev.read(off, buf);
+    }
+
+    fn store(&mut self, off: u64, data: &[u8]) {
+        if data.is_empty() {
+            return;
+        }
+        if self.log_plain_stores {
+            self.log.push(LogEntry::Store { off, data: data.to_vec() });
+        } else {
+            // Plain stores are forwarded but not logged (invisible to
+            // function-level interception); we only note the dirtied lines
+            // so a later flush knows what to capture.
+            for line in lines_overlapping(off, data.len() as u64) {
+                self.dirty_lines.insert(line);
+            }
+        }
+        self.dev.store(off, data);
+    }
+
+    fn memcpy_nt(&mut self, off: u64, data: &[u8]) {
+        if data.is_empty() {
+            return;
+        }
+        self.log.push(LogEntry::Nt { off, data: data.to_vec() });
+        self.dev.memcpy_nt(off, data);
+    }
+
+    fn memset_nt(&mut self, off: u64, val: u8, len: u64) {
+        if len == 0 {
+            return;
+        }
+        self.log.push(LogEntry::Nt { off, data: vec![val; len as usize] });
+        self.dev.memset_nt(off, val, len);
+    }
+
+    fn flush(&mut self, off: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        // Capture the contents of each dirty line in the range *before*
+        // forwarding: the device's own write-back logic will consume its
+        // dirty state, and the line contents cannot change in between.
+        let dev_len = self.dev.len();
+        let mut run: Option<(u64, u64)> = None;
+        let mut runs: Vec<(u64, u64)> = Vec::new();
+        for line in lines_overlapping(off, len) {
+            if self.dirty_lines.remove(&line) {
+                run = Some(match run {
+                    None => (line, line + CACHE_LINE),
+                    Some((s, e)) if line == e => (s, line + CACHE_LINE),
+                    Some(prev) => {
+                        runs.push(prev);
+                        (line, line + CACHE_LINE)
+                    }
+                });
+            }
+        }
+        if let Some(r) = run {
+            runs.push(r);
+        }
+        for (s, e) in runs {
+            let e = e.min(dev_len);
+            let base = line_base(s);
+            let mut data = vec![0u8; (e - base) as usize];
+            self.dev.read(base, &mut data);
+            self.log.push(LogEntry::Flush { off: base, data });
+        }
+        self.dev.flush(off, len);
+    }
+
+    fn fence(&mut self) {
+        self.log.push(LogEntry::Fence);
+        self.dev.fence();
+    }
+
+    fn note_media_read(&mut self, len: u64) {
+        self.dev.note_media_read(len);
+    }
+
+    fn sim_cost(&self) -> SimCost {
+        self.dev.sim_cost()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::OpRecord;
+    use pmem::PmDevice;
+
+    #[test]
+    fn logs_mirror_device_inflight_accounting() {
+        let log = LogHandle::new();
+        let mut lp = LoggingPm::new(PmDevice::new(4096), log.clone());
+        lp.store(0, &[1u8; 16]);
+        lp.flush(0, 16);
+        lp.memcpy_nt(128, &[2u8; 64]);
+        lp.fence();
+        let snap = log.snapshot();
+        assert_eq!(snap.write_count(), 2);
+        assert_eq!(snap.fence_count(), 1);
+        // The device saw the same two in-flight writes before the fence.
+        assert_eq!(lp.inner().stats().fences, 1);
+        assert_eq!(lp.inner().stats().max_inflight, 2);
+    }
+
+    #[test]
+    fn plain_stores_are_not_logged() {
+        let log = LogHandle::new();
+        let mut lp = LoggingPm::new(PmDevice::new(4096), log.clone());
+        lp.store(0, &[1u8; 8]);
+        assert_eq!(log.snapshot().len(), 0);
+    }
+
+    #[test]
+    fn flush_captures_whole_dirty_lines() {
+        let log = LogHandle::new();
+        let mut lp = LoggingPm::new(PmDevice::new(4096), log.clone());
+        lp.store(10, &[9u8; 4]); // dirties line 0
+        lp.flush(10, 4);
+        let snap = log.snapshot();
+        match &snap.entries()[0] {
+            LogEntry::Flush { off, data } => {
+                assert_eq!(*off, 0);
+                assert_eq!(data.len(), 64);
+                assert_eq!(&data[10..14], &[9u8; 4]);
+            }
+            other => panic!("expected flush, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_flush_logs_once() {
+        let log = LogHandle::new();
+        let mut lp = LoggingPm::new(PmDevice::new(4096), log.clone());
+        lp.store(0, &[1u8; 8]);
+        lp.flush(0, 8);
+        lp.flush(0, 8);
+        assert_eq!(log.snapshot().write_count(), 1);
+    }
+
+    #[test]
+    fn markers_interleave_with_writes() {
+        let log = LogHandle::new();
+        let mut lp = LoggingPm::new(PmDevice::new(4096), log.clone());
+        log.marker(Marker::SyscallBegin(OpRecord { seq: 0, desc: "creat(/foo)".into() }));
+        lp.memcpy_nt(0, &[1u8; 8]);
+        lp.fence();
+        log.marker(Marker::SyscallEnd { seq: 0, ok: true });
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 4);
+        assert!(matches!(snap.entries()[0], LogEntry::Marker(Marker::SyscallBegin(_))));
+        assert!(matches!(snap.entries()[3], LogEntry::Marker(Marker::SyscallEnd { .. })));
+    }
+
+    #[test]
+    fn noncontiguous_flush_splits_entries() {
+        let log = LogHandle::new();
+        let mut lp = LoggingPm::new(PmDevice::new(4096), log.clone());
+        lp.store(0, &[1u8; 8]);
+        lp.store(256, &[2u8; 8]);
+        lp.flush(0, 512);
+        assert_eq!(log.snapshot().write_count(), 2);
+    }
+}

@@ -1,0 +1,690 @@
+//! The SplitFS implementation: a user-space component (staging + operation
+//! log) over an ext4-DAX kernel component.
+
+use std::collections::HashMap;
+
+use ext4dax::Ext4Dax;
+use pmem::{PmBackend, SharedDev, Window};
+use vfs::{
+    covpoint,
+    fs::{FileSystem, FsOptions},
+    BugId, BugSet, BugTrace, Cov, DirEntry, FallocMode, Fd, FileType, FsError, FsResult,
+    Metadata, OpenFlags,
+};
+
+use crate::oplog::{off, OpEntry, ENTRY_SIZE, LOG_ENTRIES, MAGIC};
+
+/// Checkpoint at least every this many logged operations.
+const CKPT_PERIOD: u64 = 32;
+
+/// Relink on close once this much data is staged (below the threshold the
+/// log alone carries the durability, deferring the kernel commit).
+const RELINK_THRESHOLD: u64 = 4096;
+
+/// A staged (not yet relinked) data extent, in log order.
+#[derive(Debug, Clone)]
+struct Staged {
+    /// Backend inode the data belongs to (authoritative for reads).
+    ino: u64,
+    /// A current path of the file (kept up to date across renames; used by
+    /// the checkpoint relink).
+    path: String,
+    /// Destination file offset (the *actual* one — the log entry may carry
+    /// a stale offset under bug 23).
+    file_off: u64,
+    /// Length.
+    len: u64,
+    /// Source offset in the U-Split window.
+    staging_off: u64,
+}
+
+/// Per-descriptor user-space state.
+#[derive(Debug, Clone)]
+struct UFd {
+    backend_fd: Fd,
+    ino: u64,
+    path: String,
+    offset: u64,
+    append: bool,
+    /// File size observed at open (bug 23's stale append base).
+    base_at_open: u64,
+    /// Bytes this descriptor has appended (bug 23's bookkeeping).
+    written: u64,
+    /// Descriptor generation tag (bug 22's replay key).
+    tag: u64,
+    /// Whether this descriptor staged any data (checkpoint on close).
+    dirty: bool,
+}
+
+/// The SplitFS hybrid file system.
+pub struct SplitFs<D: PmBackend> {
+    backend: Ext4Dax<Window<D>>,
+    ulog: Window<D>,
+    staged: Vec<Staged>,
+    fds: HashMap<u64, UFd>,
+    next_fd: u64,
+    next_tag: u64,
+    tail: u64,
+    staging_ptr: u64,
+    ops_since_ckpt: u64,
+    bugs: BugSet,
+    cov: Cov,
+    trace: BugTrace,
+}
+
+fn ksize_for(total: u64) -> u64 {
+    // The kernel component gets 3/4 of the device (block-aligned).
+    (total / 4 * 3) / 4096 * 4096
+}
+
+impl<D: PmBackend> SplitFs<D> {
+    /// Formats `dev`: an ext4-DAX instance in the kernel window and a fresh
+    /// operation log in the U-Split window.
+    pub fn mkfs(dev: D, opts: &FsOptions) -> FsResult<Self> {
+        let total = dev.len();
+        let ksize = ksize_for(total);
+        if total - ksize < off::STAGING + 64 * 1024 {
+            return Err(FsError::NoSpace);
+        }
+        let shared = SharedDev::new(dev);
+        let kwin = shared.window(0, ksize);
+        let mut ulog = shared.window(ksize, total - ksize);
+        let backend = Ext4Dax::mkfs(kwin, &FsOptions::default())?;
+        ulog.store_u64(off::MAGIC, MAGIC);
+        ulog.store_u64(off::TAIL, 0);
+        ulog.flush(0, 16);
+        ulog.fence();
+        Ok(SplitFs {
+            backend,
+            ulog,
+            staged: Vec::new(),
+            fds: HashMap::new(),
+            next_fd: 3,
+            next_tag: 1,
+            tail: 0,
+            staging_ptr: off::STAGING,
+            ops_since_ckpt: 0,
+            bugs: opts.bugs,
+            cov: opts.cov.clone(),
+            trace: opts.trace.clone(),
+        })
+    }
+
+    /// Mounts `dev`: kernel-component recovery, then operation-log replay.
+    pub fn mount(dev: D, opts: &FsOptions) -> FsResult<Self> {
+        let total = dev.len();
+        let ksize = ksize_for(total);
+        let shared = SharedDev::new(dev);
+        let kwin = shared.window(0, ksize);
+        let ulog = shared.window(ksize, total - ksize);
+        if ulog.read_u64(off::MAGIC) != MAGIC {
+            return Err(FsError::Unmountable("bad U-Split window magic".into()));
+        }
+        let backend = Ext4Dax::mount(kwin, &FsOptions::default())?;
+        let mut fs = SplitFs {
+            backend,
+            ulog,
+            staged: Vec::new(),
+            fds: HashMap::new(),
+            next_fd: 3,
+            next_tag: 1,
+            tail: 0,
+            staging_ptr: off::STAGING,
+            ops_since_ckpt: 0,
+            bugs: opts.bugs,
+            cov: opts.cov.clone(),
+            trace: opts.trace.clone(),
+        };
+        fs.replay()?;
+        Ok(fs)
+    }
+
+    // ---- the operation log ----
+
+    fn log_full(&self) -> bool {
+        self.tail / ENTRY_SIZE >= LOG_ENTRIES
+    }
+
+    fn staging_room(&self) -> u64 {
+        self.ulog.len().saturating_sub(self.staging_ptr)
+    }
+
+    /// Appends one entry and publishes the tail (flush + fence, then the
+    /// 8-byte tail store — the entry is atomic and durable on return).
+    fn log_append(&mut self, e: &OpEntry) -> FsResult<()> {
+        if self.log_full() {
+            self.checkpoint()?;
+        }
+        let enc = e.encode()?;
+        let at = off::ENTRIES + self.tail;
+        self.ulog.store(at, &enc);
+        self.ulog.flush(at, ENTRY_SIZE);
+        self.ulog.fence();
+        self.tail += ENTRY_SIZE;
+        self.ulog.persist_u64(off::TAIL, self.tail);
+        self.ops_since_ckpt += 1;
+        if self.ops_since_ckpt >= CKPT_PERIOD {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// The checkpoint ("relink"): staged data is written into the kernel
+    /// component, the kernel journal is forced (making everything — and the
+    /// new epoch — durable atomically), and the log is truncated.
+    ///
+    /// Bug 24 skips the forced journal commit: the kernel component's page
+    /// cache absorbs the relink, the log is truncated anyway, and a crash
+    /// loses every operation since the previous real commit.
+    fn checkpoint(&mut self) -> FsResult<()> {
+        covpoint!(self.cov);
+        if self.tail == 0 && self.staged.is_empty() {
+            self.ops_since_ckpt = 0;
+            return Ok(());
+        }
+        // Relink staged extents.
+        let staged = std::mem::take(&mut self.staged);
+        for s in &staged {
+            let data = self.ulog.read_vec(s.staging_off, s.len);
+            match self.backend.open(&s.path, OpenFlags::RDWR) {
+                Ok(bfd) => {
+                    self.backend.pwrite(bfd, s.file_off, &data)?;
+                    self.backend.close(bfd)?;
+                }
+                Err(FsError::NotFound) => {
+                    // The path was unlinked while a descriptor kept the
+                    // data alive; it cannot survive a crash anyway.
+                    covpoint!(self.cov, 1);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let epoch = self.backend.epoch();
+        self.backend.set_epoch(epoch + 1);
+        if self.bugs.has(BugId::B24) {
+            // BUG 24 (logic): the strict-mode relink must force the kernel
+            // journal before truncating the log; this path forgets.
+            self.trace.hit(BugId::B24);
+        } else {
+            self.backend.sync()?;
+        }
+        self.tail = 0;
+        self.ulog.persist_u64(off::TAIL, 0);
+        self.ulog.persist_u64(off::LOG_EPOCH, epoch + 1);
+        self.staging_ptr = off::STAGING;
+        self.ops_since_ckpt = 0;
+        Ok(())
+    }
+
+    /// Mount-time log replay.
+    fn replay(&mut self) -> FsResult<()> {
+        let tail = self.ulog.read_u64(off::TAIL);
+        if tail > LOG_ENTRIES * ENTRY_SIZE {
+            return Err(FsError::Unmountable(format!(
+                "operation-log tail {tail} exceeds the log area"
+            )));
+        }
+        // Epoch check: the checkpoint bumps the kernel epoch *inside* the
+        // forced journal commit, so a committed epoch newer than the log's
+        // proves these entries were already relinked — replaying them again
+        // would duplicate non-idempotent operations.
+        let stale = self.backend.epoch() > self.ulog.read_u64(off::LOG_EPOCH);
+        let mut entries: Vec<OpEntry> = Vec::new();
+        if tail != 0 && !stale {
+            let mut pos = 0;
+            while pos < tail {
+                if let Some(e) = OpEntry::decode(&self.ulog.read_vec(off::ENTRIES + pos, ENTRY_SIZE))
+                {
+                    entries.push(e);
+                }
+                pos += ENTRY_SIZE;
+            }
+        }
+
+        // BUG 21 (logic): the replay loop uses the position after the last
+        // *data* entry as its end marker, dropping trailing metadata
+        // entries.
+        if self.bugs.has(BugId::B21) {
+            if let Some(last_data) = entries.iter().rposition(|e| e.is_data()) {
+                if last_data + 1 < entries.len() {
+                    self.trace.hit(BugId::B21);
+                    covpoint!(self.cov, 2);
+                }
+                entries.truncate(last_data + 1);
+            } else if !entries.is_empty() {
+                self.trace.hit(BugId::B21);
+                covpoint!(self.cov, 3);
+                entries.clear();
+            }
+        }
+
+        // BUG 25 (logic): a two-pass "optimization" applies metadata
+        // entries first and data entries second; a data entry logged before
+        // a rename then re-creates the old name.
+        if self.bugs.has(BugId::B25) {
+            let had_mix = entries.iter().any(OpEntry::is_data)
+                && entries.iter().any(|e| !e.is_data());
+            if had_mix {
+                self.trace.hit(BugId::B25);
+                covpoint!(self.cov, 4);
+            }
+            let (meta, data): (Vec<_>, Vec<_>) =
+                entries.into_iter().partition(|e| !e.is_data());
+            entries = meta.into_iter().chain(data).collect();
+        }
+
+        // BUG 22 (logic): the per-descriptor staging table is keyed by file;
+        // when two descriptors were concurrently open, replay keeps only the
+        // most recent descriptor's extents. (Sequential descriptors each
+        // owned the table outright, so only concurrent entries are at risk
+        // — which is why ACE's one-descriptor workloads cannot expose this.)
+        let keep_tag: HashMap<String, u64> = entries
+            .iter()
+            .filter_map(|e| match e {
+                OpEntry::Data { path, fd_tag, concurrent: true, .. } => {
+                    Some((path.clone(), *fd_tag))
+                }
+                _ => None,
+            })
+            .collect(); // later entries overwrite: leaves the max (log-ordered) tag
+
+        for e in &entries {
+            match e {
+                OpEntry::Data { fd_tag, concurrent: _, path, file_off, len, staging_off } => {
+                    // Once any write on this file happened under concurrent
+                    // descriptors, the buggy table holds only the latest
+                    // descriptor's extents — older descriptors' entries
+                    // (concurrent or not) are gone.
+                    if self.bugs.has(BugId::B22) {
+                        if let Some(&t) = keep_tag.get(path) {
+                            if *fd_tag != t {
+                                self.trace.hit(BugId::B22);
+                                covpoint!(self.cov, 5);
+                                continue;
+                            }
+                        }
+                    }
+                    let data = self.ulog.read_vec(*staging_off, *len);
+                    match self.backend.open(path, OpenFlags::CREATE) {
+                        Ok(bfd) => {
+                            self.backend.pwrite(bfd, *file_off, &data)?;
+                            self.backend.close(bfd)?;
+                        }
+                        Err(e) if e.is_benign() => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+                other => {
+                    let r = match other {
+                        OpEntry::Creat { path } => self.backend.creat(path),
+                        OpEntry::Mkdir { path } => self.backend.mkdir(path),
+                        OpEntry::Unlink { path } => self.backend.unlink(path),
+                        OpEntry::Rmdir { path } => self.backend.rmdir(path),
+                        OpEntry::Link { old, new } => self.backend.link(old, new),
+                        OpEntry::Rename { old, new } => self.backend.rename(old, new),
+                        OpEntry::Truncate { path, size } => self.backend.truncate(path, *size),
+                        OpEntry::Falloc { path, mode, off, len } => (|| {
+                            let bfd = self.backend.open(path, OpenFlags::RDWR)?;
+                            let r = self.backend.fallocate(bfd, *mode, *off, *len);
+                            self.backend.close(bfd)?;
+                            r
+                        })(),
+                        OpEntry::Data { .. } => unreachable!("handled above"),
+                    };
+                    match r {
+                        Ok(()) => {}
+                        Err(e) if e.is_benign() => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
+
+        // Finish with a checkpoint: commit the kernel component and
+        // truncate the log.
+        let epoch = self.backend.epoch();
+        self.backend.set_epoch(epoch + 1);
+        self.backend.sync()?;
+        self.tail = 0;
+        self.ulog.persist_u64(off::TAIL, 0);
+        self.ulog.persist_u64(off::LOG_EPOCH, epoch + 1);
+        Ok(())
+    }
+
+    // ---- merged reads ----
+
+    fn staged_max_end(&self, ino: u64) -> u64 {
+        self.staged
+            .iter()
+            .filter(|s| s.ino == ino)
+            .map(|s| s.file_off + s.len)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn merged_size(&self, ino: u64, backend_size: u64) -> u64 {
+        backend_size.max(self.staged_max_end(ino))
+    }
+
+    fn read_merged(&self, ino: u64, bfd: Fd, off_: u64, buf: &mut [u8]) -> FsResult<usize> {
+        let bmeta_size = {
+            // Backend size via the descriptor-independent path: read as much
+            // as the backend has, then overlay.
+            let mut probe = vec![0u8; buf.len()];
+            let n = self.backend.pread(bfd, off_, &mut probe)?;
+            buf[..n].copy_from_slice(&probe[..n]);
+            buf[n..].fill(0);
+            off_ + n as u64
+        };
+        let merged = self.merged_size(ino, bmeta_size);
+        let mut read_end = bmeta_size.min(off_ + buf.len() as u64);
+        for s in self.staged.iter().filter(|s| s.ino == ino) {
+            let s_start = s.file_off.max(off_);
+            let s_end = (s.file_off + s.len).min(off_ + buf.len() as u64);
+            if s_start < s_end {
+                let data = self
+                    .ulog
+                    .read_vec(s.staging_off + (s_start - s.file_off), s_end - s_start);
+                buf[(s_start - off_) as usize..(s_end - off_) as usize].copy_from_slice(&data);
+                read_end = read_end.max(s_end);
+            }
+        }
+        read_end = read_end.max(merged.min(off_ + buf.len() as u64)).max(off_);
+        Ok((read_end - off_) as usize)
+    }
+
+    fn resolve_ino(&self, path: &str) -> FsResult<u64> {
+        Ok(self.backend.stat(path)?.ino)
+    }
+
+    /// A current name for a descriptor's inode: the recorded path if it
+    /// still resolves to the inode, otherwise a reverse lookup over the
+    /// (small) namespace — the opened name may be gone while a hard link
+    /// survives, and durability must follow the survivor.
+    fn current_name(&self, ino: u64, recorded: &str) -> Option<String> {
+        if self.resolve_ino(recorded).map(|i| i == ino).unwrap_or(false) {
+            return Some(recorded.to_string());
+        }
+        let mut queue = vec!["/".to_string()];
+        while let Some(dir) = queue.pop() {
+            let Ok(entries) = self.backend.readdir(&dir) else { continue };
+            for e in entries {
+                let p = if dir == "/" { format!("/{}", e.name) } else { format!("{dir}/{}", e.name) };
+                match e.ftype {
+                    vfs::FileType::Regular if e.ino == ino => return Some(p),
+                    vfs::FileType::Directory => queue.push(p),
+                    _ => {}
+                }
+            }
+        }
+        None
+    }
+
+    /// Drops staged extents for `ino` (content superseded or discarded).
+    fn drop_staged(&mut self, ino: u64) {
+        self.staged.retain(|s| s.ino != ino);
+    }
+
+    /// The staged data write (the U-Split fast path).
+    fn do_write(&mut self, fd_key: u64, off_: u64, data: &[u8]) -> FsResult<usize> {
+        if data.is_empty() {
+            return Ok(0);
+        }
+        if data.len() as u64 > self.ulog.len() - off::STAGING {
+            return Err(FsError::NoSpace);
+        }
+        if self.staging_room() < data.len() as u64 || self.log_full() {
+            self.checkpoint()?;
+        }
+        let f = self.fds.get(&fd_key).ok_or(FsError::BadFd)?.clone();
+        // If no name leads to this inode any more (truly orphaned), the
+        // data cannot survive a crash; write through the kernel descriptor.
+        // Otherwise follow a surviving name (the opened one, or a hard
+        // link).
+        let Some(name) = self.current_name(f.ino, &f.path) else {
+            covpoint!(self.cov, 6);
+            return self.backend.pwrite(f.backend_fd, off_, data);
+        };
+        // Stage the payload.
+        let staging_off = self.staging_ptr;
+        self.ulog.memcpy_nt(staging_off, data);
+        self.ulog.fence();
+        self.staging_ptr += (data.len() as u64).div_ceil(8) * 8;
+        // BUG 23 (logic): append entries record the descriptor's private
+        // base-at-open plus its own byte count instead of the real offset.
+        let logged_off = if self.bugs.has(BugId::B23) && f.append {
+            let stale = f.base_at_open + f.written;
+            if stale != off_ {
+                self.trace.hit(BugId::B23);
+                covpoint!(self.cov, 7);
+            }
+            stale
+        } else {
+            off_
+        };
+        let concurrent = self.fds.values().filter(|x| x.ino == f.ino).count() > 1;
+        self.log_append(&OpEntry::Data {
+            fd_tag: f.tag,
+            concurrent,
+            path: name.clone(),
+            file_off: logged_off,
+            len: data.len() as u64,
+            staging_off,
+        })?;
+        self.staged.push(Staged {
+            ino: f.ino,
+            path: name,
+            file_off: off_,
+            len: data.len() as u64,
+            staging_off,
+        });
+        if let Some(f) = self.fds.get_mut(&fd_key) {
+            f.written += data.len() as u64;
+            f.dirty = true;
+        }
+        Ok(data.len())
+    }
+}
+
+impl<D: PmBackend> FileSystem for SplitFs<D> {
+    fn open(&mut self, path: &str, flags: OpenFlags) -> FsResult<Fd> {
+        covpoint!(self.cov);
+        let existed = self.backend.stat(path).is_ok();
+        let bfd = self.backend.open(path, flags)?;
+        let ino = self.resolve_ino(path)?;
+        if !existed {
+            // The creation must be durable: log it.
+            self.log_append(&OpEntry::Creat { path: path.to_string() })?;
+        } else if flags.trunc {
+            self.drop_staged(ino);
+            self.log_append(&OpEntry::Truncate { path: path.to_string(), size: 0 })?;
+        }
+        let size = self.merged_size(ino, self.backend.stat(path)?.size);
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        let fd = self.next_fd;
+        self.next_fd += 1;
+        self.fds.insert(
+            fd,
+            UFd {
+                backend_fd: bfd,
+                ino,
+                path: path.to_string(),
+                offset: 0,
+                append: flags.append,
+                base_at_open: size,
+                written: 0,
+                tag,
+                dirty: false,
+            },
+        );
+        Ok(Fd(fd))
+    }
+
+    fn close(&mut self, fd: Fd) -> FsResult<()> {
+        let f = self.fds.remove(&fd.0).ok_or(FsError::BadFd)?;
+        // SplitFS relinks on close once enough data has been staged; small
+        // writes stay in the log (it alone provides their durability).
+        if f.dirty && self.staging_ptr - crate::oplog::off::STAGING >= RELINK_THRESHOLD {
+            covpoint!(self.cov);
+            self.checkpoint()?;
+        }
+        self.backend.close(f.backend_fd)
+    }
+
+    fn mkdir(&mut self, path: &str) -> FsResult<()> {
+        covpoint!(self.cov);
+        self.backend.mkdir(path)?;
+        self.log_append(&OpEntry::Mkdir { path: path.to_string() })
+    }
+
+    fn rmdir(&mut self, path: &str) -> FsResult<()> {
+        covpoint!(self.cov);
+        // Flush staged state first: replay must not resurrect children.
+        self.checkpoint()?;
+        self.backend.rmdir(path)?;
+        self.log_append(&OpEntry::Rmdir { path: path.to_string() })
+    }
+
+    fn unlink(&mut self, path: &str) -> FsResult<()> {
+        covpoint!(self.cov);
+        self.checkpoint()?;
+        self.backend.unlink(path)?;
+        self.log_append(&OpEntry::Unlink { path: path.to_string() })
+    }
+
+    fn link(&mut self, old: &str, new: &str) -> FsResult<()> {
+        covpoint!(self.cov);
+        self.backend.link(old, new)?;
+        self.log_append(&OpEntry::Link { old: old.to_string(), new: new.to_string() })
+    }
+
+    fn rename(&mut self, old: &str, new: &str) -> FsResult<()> {
+        covpoint!(self.cov);
+        if old == new {
+            // Delegate validation.
+            return self.backend.rename(old, new);
+        }
+        // A replaced destination complicates staged-state bookkeeping:
+        // flush first (the plain no-victim rename keeps its fast path).
+        if self.backend.stat(new).is_ok() {
+            covpoint!(self.cov, 8);
+            self.checkpoint()?;
+        }
+        self.backend.rename(old, new)?;
+        self.log_append(&OpEntry::Rename { old: old.to_string(), new: new.to_string() })?;
+        // Keep staged paths current (reads and relinks use them).
+        let prefix = format!("{old}/");
+        for s in self.staged.iter_mut() {
+            if s.path == old {
+                s.path = new.to_string();
+            } else if let Some(rest) = s.path.strip_prefix(&prefix) {
+                s.path = format!("{new}/{rest}");
+            }
+        }
+        for f in self.fds.values_mut() {
+            if f.path == old {
+                f.path = new.to_string();
+            } else if let Some(rest) = f.path.strip_prefix(&prefix) {
+                f.path = format!("{new}/{rest}");
+            }
+        }
+        Ok(())
+    }
+
+    fn truncate(&mut self, path: &str, size: u64) -> FsResult<()> {
+        covpoint!(self.cov);
+        // Flush staged data so clipping happens in exactly one place (the
+        // kernel component).
+        self.checkpoint()?;
+        self.backend.truncate(path, size)?;
+        self.log_append(&OpEntry::Truncate { path: path.to_string(), size })
+    }
+
+    fn fallocate(&mut self, fd: Fd, mode: FallocMode, off_: u64, len: u64) -> FsResult<()> {
+        covpoint!(self.cov);
+        let f = self.fds.get(&fd.0).ok_or(FsError::BadFd)?.clone();
+        if matches!(mode, FallocMode::ZeroRange | FallocMode::PunchHole) {
+            self.checkpoint()?;
+        }
+        self.backend.fallocate(f.backend_fd, mode, off_, len)?;
+        // Log under a name that still reaches the inode (the opened one, or
+        // a surviving hard link). A truly orphaned descriptor's effects die
+        // with the crash — logging them would replay onto whatever file now
+        // owns the name.
+        match self.current_name(f.ino, &f.path) {
+            Some(name) => {
+                self.log_append(&OpEntry::Falloc { path: name, mode, off: off_, len })?;
+            }
+            None => covpoint!(self.cov, 9),
+        }
+        Ok(())
+    }
+
+    fn write(&mut self, fd: Fd, data: &[u8]) -> FsResult<usize> {
+        covpoint!(self.cov);
+        let f = self.fds.get(&fd.0).ok_or(FsError::BadFd)?.clone();
+        let name = self.current_name(f.ino, &f.path);
+        let off_ = if f.append && name.is_some() {
+            let n = name.as_deref().expect("checked");
+            self.merged_size(f.ino, self.backend.stat(n).map(|m| m.size).unwrap_or(0))
+        } else if f.append {
+            // Orphaned descriptor: fall back to this descriptor's own view.
+            f.base_at_open + f.written
+        } else {
+            f.offset
+        };
+        let n = self.do_write(fd.0, off_, data)?;
+        if let Some(f) = self.fds.get_mut(&fd.0) {
+            f.offset = off_ + n as u64;
+        }
+        Ok(n)
+    }
+
+    fn pwrite(&mut self, fd: Fd, off_: u64, data: &[u8]) -> FsResult<usize> {
+        covpoint!(self.cov);
+        self.do_write(fd.0, off_, data)
+    }
+
+    fn pread(&self, fd: Fd, off_: u64, buf: &mut [u8]) -> FsResult<usize> {
+        let f = self.fds.get(&fd.0).ok_or(FsError::BadFd)?;
+        self.read_merged(f.ino, f.backend_fd, off_, buf)
+    }
+
+    fn fsync(&mut self, fd: Fd) -> FsResult<()> {
+        covpoint!(self.cov);
+        let _ = self.fds.get(&fd.0).ok_or(FsError::BadFd)?;
+        self.checkpoint()
+    }
+
+    fn sync(&mut self) -> FsResult<()> {
+        covpoint!(self.cov);
+        self.checkpoint()
+    }
+
+    fn stat(&self, path: &str) -> FsResult<Metadata> {
+        let mut m = self.backend.stat(path)?;
+        if m.ftype == FileType::Regular {
+            m.size = self.merged_size(m.ino, m.size);
+        }
+        Ok(m)
+    }
+
+    fn readdir(&self, path: &str) -> FsResult<Vec<DirEntry>> {
+        self.backend.readdir(path)
+    }
+
+    fn read_file(&self, path: &str) -> FsResult<Vec<u8>> {
+        let m = self.stat(path)?;
+        if m.ftype != FileType::Regular {
+            return Err(FsError::IsDir);
+        }
+        let mut out = self.backend.read_file(path)?;
+        out.resize(m.size as usize, 0);
+        for s in self.staged.iter().filter(|s| s.ino == m.ino) {
+            let data = self.ulog.read_vec(s.staging_off, s.len);
+            out[s.file_off as usize..(s.file_off + s.len) as usize].copy_from_slice(&data);
+        }
+        Ok(out)
+    }
+}

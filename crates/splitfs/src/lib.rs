@@ -1,0 +1,81 @@
+#![warn(missing_docs)]
+
+//! A SplitFS-style hybrid PM file system (SOSP '19), strict mode.
+//!
+//! SplitFS splits responsibilities between a user-space library and a
+//! kernel file system: data operations are served from user space at
+//! memory speed, while metadata operations are passed to an ext4-DAX
+//! kernel component. Strict mode — the configuration the paper tests —
+//! makes *every* operation synchronous and atomic through an *optimized
+//! operation log* in PM (all five SplitFS bugs in Table 1 live in this
+//! logging machinery, §5.1 Observation 1).
+//!
+//! This reproduction splits one PM device into two windows:
+//!
+//! * the **kernel window** holds a full [`ext4dax`] instance (the kernel
+//!   component, weak guarantees on its own);
+//! * the **U-Split window** holds the operation log and the staging area.
+//!
+//! Operation flow (strict mode):
+//!
+//! * a data write copies the payload into the staging area and appends a
+//!   `Data` log entry — durable and atomic once the log tail is published;
+//!   the kernel component is not involved;
+//! * a metadata operation is applied to the kernel component's page cache
+//!   (volatile!) and logged — the log entry, not the kernel journal, makes
+//!   it durable;
+//! * a **checkpoint** (on close-with-staged-data, fsync, sync, or every 32
+//!   operations) relinks staged data into the kernel component, forces its
+//!   journal (`sync`), and truncates the log;
+//! * recovery mounts the kernel component, replays the log in order
+//!   (metadata ops re-applied, staged extents relinked), then checkpoints.
+//!
+//! Injected bugs: 21 (replay uses the last *data* entry as the end marker,
+//! dropping trailing metadata entries), 22 (replay keeps only the most
+//! recent descriptor's staged extents per file), 23 (append entries record
+//! a stale per-descriptor base offset), 24 (checkpoint truncates the log
+//! without forcing the kernel journal), 25 (replay applies metadata first
+//! and data second, re-creating renamed-away names).
+
+pub mod fsimpl;
+pub mod oplog;
+
+pub use fsimpl::SplitFs;
+
+use pmem::PmBackend;
+use vfs::{
+    fs::{FsKind, FsOptions, Guarantees},
+    FsName, FsResult,
+};
+
+/// Factory for [`SplitFs`] instances (strict mode).
+#[derive(Debug, Clone, Default)]
+pub struct SplitFsKind {
+    /// Construction options.
+    pub opts: FsOptions,
+}
+
+impl FsKind for SplitFsKind {
+    type Fs<D: PmBackend> = SplitFs<D>;
+
+    fn name(&self) -> FsName {
+        FsName::SplitFs
+    }
+
+    fn options(&self) -> &FsOptions {
+        &self.opts
+    }
+
+    fn guarantees(&self) -> Guarantees {
+        // Strict mode: synchronous and atomic, including data writes.
+        Guarantees { strong: true, atomic_data_writes: true }
+    }
+
+    fn mkfs<D: PmBackend>(&self, dev: D) -> FsResult<Self::Fs<D>> {
+        SplitFs::mkfs(dev, &self.opts)
+    }
+
+    fn mount<D: PmBackend>(&self, dev: D) -> FsResult<Self::Fs<D>> {
+        SplitFs::mount(dev, &self.opts)
+    }
+}

@@ -1,0 +1,258 @@
+//! The U-Split operation log: entry format and window layout.
+
+use vfs::{FallocMode, FsError, FsResult};
+
+/// U-Split window magic ("USPLITFS").
+pub const MAGIC: u64 = u64::from_le_bytes(*b"USPLITFS");
+
+/// Fixed entry size.
+pub const ENTRY_SIZE: u64 = 128;
+
+/// Maximum path length storable in an entry.
+pub const PATH_MAX: usize = 40;
+
+/// Number of entry slots in the log.
+pub const LOG_ENTRIES: u64 = 256;
+
+/// U-Split window layout (offsets relative to the window start).
+pub mod off {
+    /// Magic (u64).
+    pub const MAGIC: u64 = 0;
+    /// Published log tail: byte offset past the last valid entry (u64).
+    pub const TAIL: u64 = 8;
+    /// The kernel-component epoch the current log accumulated under (u64).
+    /// The checkpoint bumps the kernel epoch inside the forced journal
+    /// commit; a committed epoch greater than this proves the log contents
+    /// were already relinked, making replay-after-checkpoint races safe.
+    pub const LOG_EPOCH: u64 = 16;
+    /// First log entry.
+    pub const ENTRIES: u64 = 64;
+    /// First staging byte (after the entry region).
+    pub const STAGING: u64 = ENTRIES + super::LOG_ENTRIES * super::ENTRY_SIZE;
+}
+
+/// A decoded operation-log entry.
+///
+/// Metadata variants carry the obvious system-call arguments; the `Data`
+/// variant's fields are documented individually.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum OpEntry {
+    /// A staged data write.
+    Data {
+        /// Descriptor generation that wrote it (bug 22's replay key).
+        fd_tag: u64,
+        /// Whether another descriptor had the same file open at write time
+        /// (the per-descriptor staging-table state bug 22's replay trips
+        /// over).
+        concurrent: bool,
+        /// Destination file path (at write time).
+        path: String,
+        /// Destination file offset.
+        file_off: u64,
+        /// Length in bytes.
+        len: u64,
+        /// Source offset in the staging area (window-relative).
+        staging_off: u64,
+    },
+    /// `creat(path)`.
+    Creat { path: String },
+    /// `mkdir(path)`.
+    Mkdir { path: String },
+    /// `unlink(path)`.
+    Unlink { path: String },
+    /// `rmdir(path)`.
+    Rmdir { path: String },
+    /// `link(old, new)`.
+    Link { old: String, new: String },
+    /// `rename(old, new)`.
+    Rename { old: String, new: String },
+    /// `truncate(path, size)`.
+    Truncate { path: String, size: u64 },
+    /// `fallocate(path, mode, off, len)`.
+    Falloc { path: String, mode: FallocMode, off: u64, len: u64 },
+}
+
+mod tag {
+    pub const DATA: u8 = 1;
+    pub const CREAT: u8 = 2;
+    pub const MKDIR: u8 = 3;
+    pub const UNLINK: u8 = 4;
+    pub const RMDIR: u8 = 5;
+    pub const LINK: u8 = 6;
+    pub const RENAME: u8 = 7;
+    pub const TRUNCATE: u8 = 8;
+    pub const FALLOC: u8 = 9;
+}
+
+fn mode_code(m: FallocMode) -> u8 {
+    match m {
+        FallocMode::Allocate => 0,
+        FallocMode::KeepSize => 1,
+        FallocMode::ZeroRange => 2,
+        FallocMode::PunchHole => 3,
+    }
+}
+
+fn mode_from(c: u8) -> FallocMode {
+    match c {
+        1 => FallocMode::KeepSize,
+        2 => FallocMode::ZeroRange,
+        3 => FallocMode::PunchHole,
+        _ => FallocMode::Allocate,
+    }
+}
+
+fn put_path(buf: &mut [u8], at: usize, path: &str) -> FsResult<u8> {
+    let b = path.as_bytes();
+    if b.len() > PATH_MAX {
+        return Err(FsError::NameTooLong);
+    }
+    buf[at..at + b.len()].copy_from_slice(b);
+    Ok(b.len() as u8)
+}
+
+fn get_path(buf: &[u8], at: usize, len: u8) -> String {
+    String::from_utf8_lossy(&buf[at..at + (len as usize).min(PATH_MAX)]).into_owned()
+}
+
+impl OpEntry {
+    /// Whether this is a staged-data entry.
+    pub fn is_data(&self) -> bool {
+        matches!(self, OpEntry::Data { .. })
+    }
+
+    /// Encodes into the fixed 128-byte form.
+    ///
+    /// Layout: `[0]` tag, `[1]` path1 length, `[2]` path2 length, `[3]`
+    /// fallocate mode, `[8..16]` fd tag, `[16..24]` offset/size, `[24..32]`
+    /// length, `[32..40]` staging offset, `[40..80]` path1, `[80..120]`
+    /// path2.
+    pub fn encode(&self) -> FsResult<[u8; ENTRY_SIZE as usize]> {
+        let mut b = [0u8; ENTRY_SIZE as usize];
+        match self {
+            OpEntry::Data { fd_tag, concurrent, path, file_off, len, staging_off } => {
+                b[0] = tag::DATA;
+                b[1] = put_path(&mut b, 40, path)?;
+                b[4] = u8::from(*concurrent);
+                b[8..16].copy_from_slice(&fd_tag.to_le_bytes());
+                b[16..24].copy_from_slice(&file_off.to_le_bytes());
+                b[24..32].copy_from_slice(&len.to_le_bytes());
+                b[32..40].copy_from_slice(&staging_off.to_le_bytes());
+            }
+            OpEntry::Creat { path } => {
+                b[0] = tag::CREAT;
+                b[1] = put_path(&mut b, 40, path)?;
+            }
+            OpEntry::Mkdir { path } => {
+                b[0] = tag::MKDIR;
+                b[1] = put_path(&mut b, 40, path)?;
+            }
+            OpEntry::Unlink { path } => {
+                b[0] = tag::UNLINK;
+                b[1] = put_path(&mut b, 40, path)?;
+            }
+            OpEntry::Rmdir { path } => {
+                b[0] = tag::RMDIR;
+                b[1] = put_path(&mut b, 40, path)?;
+            }
+            OpEntry::Link { old, new } => {
+                b[0] = tag::LINK;
+                b[1] = put_path(&mut b, 40, old)?;
+                b[2] = put_path(&mut b, 80, new)?;
+            }
+            OpEntry::Rename { old, new } => {
+                b[0] = tag::RENAME;
+                b[1] = put_path(&mut b, 40, old)?;
+                b[2] = put_path(&mut b, 80, new)?;
+            }
+            OpEntry::Truncate { path, size } => {
+                b[0] = tag::TRUNCATE;
+                b[1] = put_path(&mut b, 40, path)?;
+                b[16..24].copy_from_slice(&size.to_le_bytes());
+            }
+            OpEntry::Falloc { path, mode, off, len } => {
+                b[0] = tag::FALLOC;
+                b[1] = put_path(&mut b, 40, path)?;
+                b[3] = mode_code(*mode);
+                b[16..24].copy_from_slice(&off.to_le_bytes());
+                b[24..32].copy_from_slice(&len.to_le_bytes());
+            }
+        }
+        Ok(b)
+    }
+
+    /// Decodes an entry; `None` for an unknown tag.
+    pub fn decode(b: &[u8]) -> Option<OpEntry> {
+        let u = |r: std::ops::Range<usize>| u64::from_le_bytes(b[r].try_into().expect("8 bytes"));
+        let p1 = |b: &[u8]| get_path(b, 40, b[1]);
+        let p2 = |b: &[u8]| get_path(b, 80, b[2]);
+        Some(match b[0] {
+            tag::DATA => OpEntry::Data {
+                fd_tag: u(8..16),
+                concurrent: b[4] != 0,
+                path: p1(b),
+                file_off: u(16..24),
+                len: u(24..32),
+                staging_off: u(32..40),
+            },
+            tag::CREAT => OpEntry::Creat { path: p1(b) },
+            tag::MKDIR => OpEntry::Mkdir { path: p1(b) },
+            tag::UNLINK => OpEntry::Unlink { path: p1(b) },
+            tag::RMDIR => OpEntry::Rmdir { path: p1(b) },
+            tag::LINK => OpEntry::Link { old: p1(b), new: p2(b) },
+            tag::RENAME => OpEntry::Rename { old: p1(b), new: p2(b) },
+            tag::TRUNCATE => OpEntry::Truncate { path: p1(b), size: u(16..24) },
+            tag::FALLOC => OpEntry::Falloc {
+                path: p1(b),
+                mode: mode_from(b[3]),
+                off: u(16..24),
+                len: u(24..32),
+            },
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_entry_types_roundtrip() {
+        let entries = vec![
+            OpEntry::Data {
+                fd_tag: 7,
+                concurrent: true,
+                path: "/a/b".into(),
+                file_off: 4096,
+                len: 512,
+                staging_off: 1024,
+            },
+            OpEntry::Creat { path: "/f".into() },
+            OpEntry::Mkdir { path: "/d".into() },
+            OpEntry::Unlink { path: "/f".into() },
+            OpEntry::Rmdir { path: "/d".into() },
+            OpEntry::Link { old: "/f".into(), new: "/g".into() },
+            OpEntry::Rename { old: "/x".into(), new: "/y".into() },
+            OpEntry::Truncate { path: "/f".into(), size: 1234 },
+            OpEntry::Falloc {
+                path: "/f".into(),
+                mode: FallocMode::PunchHole,
+                off: 8,
+                len: 16,
+            },
+        ];
+        for e in entries {
+            let enc = e.encode().unwrap();
+            assert_eq!(OpEntry::decode(&enc), Some(e));
+        }
+        assert_eq!(OpEntry::decode(&[0u8; 128]), None);
+    }
+
+    #[test]
+    fn overlong_paths_rejected() {
+        let long = format!("/{}", "x".repeat(PATH_MAX));
+        assert!(OpEntry::Creat { path: long }.encode().is_err());
+    }
+}

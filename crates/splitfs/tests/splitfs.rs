@@ -1,0 +1,340 @@
+//! Functional, crash, and per-bug tests for the SplitFS analogue.
+
+use chipmunk::{test_workload, TestConfig};
+use pmem::PmDevice;
+use splitfs::{SplitFs, SplitFsKind};
+use vfs::{
+    fs::{FileSystem, FsKind, FsOptions},
+    BugId, BugSet, Op, OpenFlags, Workload,
+};
+
+const DEV: u64 = 4 * 1024 * 1024;
+
+fn fixed_kind() -> SplitFsKind {
+    SplitFsKind { opts: FsOptions::fixed() }
+}
+
+fn kind_with(bugs: &[BugId]) -> SplitFsKind {
+    SplitFsKind { opts: FsOptions::with_bugs(BugSet::only(bugs)) }
+}
+
+fn fresh(kind: &SplitFsKind) -> SplitFs<PmDevice> {
+    kind.mkfs(PmDevice::new(DEV)).unwrap()
+}
+
+#[test]
+fn staged_writes_read_back_before_relink() {
+    let kind = fixed_kind();
+    let mut fs = fresh(&kind);
+    let fd = fs.open("/f", OpenFlags::CREAT_TRUNC).unwrap();
+    fs.pwrite(fd, 100, b"staged data").unwrap();
+    // Before any checkpoint, reads must merge the staging area.
+    assert_eq!(fs.stat("/f").unwrap().size, 111);
+    let data = fs.read_file("/f").unwrap();
+    assert_eq!(&data[100..], b"staged data");
+    assert_eq!(&data[..100], &[0u8; 100][..]);
+    let mut buf = [0u8; 6];
+    fs.pread(fd, 100, &mut buf).unwrap();
+    assert_eq!(&buf, b"staged");
+    fs.close(fd).unwrap(); // relink
+    assert_eq!(&fs.read_file("/f").unwrap()[100..], b"staged data");
+}
+
+#[test]
+fn metadata_ops_visible_without_kernel_sync() {
+    // Metadata ops live in the kernel component's page cache plus the op
+    // log; they must be fully visible crash-free without any sync. (The
+    // crash paths are exercised through the chipmunk pipeline below, which
+    // owns the device and can snapshot it.)
+    let kind = fixed_kind();
+    let mut fs = fresh(&kind);
+    fs.mkdir("/d").unwrap();
+    fs.creat("/d/f").unwrap();
+    fs.link("/d/f", "/g").unwrap();
+    let fd = fs.open("/g", OpenFlags::RDWR).unwrap();
+    fs.pwrite(fd, 0, b"xyz").unwrap();
+    assert_eq!(fs.read_file("/g").unwrap(), b"xyz");
+    assert_eq!(fs.stat("/d/f").unwrap().nlink, 2);
+    fs.close(fd).unwrap();
+    assert_eq!(fs.read_file("/d/f").unwrap(), b"xyz");
+}
+
+#[test]
+fn rename_moves_staged_data() {
+    let kind = fixed_kind();
+    let mut fs = fresh(&kind);
+    let fd = fs.open("/a", OpenFlags::CREAT_TRUNC).unwrap();
+    fs.pwrite(fd, 0, b"payload").unwrap();
+    // Rename while data is still staged.
+    fs.rename("/a", "/b").unwrap();
+    assert_eq!(fs.read_file("/b").unwrap(), b"payload");
+    assert!(fs.read_file("/a").is_err());
+    fs.close(fd).unwrap();
+    assert_eq!(fs.read_file("/b").unwrap(), b"payload");
+}
+
+#[test]
+fn truncate_clips_staged_data() {
+    let kind = fixed_kind();
+    let mut fs = fresh(&kind);
+    let fd = fs.open("/f", OpenFlags::CREAT_TRUNC).unwrap();
+    fs.pwrite(fd, 0, &[9u8; 1000]).unwrap();
+    fs.truncate("/f", 10).unwrap();
+    assert_eq!(fs.read_file("/f").unwrap(), vec![9u8; 10]);
+    fs.close(fd).unwrap();
+    assert_eq!(fs.read_file("/f").unwrap(), vec![9u8; 10]);
+}
+
+#[test]
+fn two_descriptors_merge_correctly_crash_free() {
+    let kind = fixed_kind();
+    let mut fs = fresh(&kind);
+    let a = fs.open("/f", OpenFlags::CREAT_TRUNC).unwrap();
+    let b = fs.open("/f", OpenFlags::RDWR).unwrap();
+    fs.pwrite(a, 0, &[1u8; 100]).unwrap();
+    fs.pwrite(b, 50, &[2u8; 100]).unwrap();
+    let data = fs.read_file("/f").unwrap();
+    assert_eq!(&data[..50], &[1u8; 50][..]);
+    assert_eq!(&data[50..150], &[2u8; 100][..]);
+    fs.close(a).unwrap();
+    fs.close(b).unwrap();
+    let data = fs.read_file("/f").unwrap();
+    assert_eq!(&data[50..150], &[2u8; 100][..]);
+}
+
+// ---- chipmunk pipeline ----
+
+fn wl(name: &str, ops: Vec<Op>) -> Workload {
+    Workload::new(name, ops)
+}
+
+#[test]
+fn fixed_splitfs_passes_core_workloads() {
+    let kind = fixed_kind();
+    let workloads = vec![
+        wl("creat", vec![Op::Creat { path: "/A".into() }]),
+        wl(
+            "write",
+            vec![Op::WritePath { path: "/f".into(), off: 0, size: 1000 }],
+        ),
+        wl(
+            "mkdir-write",
+            vec![
+                Op::Mkdir { path: "/d".into() },
+                Op::WritePath { path: "/d/f".into(), off: 0, size: 500 },
+            ],
+        ),
+        wl(
+            "link-unlink",
+            vec![
+                Op::Creat { path: "/f".into() },
+                Op::Link { old: "/f".into(), new: "/g".into() },
+                Op::Unlink { path: "/f".into() },
+            ],
+        ),
+        wl(
+            "write-rename",
+            vec![
+                Op::WritePath { path: "/a".into(), off: 0, size: 700 },
+                Op::Rename { old: "/a".into(), new: "/b".into() },
+            ],
+        ),
+        wl(
+            "truncate",
+            vec![
+                Op::WritePath { path: "/f".into(), off: 0, size: 5000 },
+                Op::Truncate { path: "/f".into(), size: 77 },
+            ],
+        ),
+        wl(
+            "two-fds",
+            vec![
+                Op::Open { slot: 0, path: "/f".into(), flags: OpenFlags::CREAT_TRUNC },
+                Op::Open { slot: 1, path: "/f".into(), flags: OpenFlags::RDWR },
+                Op::Pwrite { slot: 0, off: 0, size: 100 },
+                Op::Pwrite { slot: 1, off: 50, size: 100 },
+                Op::Close { slot: 0 },
+                Op::Close { slot: 1 },
+            ],
+        ),
+        wl(
+            "two-fd-appends",
+            vec![
+                Op::Open { slot: 0, path: "/f".into(), flags: OpenFlags::CREAT_TRUNC },
+                Op::Open {
+                    slot: 1,
+                    path: "/f".into(),
+                    flags: OpenFlags { create: false, excl: false, trunc: false, append: true },
+                },
+                Op::Write { slot: 0, size: 64 },
+                Op::Open {
+                    slot: 2,
+                    path: "/f".into(),
+                    flags: OpenFlags { create: false, excl: false, trunc: false, append: true },
+                },
+                Op::Write { slot: 1, size: 64 },
+                Op::Write { slot: 2, size: 64 },
+                Op::Close { slot: 0 },
+                Op::Close { slot: 1 },
+                Op::Close { slot: 2 },
+            ],
+        ),
+    ];
+    for w in &workloads {
+        let out = test_workload(&kind, w, &TestConfig::default());
+        assert!(
+            out.reports.is_empty(),
+            "fixed SplitFS violated {}:\n{}",
+            w.name,
+            out.reports.iter().map(|r| r.to_text()).collect::<String>()
+        );
+        assert!(out.crash_states > 0, "{}", w.name);
+    }
+}
+
+#[test]
+fn bug21_trailing_metadata_dropped() {
+    let kind = kind_with(&[BugId::B21]);
+    let w = wl(
+        "b21",
+        vec![
+            Op::WritePath { path: "/f".into(), off: 0, size: 256 },
+            Op::Mkdir { path: "/d".into() },
+        ],
+    );
+    let out = test_workload(&kind, &w, &TestConfig::default());
+    assert!(
+        out.reports.iter().any(|r| r.violation.class() == "synchrony"),
+        "bug 21 not detected: {:#?}",
+        out.reports
+    );
+    assert!(out.traced_bugs.contains(&BugId::B21));
+}
+
+#[test]
+fn bug22_second_descriptor_wins() {
+    let kind = kind_with(&[BugId::B22]);
+    let w = wl(
+        "b22",
+        vec![
+            Op::Open { slot: 0, path: "/f".into(), flags: OpenFlags::CREAT_TRUNC },
+            Op::Open { slot: 1, path: "/f".into(), flags: OpenFlags::RDWR },
+            Op::Pwrite { slot: 0, off: 0, size: 100 },
+            Op::Pwrite { slot: 1, off: 200, size: 100 },
+        ],
+    );
+    let out = test_workload(&kind, &w, &TestConfig::default());
+    assert!(
+        out.reports.iter().any(|r| matches!(
+            r.violation.class(),
+            "synchrony" | "atomicity"
+        )),
+        "bug 22 not detected: {:#?}",
+        out.reports
+    );
+    assert!(out.traced_bugs.contains(&BugId::B22));
+}
+
+#[test]
+fn bug23_stale_append_base() {
+    let kind = kind_with(&[BugId::B23]);
+    let append = OpenFlags { create: false, excl: false, trunc: false, append: true };
+    let w = wl(
+        "b23",
+        vec![
+            Op::Creat { path: "/f".into() },
+            Op::Open { slot: 0, path: "/f".into(), flags: append },
+            Op::Open { slot: 1, path: "/f".into(), flags: append },
+            Op::Write { slot: 0, size: 64 },
+            Op::Write { slot: 1, size: 64 },
+        ],
+    );
+    let out = test_workload(&kind, &w, &TestConfig::default());
+    assert!(
+        out.reports.iter().any(|r| matches!(
+            r.violation.class(),
+            "synchrony" | "atomicity"
+        )),
+        "bug 23 not detected: {:#?}",
+        out.reports
+    );
+    assert!(out.traced_bugs.contains(&BugId::B23));
+}
+
+#[test]
+fn bug24_checkpoint_without_kernel_commit() {
+    let kind = kind_with(&[BugId::B24]);
+    // A large WritePath crosses the relink threshold: its close triggers
+    // the checkpoint.
+    let w = wl("b24", vec![Op::WritePath { path: "/f".into(), off: 0, size: 8192 }]);
+    let out = test_workload(&kind, &w, &TestConfig::default());
+    assert!(
+        out.reports.iter().any(|r| r.violation.class() == "synchrony"),
+        "bug 24 not detected: {:#?}",
+        out.reports
+    );
+    assert!(out.traced_bugs.contains(&BugId::B24));
+}
+
+#[test]
+fn bug25_rename_resurrects_old_name() {
+    let kind = kind_with(&[BugId::B25]);
+    let w = wl(
+        "b25",
+        vec![
+            Op::WritePath { path: "/a".into(), off: 0, size: 300 },
+            Op::Rename { old: "/a".into(), new: "/b".into() },
+        ],
+    );
+    let out = test_workload(&kind, &w, &TestConfig::default());
+    assert!(
+        out.reports.iter().any(|r| {
+            matches!(r.violation.class(), "synchrony" | "atomicity")
+                && r.violation.detail().contains("\"a\"")
+        }),
+        "bug 25 not detected: {:#?}",
+        out.reports
+    );
+    assert!(out.traced_bugs.contains(&BugId::B25));
+}
+
+#[test]
+fn fixed_splitfs_clean_on_trigger_workloads() {
+    let kind = fixed_kind();
+    let append = OpenFlags { create: false, excl: false, trunc: false, append: true };
+    let workloads = vec![
+        wl(
+            "t21",
+            vec![
+                Op::WritePath { path: "/f".into(), off: 0, size: 256 },
+                Op::Mkdir { path: "/d".into() },
+            ],
+        ),
+        wl(
+            "t23",
+            vec![
+                Op::Creat { path: "/f".into() },
+                Op::Open { slot: 0, path: "/f".into(), flags: append },
+                Op::Open { slot: 1, path: "/f".into(), flags: append },
+                Op::Write { slot: 0, size: 64 },
+                Op::Write { slot: 1, size: 64 },
+            ],
+        ),
+        wl(
+            "t25",
+            vec![
+                Op::WritePath { path: "/a".into(), off: 0, size: 300 },
+                Op::Rename { old: "/a".into(), new: "/b".into() },
+            ],
+        ),
+    ];
+    for w in &workloads {
+        let out = test_workload(&kind, w, &TestConfig::default());
+        assert!(
+            out.reports.is_empty(),
+            "fixed SplitFS violated {}:\n{}",
+            w.name,
+            out.reports.iter().map(|r| r.to_text()).collect::<String>()
+        );
+    }
+}

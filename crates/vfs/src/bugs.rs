@@ -1,0 +1,674 @@
+//! The bug registry: the paper's Table 1 corpus as switchable fault
+//! injections.
+//!
+//! The headline result of the paper is a corpus of 23 unique
+//! crash-consistency bugs (25 instances — two root causes are shared between
+//! PMFS and WineFS, which share ancestry). This reproduction re-implements
+//! each bug as a faithful analogue inside the corresponding file-system
+//! crate, guarded by a [`BugSet`]: `BugSet::as_released()` reproduces the
+//! versions the paper tested, `BugSet::fixed()` the patched versions, and
+//! `BugSet::only(..)` isolates a single bug for targeted tests.
+//!
+//! [`bug_table`] carries the ground-truth metadata for every instance —
+//! consequence, affected system calls, Logic/PM classification, whether ACE
+//! can expose it, and the paper's Table 2 observation memberships — which the
+//! evaluation harnesses print and cross-check.
+
+use crate::fs::SyscallKind;
+
+/// One of the 25 bug instances of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BugId {
+    /// NOVA: file system unmountable (recovery assertion too strict).
+    B01,
+    /// NOVA: file unreadable and undeletable (inode not flushed before dentry).
+    B02,
+    /// NOVA: file system unmountable (stale journal head replayed).
+    B03,
+    /// NOVA: rename atomicity broken — file disappears.
+    B04,
+    /// NOVA: rename atomicity broken — old file still present.
+    B05,
+    /// NOVA: link count incremented before new dentry appears.
+    B06,
+    /// NOVA: file data lost on truncate.
+    B07,
+    /// NOVA: file data lost on fallocate.
+    B08,
+    /// NOVA-Fortis: unreadable directory or file data loss (stale checksum).
+    B09,
+    /// NOVA-Fortis: file undeletable (replica inode diverged).
+    B10,
+    /// NOVA-Fortis: FS attempts to deallocate free blocks.
+    B11,
+    /// NOVA-Fortis: file unreadable after truncate (checksum range stale).
+    B12,
+    /// PMFS: file system unmountable (truncate-list replay before DRAM rebuild).
+    B13,
+    /// PMFS: write not synchronous (missing final fence).
+    B14,
+    /// WineFS: write not synchronous (same root cause as B14).
+    B15,
+    /// PMFS: out-of-bounds access during journal replay.
+    B16,
+    /// PMFS: file data lost (non-temporal tail line not flushed).
+    B17,
+    /// WineFS: file data lost (same root cause as B17).
+    B18,
+    /// WineFS: file unreadable/undeletable (per-CPU journal misindexed).
+    B19,
+    /// WineFS: data write not atomic in strict mode (unaligned tail).
+    B20,
+    /// SplitFS: metadata operation not synchronous (replay stops early).
+    B21,
+    /// SplitFS: file data lost (two descriptors, per-fd staging dropped).
+    B22,
+    /// SplitFS: file data lost (two descriptors, stale append base).
+    B23,
+    /// SplitFS: operation not synchronous (backend not forced durable).
+    B24,
+    /// SplitFS: rename atomicity broken — old file still present.
+    B25,
+}
+
+impl BugId {
+    /// All 25 instances in Table 1 order.
+    pub const ALL: [BugId; 25] = [
+        BugId::B01,
+        BugId::B02,
+        BugId::B03,
+        BugId::B04,
+        BugId::B05,
+        BugId::B06,
+        BugId::B07,
+        BugId::B08,
+        BugId::B09,
+        BugId::B10,
+        BugId::B11,
+        BugId::B12,
+        BugId::B13,
+        BugId::B14,
+        BugId::B15,
+        BugId::B16,
+        BugId::B17,
+        BugId::B18,
+        BugId::B19,
+        BugId::B20,
+        BugId::B21,
+        BugId::B22,
+        BugId::B23,
+        BugId::B24,
+        BugId::B25,
+    ];
+
+    /// The bug's number in Table 1 (1–25).
+    pub fn number(self) -> u32 {
+        self as u32 + 1
+    }
+
+    /// Looks up the bug's metadata.
+    pub fn info(self) -> &'static BugInfo {
+        &bug_table()[self as usize]
+    }
+
+    /// The index of this bug's bit in a [`BugSet`].
+    fn bit(self) -> u32 {
+        1u32 << (self as u32)
+    }
+}
+
+impl std::fmt::Display for BugId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bug {}", self.number())
+    }
+}
+
+/// Classification from Table 1: a PM bug is fixable by adding cache-line
+/// flushes or store fences; a logic bug is not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BugKind {
+    /// Higher-level logic or design error.
+    Logic,
+    /// PM programming error (missing flush/fence ordering).
+    Pm,
+}
+
+impl std::fmt::Display for BugKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BugKind::Logic => write!(f, "Logic"),
+            BugKind::Pm => write!(f, "PM"),
+        }
+    }
+}
+
+/// The file systems of the evaluation (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FsName {
+    /// NOVA (FAST '16).
+    Nova,
+    /// NOVA-Fortis (SOSP '17).
+    NovaFortis,
+    /// PMFS (EuroSys '14).
+    Pmfs,
+    /// WineFS (SOSP '21).
+    WineFs,
+    /// SplitFS (SOSP '19), strict mode.
+    SplitFs,
+    /// ext4-DAX (weak guarantees; control).
+    Ext4Dax,
+    /// XFS-DAX (weak guarantees; control).
+    XfsDax,
+}
+
+impl std::fmt::Display for FsName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FsName::Nova => "NOVA",
+            FsName::NovaFortis => "NOVA-Fortis",
+            FsName::Pmfs => "PMFS",
+            FsName::WineFs => "WineFS",
+            FsName::SplitFs => "SplitFS",
+            FsName::Ext4Dax => "ext4-DAX",
+            FsName::XfsDax => "XFS-DAX",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Ground-truth metadata for one bug instance (one Table 1 row half).
+#[derive(Debug, Clone)]
+pub struct BugInfo {
+    /// The instance id.
+    pub id: BugId,
+    /// The file system the instance lives in.
+    pub fs: FsName,
+    /// Consequence text (Table 1 wording).
+    pub consequence: &'static str,
+    /// System calls the bug affects.
+    pub syscalls: &'static [SyscallKind],
+    /// Logic or PM programming error.
+    pub kind: BugKind,
+    /// Whether ACE-generated workloads can expose it (19 of 23 can; bugs 19,
+    /// 20, 22, 23 need the fuzzer).
+    pub ace_findable: bool,
+    /// Paper Table 2 observation numbers (1–7) this bug is associated with.
+    pub observations: &'static [u8],
+    /// Unique-fix group: instances sharing a root cause share a group. There
+    /// are 23 groups — the paper's 23 unique bugs.
+    pub fix_group: u32,
+    /// Short root-cause description used in reports.
+    pub root_cause: &'static str,
+}
+
+/// The full Table 1 corpus.
+pub fn bug_table() -> &'static [BugInfo; 25] {
+    use BugId::*;
+    use BugKind::{Logic, Pm};
+    use FsName::*;
+    use SyscallKind::*;
+    static TABLE: [BugInfo; 25] = [
+        BugInfo {
+            id: B01,
+            fs: Nova,
+            consequence: "File system unmountable",
+            syscalls: &[All],
+            kind: Logic,
+            ace_findable: true,
+            observations: &[1, 3, 6],
+            fix_group: 1,
+            root_cause: "mount-time rebuild asserts the persistent generation counter \
+                         matches the log scan; the counter is updated in place before \
+                         the log entry is durable",
+        },
+        BugInfo {
+            id: B02,
+            fs: Nova,
+            consequence: "File is unreadable and undeletable",
+            syscalls: &[Mkdir, Creat],
+            kind: Pm,
+            ace_findable: true,
+            observations: &[4, 6],
+            fix_group: 2,
+            root_cause: "new inode initialized with cached stores but never flushed \
+                         before the parent dentry commits",
+        },
+        BugInfo {
+            id: B03,
+            fs: Nova,
+            consequence: "File system unmountable",
+            syscalls: &[Write, Pwrite, Link, Unlink, Rename],
+            kind: Logic,
+            ace_findable: true,
+            observations: &[1, 3, 5, 6, 7],
+            fix_group: 3,
+            root_cause: "journal recovery misinterprets the undo records' \
+                         inode-table-relative addresses as absolute device addresses and \
+                         aborts on the resulting out-of-range restore",
+        },
+        BugInfo {
+            id: B04,
+            fs: Nova,
+            consequence: "Rename atomicity broken (file disappears)",
+            syscalls: &[Rename],
+            kind: Logic,
+            ace_findable: true,
+            observations: &[1, 2, 5, 6, 7],
+            fix_group: 4,
+            root_cause: "rename invalidates the old dentry in place before the journal \
+                         transaction creating the new dentry commits",
+        },
+        BugInfo {
+            id: B05,
+            fs: Nova,
+            consequence: "Rename atomicity broken (old file still present)",
+            syscalls: &[Rename],
+            kind: Logic,
+            ace_findable: true,
+            observations: &[1, 2, 5, 6, 7],
+            fix_group: 5,
+            root_cause: "old-dentry invalidation appended after the journal transaction \
+                         commits, outside the transaction",
+        },
+        BugInfo {
+            id: B06,
+            fs: Nova,
+            consequence: "Link count incremented before new file appears",
+            syscalls: &[Link],
+            kind: Logic,
+            ace_findable: true,
+            observations: &[1, 2, 5, 6, 7],
+            fix_group: 6,
+            root_cause: "link bumps the inode link count via an in-place log-entry \
+                         update before the new dentry is journaled",
+        },
+        BugInfo {
+            id: B07,
+            fs: Nova,
+            consequence: "File data lost",
+            syscalls: &[Truncate],
+            kind: Logic,
+            ace_findable: true,
+            observations: &[1, 2, 3],
+            fix_group: 7,
+            root_cause: "truncate zeroes the freed tail blocks before appending the \
+                         set-size log entry",
+        },
+        BugInfo {
+            id: B08,
+            fs: Nova,
+            consequence: "File data lost",
+            syscalls: &[Falloc],
+            kind: Logic,
+            ace_findable: true,
+            observations: &[1],
+            fix_group: 8,
+            root_cause: "fallocate logs zero-block mappings covering already-written \
+                         offsets; log replay at mount clobbers the data",
+        },
+        BugInfo {
+            id: B09,
+            fs: NovaFortis,
+            consequence: "Unreadable directory or file data loss",
+            syscalls: &[Unlink, Rmdir, Truncate],
+            kind: Pm,
+            ace_findable: true,
+            observations: &[4, 5, 6, 7],
+            fix_group: 9,
+            root_cause: "metadata update fenced without flushing the recomputed \
+                         checksum; post-crash validation fails",
+        },
+        BugInfo {
+            id: B10,
+            fs: NovaFortis,
+            consequence: "File is undeletable",
+            syscalls: &[Write, Pwrite, Link, Rename],
+            kind: Logic,
+            ace_findable: true,
+            observations: &[1, 4, 5, 6, 7],
+            fix_group: 10,
+            root_cause: "replica inode updated outside the transaction; divergence makes \
+                         the strict delete-path replica comparison fail",
+        },
+        BugInfo {
+            id: B11,
+            fs: NovaFortis,
+            consequence: "FS attempts to deallocate free blocks",
+            syscalls: &[Truncate],
+            kind: Logic,
+            ace_findable: true,
+            observations: &[1, 3, 4, 5, 6, 7],
+            fix_group: 11,
+            root_cause: "recovery replays a truncate record whose blocks were already \
+                         freed before the crash (record not invalidated first)",
+        },
+        BugInfo {
+            id: B12,
+            fs: NovaFortis,
+            consequence: "File is unreadable",
+            syscalls: &[Truncate],
+            kind: Logic,
+            ace_findable: true,
+            observations: &[1, 4, 5, 6, 7],
+            fix_group: 12,
+            root_cause: "truncate changes the size without recomputing the file-data \
+                         checksum over the new range",
+        },
+        BugInfo {
+            id: B13,
+            fs: Pmfs,
+            consequence: "File system unmountable",
+            syscalls: &[Truncate, Unlink, Rmdir, Rename],
+            kind: Logic,
+            ace_findable: true,
+            observations: &[1, 3, 5, 6, 7],
+            fix_group: 13,
+            root_cause: "truncate-list replay at mount dereferences the DRAM free list, \
+                         which is rebuilt only after replay",
+        },
+        BugInfo {
+            id: B14,
+            fs: Pmfs,
+            consequence: "Write is not synchronous",
+            syscalls: &[Write, Pwrite],
+            kind: Pm,
+            ace_findable: true,
+            observations: &[2, 6],
+            fix_group: 14,
+            root_cause: "in-place data write path returns without a final store fence",
+        },
+        BugInfo {
+            id: B15,
+            fs: WineFs,
+            consequence: "Write is not synchronous",
+            syscalls: &[Write, Pwrite],
+            kind: Pm,
+            ace_findable: true,
+            observations: &[2, 6],
+            fix_group: 14,
+            root_cause: "in-place data write path returns without a final store fence \
+                         (shared PMFS ancestry)",
+        },
+        BugInfo {
+            id: B16,
+            fs: Pmfs,
+            consequence: "Out-of-bounds memory access",
+            syscalls: &[All],
+            kind: Logic,
+            ace_findable: true,
+            observations: &[1, 3, 6],
+            fix_group: 15,
+            root_cause: "journal replay trusts a stale entry length left over from ring \
+                         reuse and walks past the journal area",
+        },
+        BugInfo {
+            id: B17,
+            fs: Pmfs,
+            consequence: "File data lost",
+            syscalls: &[Write, Pwrite],
+            kind: Pm,
+            ace_findable: true,
+            observations: &[6],
+            fix_group: 16,
+            root_cause: "non-temporal copy optimization leaves the partial tail cache \
+                         line in the cache without a write-back",
+        },
+        BugInfo {
+            id: B18,
+            fs: WineFs,
+            consequence: "File data lost",
+            syscalls: &[Write, Pwrite],
+            kind: Pm,
+            ace_findable: true,
+            observations: &[6],
+            fix_group: 16,
+            root_cause: "non-temporal copy optimization leaves the partial tail cache \
+                         line in the cache without a write-back (shared PMFS ancestry)",
+        },
+        BugInfo {
+            id: B19,
+            fs: WineFs,
+            consequence: "File is unreadable and undeletable",
+            syscalls: &[All],
+            kind: Logic,
+            ace_findable: false,
+            observations: &[1, 3, 5, 6, 7],
+            fix_group: 17,
+            root_cause: "recovery indexes the per-CPU journal array with a constant \
+                         instead of the CPU id; journals of CPUs > 0 are never replayed",
+        },
+        BugInfo {
+            id: B20,
+            fs: WineFs,
+            consequence: "Data write is not atomic in strict mode",
+            syscalls: &[Write, Pwrite],
+            kind: Logic,
+            ace_findable: false,
+            observations: &[1, 5, 6, 7],
+            fix_group: 18,
+            root_cause: "strict-mode atomic write journals whole 8-byte words only; a \
+                         non-8-byte-aligned tail is written in place",
+        },
+        BugInfo {
+            id: B21,
+            fs: SplitFs,
+            consequence: "Operation is not synchronous",
+            syscalls: &[AllMetadata],
+            kind: Logic,
+            ace_findable: true,
+            observations: &[1, 6],
+            fix_group: 19,
+            root_cause: "operation-log replay uses the count of data entries as the end \
+                         marker, dropping trailing metadata entries",
+        },
+        BugInfo {
+            id: B22,
+            fs: SplitFs,
+            consequence: "File data lost",
+            syscalls: &[Write, Pwrite],
+            kind: Logic,
+            ace_findable: false,
+            observations: &[1, 6],
+            fix_group: 20,
+            root_cause: "relink replay keys staged extents by file and keeps only the \
+                         most recent descriptor's extents",
+        },
+        BugInfo {
+            id: B23,
+            fs: SplitFs,
+            consequence: "File data lost",
+            syscalls: &[Write, Pwrite],
+            kind: Logic,
+            ace_findable: false,
+            observations: &[1, 6],
+            fix_group: 21,
+            root_cause: "append through a second descriptor logs a stale base offset \
+                         captured at open time; replay overlaps the first descriptor's \
+                         appends",
+        },
+        BugInfo {
+            id: B24,
+            fs: SplitFs,
+            consequence: "Operation is not synchronous",
+            syscalls: &[All],
+            kind: Logic,
+            ace_findable: true,
+            observations: &[1, 3, 6],
+            fix_group: 22,
+            root_cause: "operations routed to the kernel component skip the forced \
+                         journal commit that strict mode requires",
+        },
+        BugInfo {
+            id: B25,
+            fs: SplitFs,
+            consequence: "Rename atomicity broken (old file still present)",
+            syscalls: &[Rename],
+            kind: Logic,
+            ace_findable: true,
+            observations: &[1, 3, 6],
+            fix_group: 23,
+            root_cause: "staged extents keyed by the old path are re-relinked after the \
+                         kernel component already renamed, re-creating the old name",
+        },
+    ];
+    &TABLE
+}
+
+/// A set of enabled (present) bug instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BugSet(u32);
+
+impl BugSet {
+    /// All bugs present — the file-system versions the paper tested.
+    pub fn as_released() -> Self {
+        BugSet((1u32 << 25) - 1)
+    }
+
+    /// All bugs fixed.
+    pub fn fixed() -> Self {
+        BugSet(0)
+    }
+
+    /// Only the listed bugs present.
+    pub fn only(bugs: &[BugId]) -> Self {
+        let mut s = BugSet(0);
+        for &b in bugs {
+            s = s.with(b);
+        }
+        s
+    }
+
+    /// Returns a copy with `bug` enabled.
+    pub fn with(self, bug: BugId) -> Self {
+        BugSet(self.0 | bug.bit())
+    }
+
+    /// Returns a copy with `bug` disabled (fixed).
+    pub fn without(self, bug: BugId) -> Self {
+        BugSet(self.0 & !bug.bit())
+    }
+
+    /// Whether `bug` is present.
+    pub fn has(self, bug: BugId) -> bool {
+        self.0 & bug.bit() != 0
+    }
+
+    /// Number of enabled instances.
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// The enabled instances.
+    pub fn iter(self) -> impl Iterator<Item = BugId> {
+        BugId::ALL.into_iter().filter(move |b| self.has(*b))
+    }
+}
+
+impl Default for BugSet {
+    /// Defaults to the as-released (buggy) configuration, matching the
+    /// versions under test in the paper.
+    fn default() -> Self {
+        BugSet::as_released()
+    }
+}
+
+/// Number of unique bugs (fix groups) in the corpus — the paper's 23.
+pub fn unique_bug_count() -> usize {
+    let mut groups: Vec<u32> = bug_table().iter().map(|b| b.fix_group).collect();
+    groups.sort_unstable();
+    groups.dedup();
+    groups.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_five_instances_twenty_three_unique() {
+        assert_eq!(BugId::ALL.len(), 25);
+        assert_eq!(bug_table().len(), 25);
+        assert_eq!(unique_bug_count(), 23);
+    }
+
+    #[test]
+    fn table_ids_are_in_order() {
+        for (i, info) in bug_table().iter().enumerate() {
+            assert_eq!(info.id as usize, i);
+            assert_eq!(info.id.number(), i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn four_bugs_are_fuzzer_only() {
+        let fuzzer_only: Vec<BugId> =
+            bug_table().iter().filter(|b| !b.ace_findable).map(|b| b.id).collect();
+        assert_eq!(fuzzer_only, vec![BugId::B19, BugId::B20, BugId::B22, BugId::B23]);
+    }
+
+    #[test]
+    fn nineteen_of_twenty_three_unique_bugs_are_logic() {
+        // Observation 1: 19/23 unique bugs are logic errors.
+        let mut logic_groups: Vec<u32> = bug_table()
+            .iter()
+            .filter(|b| b.kind == BugKind::Logic)
+            .map(|b| b.fix_group)
+            .collect();
+        logic_groups.sort_unstable();
+        logic_groups.dedup();
+        assert_eq!(logic_groups.len(), 19);
+    }
+
+    #[test]
+    fn per_fs_counts_match_paper() {
+        // Paper §4.4: 8 NOVA, 4 NOVA-Fortis, 2 PMFS, 2 WineFS, 2 shared
+        // PMFS+WineFS, 5 SplitFS.
+        let count = |fs: FsName| bug_table().iter().filter(|b| b.fs == fs).count();
+        assert_eq!(count(FsName::Nova), 8);
+        assert_eq!(count(FsName::NovaFortis), 4);
+        assert_eq!(count(FsName::Pmfs), 4); // 2 own + 2 shared instances
+        assert_eq!(count(FsName::WineFs), 4); // 2 own + 2 shared instances
+        assert_eq!(count(FsName::SplitFs), 5);
+        assert_eq!(count(FsName::Ext4Dax), 0);
+        assert_eq!(count(FsName::XfsDax), 0);
+    }
+
+    #[test]
+    fn bugset_operations() {
+        let s = BugSet::fixed().with(BugId::B04).with(BugId::B05);
+        assert!(s.has(BugId::B04));
+        assert!(!s.has(BugId::B01));
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.without(BugId::B04).count(), 1);
+        assert_eq!(BugSet::as_released().count(), 25);
+        assert_eq!(BugSet::default(), BugSet::as_released());
+        let ids: Vec<BugId> = BugSet::only(&[BugId::B19]).iter().collect();
+        assert_eq!(ids, vec![BugId::B19]);
+    }
+
+    #[test]
+    fn observation_2_lists_six_in_place_bugs() {
+        // Paper: six bugs are caused by in-place updates (4, 5, 6, 7, 14, 15).
+        let obs2: Vec<u32> = bug_table()
+            .iter()
+            .filter(|b| b.observations.contains(&2))
+            .map(|b| b.id.number())
+            .collect();
+        assert_eq!(obs2, vec![4, 5, 6, 7, 14, 15]);
+    }
+
+    #[test]
+    fn observation_5_and_7_cover_eleven_mid_syscall_instances() {
+        // Table 2: observations 5 and 7 list the same 11 instances
+        // (3-6, 9-13, 19, 20).
+        let list = |n: u8| -> Vec<u32> {
+            bug_table()
+                .iter()
+                .filter(|b| b.observations.contains(&n))
+                .map(|b| b.id.number())
+                .collect()
+        };
+        assert_eq!(list(5), vec![3, 4, 5, 6, 9, 10, 11, 12, 13, 19, 20]);
+        assert_eq!(list(5), list(7));
+    }
+}

@@ -1,0 +1,99 @@
+//! Errno-style error handling shared by all file systems.
+
+use std::fmt;
+
+/// Result alias used throughout the file-system crates.
+pub type FsResult<T> = Result<T, FsError>;
+
+/// File-system errors, modelled on the POSIX errno values the tested
+/// system calls can return, plus reproduction-specific variants for
+/// corruption detected at mount or during checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// ENOENT: no such file or directory.
+    NotFound,
+    /// EEXIST: path already exists.
+    Exists,
+    /// ENOTDIR: a path component is not a directory.
+    NotDir,
+    /// EISDIR: the operation requires a non-directory.
+    IsDir,
+    /// ENOTEMPTY: directory not empty.
+    NotEmpty,
+    /// EINVAL: invalid argument.
+    Invalid,
+    /// EBADF: bad file descriptor.
+    BadFd,
+    /// ENOSPC: no space left on device.
+    NoSpace,
+    /// ENAMETOOLONG: file name too long.
+    NameTooLong,
+    /// EMLINK: too many links.
+    TooManyLinks,
+    /// ENOTSUP: operation not supported by this file system.
+    NotSupported,
+    /// EROFS-like: the file system detected corruption while servicing the
+    /// operation (e.g. a failed checksum). Carries a description.
+    Corrupt(String),
+    /// Mount/recovery failed; the file system is unusable. Carries the
+    /// recovery error description.
+    Unmountable(String),
+    /// An internal invariant was violated at runtime — the analogue of a
+    /// kernel BUG()/KASAN report (used for the paper's eight
+    /// non-crash-consistency bugs).
+    Detected(String),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound => write!(f, "ENOENT"),
+            FsError::Exists => write!(f, "EEXIST"),
+            FsError::NotDir => write!(f, "ENOTDIR"),
+            FsError::IsDir => write!(f, "EISDIR"),
+            FsError::NotEmpty => write!(f, "ENOTEMPTY"),
+            FsError::Invalid => write!(f, "EINVAL"),
+            FsError::BadFd => write!(f, "EBADF"),
+            FsError::NoSpace => write!(f, "ENOSPC"),
+            FsError::NameTooLong => write!(f, "ENAMETOOLONG"),
+            FsError::TooManyLinks => write!(f, "EMLINK"),
+            FsError::NotSupported => write!(f, "ENOTSUP"),
+            FsError::Corrupt(s) => write!(f, "corruption detected: {s}"),
+            FsError::Unmountable(s) => write!(f, "mount failed: {s}"),
+            FsError::Detected(s) => write!(f, "internal invariant violated: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+impl FsError {
+    /// True for errors a correct file system may legitimately return to a
+    /// workload (plain errno results), false for corruption/bug detections.
+    pub fn is_benign(&self) -> bool {
+        !matches!(
+            self,
+            FsError::Corrupt(_) | FsError::Unmountable(_) | FsError::Detected(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benign_classification() {
+        assert!(FsError::NotFound.is_benign());
+        assert!(FsError::Exists.is_benign());
+        assert!(!FsError::Corrupt("x".into()).is_benign());
+        assert!(!FsError::Unmountable("x".into()).is_benign());
+        assert!(!FsError::Detected("x".into()).is_benign());
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(FsError::NotFound.to_string(), "ENOENT");
+        assert_eq!(FsError::Corrupt("bad csum".into()).to_string(), "corruption detected: bad csum");
+    }
+}

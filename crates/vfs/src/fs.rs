@@ -1,0 +1,262 @@
+//! The [`FileSystem`] trait and the [`FsKind`] factory abstraction.
+
+use pmem::PmBackend;
+
+use crate::{
+    bugs::{BugSet, FsName},
+    cov::Cov,
+    trace::BugTrace,
+    error::{FsError, FsResult},
+    types::{DirEntry, FallocMode, Fd, Metadata, OpenFlags},
+};
+
+/// The system calls tested by the paper (§4.1), used in bug metadata and in
+/// classifying which crash points exercise which calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyscallKind {
+    /// `creat`.
+    Creat,
+    /// `mkdir`.
+    Mkdir,
+    /// `fallocate`.
+    Falloc,
+    /// `write`.
+    Write,
+    /// `pwrite`.
+    Pwrite,
+    /// `link`.
+    Link,
+    /// `unlink`.
+    Unlink,
+    /// `remove` (unlink or rmdir).
+    Remove,
+    /// `rename`.
+    Rename,
+    /// `truncate`.
+    Truncate,
+    /// `rmdir`.
+    Rmdir,
+    /// `open`.
+    Open,
+    /// `close`.
+    Close,
+    /// `fsync`/`fdatasync`.
+    Fsync,
+    /// `sync`.
+    Sync,
+    /// `setxattr`.
+    SetXattr,
+    /// `removexattr`.
+    RemoveXattr,
+    /// `read`/`pread` (coverage only; never a crash point).
+    Read,
+    /// Marker: every system call (used in bug metadata).
+    All,
+    /// Marker: every metadata system call (used in bug metadata).
+    AllMetadata,
+}
+
+impl SyscallKind {
+    /// Whether a bug tagged with `self` affects an operation of kind `op`.
+    pub fn matches(self, op: SyscallKind) -> bool {
+        match self {
+            SyscallKind::All => true,
+            SyscallKind::AllMetadata => !matches!(op, SyscallKind::Write | SyscallKind::Pwrite),
+            k => k == op,
+        }
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SyscallKind::Creat => "creat",
+            SyscallKind::Mkdir => "mkdir",
+            SyscallKind::Falloc => "fallocate",
+            SyscallKind::Write => "write",
+            SyscallKind::Pwrite => "pwrite",
+            SyscallKind::Link => "link",
+            SyscallKind::Unlink => "unlink",
+            SyscallKind::Remove => "remove",
+            SyscallKind::Rename => "rename",
+            SyscallKind::Truncate => "truncate",
+            SyscallKind::Rmdir => "rmdir",
+            SyscallKind::Open => "open",
+            SyscallKind::Close => "close",
+            SyscallKind::Fsync => "fsync",
+            SyscallKind::Sync => "sync",
+            SyscallKind::SetXattr => "setxattr",
+            SyscallKind::RemoveXattr => "removexattr",
+            SyscallKind::Read => "read",
+            SyscallKind::All => "All",
+            SyscallKind::AllMetadata => "All metadata",
+        }
+    }
+}
+
+/// Crash-consistency guarantees a file system advertises; they determine
+/// where Chipmunk places crash points and which checks apply (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Guarantees {
+    /// Strong guarantees: every operation is synchronous and (except
+    /// possibly data writes) atomic; crash points go after *every* store
+    /// fence. Weak guarantees: crash points only after fsync-family calls.
+    pub strong: bool,
+    /// Whether data writes are guaranteed atomic (WineFS strict mode,
+    /// SplitFS strict mode).
+    pub atomic_data_writes: bool,
+}
+
+/// Construction options shared by all file systems.
+#[derive(Debug, Clone, Default)]
+pub struct FsOptions {
+    /// Which injected bugs are present.
+    pub bugs: BugSet,
+    /// Coverage sink (disabled by default).
+    pub cov: Cov,
+    /// Number of simulated CPUs (used by WineFS per-CPU journals).
+    pub cpus: usize,
+    /// Ground-truth trace of executed bug code paths (see [`BugTrace`]).
+    pub trace: BugTrace,
+    /// Enable the paper's §4.4 *non-crash-consistency* extras (KASAN/BUG()
+    /// analogues, surfaced as [`FsError::Detected`]): NOVA's unbounded
+    /// `write` allocation and PMFS's `fallocate` range overflow.
+    pub extra_bugs: bool,
+}
+
+impl FsOptions {
+    /// Options with every injected bug fixed.
+    pub fn fixed() -> Self {
+        FsOptions { bugs: BugSet::fixed(), ..Default::default() }
+    }
+
+    /// Options with only the given bugs present.
+    pub fn with_bugs(bugs: BugSet) -> Self {
+        FsOptions { bugs, ..Default::default() }
+    }
+}
+
+/// The POSIX-subset interface every tested file system implements.
+///
+/// Paths are absolute (`/a/b`). Descriptors are per-mount. All operations
+/// are sequential (the paper runs one system call at a time, §3.1).
+pub trait FileSystem {
+    /// Creates a regular file (`creat` without holding the descriptor open).
+    fn creat(&mut self, path: &str) -> FsResult<()> {
+        let fd = self.open(path, OpenFlags::CREAT_TRUNC)?;
+        self.close(fd)
+    }
+
+    /// Opens (optionally creating) a file, returning a descriptor.
+    fn open(&mut self, path: &str, flags: OpenFlags) -> FsResult<Fd>;
+
+    /// Closes a descriptor.
+    fn close(&mut self, fd: Fd) -> FsResult<()>;
+
+    /// Creates a directory.
+    fn mkdir(&mut self, path: &str) -> FsResult<()>;
+
+    /// Removes an empty directory.
+    fn rmdir(&mut self, path: &str) -> FsResult<()>;
+
+    /// Removes a file name (and the file, when the link count drops to 0 and
+    /// no descriptor holds it open).
+    fn unlink(&mut self, path: &str) -> FsResult<()>;
+
+    /// Creates a hard link `new` to the file at `old`.
+    fn link(&mut self, old: &str, new: &str) -> FsResult<()>;
+
+    /// Renames `old` to `new` (atomic per POSIX, §2).
+    fn rename(&mut self, old: &str, new: &str) -> FsResult<()>;
+
+    /// Truncates (or extends with zeros) the file at `path` to `size`.
+    fn truncate(&mut self, path: &str, size: u64) -> FsResult<()>;
+
+    /// `fallocate` on an open descriptor.
+    fn fallocate(&mut self, fd: Fd, mode: FallocMode, off: u64, len: u64) -> FsResult<()>;
+
+    /// Writes at the descriptor's current offset, advancing it.
+    fn write(&mut self, fd: Fd, data: &[u8]) -> FsResult<usize>;
+
+    /// Writes at an explicit offset (does not move the descriptor offset).
+    fn pwrite(&mut self, fd: Fd, off: u64, data: &[u8]) -> FsResult<usize>;
+
+    /// Reads at an explicit offset; returns bytes read (short at EOF).
+    fn pread(&self, fd: Fd, off: u64, buf: &mut [u8]) -> FsResult<usize>;
+
+    /// Flushes a file's data and metadata to persistent media.
+    fn fsync(&mut self, fd: Fd) -> FsResult<()>;
+
+    /// Flushes a file's data (and size) to persistent media.
+    fn fdatasync(&mut self, fd: Fd) -> FsResult<()> {
+        self.fsync(fd)
+    }
+
+    /// Flushes everything to persistent media.
+    fn sync(&mut self) -> FsResult<()>;
+
+    /// Returns metadata for the object at `path`.
+    fn stat(&self, path: &str) -> FsResult<Metadata>;
+
+    /// Returns the entries of the directory at `path` (excluding `.`/`..`),
+    /// in unspecified order.
+    fn readdir(&self, path: &str) -> FsResult<Vec<DirEntry>>;
+
+    /// Reads the whole file at `path`.
+    fn read_file(&self, path: &str) -> FsResult<Vec<u8>>;
+
+    /// Sets an extended attribute (ext4-DAX only; others return `ENOTSUP`).
+    fn setxattr(&mut self, _path: &str, _name: &str, _value: &[u8]) -> FsResult<()> {
+        Err(FsError::NotSupported)
+    }
+
+    /// Removes an extended attribute.
+    fn removexattr(&mut self, _path: &str, _name: &str) -> FsResult<()> {
+        Err(FsError::NotSupported)
+    }
+
+    /// Sets the CPU subsequent operations notionally run on (exercises
+    /// per-CPU code paths; default: ignored).
+    fn set_cpu(&mut self, _cpu: usize) {}
+}
+
+/// Factory for a file-system implementation: formats fresh devices and
+/// mounts (running crash recovery on) existing images.
+///
+/// The test harness is generic over this trait so the same checking code
+/// records on a logging device and re-mounts on copy-on-write crash images.
+pub trait FsKind: Clone {
+    /// The file-system type produced for a device type `D`.
+    type Fs<D: PmBackend>: FileSystem;
+
+    /// Which paper file system this is.
+    fn name(&self) -> FsName;
+
+    /// The construction options (bug set, coverage and trace sinks) this
+    /// factory passes to instances. Gives the harness access to the shared
+    /// sinks.
+    fn options(&self) -> &FsOptions;
+
+    /// The crash-consistency guarantees Chipmunk should assume.
+    fn guarantees(&self) -> Guarantees;
+
+    /// Formats `dev` and returns a mounted file system.
+    fn mkfs<D: PmBackend>(&self, dev: D) -> FsResult<Self::Fs<D>>;
+
+    /// Mounts `dev`, running crash recovery. This is the operation under
+    /// test when checking crash states.
+    fn mount<D: PmBackend>(&self, dev: D) -> FsResult<Self::Fs<D>>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn syscall_matching() {
+        assert!(SyscallKind::All.matches(SyscallKind::Write));
+        assert!(SyscallKind::AllMetadata.matches(SyscallKind::Rename));
+        assert!(!SyscallKind::AllMetadata.matches(SyscallKind::Pwrite));
+        assert!(SyscallKind::Rename.matches(SyscallKind::Rename));
+        assert!(!SyscallKind::Rename.matches(SyscallKind::Link));
+    }
+}

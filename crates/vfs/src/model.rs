@@ -1,0 +1,604 @@
+//! A plain in-memory reference file system.
+//!
+//! [`ModelFs`] implements the crash-free POSIX semantics of the tested
+//! system calls with no persistence machinery at all. It serves as the
+//! ground truth in property tests: any PM file system, run crash-free on a
+//! random workload, must behave observably like the model (same results,
+//! same final tree). It is intentionally simple — correctness by
+//! obviousness.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::{
+    error::{FsError, FsResult},
+    fs::FileSystem,
+    path::{components, is_path_prefix, split_parent},
+    types::{DirEntry, FallocMode, Fd, FileType, Metadata, OpenFlags},
+};
+
+/// Block size used for the `blocks` metadata field.
+const BLOCK: u64 = 4096;
+
+#[derive(Debug, Clone)]
+enum Node {
+    File { data: Vec<u8>, nlink: u64 },
+    Dir { entries: BTreeMap<String, u64> },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OpenFile {
+    ino: u64,
+    offset: u64,
+    append: bool,
+}
+
+/// The in-memory reference file system.
+#[derive(Debug, Clone)]
+pub struct ModelFs {
+    nodes: HashMap<u64, Node>,
+    next_ino: u64,
+    fds: HashMap<u64, OpenFile>,
+    next_fd: u64,
+}
+
+impl Default for ModelFs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ModelFs {
+    /// Creates an empty file system with just the root directory.
+    pub fn new() -> Self {
+        let mut nodes = HashMap::new();
+        nodes.insert(1, Node::Dir { entries: BTreeMap::new() });
+        ModelFs { nodes, next_ino: 2, fds: HashMap::new(), next_fd: 3 }
+    }
+
+    fn resolve(&self, path: &str) -> FsResult<u64> {
+        let mut cur = 1u64;
+        for c in components(path)? {
+            match self.nodes.get(&cur) {
+                Some(Node::Dir { entries }) => {
+                    cur = *entries.get(c).ok_or(FsError::NotFound)?;
+                }
+                Some(Node::File { .. }) => return Err(FsError::NotDir),
+                None => return Err(FsError::NotFound),
+            }
+        }
+        Ok(cur)
+    }
+
+    fn resolve_parent<'p>(&self, path: &'p str) -> FsResult<(u64, &'p str)> {
+        let (parents, name) = split_parent(path)?;
+        let mut cur = 1u64;
+        for c in parents {
+            match self.nodes.get(&cur) {
+                Some(Node::Dir { entries }) => {
+                    cur = *entries.get(c).ok_or(FsError::NotFound)?;
+                }
+                Some(Node::File { .. }) => return Err(FsError::NotDir),
+                None => return Err(FsError::NotFound),
+            }
+        }
+        match self.nodes.get(&cur) {
+            Some(Node::Dir { .. }) => Ok((cur, name)),
+            _ => Err(FsError::NotDir),
+        }
+    }
+
+    fn dir_entries(&self, ino: u64) -> FsResult<&BTreeMap<String, u64>> {
+        match self.nodes.get(&ino) {
+            Some(Node::Dir { entries }) => Ok(entries),
+            Some(Node::File { .. }) => Err(FsError::NotDir),
+            None => Err(FsError::NotFound),
+        }
+    }
+
+    fn dir_entries_mut(&mut self, ino: u64) -> FsResult<&mut BTreeMap<String, u64>> {
+        match self.nodes.get_mut(&ino) {
+            Some(Node::Dir { entries }) => Ok(entries),
+            Some(Node::File { .. }) => Err(FsError::NotDir),
+            None => Err(FsError::NotFound),
+        }
+    }
+
+    fn open_count(&self, ino: u64) -> usize {
+        self.fds.values().filter(|f| f.ino == ino).count()
+    }
+
+    fn drop_file_if_unused(&mut self, ino: u64) {
+        let gone = matches!(self.nodes.get(&ino), Some(Node::File { nlink: 0, .. }))
+            && self.open_count(ino) == 0;
+        if gone {
+            self.nodes.remove(&ino);
+        }
+    }
+
+    fn file_data_mut(&mut self, ino: u64) -> FsResult<&mut Vec<u8>> {
+        match self.nodes.get_mut(&ino) {
+            Some(Node::File { data, .. }) => Ok(data),
+            Some(Node::Dir { .. }) => Err(FsError::IsDir),
+            None => Err(FsError::BadFd),
+        }
+    }
+
+    fn fd_ino(&self, fd: Fd) -> FsResult<u64> {
+        Ok(self.fds.get(&fd.0).ok_or(FsError::BadFd)?.ino)
+    }
+
+    /// Counts live files and directories (for tests).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+impl FileSystem for ModelFs {
+    fn open(&mut self, path: &str, flags: OpenFlags) -> FsResult<Fd> {
+        let ino = match self.resolve(path) {
+            Ok(ino) => {
+                if flags.create && flags.excl {
+                    return Err(FsError::Exists);
+                }
+                if matches!(self.nodes.get(&ino), Some(Node::Dir { .. }))
+                    && (flags.trunc || flags.create)
+                {
+                    return Err(FsError::IsDir);
+                }
+                if flags.trunc {
+                    *self.file_data_mut(ino)? = Vec::new();
+                }
+                ino
+            }
+            Err(FsError::NotFound) if flags.create => {
+                let (parent, name) = self.resolve_parent(path)?;
+                let ino = self.next_ino;
+                self.next_ino += 1;
+                self.nodes.insert(ino, Node::File { data: Vec::new(), nlink: 1 });
+                self.dir_entries_mut(parent)?.insert(name.to_string(), ino);
+                ino
+            }
+            Err(e) => return Err(e),
+        };
+        if matches!(self.nodes.get(&ino), Some(Node::Dir { .. })) {
+            // Directories cannot be opened for writing in this interface.
+            return Err(FsError::IsDir);
+        }
+        let fd = self.next_fd;
+        self.next_fd += 1;
+        self.fds.insert(fd, OpenFile { ino, offset: 0, append: flags.append });
+        Ok(Fd(fd))
+    }
+
+    fn close(&mut self, fd: Fd) -> FsResult<()> {
+        let of = self.fds.remove(&fd.0).ok_or(FsError::BadFd)?;
+        self.drop_file_if_unused(of.ino);
+        Ok(())
+    }
+
+    fn mkdir(&mut self, path: &str) -> FsResult<()> {
+        let (parent, name) = self.resolve_parent(path)?;
+        if self.dir_entries(parent)?.contains_key(name) {
+            return Err(FsError::Exists);
+        }
+        let ino = self.next_ino;
+        self.next_ino += 1;
+        self.nodes.insert(ino, Node::Dir { entries: BTreeMap::new() });
+        self.dir_entries_mut(parent)?.insert(name.to_string(), ino);
+        Ok(())
+    }
+
+    fn rmdir(&mut self, path: &str) -> FsResult<()> {
+        let (parent, name) = self.resolve_parent(path)?;
+        let ino = *self.dir_entries(parent)?.get(name).ok_or(FsError::NotFound)?;
+        match self.nodes.get(&ino) {
+            Some(Node::Dir { entries }) if entries.is_empty() => {}
+            Some(Node::Dir { .. }) => return Err(FsError::NotEmpty),
+            Some(Node::File { .. }) => return Err(FsError::NotDir),
+            None => return Err(FsError::NotFound),
+        }
+        self.dir_entries_mut(parent)?.remove(name);
+        self.nodes.remove(&ino);
+        Ok(())
+    }
+
+    fn unlink(&mut self, path: &str) -> FsResult<()> {
+        let (parent, name) = self.resolve_parent(path)?;
+        let ino = *self.dir_entries(parent)?.get(name).ok_or(FsError::NotFound)?;
+        match self.nodes.get_mut(&ino) {
+            Some(Node::File { nlink, .. }) => {
+                *nlink -= 1;
+            }
+            Some(Node::Dir { .. }) => return Err(FsError::IsDir),
+            None => return Err(FsError::NotFound),
+        }
+        self.dir_entries_mut(parent)?.remove(name);
+        self.drop_file_if_unused(ino);
+        Ok(())
+    }
+
+    fn link(&mut self, old: &str, new: &str) -> FsResult<()> {
+        let ino = self.resolve(old)?;
+        if matches!(self.nodes.get(&ino), Some(Node::Dir { .. })) {
+            return Err(FsError::IsDir);
+        }
+        let (parent, name) = self.resolve_parent(new)?;
+        if self.dir_entries(parent)?.contains_key(name) {
+            return Err(FsError::Exists);
+        }
+        if let Some(Node::File { nlink, .. }) = self.nodes.get_mut(&ino) {
+            *nlink += 1;
+        }
+        self.dir_entries_mut(parent)?.insert(name.to_string(), ino);
+        Ok(())
+    }
+
+    fn rename(&mut self, old: &str, new: &str) -> FsResult<()> {
+        let src_ino = self.resolve(old)?;
+        let src_is_dir = matches!(self.nodes.get(&src_ino), Some(Node::Dir { .. }));
+        if src_is_dir && is_path_prefix(old, new) && old != new {
+            return Err(FsError::Invalid);
+        }
+        let (src_parent, src_name) = self.resolve_parent(old)?;
+        let (dst_parent, dst_name) = self.resolve_parent(new)?;
+        if old == new {
+            return Ok(());
+        }
+        // Handle an existing destination.
+        if let Some(&dst_ino) = self.dir_entries(dst_parent)?.get(dst_name) {
+            if dst_ino == src_ino {
+                return Ok(()); // hard links to the same inode: no-op
+            }
+            match (src_is_dir, self.nodes.get(&dst_ino)) {
+                (true, Some(Node::Dir { entries })) => {
+                    if !entries.is_empty() {
+                        return Err(FsError::NotEmpty);
+                    }
+                    self.nodes.remove(&dst_ino);
+                }
+                (true, Some(Node::File { .. })) => return Err(FsError::NotDir),
+                (false, Some(Node::Dir { .. })) => return Err(FsError::IsDir),
+                (false, Some(Node::File { .. })) => {
+                    if let Some(Node::File { nlink, .. }) = self.nodes.get_mut(&dst_ino) {
+                        *nlink -= 1;
+                    }
+                    self.dir_entries_mut(dst_parent)?.remove(dst_name);
+                    self.drop_file_if_unused(dst_ino);
+                }
+                (_, None) => return Err(FsError::NotFound),
+            }
+        }
+        self.dir_entries_mut(src_parent)?.remove(src_name);
+        self.dir_entries_mut(dst_parent)?.insert(dst_name.to_string(), src_ino);
+        Ok(())
+    }
+
+    fn truncate(&mut self, path: &str, size: u64) -> FsResult<()> {
+        let ino = self.resolve(path)?;
+        let data = self.file_data_mut(ino).map_err(|e| {
+            if e == FsError::BadFd {
+                FsError::NotFound
+            } else {
+                e
+            }
+        })?;
+        data.resize(size as usize, 0);
+        Ok(())
+    }
+
+    fn fallocate(&mut self, fd: Fd, mode: FallocMode, off: u64, len: u64) -> FsResult<()> {
+        if len == 0 {
+            return Err(FsError::Invalid);
+        }
+        let ino = self.fd_ino(fd)?;
+        let data = self.file_data_mut(ino)?;
+        let end = (off + len) as usize;
+        match mode {
+            FallocMode::Allocate => {
+                if data.len() < end {
+                    data.resize(end, 0);
+                }
+            }
+            FallocMode::KeepSize => {
+                // Allocation without size change has no observable effect in
+                // the model.
+            }
+            FallocMode::ZeroRange | FallocMode::PunchHole => {
+                let z_end = end.min(data.len());
+                for b in data.iter_mut().take(z_end).skip(off as usize) {
+                    *b = 0;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn write(&mut self, fd: Fd, data: &[u8]) -> FsResult<usize> {
+        let of = *self.fds.get(&fd.0).ok_or(FsError::BadFd)?;
+        let ino = of.ino;
+        let off = if of.append {
+            match self.nodes.get(&ino) {
+                Some(Node::File { data, .. }) => data.len() as u64,
+                _ => return Err(FsError::BadFd),
+            }
+        } else {
+            of.offset
+        };
+        let n = self.write_at(ino, off, data)?;
+        if let Some(f) = self.fds.get_mut(&fd.0) {
+            f.offset = off + n as u64;
+        }
+        Ok(n)
+    }
+
+    fn pwrite(&mut self, fd: Fd, off: u64, data: &[u8]) -> FsResult<usize> {
+        let ino = self.fd_ino(fd)?;
+        self.write_at(ino, off, data)
+    }
+
+    fn pread(&self, fd: Fd, off: u64, buf: &mut [u8]) -> FsResult<usize> {
+        let ino = self.fd_ino(fd)?;
+        match self.nodes.get(&ino) {
+            Some(Node::File { data, .. }) => {
+                if off as usize >= data.len() {
+                    return Ok(0);
+                }
+                let n = buf.len().min(data.len() - off as usize);
+                buf[..n].copy_from_slice(&data[off as usize..off as usize + n]);
+                Ok(n)
+            }
+            _ => Err(FsError::BadFd),
+        }
+    }
+
+    fn fsync(&mut self, fd: Fd) -> FsResult<()> {
+        self.fd_ino(fd).map(|_| ())
+    }
+
+    fn sync(&mut self) -> FsResult<()> {
+        Ok(())
+    }
+
+    fn stat(&self, path: &str) -> FsResult<Metadata> {
+        let ino = self.resolve(path)?;
+        match self.nodes.get(&ino) {
+            Some(Node::File { data, nlink }) => Ok(Metadata {
+                ino,
+                ftype: FileType::Regular,
+                nlink: *nlink,
+                size: data.len() as u64,
+                blocks: (data.len() as u64).div_ceil(BLOCK),
+            }),
+            Some(Node::Dir { entries }) => {
+                let subdirs = entries
+                    .values()
+                    .filter(|i| matches!(self.nodes.get(i), Some(Node::Dir { .. })))
+                    .count() as u64;
+                Ok(Metadata {
+                    ino,
+                    ftype: FileType::Directory,
+                    nlink: 2 + subdirs,
+                    size: entries.len() as u64,
+                    blocks: 1,
+                })
+            }
+            None => Err(FsError::NotFound),
+        }
+    }
+
+    fn readdir(&self, path: &str) -> FsResult<Vec<DirEntry>> {
+        let ino = self.resolve(path)?;
+        let entries = self.dir_entries(ino)?;
+        Ok(entries
+            .iter()
+            .map(|(name, &ino)| DirEntry {
+                name: name.clone(),
+                ino,
+                ftype: match self.nodes.get(&ino) {
+                    Some(Node::Dir { .. }) => FileType::Directory,
+                    _ => FileType::Regular,
+                },
+            })
+            .collect())
+    }
+
+    fn read_file(&self, path: &str) -> FsResult<Vec<u8>> {
+        let ino = self.resolve(path)?;
+        match self.nodes.get(&ino) {
+            Some(Node::File { data, .. }) => Ok(data.clone()),
+            Some(Node::Dir { .. }) => Err(FsError::IsDir),
+            None => Err(FsError::NotFound),
+        }
+    }
+}
+
+impl ModelFs {
+    fn write_at(&mut self, ino: u64, off: u64, buf: &[u8]) -> FsResult<usize> {
+        let data = self.file_data_mut(ino)?;
+        let end = off as usize + buf.len();
+        if data.len() < end {
+            data.resize(end, 0);
+        }
+        data[off as usize..end].copy_from_slice(buf);
+        Ok(buf.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs() -> ModelFs {
+        ModelFs::new()
+    }
+
+    #[test]
+    fn create_write_read_roundtrip() {
+        let mut m = fs();
+        let fd = m.open("/foo", OpenFlags::CREAT_TRUNC).unwrap();
+        assert_eq!(m.pwrite(fd, 3, b"abc").unwrap(), 3);
+        m.close(fd).unwrap();
+        assert_eq!(m.read_file("/foo").unwrap(), vec![0, 0, 0, b'a', b'b', b'c']);
+        let st = m.stat("/foo").unwrap();
+        assert_eq!(st.size, 6);
+        assert_eq!(st.nlink, 1);
+        assert_eq!(st.ftype, FileType::Regular);
+    }
+
+    #[test]
+    fn write_advances_offset_and_append_seeks_to_end() {
+        let mut m = fs();
+        let fd = m.open("/f", OpenFlags::CREAT_TRUNC).unwrap();
+        m.write(fd, b"ab").unwrap();
+        m.write(fd, b"cd").unwrap();
+        assert_eq!(m.read_file("/f").unwrap(), b"abcd");
+        m.close(fd).unwrap();
+        let fd2 = m.open("/f", OpenFlags::APPEND).unwrap();
+        m.write(fd2, b"ef").unwrap();
+        assert_eq!(m.read_file("/f").unwrap(), b"abcdef");
+    }
+
+    #[test]
+    fn mkdir_rmdir_semantics() {
+        let mut m = fs();
+        m.mkdir("/a").unwrap();
+        assert_eq!(m.mkdir("/a"), Err(FsError::Exists));
+        m.mkdir("/a/b").unwrap();
+        assert_eq!(m.rmdir("/a"), Err(FsError::NotEmpty));
+        m.rmdir("/a/b").unwrap();
+        m.rmdir("/a").unwrap();
+        assert_eq!(m.stat("/a"), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn link_unlink_semantics() {
+        let mut m = fs();
+        m.creat("/f").unwrap();
+        m.link("/f", "/g").unwrap();
+        assert_eq!(m.stat("/f").unwrap().nlink, 2);
+        assert_eq!(m.stat("/f").unwrap().ino, m.stat("/g").unwrap().ino);
+        assert_eq!(m.link("/f", "/g"), Err(FsError::Exists));
+        m.unlink("/f").unwrap();
+        assert_eq!(m.stat("/g").unwrap().nlink, 1);
+        m.unlink("/g").unwrap();
+        assert_eq!(m.stat("/g"), Err(FsError::NotFound));
+        m.mkdir("/d").unwrap();
+        assert_eq!(m.link("/d", "/e"), Err(FsError::IsDir));
+        assert_eq!(m.unlink("/d"), Err(FsError::IsDir));
+    }
+
+    #[test]
+    fn rename_replaces_files_and_empty_dirs() {
+        let mut m = fs();
+        m.creat("/a").unwrap();
+        m.creat("/b").unwrap();
+        m.rename("/a", "/b").unwrap();
+        assert_eq!(m.stat("/a"), Err(FsError::NotFound));
+        assert!(m.stat("/b").is_ok());
+
+        m.mkdir("/d1").unwrap();
+        m.mkdir("/d2").unwrap();
+        m.rename("/d1", "/d2").unwrap();
+        assert_eq!(m.stat("/d1"), Err(FsError::NotFound));
+
+        m.mkdir("/d3").unwrap();
+        m.creat("/d3/x").unwrap();
+        m.mkdir("/d4").unwrap();
+        assert_eq!(m.rename("/d4", "/d3"), Err(FsError::NotEmpty));
+        assert_eq!(m.rename("/d3", "/b"), Err(FsError::NotDir));
+        assert_eq!(m.rename("/b", "/d4"), Err(FsError::IsDir));
+    }
+
+    #[test]
+    fn rename_into_own_subtree_rejected() {
+        let mut m = fs();
+        m.mkdir("/a").unwrap();
+        assert_eq!(m.rename("/a", "/a/b"), Err(FsError::Invalid));
+    }
+
+    #[test]
+    fn truncate_shrinks_and_extends() {
+        let mut m = fs();
+        let fd = m.open("/f", OpenFlags::CREAT_TRUNC).unwrap();
+        m.pwrite(fd, 0, &[7u8; 10]).unwrap();
+        m.close(fd).unwrap();
+        m.truncate("/f", 4).unwrap();
+        assert_eq!(m.read_file("/f").unwrap(), vec![7u8; 4]);
+        m.truncate("/f", 8).unwrap();
+        assert_eq!(m.read_file("/f").unwrap(), vec![7, 7, 7, 7, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn fallocate_modes() {
+        let mut m = fs();
+        let fd = m.open("/f", OpenFlags::CREAT_TRUNC).unwrap();
+        m.pwrite(fd, 0, &[9u8; 8]).unwrap();
+        m.fallocate(fd, FallocMode::Allocate, 0, 16).unwrap();
+        assert_eq!(m.stat("/f").unwrap().size, 16);
+        m.fallocate(fd, FallocMode::KeepSize, 0, 64).unwrap();
+        assert_eq!(m.stat("/f").unwrap().size, 16);
+        m.fallocate(fd, FallocMode::ZeroRange, 0, 4).unwrap();
+        assert_eq!(&m.read_file("/f").unwrap()[..8], &[0, 0, 0, 0, 9, 9, 9, 9]);
+        assert_eq!(m.fallocate(fd, FallocMode::Allocate, 0, 0), Err(FsError::Invalid));
+        m.close(fd).unwrap();
+    }
+
+    #[test]
+    fn unlinked_open_file_remains_writable() {
+        let mut m = fs();
+        let fd = m.open("/f", OpenFlags::CREAT_TRUNC).unwrap();
+        m.unlink("/f").unwrap();
+        assert_eq!(m.pwrite(fd, 0, b"x").unwrap(), 1);
+        let mut buf = [0u8; 1];
+        assert_eq!(m.pread(fd, 0, &mut buf).unwrap(), 1);
+        m.close(fd).unwrap();
+        // Node is dropped after the final close.
+        assert_eq!(m.node_count(), 1);
+    }
+
+    #[test]
+    fn open_excl_and_trunc() {
+        let mut m = fs();
+        m.creat("/f").unwrap();
+        let excl = OpenFlags { create: true, excl: true, trunc: false, append: false };
+        assert_eq!(m.open("/f", excl), Err(FsError::Exists));
+        let fd = m.open("/f", OpenFlags::CREAT_TRUNC).unwrap();
+        m.pwrite(fd, 0, b"hello").unwrap();
+        m.close(fd).unwrap();
+        let fd = m.open("/f", OpenFlags::CREAT_TRUNC).unwrap();
+        m.close(fd).unwrap();
+        assert_eq!(m.read_file("/f").unwrap(), b"");
+    }
+
+    #[test]
+    fn readdir_lists_entries() {
+        let mut m = fs();
+        m.mkdir("/d").unwrap();
+        m.creat("/d/f").unwrap();
+        m.mkdir("/d/s").unwrap();
+        let names: Vec<String> = m.readdir("/d").unwrap().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["f", "s"]);
+        assert_eq!(m.stat("/d").unwrap().nlink, 3);
+        assert_eq!(m.readdir("/d/f"), Err(FsError::NotDir));
+    }
+
+    #[test]
+    fn rename_same_path_is_noop() {
+        let mut m = fs();
+        m.creat("/f").unwrap();
+        m.rename("/f", "/f").unwrap();
+        assert!(m.stat("/f").is_ok());
+    }
+
+    #[test]
+    fn two_fds_same_file_share_data() {
+        let mut m = fs();
+        let a = m.open("/f", OpenFlags::CREAT_TRUNC).unwrap();
+        let b = m.open("/f", OpenFlags::RDWR).unwrap();
+        m.pwrite(a, 0, b"aa").unwrap();
+        m.pwrite(b, 2, b"bb").unwrap();
+        assert_eq!(m.read_file("/f").unwrap(), b"aabb");
+        m.close(a).unwrap();
+        m.close(b).unwrap();
+    }
+}

@@ -1,0 +1,86 @@
+//! Path parsing helpers shared by the file-system implementations.
+
+use crate::error::{FsError, FsResult};
+
+/// Maximum length of a single path component (matching the on-disk dentry
+/// formats used by the file-system crates).
+pub const NAME_MAX: usize = 47;
+
+/// Splits an absolute path into its components.
+///
+/// Accepts `/`, `/foo`, `/foo/bar/`; rejects relative paths, empty
+/// components (`//`), `.`/`..`, and over-long names.
+pub fn components(path: &str) -> FsResult<Vec<&str>> {
+    let rest = path.strip_prefix('/').ok_or(FsError::Invalid)?;
+    let mut out = Vec::new();
+    for c in rest.split('/') {
+        if c.is_empty() {
+            continue; // tolerate trailing or doubled slashes
+        }
+        if c == "." || c == ".." {
+            return Err(FsError::Invalid);
+        }
+        if c.len() > NAME_MAX {
+            return Err(FsError::NameTooLong);
+        }
+        out.push(c);
+    }
+    Ok(out)
+}
+
+/// Splits a path into (parent components, final component).
+///
+/// Fails with `EINVAL` for the root itself.
+pub fn split_parent(path: &str) -> FsResult<(Vec<&str>, &str)> {
+    let mut comps = components(path)?;
+    let last = comps.pop().ok_or(FsError::Invalid)?;
+    Ok((comps, last))
+}
+
+/// Returns `true` if `ancestor` is a path prefix of `descendant` (component
+/// wise), used for the `rename`-into-own-subtree check.
+pub fn is_path_prefix(ancestor: &str, descendant: &str) -> bool {
+    let (Ok(a), Ok(d)) = (components(ancestor), components(descendant)) else {
+        return false;
+    };
+    a.len() <= d.len() && a.iter().zip(d.iter()).all(|(x, y)| x == y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_absolute_paths() {
+        assert_eq!(components("/").unwrap(), Vec::<&str>::new());
+        assert_eq!(components("/foo").unwrap(), vec!["foo"]);
+        assert_eq!(components("/a/b/c").unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(components("/a/b/").unwrap(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn rejects_bad_paths() {
+        assert_eq!(components("foo"), Err(FsError::Invalid));
+        assert_eq!(components(""), Err(FsError::Invalid));
+        assert_eq!(components("/a/../b"), Err(FsError::Invalid));
+        assert_eq!(components("/a/./b"), Err(FsError::Invalid));
+        let long = format!("/{}", "x".repeat(NAME_MAX + 1));
+        assert_eq!(components(&long), Err(FsError::NameTooLong));
+    }
+
+    #[test]
+    fn split_parent_works() {
+        let (p, n) = split_parent("/a/b/c").unwrap();
+        assert_eq!(p, vec!["a", "b"]);
+        assert_eq!(n, "c");
+        assert_eq!(split_parent("/"), Err(FsError::Invalid));
+    }
+
+    #[test]
+    fn prefix_detection() {
+        assert!(is_path_prefix("/a", "/a/b"));
+        assert!(is_path_prefix("/a", "/a"));
+        assert!(!is_path_prefix("/a/b", "/a"));
+        assert!(!is_path_prefix("/a", "/ab"));
+    }
+}

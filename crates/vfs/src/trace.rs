@@ -1,0 +1,66 @@
+//! Ground-truth bug tracing for evaluation harnesses.
+//!
+//! When an injected bug's faulty branch actually executes, the file system
+//! reports it to a shared [`BugTrace`]. The consistency checker never looks
+//! at this — detection is entirely behavioural, as in the paper — but the
+//! evaluation harnesses use the trace to *attribute* a detected violation to
+//! the injected bug(s) whose code ran, when testing with the full
+//! as-released bug set (Table 1 and Figure 3 reporting).
+
+use std::{
+    collections::BTreeSet,
+    sync::Arc,
+};
+
+use parking_lot::Mutex;
+
+use crate::bugs::BugId;
+
+/// A shared sink recording which injected-bug code paths executed.
+#[derive(Debug, Clone, Default)]
+pub struct BugTrace {
+    sink: Arc<Mutex<BTreeSet<BugId>>>,
+}
+
+impl BugTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `bug`'s faulty path executed.
+    pub fn hit(&self, bug: BugId) {
+        self.sink.lock().insert(bug);
+    }
+
+    /// The set of bugs whose faulty paths have executed.
+    pub fn snapshot(&self) -> BTreeSet<BugId> {
+        self.sink.lock().clone()
+    }
+
+    /// Clears the trace.
+    pub fn clear(&self) {
+        self.sink.lock().clear();
+    }
+
+    /// Whether `bug` has been traced.
+    pub fn contains(&self, bug: BugId) -> bool {
+        self.sink.lock().contains(&bug)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_records_and_clears() {
+        let t = BugTrace::new();
+        let u = t.clone();
+        u.hit(BugId::B04);
+        assert!(t.contains(BugId::B04));
+        assert_eq!(t.snapshot().len(), 1);
+        t.clear();
+        assert!(!t.contains(BugId::B04));
+    }
+}

@@ -1,0 +1,130 @@
+//! Common data types: file metadata, directory entries, descriptors, flags.
+
+/// A file descriptor handle returned by [`crate::FileSystem::open`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fd(pub u64);
+
+/// The type of a file-system object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FileType {
+    /// A regular file.
+    Regular,
+    /// A directory.
+    Directory,
+}
+
+/// Metadata as returned by `stat`.
+///
+/// Timestamps are deliberately absent: Chipmunk does not check them (§6.2 —
+/// the one Vinter bug Chipmunk cannot find is timestamp-only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Metadata {
+    /// Inode number.
+    pub ino: u64,
+    /// Object type.
+    pub ftype: FileType,
+    /// Link count.
+    pub nlink: u64,
+    /// Size in bytes.
+    pub size: u64,
+    /// Allocated blocks (in file-system block units).
+    pub blocks: u64,
+}
+
+/// A directory entry as returned by `readdir`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DirEntry {
+    /// Entry name (single component, no slashes).
+    pub name: String,
+    /// Inode number of the target.
+    pub ino: u64,
+    /// Type of the target.
+    pub ftype: FileType,
+}
+
+/// Flags for [`crate::FileSystem::open`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpenFlags {
+    /// Create the file if it does not exist.
+    pub create: bool,
+    /// With `create`: fail if the file already exists.
+    pub excl: bool,
+    /// Truncate to zero length on open.
+    pub trunc: bool,
+    /// Position writes at end of file.
+    pub append: bool,
+}
+
+impl OpenFlags {
+    /// Plain read/write open of an existing file.
+    pub const RDWR: OpenFlags =
+        OpenFlags { create: false, excl: false, trunc: false, append: false };
+
+    /// `O_CREAT`: create if missing.
+    pub const CREATE: OpenFlags =
+        OpenFlags { create: true, excl: false, trunc: false, append: false };
+
+    /// `O_CREAT | O_TRUNC`, the `creat(2)` combination.
+    pub const CREAT_TRUNC: OpenFlags =
+        OpenFlags { create: true, excl: false, trunc: true, append: false };
+
+    /// `O_APPEND`.
+    pub const APPEND: OpenFlags =
+        OpenFlags { create: false, excl: false, trunc: false, append: true };
+}
+
+/// `fallocate(2)` modes supported by the tested file systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FallocMode {
+    /// Default mode: allocate and extend file size if needed.
+    Allocate,
+    /// `FALLOC_FL_KEEP_SIZE`: allocate without changing the reported size.
+    KeepSize,
+    /// `FALLOC_FL_ZERO_RANGE`: zero the given range.
+    ZeroRange,
+    /// `FALLOC_FL_PUNCH_HOLE | FALLOC_FL_KEEP_SIZE`: deallocate the range.
+    PunchHole,
+}
+
+impl FallocMode {
+    /// All modes, for workload generation.
+    pub const ALL: [FallocMode; 4] = [
+        FallocMode::Allocate,
+        FallocMode::KeepSize,
+        FallocMode::ZeroRange,
+        FallocMode::PunchHole,
+    ];
+
+    /// Short name used in workload descriptions.
+    pub fn name(self) -> &'static str {
+        match self {
+            FallocMode::Allocate => "alloc",
+            FallocMode::KeepSize => "keep_size",
+            FallocMode::ZeroRange => "zero_range",
+            FallocMode::PunchHole => "punch_hole",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn falloc_mode_names_unique() {
+        let names: std::collections::HashSet<_> =
+            FallocMode::ALL.iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn open_flag_presets() {
+        // Compile-time invariants of the preset constants.
+        const _: () = assert!(
+            OpenFlags::CREAT_TRUNC.create
+                && OpenFlags::CREAT_TRUNC.trunc
+                && !OpenFlags::RDWR.create
+                && OpenFlags::APPEND.append
+        );
+    }
+}

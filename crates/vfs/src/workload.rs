@@ -1,0 +1,221 @@
+//! The workload vocabulary shared by ACE, the fuzzer, and the test harness.
+//!
+//! A [`Workload`] is a sequence of [`Op`]s. Path-addressed variants
+//! (`WritePath`, `FallocPath`, …) are self-contained — the executor opens and
+//! closes a descriptor around them, like ACE's dependency-satisfied
+//! workloads. Slot-addressed variants reference entries of a per-run
+//! descriptor table and allow the fuzzer to express patterns ACE cannot,
+//! such as two open descriptors on the same file (the trigger for SplitFS
+//! bugs 22/23).
+
+use crate::{
+    fs::SyscallKind,
+    types::{FallocMode, OpenFlags},
+};
+
+/// One workload operation.
+///
+/// Variant fields carry the obvious system-call arguments (paths, slots,
+/// offsets, sizes); each variant's doc line is the authoritative
+/// description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Op {
+    /// `creat(path)` (open with `O_CREAT|O_TRUNC`, then close).
+    Creat { path: String },
+    /// `mkdir(path)`.
+    Mkdir { path: String },
+    /// `rmdir(path)`.
+    Rmdir { path: String },
+    /// `unlink(path)`.
+    Unlink { path: String },
+    /// `remove(path)`: unlink a file or rmdir a directory.
+    Remove { path: String },
+    /// `link(old, new)`.
+    Link { old: String, new: String },
+    /// `rename(old, new)`.
+    Rename { old: String, new: String },
+    /// `truncate(path, size)`.
+    Truncate { path: String, size: u64 },
+    /// Self-contained positional write: open, `pwrite(off, size)`, close.
+    /// Contents are deterministic from the op's index (see [`fill_data`]).
+    WritePath { path: String, off: u64, size: u64 },
+    /// Self-contained fallocate: open, `fallocate`, close.
+    FallocPath { path: String, mode: FallocMode, off: u64, len: u64 },
+    /// Self-contained fsync: open existing file, `fsync`, close.
+    FsyncPath { path: String },
+    /// `open(path, flags)` storing the descriptor in `slot`.
+    Open { slot: usize, path: String, flags: OpenFlags },
+    /// `close` the descriptor in `slot`.
+    Close { slot: usize },
+    /// `write(slot, size)` at the descriptor offset.
+    Write { slot: usize, size: u64 },
+    /// `pwrite(slot, off, size)`.
+    Pwrite { slot: usize, off: u64, size: u64 },
+    /// `fallocate` on the descriptor in `slot`.
+    Falloc { slot: usize, mode: FallocMode, off: u64, len: u64 },
+    /// `fsync(slot)`.
+    Fsync { slot: usize },
+    /// `fdatasync(slot)`.
+    Fdatasync { slot: usize },
+    /// `sync()`.
+    Sync,
+    /// `pread(slot, off, len)` (coverage only).
+    Read { slot: usize, off: u64, len: u64 },
+    /// `setxattr(path, name, value)`.
+    SetXattr { path: String, name: String, value: Vec<u8> },
+    /// `removexattr(path, name)`.
+    RemoveXattr { path: String, name: String },
+    /// Switch the simulated CPU for subsequent calls.
+    SetCpu { cpu: usize },
+}
+
+impl Op {
+    /// The syscall classification used for bug metadata matching.
+    pub fn kind(&self) -> SyscallKind {
+        match self {
+            Op::Creat { .. } => SyscallKind::Creat,
+            Op::Mkdir { .. } => SyscallKind::Mkdir,
+            Op::Rmdir { .. } => SyscallKind::Rmdir,
+            Op::Unlink { .. } => SyscallKind::Unlink,
+            Op::Remove { .. } => SyscallKind::Remove,
+            Op::Link { .. } => SyscallKind::Link,
+            Op::Rename { .. } => SyscallKind::Rename,
+            Op::Truncate { .. } => SyscallKind::Truncate,
+            Op::WritePath { .. } | Op::Pwrite { .. } => SyscallKind::Pwrite,
+            Op::FallocPath { .. } | Op::Falloc { .. } => SyscallKind::Falloc,
+            Op::Write { .. } => SyscallKind::Write,
+            Op::FsyncPath { .. } | Op::Fsync { .. } | Op::Fdatasync { .. } => SyscallKind::Fsync,
+            Op::Sync => SyscallKind::Sync,
+            Op::Open { .. } => SyscallKind::Open,
+            Op::Close { .. } => SyscallKind::Close,
+            Op::Read { .. } => SyscallKind::Read,
+            Op::SetXattr { .. } => SyscallKind::SetXattr,
+            Op::RemoveXattr { .. } => SyscallKind::RemoveXattr,
+            Op::SetCpu { .. } => SyscallKind::Sync, // bookkeeping; never a crash point
+        }
+    }
+
+    /// Whether the operation can modify persistent state (and therefore can
+    /// host crash points).
+    pub fn is_mutating(&self) -> bool {
+        !matches!(self, Op::Read { .. } | Op::SetCpu { .. })
+    }
+
+    /// Human-readable description used in logs and bug reports.
+    pub fn describe(&self) -> String {
+        match self {
+            Op::Creat { path } => format!("creat({path})"),
+            Op::Mkdir { path } => format!("mkdir({path})"),
+            Op::Rmdir { path } => format!("rmdir({path})"),
+            Op::Unlink { path } => format!("unlink({path})"),
+            Op::Remove { path } => format!("remove({path})"),
+            Op::Link { old, new } => format!("link({old}, {new})"),
+            Op::Rename { old, new } => format!("rename({old}, {new})"),
+            Op::Truncate { path, size } => format!("truncate({path}, {size})"),
+            Op::WritePath { path, off, size } => format!("pwrite({path}, off={off}, n={size})"),
+            Op::FallocPath { path, mode, off, len } => {
+                format!("fallocate({path}, {}, off={off}, len={len})", mode.name())
+            }
+            Op::FsyncPath { path } => format!("fsync({path})"),
+            Op::Open { slot, path, .. } => format!("open({path}) -> slot {slot}"),
+            Op::Close { slot } => format!("close(slot {slot})"),
+            Op::Write { slot, size } => format!("write(slot {slot}, n={size})"),
+            Op::Pwrite { slot, off, size } => format!("pwrite(slot {slot}, off={off}, n={size})"),
+            Op::Falloc { slot, mode, off, len } => {
+                format!("fallocate(slot {slot}, {}, off={off}, len={len})", mode.name())
+            }
+            Op::Fsync { slot } => format!("fsync(slot {slot})"),
+            Op::Fdatasync { slot } => format!("fdatasync(slot {slot})"),
+            Op::Sync => "sync()".to_string(),
+            Op::Read { slot, off, len } => format!("pread(slot {slot}, off={off}, n={len})"),
+            Op::SetXattr { path, name, .. } => format!("setxattr({path}, {name})"),
+            Op::RemoveXattr { path, name } => format!("removexattr({path}, {name})"),
+            Op::SetCpu { cpu } => format!("set_cpu({cpu})"),
+        }
+    }
+}
+
+/// A sequence of operations to run against a freshly formatted file system.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Workload {
+    /// The operations, run in order.
+    pub ops: Vec<Op>,
+    /// Short label for reports (e.g. the ACE sequence id or fuzzer seed id).
+    pub name: String,
+}
+
+impl Workload {
+    /// Creates a named workload.
+    pub fn new(name: impl Into<String>, ops: Vec<Op>) -> Self {
+        Workload { ops: ops.into_iter().collect(), name: name.into() }
+    }
+
+    /// One-line description of the whole workload.
+    pub fn describe(&self) -> String {
+        let ops: Vec<String> = self.ops.iter().map(|o| o.describe()).collect();
+        format!("[{}] {}", self.name, ops.join("; "))
+    }
+}
+
+/// Deterministic file contents for write op number `seq` at offset `off`.
+///
+/// Both the recorded run and the oracle run materialize identical bytes, so
+/// the checker can compare contents without shipping buffers around.
+pub fn fill_data(seq: usize, off: u64, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    for i in 0..len as u64 {
+        let x = (seq as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((off + i).wrapping_mul(0xff51_afd7_ed55_8ccd));
+        // Avoid 0 so written data is distinguishable from never-written
+        // (zero-filled) blocks.
+        out.push((x >> 32) as u8 | 1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_data_is_deterministic_and_nonzero() {
+        let a = fill_data(3, 100, 64);
+        let b = fill_data(3, 100, 64);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&x| x != 0));
+        assert_ne!(fill_data(3, 100, 8), fill_data(4, 100, 8));
+        assert_ne!(fill_data(3, 100, 8), fill_data(3, 108, 8));
+    }
+
+    #[test]
+    fn fill_data_is_offset_stable() {
+        // Bytes depend on absolute offset, so a split write produces the
+        // same contents as one big write.
+        let whole = fill_data(7, 0, 128);
+        let mut split = fill_data(7, 0, 64);
+        split.extend(fill_data(7, 64, 64));
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn op_kinds_and_mutating() {
+        assert_eq!(Op::Creat { path: "/a".into() }.kind(), SyscallKind::Creat);
+        assert!(Op::Sync.is_mutating());
+        assert!(!Op::Read { slot: 0, off: 0, len: 1 }.is_mutating());
+        assert!(!Op::SetCpu { cpu: 1 }.is_mutating());
+    }
+
+    #[test]
+    fn describe_is_readable() {
+        let w = Workload::new(
+            "t",
+            vec![
+                Op::Creat { path: "/foo".into() },
+                Op::Rename { old: "/foo".into(), new: "/bar".into() },
+            ],
+        );
+        assert_eq!(w.describe(), "[t] creat(/foo); rename(/foo, /bar)");
+    }
+}

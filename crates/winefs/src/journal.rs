@@ -1,0 +1,207 @@
+//! Per-CPU undo journals (bug 19 lives in the recovery loop).
+//!
+//! Each journal block follows the PMFS record format (WineFS inherits it):
+//! a persistent tail word activates the transaction, variable-length
+//! records carry the old bytes, and commit resets the tail.
+
+use pmem::PmBackend;
+use vfs::{covpoint, BugId, BugSet, BugTrace, Cov, FsError, FsResult};
+
+use crate::layout::{Geometry, BLOCK};
+
+const JTAIL: u64 = 0;
+const JRECS: u64 = 16;
+
+/// Maximum bytes one record may cover.
+pub const MAX_RECORD_DATA: u64 = 64;
+
+fn pad8(n: u64) -> u64 {
+    n.div_ceil(8) * 8
+}
+
+/// An active transaction in one CPU's journal.
+pub struct Txn {
+    jblock: u64,
+}
+
+/// Begins a transaction in `cpu`'s journal covering `ranges`.
+pub fn txn_begin<D: PmBackend>(
+    dev: &mut D,
+    geo: &Geometry,
+    cpu: usize,
+    ranges: &[(u64, u64)],
+) -> FsResult<Txn> {
+    let jblock = geo.journal_block(cpu);
+    let jbase = jblock * BLOCK;
+    let mut pos = JRECS;
+    for &(addr, len) in ranges {
+        debug_assert!(len > 0 && len <= MAX_RECORD_DATA);
+        if pos + 16 + pad8(len) > BLOCK {
+            return Err(FsError::NoSpace);
+        }
+        let old = dev.read_vec(addr, len);
+        dev.store_u64(jbase + pos, addr);
+        dev.store_u64(jbase + pos + 8, len);
+        dev.store(jbase + pos + 16, &old);
+        pos += 16 + pad8(len);
+    }
+    dev.flush(jbase + JRECS, pos - JRECS);
+    dev.fence();
+    dev.persist_u64(jbase + JTAIL, pos - JRECS);
+    Ok(Txn { jblock })
+}
+
+/// Commits the transaction (fenced).
+pub fn txn_commit<D: PmBackend>(dev: &mut D, txn: Txn) {
+    dev.persist_u64(txn.jblock * BLOCK + JTAIL, 0);
+}
+
+/// Bug-15 variant: the tail reset is stored and written back but **not
+/// fenced** — it is still in flight when the call returns, so a crash rolls
+/// the committed write back.
+pub fn txn_commit_nofence<D: PmBackend>(dev: &mut D, txn: Txn) {
+    dev.store_u64(txn.jblock * BLOCK + JTAIL, 0);
+    dev.flush(txn.jblock * BLOCK + JTAIL, 8);
+}
+
+/// Rolls back one journal if it holds an active transaction.
+fn recover_one<D: PmBackend>(dev: &mut D, geo: &Geometry, jblock: u64) -> FsResult<bool> {
+    let jbase = jblock * BLOCK;
+    let tail = dev.read_u64(jbase + JTAIL);
+    if tail == 0 {
+        return Ok(false);
+    }
+    if tail > BLOCK - JRECS {
+        return Err(FsError::Unmountable(format!(
+            "journal {jblock} tail {tail} exceeds the journal block"
+        )));
+    }
+    let mut recs: Vec<(u64, Vec<u8>)> = Vec::new();
+    let mut pos = JRECS;
+    while pos < JRECS + tail {
+        let addr = dev.read_u64(jbase + pos);
+        let len = dev.read_u64(jbase + pos + 8);
+        if len == 0 || len > MAX_RECORD_DATA || pos + 16 + len > BLOCK {
+            return Err(FsError::Unmountable(format!(
+                "journal {jblock} record at offset {pos} has invalid length {len}"
+            )));
+        }
+        if addr + len > geo.total_blocks * BLOCK {
+            return Err(FsError::Unmountable(format!(
+                "journal {jblock} record targets out-of-range address {addr:#x}"
+            )));
+        }
+        recs.push((addr, dev.read_vec(jbase + pos + 16, len)));
+        pos += 16 + pad8(len);
+    }
+    for (addr, old) in recs.iter().rev() {
+        dev.store(*addr, old);
+        dev.flush(*addr, old.len() as u64);
+    }
+    dev.fence();
+    dev.persist_u64(jbase + JTAIL, 0);
+    Ok(true)
+}
+
+/// Recovery across the journal bank. The fixed loop visits every CPU's
+/// journal; with bug 19 the array index is a constant zero, so journals of
+/// CPUs > 0 are never rolled back and their half-applied transactions
+/// survive into the mounted state.
+pub fn recover_all<D: PmBackend>(
+    dev: &mut D,
+    geo: &Geometry,
+    bugs: BugSet,
+    cov: &Cov,
+    trace: &BugTrace,
+) -> FsResult<bool> {
+    let mut any = false;
+    for cpu in 0..geo.njournals {
+        let jblock = if bugs.has(BugId::B19) {
+            // BUG 19 (logic): `journals[0]` instead of `journals[cpu]`.
+            let skipped = geo.journals + cpu;
+            if cpu != 0 && dev.read_u64(skipped * BLOCK + JTAIL) != 0 {
+                trace.hit(BugId::B19);
+                covpoint!(cov, 1);
+            }
+            geo.journals
+        } else {
+            geo.journals + cpu
+        };
+        any |= recover_one(dev, geo, jblock)?;
+    }
+    Ok(any)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::PmDevice;
+
+    fn setup() -> (PmDevice, Geometry) {
+        let size = 4 << 20;
+        (PmDevice::new(size), Geometry::for_device(size, 4).unwrap())
+    }
+
+    #[test]
+    fn per_cpu_rollback() {
+        let (mut dev, geo) = setup();
+        let a = geo.inode_off(1);
+        let b = geo.inode_off(2);
+        dev.persist_u64(a, 1);
+        dev.persist_u64(b, 2);
+        let _t0 = txn_begin(&mut dev, &geo, 0, &[(a, 8)]).unwrap();
+        dev.persist_u64(a, 10);
+        let _t2 = txn_begin(&mut dev, &geo, 2, &[(b, 8)]).unwrap();
+        dev.persist_u64(b, 20);
+        // Crash: both journals active. Fixed recovery rolls back both.
+        let any = recover_all(
+            &mut dev,
+            &geo,
+            BugSet::fixed(),
+            &Cov::disabled(),
+            &BugTrace::new(),
+        )
+        .unwrap();
+        assert!(any);
+        assert_eq!(dev.read_u64(a), 1);
+        assert_eq!(dev.read_u64(b), 2);
+    }
+
+    #[test]
+    fn bug19_skips_nonzero_cpus() {
+        let (mut dev, geo) = setup();
+        let b = geo.inode_off(2);
+        dev.persist_u64(b, 2);
+        let _t2 = txn_begin(&mut dev, &geo, 2, &[(b, 8)]).unwrap();
+        dev.persist_u64(b, 20);
+        let trace = BugTrace::new();
+        recover_all(&mut dev, &geo, BugSet::only(&[BugId::B19]), &Cov::disabled(), &trace)
+            .unwrap();
+        // The half-applied update survives.
+        assert_eq!(dev.read_u64(b), 20);
+        assert!(trace.contains(BugId::B19));
+    }
+
+    #[test]
+    fn commit_nofence_leaves_tail_in_flight() {
+        let (mut dev, geo) = setup();
+        let a = geo.inode_off(1);
+        dev.persist_u64(a, 1);
+        let t = txn_begin(&mut dev, &geo, 0, &[(a, 8)]).unwrap();
+        dev.persist_u64(a, 5);
+        txn_commit_nofence(&mut dev, t);
+        // The tail reset has not been fenced: a crash now still sees the
+        // active transaction and rolls the update back.
+        let img = dev.crash_image_with(&[]);
+        let mut crashed = PmDevice::from_image(img);
+        recover_all(
+            &mut crashed,
+            &geo,
+            BugSet::fixed(),
+            &Cov::disabled(),
+            &BugTrace::new(),
+        )
+        .unwrap();
+        assert_eq!(crashed.read_u64(a), 1, "committed value rolled back after crash");
+    }
+}

@@ -1,0 +1,205 @@
+//! On-device layout for the WineFS analogue (PMFS-derived, with a bank of
+//! per-CPU journal blocks).
+
+use vfs::{FsError, FsResult};
+
+/// Block size in bytes.
+pub const BLOCK: u64 = 4096;
+
+/// Superblock magic ("WINEFS21").
+pub const MAGIC: u64 = u64::from_le_bytes(*b"WINEFS21");
+
+/// Inode size in bytes.
+pub const INODE_SIZE: u64 = 128;
+
+/// Direct pointers per inode.
+pub const NDIRECT: usize = 12;
+
+/// Pointers per indirect block.
+pub const PTRS_PER_BLOCK: u64 = BLOCK / 8;
+
+/// Maximum file size in blocks.
+pub const MAX_FILE_BLOCKS: u64 = NDIRECT as u64 + PTRS_PER_BLOCK;
+
+/// Directory entry size.
+pub const DENTRY_SIZE: u64 = 56;
+
+/// Dentry slots per block.
+pub const SLOTS_PER_BLOCK: u64 = BLOCK / DENTRY_SIZE;
+
+/// Maximum dentry name length.
+pub const DENTRY_NAME_MAX: usize = 47;
+
+/// The root inode.
+pub const ROOT_INO: u64 = 1;
+
+/// Default number of per-CPU journals.
+pub const DEFAULT_CPUS: usize = 4;
+
+/// Superblock field offsets.
+pub mod sboff {
+    /// Magic (u64).
+    pub const MAGIC: u64 = 0;
+    /// Total blocks (u64).
+    pub const TOTAL_BLOCKS: u64 = 8;
+    /// Inode count (u64).
+    pub const INODE_COUNT: u64 = 16;
+    /// First journal block (u64).
+    pub const JOURNALS: u64 = 24;
+    /// Number of per-CPU journals (u64).
+    pub const NJOURNALS: u64 = 32;
+    /// Truncate-list block (u64).
+    pub const TLIST: u64 = 40;
+    /// Inode table start block (u64).
+    pub const ITABLE: u64 = 48;
+    /// First allocatable block (u64).
+    pub const DATA_START: u64 = 56;
+    /// Strict-mode flag (u64).
+    pub const STRICT: u64 = 64;
+}
+
+/// Inode field offsets (same shape as PMFS, its ancestor).
+pub mod ioff {
+    /// File type tag (u64).
+    pub const FTYPE: u64 = 0;
+    /// Link count (u64).
+    pub const NLINK: u64 = 8;
+    /// Size in bytes (u64).
+    pub const SIZE: u64 = 16;
+    /// Indirect block pointer (u64).
+    pub const INDIRECT: u64 = 24;
+    /// First direct pointer (12 × u64).
+    pub const DIRECT: u64 = 32;
+}
+
+/// Inode type tags.
+pub mod itype {
+    /// Free slot.
+    pub const FREE: u64 = 0;
+    /// Regular file.
+    pub const FILE: u64 = 1;
+    /// Directory.
+    pub const DIR: u64 = 2;
+    /// Poisoned at recovery (referenced but uninitialized metadata).
+    pub const POISONED: u64 = 99;
+}
+
+/// Truncate-list record fields.
+pub mod tlist {
+    /// Inode under truncation (0 = disarmed).
+    pub const INO: u64 = 0;
+    /// Target size.
+    pub const SIZE: u64 = 8;
+    /// Flags.
+    pub const FLAGS: u64 = 16;
+    /// Flag: free the inode afterwards.
+    pub const F_FREE_INODE: u64 = 1;
+}
+
+/// Computed device geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Total blocks.
+    pub total_blocks: u64,
+    /// Inode count.
+    pub inode_count: u64,
+    /// First journal block.
+    pub journals: u64,
+    /// Number of per-CPU journals.
+    pub njournals: u64,
+    /// Truncate-list block.
+    pub tlist: u64,
+    /// Inode table start.
+    pub itable: u64,
+    /// First allocatable block.
+    pub data_start: u64,
+}
+
+impl Geometry {
+    /// Computes the layout for `size` bytes and `cpus` journals.
+    pub fn for_device(size: u64, cpus: usize) -> FsResult<Geometry> {
+        let total_blocks = size / BLOCK;
+        if total_blocks < 48 {
+            return Err(FsError::NoSpace);
+        }
+        let njournals = cpus.max(1) as u64;
+        let journals = 1;
+        let tlist = journals + njournals;
+        let itable = tlist + 1;
+        let inode_count = (total_blocks / 4).clamp(64, 2048);
+        let itable_blocks = (inode_count * INODE_SIZE).div_ceil(BLOCK);
+        let data_start = itable + itable_blocks;
+        if data_start + 8 > total_blocks {
+            return Err(FsError::NoSpace);
+        }
+        Ok(Geometry { total_blocks, inode_count, journals, njournals, tlist, itable, data_start })
+    }
+
+    /// Device byte offset of inode `ino`.
+    pub fn inode_off(&self, ino: u64) -> u64 {
+        debug_assert!(ino >= 1 && ino <= self.inode_count);
+        self.itable * BLOCK + (ino - 1) * INODE_SIZE
+    }
+
+    /// The journal block for `cpu`.
+    pub fn journal_block(&self, cpu: usize) -> u64 {
+        self.journals + (cpu as u64 % self.njournals)
+    }
+
+    /// Dentry slot location: (file block index, offset within block).
+    pub fn slot_loc(slot: u64) -> (u64, u64) {
+        (slot / SLOTS_PER_BLOCK, (slot % SLOTS_PER_BLOCK) * DENTRY_SIZE)
+    }
+}
+
+/// Serialized directory entry (ino 0 = free slot).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawDentry {
+    /// Target inode.
+    pub ino: u64,
+    /// Entry name.
+    pub name: String,
+}
+
+impl RawDentry {
+    /// Encodes to the 56-byte on-disk form.
+    pub fn encode(&self) -> [u8; DENTRY_SIZE as usize] {
+        let mut b = [0u8; DENTRY_SIZE as usize];
+        b[0..8].copy_from_slice(&self.ino.to_le_bytes());
+        b[8] = self.name.len() as u8;
+        b[9..9 + self.name.len()].copy_from_slice(self.name.as_bytes());
+        b
+    }
+
+    /// Decodes; `None` for a free slot.
+    pub fn decode(b: &[u8]) -> Option<RawDentry> {
+        let ino = u64::from_le_bytes(b[0..8].try_into().ok()?);
+        if ino == 0 {
+            return None;
+        }
+        let n = (b[8] as usize).min(DENTRY_NAME_MAX);
+        Some(RawDentry { ino, name: String::from_utf8_lossy(&b[9..9 + n]).into_owned() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_with_journal_bank() {
+        let g = Geometry::for_device(8 << 20, 4).unwrap();
+        assert_eq!(g.njournals, 4);
+        assert_eq!(g.journal_block(0), g.journals);
+        assert_eq!(g.journal_block(3), g.journals + 3);
+        assert_eq!(g.journal_block(5), g.journals + 1); // wraps
+        assert!(g.tlist > g.journal_block(3));
+        assert!(g.data_start < g.total_blocks);
+    }
+
+    #[test]
+    fn dentry_roundtrip() {
+        let d = RawDentry { ino: 3, name: "w".into() };
+        assert_eq!(RawDentry::decode(&d.encode()), Some(d));
+    }
+}

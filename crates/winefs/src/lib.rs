@@ -1,0 +1,75 @@
+#![warn(missing_docs)]
+
+//! A WineFS-style PM file system (SOSP '21).
+//!
+//! WineFS derives from PMFS (the paper notes two bugs shared between them
+//! through this ancestry) and adds scalability and alignment machinery:
+//!
+//! * **Per-CPU undo journals** — each system call runs its transaction in
+//!   the journal of the CPU it executes on; recovery must roll back every
+//!   journal (bug 19 indexes the array with a constant instead of the CPU
+//!   id, so journals of CPUs > 0 are never replayed).
+//! * **Strict mode** — data writes are made *atomic* by copy-on-write block
+//!   swaps under the journal (bug 20: the non-8-byte-aligned tail of a
+//!   write bypasses the atomic path and lands after the commit).
+//! * An alignment-aware allocator that serves multi-block writes from
+//!   naturally aligned runs (the hugepage-friendliness WineFS is named
+//!   for, in miniature).
+//!
+//! Shared-ancestry bugs: 15 (the write path's final commit is not fenced —
+//! the same missing-fence root cause as PMFS bug 14) and 18 (the
+//! non-temporal copy helper leaves the partial tail cache line unflushed,
+//! as PMFS bug 17).
+
+pub mod fsimpl;
+pub mod journal;
+pub mod layout;
+
+pub use fsimpl::WineFs;
+
+use pmem::PmBackend;
+use vfs::{
+    fs::{FsKind, FsOptions, Guarantees},
+    FsName, FsResult,
+};
+
+/// Factory for [`WineFs`] instances.
+#[derive(Debug, Clone)]
+pub struct WineFsKind {
+    /// Construction options. `opts.cpus` controls the number of per-CPU
+    /// journals (0 defaults to 4, the paper's WineFS VM configuration).
+    pub opts: FsOptions,
+    /// Strict mode: data writes are atomic (the configuration the paper
+    /// tests).
+    pub strict: bool,
+}
+
+impl Default for WineFsKind {
+    fn default() -> Self {
+        WineFsKind { opts: FsOptions::default(), strict: true }
+    }
+}
+
+impl FsKind for WineFsKind {
+    type Fs<D: PmBackend> = WineFs<D>;
+
+    fn name(&self) -> FsName {
+        FsName::WineFs
+    }
+
+    fn options(&self) -> &FsOptions {
+        &self.opts
+    }
+
+    fn guarantees(&self) -> Guarantees {
+        Guarantees { strong: true, atomic_data_writes: self.strict }
+    }
+
+    fn mkfs<D: PmBackend>(&self, dev: D) -> FsResult<Self::Fs<D>> {
+        WineFs::mkfs(dev, &self.opts, self.strict)
+    }
+
+    fn mount<D: PmBackend>(&self, dev: D) -> FsResult<Self::Fs<D>> {
+        WineFs::mount(dev, &self.opts, self.strict)
+    }
+}

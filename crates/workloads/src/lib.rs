@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! Workload generation: the ACE systematic generator and the
+//! Syzkaller-style coverage-guided fuzzer (§3.4).
+//!
+//! The two frontends embody the paper's two hypotheses about finding
+//! crash-consistency bugs:
+//!
+//! * [`ace`] — CrashMonkey's *small-scope hypothesis*: exhaustively
+//!   enumerate every workload of bounded length over a small file set.
+//!   19 of the paper's 23 bugs fall to these workloads (Observation 6).
+//! * [`fuzz`] — a gray-box generational fuzzer in the style of the paper's
+//!   modified Syzkaller: semantically plausible random programs, seeds kept
+//!   when they produce new coverage, and access to patterns ACE omits —
+//!   multiple descriptors per file, non-8-byte-aligned writes, and
+//!   non-zero CPUs — exactly the triggers of the four ACE-missed bugs
+//!   (19, 20, 22, 23).
+
+pub mod ace;
+pub mod fuzz;
+
+pub use ace::{seq1, seq2, seq3_metadata, AceMode};
+pub use fuzz::{FuzzConfig, Fuzzer};

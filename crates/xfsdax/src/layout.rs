@@ -1,0 +1,232 @@
+//! On-device layout: superblock, allocation groups, extent-based inodes,
+//! and the write-ahead log.
+
+use vfs::{FsError, FsResult};
+
+/// Block size in bytes.
+pub const BLOCK: u64 = 4096;
+
+/// Superblock magic ("XFSDAX01").
+pub const MAGIC: u64 = u64::from_le_bytes(*b"XFSDAX01");
+
+/// Inode size in bytes.
+pub const INODE_SIZE: u64 = 512;
+
+/// Inline extents per inode.
+pub const NEXTENTS: usize = 12;
+
+/// Maximum file size in blocks (bounded by the inline extent map: twelve
+/// extents of arbitrary length — the practical bound below keeps reads
+/// sane on corrupt images).
+pub const MAX_FILE_BLOCKS: u64 = 4096;
+
+/// On-disk directory entry size (shared format with the other block file
+/// systems in this workspace).
+pub const DENTRY_SIZE: u64 = 56;
+
+/// Dentry slots per directory block.
+pub const SLOTS_PER_BLOCK: u64 = BLOCK / DENTRY_SIZE;
+
+/// Maximum dentry name length.
+pub const DENTRY_NAME_MAX: usize = 47;
+
+/// The root inode.
+pub const ROOT_INO: u64 = 1;
+
+/// Superblock field offsets.
+pub mod sboff {
+    /// Magic (u64).
+    pub const MAGIC: u64 = 0;
+    /// Total blocks (u64).
+    pub const TOTAL_BLOCKS: u64 = 8;
+    /// Inode count (u64).
+    pub const INODE_COUNT: u64 = 16;
+    /// First log block (u64).
+    pub const LOG_START: u64 = 24;
+    /// Log length in blocks (u64).
+    pub const LOG_BLOCKS: u64 = 32;
+    /// Number of allocation groups (u64).
+    pub const NAGS: u64 = 40;
+    /// Blocks per allocation group (u64).
+    pub const AG_SIZE: u64 = 48;
+    /// First AG-bitmap block (one block per AG) (u64).
+    pub const AGF_START: u64 = 56;
+    /// Inode table start block (u64).
+    pub const ITABLE: u64 = 64;
+    /// First allocatable (data) block (u64).
+    pub const DATA_START: u64 = 72;
+    /// Log sequence number: next transaction id expected at recovery (u64).
+    pub const LOG_SEQ: u64 = 80;
+}
+
+/// Inode field offsets.
+pub mod ioff {
+    /// File type tag (u64).
+    pub const FTYPE: u64 = 0;
+    /// Link count (u64).
+    pub const NLINK: u64 = 8;
+    /// Size in bytes (u64).
+    pub const SIZE: u64 = 16;
+    /// Number of live extents (u64).
+    pub const NEXTENTS: u64 = 24;
+    /// Xattr block (u64; 0 = none).
+    pub const XATTR: u64 = 32;
+    /// First extent record: 3 × u64 per record (file block, start, len).
+    pub const EXTENTS: u64 = 40;
+}
+
+/// Inode type tags.
+pub mod itype {
+    /// Free slot.
+    pub const FREE: u64 = 0;
+    /// Regular file.
+    pub const FILE: u64 = 1;
+    /// Directory.
+    pub const DIR: u64 = 2;
+}
+
+/// Computed device geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Total blocks.
+    pub total_blocks: u64,
+    /// Inode count.
+    pub inode_count: u64,
+    /// First log block.
+    pub log_start: u64,
+    /// Log length in blocks.
+    pub log_blocks: u64,
+    /// Number of allocation groups.
+    pub nags: u64,
+    /// Blocks per allocation group.
+    pub ag_size: u64,
+    /// First AG-bitmap block.
+    pub agf_start: u64,
+    /// Inode table start block.
+    pub itable: u64,
+    /// First allocatable block.
+    pub data_start: u64,
+}
+
+impl Geometry {
+    /// Computes the layout for `size` bytes.
+    pub fn for_device(size: u64) -> FsResult<Geometry> {
+        let total_blocks = size / BLOCK;
+        if total_blocks < 64 {
+            return Err(FsError::NoSpace);
+        }
+        let log_start = 1;
+        let log_blocks = (total_blocks / 16).clamp(8, 256);
+        let nags = 4u64;
+        let agf_start = log_start + log_blocks;
+        let inode_count = (total_blocks / 4).clamp(64, 2048);
+        let itable = agf_start + nags;
+        let itable_blocks = (inode_count * INODE_SIZE).div_ceil(BLOCK);
+        let data_start = itable + itable_blocks;
+        if data_start + nags * 2 > total_blocks {
+            return Err(FsError::NoSpace);
+        }
+        let ag_size = (total_blocks - data_start).div_ceil(nags);
+        Ok(Geometry {
+            total_blocks,
+            inode_count,
+            log_start,
+            log_blocks,
+            nags,
+            ag_size,
+            agf_start,
+            itable,
+            data_start,
+        })
+    }
+
+    /// Device byte offset of inode `ino`.
+    pub fn inode_off(&self, ino: u64) -> u64 {
+        debug_assert!(ino >= 1 && ino <= self.inode_count);
+        self.itable * BLOCK + (ino - 1) * INODE_SIZE
+    }
+
+    /// The allocation group a device block belongs to.
+    pub fn ag_of(&self, blk: u64) -> u64 {
+        debug_assert!(blk >= self.data_start);
+        ((blk - self.data_start) / self.ag_size).min(self.nags - 1)
+    }
+
+    /// The device-block range of allocation group `ag`.
+    pub fn ag_range(&self, ag: u64) -> (u64, u64) {
+        let start = self.data_start + ag * self.ag_size;
+        let end = (start + self.ag_size).min(self.total_blocks);
+        (start, end)
+    }
+
+    /// The bitmap block of allocation group `ag`.
+    pub fn agf_block(&self, ag: u64) -> u64 {
+        self.agf_start + ag
+    }
+
+    /// Dentry slot location: (file block index, offset within the block).
+    pub fn slot_loc(slot: u64) -> (u64, u64) {
+        (slot / SLOTS_PER_BLOCK, (slot % SLOTS_PER_BLOCK) * DENTRY_SIZE)
+    }
+}
+
+/// Serialized directory entry (ino 0 = free slot).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawDentry {
+    /// Target inode.
+    pub ino: u64,
+    /// Entry name.
+    pub name: String,
+}
+
+impl RawDentry {
+    /// Encodes to the 56-byte on-disk form.
+    pub fn encode(&self) -> [u8; DENTRY_SIZE as usize] {
+        let mut b = [0u8; DENTRY_SIZE as usize];
+        b[0..8].copy_from_slice(&self.ino.to_le_bytes());
+        b[8] = self.name.len() as u8;
+        b[9..9 + self.name.len()].copy_from_slice(self.name.as_bytes());
+        b
+    }
+
+    /// Decodes; `None` for a free slot.
+    pub fn decode(b: &[u8]) -> Option<RawDentry> {
+        let ino = u64::from_le_bytes(b[0..8].try_into().ok()?);
+        if ino == 0 {
+            return None;
+        }
+        let n = (b[8] as usize).min(DENTRY_NAME_MAX);
+        Some(RawDentry { ino, name: String::from_utf8_lossy(&b[9..9 + n]).into_owned() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_partitions_the_device() {
+        let g = Geometry::for_device(8 << 20).unwrap();
+        assert_eq!(g.nags, 4);
+        assert!(g.agf_start >= g.log_start + g.log_blocks);
+        assert!(g.itable >= g.agf_start + g.nags);
+        assert!(g.data_start < g.total_blocks);
+        // Every data block maps to a valid AG.
+        assert_eq!(g.ag_of(g.data_start), 0);
+        assert_eq!(g.ag_of(g.total_blocks - 1), g.nags - 1);
+        let (s0, e0) = g.ag_range(0);
+        assert_eq!(s0, g.data_start);
+        assert!(e0 > s0);
+    }
+
+    #[test]
+    fn inode_fits_its_extent_records() {
+        assert!(ioff::EXTENTS + NEXTENTS as u64 * 24 <= INODE_SIZE);
+    }
+
+    #[test]
+    fn dentry_roundtrip() {
+        let d = RawDentry { ino: 4, name: "x".into() };
+        assert_eq!(RawDentry::decode(&d.encode()), Some(d));
+    }
+}

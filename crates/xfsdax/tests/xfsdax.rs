@@ -1,0 +1,167 @@
+//! Functional and crash tests for the XFS-DAX analogue.
+
+use pmem::{PmBackend, PmDevice};
+use vfs::{
+    fs::{FileSystem, FsKind, FsOptions},
+    FsError, FileType, Op, OpenFlags, Workload,
+};
+use xfsdax::{XfsDax, XfsDaxKind};
+
+const DEV: u64 = 8 * 1024 * 1024;
+
+fn fresh() -> XfsDax<PmDevice> {
+    XfsDax::mkfs(PmDevice::new(DEV), &FsOptions::default()).unwrap()
+}
+
+fn crash_and_remount(fs: XfsDax<PmDevice>) -> Result<XfsDax<PmDevice>, FsError> {
+    let img = fs.into_device().persistent_image().to_vec();
+    XfsDax::mount(PmDevice::from_image(img), &FsOptions::default())
+}
+
+#[test]
+fn create_write_read_roundtrip() {
+    let mut fs = fresh();
+    let fd = fs.open("/f", OpenFlags::CREAT_TRUNC).unwrap();
+    fs.pwrite(fd, 10, b"xfs extents").unwrap();
+    fs.close(fd).unwrap();
+    let data = fs.read_file("/f").unwrap();
+    assert_eq!(&data[10..], b"xfs extents");
+    assert_eq!(fs.stat("/f").unwrap().ftype, FileType::Regular);
+}
+
+#[test]
+fn contiguous_writes_build_one_extent() {
+    let mut fs = fresh();
+    let fd = fs.open("/f", OpenFlags::CREAT_TRUNC).unwrap();
+    // 5 sequential blocks: the allocator should grow one extent.
+    fs.pwrite(fd, 0, &vec![7u8; 5 * 4096]).unwrap();
+    fs.close(fd).unwrap();
+    let st = fs.stat("/f").unwrap();
+    assert_eq!(st.blocks, 5);
+    assert_eq!(fs.read_file("/f").unwrap(), vec![7u8; 5 * 4096]);
+}
+
+#[test]
+fn sync_persists_and_remount_recovers() {
+    let mut fs = fresh();
+    fs.mkdir("/d").unwrap();
+    let fd = fs.open("/d/f", OpenFlags::CREAT_TRUNC).unwrap();
+    fs.pwrite(fd, 0, &vec![3u8; 10_000]).unwrap();
+    fs.close(fd).unwrap();
+    fs.link("/d/f", "/g").unwrap();
+    fs.sync().unwrap();
+    let fs2 = crash_and_remount(fs).unwrap();
+    assert_eq!(fs2.read_file("/d/f").unwrap(), vec![3u8; 10_000]);
+    assert_eq!(fs2.stat("/g").unwrap().nlink, 2);
+}
+
+#[test]
+fn unsynced_state_lost_but_mountable() {
+    let mut fs = fresh();
+    fs.creat("/gone").unwrap();
+    let fs2 = crash_and_remount(fs).unwrap();
+    assert_eq!(fs2.stat("/gone"), Err(FsError::NotFound));
+}
+
+#[test]
+fn truncate_and_punch_and_zero() {
+    let mut fs = fresh();
+    let fd = fs.open("/f", OpenFlags::CREAT_TRUNC).unwrap();
+    fs.pwrite(fd, 0, &vec![9u8; 12_288]).unwrap();
+    fs.fallocate(fd, vfs::FallocMode::PunchHole, 4096, 4096).unwrap();
+    assert_eq!(fs.stat("/f").unwrap().blocks, 2);
+    fs.fallocate(fd, vfs::FallocMode::ZeroRange, 0, 100).unwrap();
+    let data = fs.read_file("/f").unwrap();
+    assert!(data[..100].iter().all(|&b| b == 0));
+    assert!(data[4096..8192].iter().all(|&b| b == 0));
+    assert_eq!(data[100], 9);
+    fs.truncate("/f", 5).unwrap();
+    fs.truncate("/f", 100).unwrap();
+    let data = fs.read_file("/f").unwrap();
+    assert_eq!(&data[..5], &[0u8; 5][..]); // zero-ranged earlier
+    assert!(data[5..].iter().all(|&b| b == 0));
+    fs.close(fd).unwrap();
+}
+
+#[test]
+fn allocation_groups_spread_files() {
+    let mut fs = fresh();
+    // Different inodes hash to different AGs; all writes must still work
+    // and be disjoint.
+    for i in 0..8 {
+        let p = format!("/f{i}");
+        let fd = fs.open(&p, OpenFlags::CREAT_TRUNC).unwrap();
+        fs.pwrite(fd, 0, &vec![i as u8 + 1; 8192]).unwrap();
+        fs.close(fd).unwrap();
+    }
+    fs.sync().unwrap();
+    let fs2 = crash_and_remount(fs).unwrap();
+    for i in 0..8 {
+        assert_eq!(fs2.read_file(&format!("/f{i}")).unwrap(), vec![i as u8 + 1; 8192]);
+    }
+}
+
+#[test]
+fn block_reuse_waits_for_commit() {
+    // The ordered-mode reuse rule: blocks freed by an uncommitted unlink
+    // must not be recycled for in-place data before the commit lands.
+    let mut fs = fresh();
+    let fd = fs.open("/victim", OpenFlags::CREAT_TRUNC).unwrap();
+    fs.pwrite(fd, 0, &vec![1u8; 8192]).unwrap();
+    fs.close(fd).unwrap();
+    fs.sync().unwrap();
+    fs.unlink("/victim").unwrap();
+    let fd = fs.open("/new", OpenFlags::CREAT_TRUNC).unwrap();
+    fs.pwrite(fd, 0, &vec![2u8; 8192]).unwrap();
+    fs.close(fd).unwrap();
+    // Crash before any post-unlink sync: /victim must be fully intact.
+    let fs2 = crash_and_remount(fs).unwrap();
+    assert_eq!(fs2.read_file("/victim").unwrap(), vec![1u8; 8192]);
+}
+
+#[test]
+fn xattrs_roundtrip() {
+    let mut fs = fresh();
+    fs.creat("/f").unwrap();
+    fs.setxattr("/f", "user.a", b"1").unwrap();
+    fs.setxattr("/f", "user.b", b"2").unwrap();
+    fs.removexattr("/f", "user.a").unwrap();
+    assert_eq!(fs.removexattr("/f", "user.a"), Err(FsError::NotFound));
+}
+
+#[test]
+fn chipmunk_weak_suite_is_clean() {
+    use chipmunk::{test_workload, TestConfig};
+    let kind = XfsDaxKind::default();
+    assert!(!kind.guarantees().strong);
+    let workloads = vec![
+        Workload::new(
+            "w1",
+            vec![
+                Op::Mkdir { path: "/d".into() },
+                Op::WritePath { path: "/d/f".into(), off: 0, size: 3000 },
+                Op::FsyncPath { path: "/d/f".into() },
+                Op::Rename { old: "/d/f".into(), new: "/g".into() },
+                Op::Sync,
+            ],
+        ),
+        Workload::new(
+            "w2",
+            vec![
+                Op::WritePath { path: "/f".into(), off: 0, size: 9000 },
+                Op::Truncate { path: "/f".into(), size: 100 },
+                Op::FsyncPath { path: "/f".into() },
+            ],
+        ),
+    ];
+    for w in &workloads {
+        let out = test_workload(&kind, w, &TestConfig::default());
+        assert!(
+            out.reports.is_empty(),
+            "XFS-DAX violated {}:\n{}",
+            w.name,
+            out.reports.iter().map(|r| r.to_text()).collect::<String>()
+        );
+        assert!(out.crash_states > 0);
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! chipmunk-rs: a from-scratch Rust reproduction of *"Chipmunk:
+//! Investigating Crash-Consistency in Persistent-Memory File Systems"*
+//! (LeBlanc et al., EuroSys 2023).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`chipmunk`] — the record-and-replay crash-consistency test framework
+//!   (the paper's primary contribution);
+//! * [`pmem`] / [`pmlog`] — the simulated PM device (x86 epoch persistence
+//!   model) and the gray-box persistence-function logger;
+//! * [`vfs`] — the shared POSIX-subset interface, the Table 1 bug registry,
+//!   coverage instrumentation, and the workload vocabulary;
+//! * the seven file systems under test: [`novafs`] (NOVA and NOVA-Fortis),
+//!   [`pmfs`], [`winefs`], [`splitfs`], and the weak-guarantee controls
+//!   [`ext4dax`] and [`xfsdax`];
+//! * [`workloads`] — the ACE systematic generator and the Syzkaller-style
+//!   fuzzer.
+//!
+//! See `DESIGN.md` for the system inventory and per-experiment index, and
+//! `EXPERIMENTS.md` for paper-versus-measured results.
+
+pub use chipmunk;
+pub use ext4dax;
+pub use novafs;
+pub use pmem;
+pub use pmfs;
+pub use pmlog;
+pub use splitfs;
+pub use vfs;
+pub use winefs;
+pub use xfsdax;
+pub use workloads;

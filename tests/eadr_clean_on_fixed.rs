@@ -1,0 +1,149 @@
+//! eADR-port soundness: with every injected bug fixed, Chipmunk under the
+//! eADR persistence model (`TestConfig { eadr: true }`) finds **zero**
+//! violations across the ACE seq-1 suite on every file system.
+//!
+//! This is a stronger claim than the ADR suite makes: under eADR every
+//! store is durable the moment it lands, so every program-order prefix of
+//! the store stream is a crash state. Orderings that are invisible under
+//! ADR (stores to the same cache line become durable atomically at the
+//! flush) are exposed here — the commit-store of any multi-store update
+//! must genuinely be last.
+
+use chipmunk::{test_workload, TestConfig};
+use ext4dax::Ext4DaxKind;
+use novafs::NovaKind;
+use pmfs::PmfsKind;
+use splitfs::SplitFsKind;
+use vfs::fs::{FsKind, FsOptions};
+use winefs::WineFsKind;
+use workloads::ace::{seq1, AceMode};
+use xfsdax::XfsDaxKind;
+
+fn assert_eadr_clean<K: FsKind>(kind: &K, mode: AceMode, label: &str) {
+    let cfg = TestConfig { eadr: true, ..TestConfig::default() };
+    let mut states = 0u64;
+    for w in seq1(mode) {
+        let out = test_workload(kind, &w, &cfg);
+        assert!(
+            out.reports.is_empty(),
+            "[{label}] fixed file system violated {} under eADR:\n{}",
+            w.name,
+            out.reports.iter().map(|r| r.to_text()).collect::<String>()
+        );
+        states += out.crash_states;
+    }
+    assert!(states > 0, "[{label}] no eADR crash states explored");
+}
+
+#[test]
+fn nova_seq1_eadr_clean() {
+    assert_eadr_clean(
+        &NovaKind { opts: FsOptions::fixed(), fortis: false },
+        AceMode::Strong,
+        "NOVA",
+    );
+}
+
+#[test]
+fn nova_fortis_seq1_eadr_clean() {
+    assert_eadr_clean(
+        &NovaKind { opts: FsOptions::fixed(), fortis: true },
+        AceMode::Strong,
+        "NOVA-Fortis",
+    );
+}
+
+#[test]
+fn pmfs_seq1_eadr_clean() {
+    assert_eadr_clean(&PmfsKind { opts: FsOptions::fixed() }, AceMode::Strong, "PMFS");
+}
+
+#[test]
+fn winefs_seq1_eadr_clean() {
+    assert_eadr_clean(
+        &WineFsKind { opts: FsOptions::fixed(), strict: true },
+        AceMode::Strong,
+        "WineFS",
+    );
+}
+
+#[test]
+fn splitfs_seq1_eadr_clean() {
+    assert_eadr_clean(&SplitFsKind { opts: FsOptions::fixed() }, AceMode::Strong, "SplitFS");
+}
+
+#[test]
+fn ext4dax_seq1_eadr_clean() {
+    assert_eadr_clean(&Ext4DaxKind::default(), AceMode::Weak, "ext4-DAX");
+}
+
+#[test]
+fn xfsdax_seq1_eadr_clean() {
+    assert_eadr_clean(&XfsDaxKind::default(), AceMode::Weak, "XFS-DAX");
+}
+
+/// Fuzz-workload soundness under eADR: the hostile patterns ACE omits
+/// (multiple descriptors, orphaned descriptors, unaligned writes, CPU
+/// switching) stay clean on the fixed file systems with store-granular
+/// crash points too (mirrors `fuzz_clean_on_fixed.rs`, smaller budget —
+/// every store is a mount-and-check here).
+#[test]
+fn fuzz_sample_eadr_clean_everywhere() {
+    use workloads::fuzz::{FuzzConfig, Fuzzer};
+    const BUDGET: u64 = 200;
+    let cfg = TestConfig { eadr: true, ..TestConfig::default() };
+
+    macro_rules! run {
+        ($kind:expr, $label:expr, $seed:expr) => {
+            let kind = $kind;
+            let mut fuzzer = Fuzzer::new($seed, FuzzConfig::default());
+            for _ in 0..BUDGET {
+                let w = fuzzer.next_workload();
+                let out = test_workload(&kind, &w, &cfg);
+                assert!(
+                    out.reports.is_empty(),
+                    "[{}] fixed file system violated fuzz workload under eADR:\n  {}\n{}",
+                    $label,
+                    w.describe(),
+                    out.reports.iter().map(|r| r.to_text()).collect::<String>()
+                );
+                fuzzer.feedback(&w, 0);
+            }
+        };
+    }
+    run!(NovaKind { opts: FsOptions::fixed(), fortis: false }, "NOVA", 211);
+    run!(NovaKind { opts: FsOptions::fixed(), fortis: true }, "NOVA-Fortis", 223);
+    run!(PmfsKind { opts: FsOptions::fixed() }, "PMFS", 227);
+    run!(WineFsKind { opts: FsOptions::fixed(), strict: true }, "WineFS", 229);
+    run!(SplitFsKind { opts: FsOptions::fixed() }, "SplitFS", 233);
+}
+
+/// A deterministic seq-2 sample under eADR on the five PM file systems
+/// (mirrors `seq2_sample_clean_everywhere` in the ADR suite).
+#[test]
+fn seq2_sample_eadr_clean_everywhere() {
+    use workloads::ace::seq2;
+    let cfg = TestConfig { eadr: true, ..TestConfig::default() };
+    let sample: Vec<_> = seq2(AceMode::Strong).step_by(97).collect();
+    assert!(sample.len() >= 30);
+
+    macro_rules! run {
+        ($kind:expr, $label:expr) => {
+            for w in &sample {
+                let out = test_workload(&$kind, w, &cfg);
+                assert!(
+                    out.reports.is_empty(),
+                    "[{}] violated {} under eADR:\n{}",
+                    $label,
+                    w.name,
+                    out.reports.iter().map(|r| r.to_text()).collect::<String>()
+                );
+            }
+        };
+    }
+    run!(NovaKind { opts: FsOptions::fixed(), fortis: false }, "NOVA");
+    run!(NovaKind { opts: FsOptions::fixed(), fortis: true }, "NOVA-Fortis");
+    run!(PmfsKind { opts: FsOptions::fixed() }, "PMFS");
+    run!(WineFsKind { opts: FsOptions::fixed(), strict: true }, "WineFS");
+    run!(SplitFsKind { opts: FsOptions::fixed() }, "SplitFS");
+}

@@ -1,0 +1,173 @@
+//! Property-based crash-free equivalence: every file system, run without
+//! crashes on a random workload, must behave observably like the in-memory
+//! reference model — same per-call success/failure, same final tree
+//! (types, sizes, link counts, contents).
+//!
+//! This pins down the *functional* half of correctness; the crash half is
+//! covered by the ACE/fuzz clean suites and the per-bug detection tests.
+
+use chipmunk::exec::Executor;
+use ext4dax::Ext4DaxKind;
+use novafs::NovaKind;
+use pmem::PmDevice;
+use pmfs::PmfsKind;
+use proptest::prelude::*;
+use splitfs::SplitFsKind;
+use vfs::{
+    fs::{FileSystem, FsKind, FsOptions},
+    model::ModelFs,
+    FallocMode, FsError, Op, OpenFlags, Workload,
+};
+use winefs::WineFsKind;
+use xfsdax::XfsDaxKind;
+
+const DEV: u64 = 8 * 1024 * 1024;
+
+const FILES: [&str; 4] = ["/fa", "/fb", "/da/fa", "/da/fb"];
+const DIRS: [&str; 2] = ["/da", "/db"];
+
+fn a_file() -> impl Strategy<Value = String> {
+    prop::sample::select(FILES.to_vec()).prop_map(String::from)
+}
+
+fn a_dir() -> impl Strategy<Value = String> {
+    prop::sample::select(DIRS.to_vec()).prop_map(String::from)
+}
+
+fn a_path() -> impl Strategy<Value = String> {
+    prop_oneof![3 => a_file(), 1 => a_dir()]
+}
+
+fn an_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        a_file().prop_map(|path| Op::Creat { path }),
+        a_dir().prop_map(|path| Op::Mkdir { path }),
+        a_dir().prop_map(|path| Op::Rmdir { path }),
+        a_file().prop_map(|path| Op::Unlink { path }),
+        (a_file(), a_file()).prop_map(|(old, new)| Op::Link { old, new }),
+        (a_path(), a_path()).prop_map(|(old, new)| Op::Rename { old, new }),
+        (a_file(), 0u64..20_000).prop_map(|(path, size)| Op::Truncate { path, size }),
+        (a_file(), 0u64..16_384, 1u64..9_000)
+            .prop_map(|(path, off, size)| Op::WritePath { path, off, size }),
+        (a_file(), prop::sample::select(FallocMode::ALL.to_vec()), 0u64..8_192, 1u64..8_192)
+            .prop_map(|(path, mode, off, len)| Op::FallocPath { path, mode, off, len }),
+        (0usize..2, a_file()).prop_map(|(slot, path)| Op::Open {
+            slot,
+            path,
+            flags: OpenFlags::CREATE
+        }),
+        (0usize..2).prop_map(|slot| Op::Close { slot }),
+        (0usize..2, 0u64..8_192, 1u64..4_096)
+            .prop_map(|(slot, off, size)| Op::Pwrite { slot, off, size }),
+    ]
+}
+
+/// Benign errors must agree exactly; corruption-class errors must never
+/// appear crash-free.
+fn norm(r: &Result<(), FsError>) -> Result<(), String> {
+    match r {
+        Ok(()) => Ok(()),
+        Err(e) if e.is_benign() => Err(e.to_string()),
+        Err(e) => panic!("non-benign error on a crash-free run: {e}"),
+    }
+}
+
+fn run_parity<K: FsKind>(kind: &K, ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut fs = kind.mkfs(PmDevice::new(DEV)).expect("mkfs");
+    let mut model = ModelFs::new();
+    let mut ex_fs = Executor::new();
+    let mut ex_m = Executor::new();
+    let w = Workload::new("parity", ops.to_vec());
+    for (i, op) in w.ops.iter().enumerate() {
+        let rf = ex_fs.exec(&mut fs, op, i);
+        let rm = ex_m.exec(&mut model, op, i);
+        prop_assert_eq!(
+            norm(&rf.result),
+            norm(&rm.result),
+            "op {} {:?} diverged",
+            i,
+            op
+        );
+    }
+    // Compare the final observable trees.
+    for path in FILES.iter().chain(DIRS.iter()).chain(["/"].iter()) {
+        match (fs.stat(path), model.stat(path)) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.ftype, b.ftype, "{}: type", path);
+                prop_assert_eq!(a.nlink, b.nlink, "{}: nlink", path);
+                if a.ftype == vfs::FileType::Regular {
+                    prop_assert_eq!(a.size, b.size, "{}: size", path);
+                    let da = fs.read_file(path).expect("read fs");
+                    let db = model.read_file(path).expect("read model");
+                    prop_assert_eq!(da, db, "{}: contents", path);
+                } else {
+                    let ea: Vec<String> =
+                        fs.readdir(path).unwrap().into_iter().map(|e| e.name).collect();
+                    let eb: Vec<String> =
+                        model.readdir(path).unwrap().into_iter().map(|e| e.name).collect();
+                    prop_assert_eq!(ea, eb, "{}: entries", path);
+                }
+            }
+            (Err(a), Err(b)) => {
+                prop_assert_eq!(a.is_benign(), b.is_benign(), "{}: error class", path);
+            }
+            (a, b) => {
+                return Err(TestCaseError::fail(format!("{path}: fs={a:?} model={b:?}")));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(an_op(), 1..14)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn nova_matches_model(ops in ops_strategy()) {
+        run_parity(&NovaKind { opts: FsOptions::fixed(), fortis: false }, &ops)?;
+    }
+
+    #[test]
+    fn nova_fortis_matches_model(ops in ops_strategy()) {
+        run_parity(&NovaKind { opts: FsOptions::fixed(), fortis: true }, &ops)?;
+    }
+
+    #[test]
+    fn pmfs_matches_model(ops in ops_strategy()) {
+        run_parity(&PmfsKind { opts: FsOptions::fixed() }, &ops)?;
+    }
+
+    #[test]
+    fn winefs_matches_model(ops in ops_strategy()) {
+        run_parity(&WineFsKind { opts: FsOptions::fixed(), strict: true }, &ops)?;
+    }
+
+    #[test]
+    fn splitfs_matches_model(ops in ops_strategy()) {
+        run_parity(&SplitFsKind { opts: FsOptions::fixed() }, &ops)?;
+    }
+
+    #[test]
+    fn ext4dax_matches_model(ops in ops_strategy()) {
+        run_parity(&Ext4DaxKind::default(), &ops)?;
+    }
+
+    #[test]
+    fn xfsdax_matches_model(ops in ops_strategy()) {
+        run_parity(&XfsDaxKind::default(), &ops)?;
+    }
+
+    /// The as-released (buggy) configurations must also be functionally
+    /// correct crash-free — every injected bug manifests only across a
+    /// crash (Observation 5's precondition).
+    #[test]
+    fn buggy_configs_match_model_crash_free(ops in ops_strategy()) {
+        run_parity(&NovaKind { opts: FsOptions::default(), fortis: true }, &ops)?;
+        run_parity(&PmfsKind { opts: FsOptions::default() }, &ops)?;
+        run_parity(&SplitFsKind { opts: FsOptions::default() }, &ops)?;
+    }
+}
