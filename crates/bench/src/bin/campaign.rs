@@ -6,14 +6,17 @@
 //! required to patch all of the bugs").
 //!
 //! ```sh
-//! cargo run --release -p bench --bin campaign
+//! cargo run --release -p bench --bin campaign [threads]
 //! ```
+//!
+//! `threads` (default 1) shards crash-state checking and workload batches;
+//! rounds, clusters, and fixes are identical for any value.
 
-use bench::{dispatch, mode_for, WithKind, STRONG_SYSTEMS};
-use chipmunk::{report::triage, test_workload, BugReport, TestConfig};
+use bench::{dispatch, mode_for, run_batch, WithKind, STRONG_SYSTEMS};
+use chipmunk::{report::triage, BugReport, TestConfig};
 use vfs::{
     fs::{FsKind, FsOptions},
-    BugId, BugSet, FsName,
+    BugId, BugSet, FsName, Workload,
 };
 use workloads::ace::{seq1, seq2};
 
@@ -22,31 +25,47 @@ struct Iteration<'a> {
 }
 
 impl WithKind for Iteration<'_> {
-    type Out = (Vec<BugReport>, std::collections::BTreeSet<BugId>, u64);
+    type Out = (Vec<BugReport>, std::collections::BTreeSet<BugId>, u64, u64);
 
     fn call<K: FsKind>(self, kind: K) -> Self::Out {
         let mode = mode_for(kind.name());
         let mut reports = Vec::new();
         let mut traced = std::collections::BTreeSet::new();
         let mut workloads = 0u64;
-        for w in seq1(mode).into_iter().chain(seq2(mode).step_by(3)) {
-            workloads += 1;
-            let out = test_workload(&kind, &w, self.cfg);
-            if !out.reports.is_empty() {
-                traced.extend(out.traced_bugs.iter().copied());
-                reports.extend(out.reports);
+        let mut dedup = 0u64;
+        let threads = self.cfg.threads.max(1);
+        let batch_len = if threads <= 1 { 1 } else { threads * 2 };
+        let mut stream = seq1(mode).into_iter().chain(seq2(mode).step_by(3));
+        'outer: loop {
+            let batch: Vec<Workload> = stream.by_ref().take(batch_len).collect();
+            if batch.is_empty() {
+                break;
             }
-            if reports.len() >= 600 {
-                break; // plenty for one triage round
+            for (out, _cov) in run_batch(&kind, &batch, self.cfg) {
+                workloads += 1;
+                dedup += out.dedup_hits;
+                if !out.reports.is_empty() {
+                    traced.extend(out.traced_bugs.iter().copied());
+                    reports.extend(out.reports);
+                }
+                if reports.len() >= 600 {
+                    break 'outer; // plenty for one triage round
+                }
             }
         }
-        (reports, traced, workloads)
+        (reports, traced, workloads, dedup)
     }
 }
 
 fn main() {
-    let cfg = TestConfig { cap: Some(2), ..TestConfig::default() };
+    let threads: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let cfg = TestConfig { cap: Some(2), ..TestConfig::default() }.with_threads(threads);
+    println!("threads = {threads}");
     let mut fixed_groups: std::collections::BTreeSet<u32> = Default::default();
+    let (mut dedup_total, mut workloads_total) = (0u64, 0u64);
 
     println!("iterative find → triage → fix → re-run campaign (ACE seq-1 + sampled seq-2)\n");
     for fs in STRONG_SYSTEMS {
@@ -56,8 +75,10 @@ fn main() {
         let mut round = 0;
         loop {
             round += 1;
-            let (reports, traced, workloads) =
+            let (reports, traced, workloads, dedup) =
                 dispatch(fs, FsOptions::with_bugs(bugs), Iteration { cfg: &cfg });
+            dedup_total += dedup;
+            workloads_total += workloads;
             if reports.is_empty() {
                 println!("{fs}: clean after {round} rounds ({workloads} workloads in the last)");
                 break;
@@ -94,6 +115,10 @@ fn main() {
 
     // The four fuzzer-only bugs never fall to ACE; account for them
     // separately so the tally matches Table 1's frontier.
+    println!(
+        "\n{workloads_total} workloads tested; {dedup_total} crash states served from the \
+         dedup cache"
+    );
     let ace_only = fixed_groups.len();
     println!(
         "\nunique fixes applied by the ACE campaign: {ace_only} (paper: ACE finds 19 of 23; \

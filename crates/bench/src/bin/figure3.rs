@@ -2,8 +2,12 @@
 //! crash-consistency bugs by ACE and by the Syzkaller-style fuzzer.
 //!
 //! ```sh
-//! cargo run --release -p bench --bin figure3 [fuzz_budget]
+//! cargo run --release -p bench --bin figure3 [fuzz_budget] [threads] [nodedup]
 //! ```
+//!
+//! `threads` (default 1) shards crash-state checking and workload batches
+//! across that many workers; the table is identical for any value — only
+//! wall time changes (see EXPERIMENTS.md "Parallel scaling").
 //!
 //! Each unique bug is hunted in isolation with each frontend; the series
 //! accumulate per-bug first-find CPU times (the paper accumulates across a
@@ -24,8 +28,15 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(8000);
-    let ace_cfg = TestConfig { stop_on_first: true, ..TestConfig::default() };
-    let fuzz_cfg = TestConfig::fuzzing();
+    let threads: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let dedup = std::env::args().nth(3).as_deref() != Some("nodedup");
+    let ace_cfg = TestConfig { stop_on_first: true, dedup, ..TestConfig::default() }
+        .with_threads(threads);
+    let fuzz_cfg = TestConfig { dedup, ..TestConfig::fuzzing() }.with_threads(threads);
+    eprintln!("threads = {threads}, dedup = {dedup}");
 
     // One representative instance per unique bug (fix group).
     let mut seen_groups = std::collections::BTreeSet::new();
@@ -41,15 +52,20 @@ fn main() {
     // program it tries, which is where its real cost lives).
     let mut ace_series: Vec<(u32, Duration, u64)> = Vec::new();
     let mut fuzz_series: Vec<(u32, Duration, u64)> = Vec::new();
+    let (mut states_total, mut dedup_total) = (0u64, 0u64);
     for info in &uniques {
         if info.ace_findable {
             if let (Some(h), w, _) = hunt_with_ace(info.id, &ace_cfg, 400) {
+                states_total += h.states;
+                dedup_total += h.dedup_hits;
                 ace_series.push((info.id.number(), h.elapsed, w));
             }
         }
         let (fh, w, _) =
             hunt_with_fuzzer(info.id, &fuzz_cfg, 0xf16 + info.id.number() as u64, fuzz_budget);
         if let Some(h) = fh {
+            states_total += h.states;
+            dedup_total += h.dedup_hits;
             fuzz_series.push((info.id.number(), h.elapsed, w));
         }
         eprintln!("hunted bug {} ({})", info.id.number(), info.fs);
@@ -95,6 +111,12 @@ fn main() {
         fuzz_series.len(),
         fw,
         ft.as_secs_f64()
+    );
+    println!(
+        "crash states to the finds: {} total, {} served from the dedup cache ({:.1}% hit rate)",
+        states_total,
+        dedup_total,
+        100.0 * dedup_total as f64 / states_total.max(1) as f64
     );
     let k = ace_series.len().min(fuzz_series.len());
     if k > 0 {

@@ -11,10 +11,15 @@
 //! Wall-clock versions live in `cargo bench -p bench --bench fixcost`.
 //!
 //! ```sh
-//! cargo run --release -p bench --bin fixcost
+//! cargo run --release -p bench --bin fixcost [threads]
 //! ```
+//!
+//! `threads` (default 1) only affects the trailing per-phase harness-cost
+//! probe; the fix-cost numbers are simulated time and thread-independent.
 
+use chipmunk::{test_workload, TestConfig};
 use novafs::{Nova, NovaKind};
+use workloads::ace::{seq2, AceMode};
 use pmem::PmDevice;
 use vfs::{
     fs::{FileSystem, FsKind, FsOptions},
@@ -141,5 +146,20 @@ fn main() {
         checkout_ns(rename_bugs, 40),
         checkout_ns(BugSet::fixed(), 40),
         "paper: <1%",
+    );
+
+    // Where the harness wall-clock actually goes: one representative ACE
+    // seq-2 workload, split into oracle / record / check phases. The check
+    // phase dominates and is the one `TestConfig::threads` shards.
+    let threads: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let cfg = TestConfig::default().with_threads(threads);
+    let kind = NovaKind { opts: FsOptions::fixed(), fortis: false };
+    let w = seq2(AceMode::Strong).nth(10).expect("seq-2 workload");
+    let out = test_workload(&kind, &w, &cfg);
+    println!(
+        "\nper-phase harness cost ({}, threads={threads}): oracle {:.2?}  record {:.2?}  \
+         check {:.2?}  ({} crash states, {} dedup hits)",
+        w.name, out.timing.oracle, out.timing.record, out.timing.check, out.crash_states,
+        out.dedup_hits
     );
 }

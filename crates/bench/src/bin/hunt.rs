@@ -1,0 +1,54 @@
+//! Hunts one injected bug (by Table 1 number) with both frontends, printing
+//! time-to-find, work counters, and dedup hit counts. The measurement tool
+//! behind the "Parallel scaling" section of EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin hunt -- <bug#> [threads] [fuzz_budget] [seed] [nodedup]
+//! ```
+
+use bench::{fmt_dur, hunt_with_ace, hunt_with_fuzzer};
+use chipmunk::TestConfig;
+use vfs::bugs::bug_table;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let number: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(14);
+    let threads: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+    let budget: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(4000);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0xf16 + number as u64);
+    let dedup = args.next().as_deref() != Some("nodedup");
+
+    let info = bug_table()
+        .iter()
+        .find(|b| b.id.number() == number)
+        .unwrap_or_else(|| panic!("no bug #{number} in the Table 1 corpus"));
+    let ace_cfg = TestConfig { stop_on_first: true, dedup, ..TestConfig::default() }
+        .with_threads(threads);
+    let fuzz_cfg = TestConfig { dedup, ..TestConfig::fuzzing() }.with_threads(threads);
+
+    println!("bug {number} on {} (threads = {threads}, dedup = {dedup})", info.fs);
+    if info.ace_findable {
+        match hunt_with_ace(info.id, &ace_cfg, 400) {
+            (Some(h), w, s) => println!(
+                "  ACE : found in {:>8} | {w} workloads, {s} states, {} dedup hits | {}",
+                fmt_dur(h.elapsed),
+                h.dedup_hits,
+                h.class
+            ),
+            (None, w, s) => println!("  ACE : not found | {w} workloads, {s} states"),
+        }
+    } else {
+        println!("  ACE : not findable (fuzzer-only bug)");
+    }
+    match hunt_with_fuzzer(info.id, &fuzz_cfg, seed, budget) {
+        (Some(h), w, s) => println!(
+            "  fuzz: found in {:>8} | {w} workloads, {s} states, {} dedup hits | {}",
+            fmt_dur(h.elapsed),
+            h.dedup_hits,
+            h.class
+        ),
+        (None, w, s) => {
+            println!("  fuzz: not found within {budget} | {w} workloads, {s} states");
+        }
+    }
+}

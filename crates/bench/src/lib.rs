@@ -3,9 +3,12 @@
 //! Shared machinery for the evaluation harnesses (one binary per paper
 //! table/figure — see DESIGN.md §4 for the index).
 
-use std::time::{Duration, Instant};
+use std::{
+    collections::HashSet,
+    time::{Duration, Instant},
+};
 
-use chipmunk::{test_workload, TestConfig, TestOutcome};
+use chipmunk::{test_workload, BugReport, TestConfig, TestOutcome};
 use ext4dax::Ext4DaxKind;
 use novafs::NovaKind;
 use pmfs::PmfsKind;
@@ -53,6 +56,74 @@ pub fn mode_for(fs: FsName) -> AceMode {
     }
 }
 
+/// Runs a batch of workloads through [`test_workload`] across
+/// `cfg.threads` workers, returning `(outcome, per-workload coverage)`
+/// pairs **in batch order** — byte-identical to what a serial loop over the
+/// same batch would produce.
+///
+/// Each workload is tested on a factory clone carrying fresh
+/// coverage/trace sinks ([`FsOptions::with_fresh_sinks`]), so workers never
+/// race on shared instrumentation. Afterwards each workload's sinks are
+/// absorbed into `kind`'s shared sinks in batch order and its
+/// `traced_bugs` is re-snapshotted from the shared trace — reproducing
+/// exactly the cumulative semantics of a serial run on a shared sink.
+pub fn run_batch<K: FsKind>(
+    kind: &K,
+    batch: &[Workload],
+    cfg: &TestConfig,
+) -> Vec<(TestOutcome, HashSet<u64>)> {
+    let threads = cfg.threads.max(1);
+    let run_one = |w: &Workload| {
+        let fresh = kind.with_options(kind.options().with_fresh_sinks());
+        let out = test_workload(&fresh, w, cfg);
+        let cov = fresh.options().cov.snapshot();
+        let trace = fresh.options().trace.snapshot();
+        (out, cov, trace)
+    };
+
+    let mut slots: Vec<Option<(TestOutcome, HashSet<u64>, _)>> = Vec::with_capacity(batch.len());
+    slots.resize_with(batch.len(), || None);
+    if threads <= 1 || batch.len() <= 1 {
+        for (i, w) in batch.iter().enumerate() {
+            slots[i] = Some(run_one(w));
+        }
+    } else {
+        let per = batch.len().div_ceil(threads);
+        let run_one = &run_one;
+        std::thread::scope(|sc| {
+            let handles: Vec<_> = batch
+                .chunks(per)
+                .enumerate()
+                .map(|(c, shard)| {
+                    sc.spawn(move || {
+                        shard
+                            .iter()
+                            .enumerate()
+                            .map(|(j, w)| (c * per + j, run_one(w)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, r) in h.join().expect("workload worker panicked") {
+                    slots[i] = Some(r);
+                }
+            }
+        });
+    }
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            let (mut out, cov, trace) = slot.expect("every batch slot filled");
+            kind.options().cov.absorb(&cov);
+            kind.options().trace.absorb(&trace);
+            out.traced_bugs = kind.options().trace.snapshot();
+            (out, cov)
+        })
+        .collect()
+}
+
 /// Result of hunting one bug with one frontend.
 #[derive(Debug, Clone)]
 pub struct HuntResult {
@@ -69,6 +140,8 @@ pub struct HuntResult {
     /// Whether the injected bug's code path was traced during the finding
     /// run (ground-truth attribution).
     pub traced: bool,
+    /// Crash states served from the dedup cache until the find.
+    pub dedup_hits: u64,
 }
 
 struct AceHunt<'a> {
@@ -85,31 +158,45 @@ impl WithKind for AceHunt<'_> {
         let mode = mode_for(kind.name());
         let mut workloads = 0u64;
         let mut states = 0u64;
+        let mut dedup = 0u64;
         let seq3: Box<dyn Iterator<Item = Workload>> = if mode == AceMode::Strong {
             Box::new(seq3_metadata().step_by(37).take(self.max_seq3))
         } else {
             Box::new(std::iter::empty())
         };
-        for w in seq1(mode).into_iter().chain(seq2(mode)).chain(seq3) {
-            workloads += 1;
-            let out = test_workload(&kind, &w, self.cfg);
-            states += out.crash_states;
-            if let Some(r) = out.reports.first() {
-                return (
-                    Some(HuntResult {
-                        elapsed: start.elapsed(),
+        let mut stream = seq1(mode).into_iter().chain(seq2(mode)).chain(seq3);
+        // The ACE stream is a pure iterator (no feedback), so the batch size
+        // may scale with the worker count without affecting which workload
+        // wins: the walk below commits counters in stream order and stops at
+        // the first report, discarding speculative results past it.
+        let threads = self.cfg.threads.max(1);
+        let batch_len = if threads <= 1 { 1 } else { threads * 2 };
+        loop {
+            let batch: Vec<Workload> = stream.by_ref().take(batch_len).collect();
+            if batch.is_empty() {
+                return (None, workloads, states);
+            }
+            for (out, _cov) in run_batch(&kind, &batch, self.cfg) {
+                workloads += 1;
+                states += out.crash_states;
+                dedup += out.dedup_hits;
+                if let Some(r) = out.reports.first() {
+                    return (
+                        Some(HuntResult {
+                            elapsed: start.elapsed(),
+                            workloads,
+                            states,
+                            class: r.violation.class().to_string(),
+                            detail: format!("{} @ {}", r.op_desc, r.violation.detail()),
+                            traced: out.traced_bugs.contains(&self.bug),
+                            dedup_hits: dedup,
+                        }),
                         workloads,
                         states,
-                        class: r.violation.class().to_string(),
-                        detail: format!("{} @ {}", r.op_desc, r.violation.detail()),
-                        traced: out.traced_bugs.contains(&self.bug),
-                    }),
-                    workloads,
-                    states,
-                );
+                    );
+                }
             }
         }
-        (None, workloads, states)
     }
 }
 
@@ -128,35 +215,53 @@ struct FuzzHunt<'a> {
     budget: u64,
 }
 
+/// Fuzzer batch size. The fuzzer is *batch-synchronous*: it generates this
+/// many workloads up front, tests them (possibly in parallel), then applies
+/// coverage feedback in generation order before generating the next batch.
+/// Fixed — never derived from the thread count — so the generation
+/// trajectory is identical for every `TestConfig::threads` value.
+const FUZZ_BATCH: usize = 8;
+
 impl WithKind for FuzzHunt<'_> {
     type Out = (Option<HuntResult>, u64, u64);
 
     fn call<K: FsKind>(self, kind: K) -> Self::Out {
         let start = Instant::now();
-        let cov = kind.options().cov.clone();
         let mut fuzzer = Fuzzer::new(self.seed, FuzzConfig::default());
         let mut seen = std::collections::HashSet::new();
         let mut states = 0u64;
-        for i in 0..self.budget {
-            let w = fuzzer.next_workload();
-            cov.clear();
-            let out = test_workload(&kind, &w, self.cfg);
-            states += out.crash_states;
-            let new = cov.merge_into(&mut seen);
-            fuzzer.feedback(&w, new);
-            if let Some(r) = out.reports.first() {
-                return (
-                    Some(HuntResult {
-                        elapsed: start.elapsed(),
-                        workloads: i + 1,
+        let mut dedup = 0u64;
+        let mut done = 0u64;
+        while done < self.budget {
+            let n = FUZZ_BATCH.min((self.budget - done) as usize);
+            let batch: Vec<Workload> = (0..n).map(|_| fuzzer.next_workload()).collect();
+            let results = run_batch(&kind, &batch, self.cfg);
+            for (w, (out, cov)) in batch.iter().zip(results) {
+                done += 1;
+                states += out.crash_states;
+                dedup += out.dedup_hits;
+                let mut new = 0;
+                for &h in &cov {
+                    if seen.insert(h) {
+                        new += 1;
+                    }
+                }
+                fuzzer.feedback(w, new);
+                if let Some(r) = out.reports.first() {
+                    return (
+                        Some(HuntResult {
+                            elapsed: start.elapsed(),
+                            workloads: done,
+                            states,
+                            class: r.violation.class().to_string(),
+                            detail: format!("{} @ {}", r.op_desc, r.violation.detail()),
+                            traced: out.traced_bugs.contains(&self.bug),
+                            dedup_hits: dedup,
+                        }),
+                        done,
                         states,
-                        class: r.violation.class().to_string(),
-                        detail: format!("{} @ {}", r.op_desc, r.violation.detail()),
-                        traced: out.traced_bugs.contains(&self.bug),
-                    }),
-                    i + 1,
-                    states,
-                );
+                    );
+                }
             }
         }
         (None, self.budget, states)
@@ -195,6 +300,11 @@ pub struct SuiteStats {
     pub crash_states: u64,
     /// Violations reported.
     pub reports: u64,
+    /// Crash states served from the dedup cache.
+    pub dedup_hits: u64,
+    /// Every violation report, in workload order (determinism witnesses
+    /// compare these across thread counts).
+    pub bug_reports: Vec<BugReport>,
     /// In-flight write counts at each crash point.
     pub inflight: Vec<usize>,
     /// Wall time.
@@ -207,13 +317,18 @@ impl WithKind for SuiteRun<'_> {
     fn call<K: FsKind>(self, kind: K) -> SuiteStats {
         let start = Instant::now();
         let mut s = SuiteStats::default();
-        for w in &self.workloads {
-            let out: TestOutcome = test_workload(&kind, w, self.cfg);
-            s.workloads += 1;
-            s.crash_points += out.crash_points;
-            s.crash_states += out.crash_states;
-            s.reports += out.reports.len() as u64;
-            s.inflight.extend(out.inflight_sizes);
+        let threads = self.cfg.threads.max(1);
+        let chunk = if threads <= 1 { self.workloads.len() } else { threads * 2 }.max(1);
+        for batch in self.workloads.chunks(chunk) {
+            for (out, _cov) in run_batch(&kind, batch, self.cfg) {
+                s.workloads += 1;
+                s.crash_points += out.crash_points;
+                s.crash_states += out.crash_states;
+                s.dedup_hits += out.dedup_hits;
+                s.reports += out.reports.len() as u64;
+                s.bug_reports.extend(out.reports);
+                s.inflight.extend(out.inflight_sizes);
+            }
         }
         s.elapsed = start.elapsed();
         s

@@ -35,6 +35,21 @@ pub struct TestConfig {
     /// reaches buggy crash states in far fewer mounts because "buggy crash
     /// states usually involve few writes".
     pub large_first_subsets: bool,
+    /// Worker threads for crash-state checking and workload sharding. The
+    /// harness checks the subsets at a crash point concurrently over
+    /// independent copy-on-write overlays of the shared base image, and the
+    /// bench frontends shard workload streams across the same count; results
+    /// are always committed in canonical enumeration order, so reports and
+    /// counters are bit-identical for any value. `1` (the default) runs
+    /// fully serial.
+    pub threads: usize,
+    /// Crash-state dedup cache: subsets whose replayed bytes produce an
+    /// identical image over the same base (coalesced subsets frequently
+    /// collide) reuse the first check's result instead of remounting.
+    /// Observationally identical to `false` — reports, counters, coverage
+    /// and traces are unchanged — except for wall time and the
+    /// `dedup_hits` counter.
+    pub dedup: bool,
 }
 
 impl Default for TestConfig {
@@ -49,6 +64,8 @@ impl Default for TestConfig {
             compare_ino: false,
             eadr: false,
             large_first_subsets: false,
+            threads: 1,
+            dedup: true,
         }
     }
 }
@@ -66,6 +83,12 @@ impl TestConfig {
         self.cap = Some(cap);
         self
     }
+
+    /// Returns a copy with the given worker-thread count (clamped to ≥ 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -80,5 +103,9 @@ mod tests {
         assert!(c.probe);
         assert_eq!(TestConfig::fuzzing().cap, Some(2));
         assert_eq!(TestConfig::default().with_cap(5).cap, Some(5));
+        assert_eq!(c.threads, 1);
+        assert!(c.dedup);
+        assert_eq!(TestConfig::default().with_threads(4).threads, 4);
+        assert_eq!(TestConfig::default().with_threads(0).threads, 1);
     }
 }

@@ -86,21 +86,37 @@ pub fn enumerate_subsets_ordered(
     } else {
         (1..=limit).collect()
     };
+    // The full set must always be present (it is the state a crash
+    // immediately before the fence would most plausibly leave, and it is the
+    // next base). Unless the enumeration itself reaches it within budget, a
+    // slot is reserved for it up front so appending it never exceeds
+    // `max_states` and never overwrites an already-enumerated subset.
+    let available: u64 = sizes.iter().fold(0u64, |acc, &k| acc.saturating_add(binom(n, k)));
+    let full_within_enum = limit == n && (large_first || available <= max_states);
+    let budget = if full_within_enum { max_states } else { max_states.saturating_sub(1) };
     'outer: for size in sizes {
         for combo in Combinations::new(n, size) {
-            out.push(combo);
-            if out.len() as u64 >= max_states {
+            if out.len() as u64 >= budget {
                 break 'outer;
             }
+            out.push(combo);
         }
     }
-    // Ensure the full set is present.
-    if limit < n && out.len() as u64 != max_states {
+    if !full_within_enum {
         out.push((0..n).collect());
-    } else if limit < n {
-        *out.last_mut().expect("max_states >= 1") = (0..n).collect();
     }
     out
+}
+
+/// Binomial coefficient with saturating arithmetic (only compared against
+/// state budgets, so saturation on huge inputs is harmless).
+fn binom(n: usize, k: usize) -> u64 {
+    let k = k.min(n - k);
+    let mut r: u64 = 1;
+    for i in 0..k {
+        r = r.saturating_mul((n - i) as u64) / (i as u64 + 1);
+    }
+    r
 }
 
 /// Iterator over k-combinations of `0..n` in lexicographic order.
@@ -152,6 +168,105 @@ pub fn apply_subset(img: &mut pmem::CowDevice<'_>, writes: &[PendingWrite], subs
     for &i in &order {
         img.apply(writes[i].off, &writes[i].data);
     }
+}
+
+/// 128-bit key identifying the *effective* bytes a subset lays over the
+/// base image — the byte image after program-order replay, independent of
+/// which particular writes produced it.
+///
+/// Two subsets that overlay identical bytes at identical offsets get equal
+/// keys even when they differ as index sets (e.g. `{1}` vs `{0, 1}` when
+/// write 1 fully covers write 0, or adjacent writes vs one coalesced write
+/// spanning both ranges). The harness uses this for its crash-state dedup
+/// cache: such states mount and check identically, so the second one can
+/// reuse the first one's result.
+pub fn state_key(writes: &[PendingWrite], subset: &[usize]) -> u128 {
+    let mut order = subset.to_vec();
+    order.sort_unstable();
+    // Latest-writer-wins: walk the subset in reverse program order and keep,
+    // for each write, only the byte ranges not covered by a later write.
+    let mut segs: Vec<(u64, &[u8])> = Vec::new();
+    let mut covered: Vec<(u64, u64)> = Vec::new(); // sorted, disjoint [start, end)
+    for &i in order.iter().rev() {
+        let w = &writes[i];
+        let (ws, we) = (w.off, w.off + w.data.len() as u64);
+        let mut cur = ws;
+        for &(cs, ce) in covered.iter() {
+            if ce <= cur {
+                continue;
+            }
+            if cs >= we {
+                break;
+            }
+            let hole_end = cs.min(we);
+            if cur < hole_end {
+                segs.push((cur, &w.data[(cur - ws) as usize..(hole_end - ws) as usize]));
+            }
+            cur = cur.max(ce);
+            if cur >= we {
+                break;
+            }
+        }
+        if cur < we {
+            segs.push((cur, &w.data[(cur - ws) as usize..(we - ws) as usize]));
+        }
+        insert_interval(&mut covered, ws, we);
+    }
+    segs.sort_by_key(|&(o, _)| o);
+    // Hash maximal contiguous runs as (start offset, bytes..., run length),
+    // so different segmentations of the same byte image hash identically.
+    let mut h1: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut h2: u64 = 0x6c62_272e_07bb_0142;
+    let mut feed = |b: u8| {
+        h1 = (h1 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        h2 = (h2 ^ b as u64).wrapping_mul(0x3f58_76dd_9049_13a5) ^ (h2 >> 29);
+    };
+    let mut i = 0;
+    while i < segs.len() {
+        let start = segs[i].0;
+        for b in start.to_le_bytes() {
+            feed(b);
+        }
+        let mut end = start;
+        while i < segs.len() && segs[i].0 == end {
+            for &b in segs[i].1 {
+                feed(b);
+            }
+            end += segs[i].1.len() as u64;
+            i += 1;
+        }
+        for b in (end - start).to_le_bytes() {
+            feed(b);
+        }
+    }
+    ((h1 as u128) << 64) | h2 as u128
+}
+
+/// Merges `[ws, we)` into a sorted list of disjoint intervals.
+fn insert_interval(covered: &mut Vec<(u64, u64)>, ws: u64, we: u64) {
+    if ws >= we {
+        return;
+    }
+    let mut merged = (ws, we);
+    let mut out = Vec::with_capacity(covered.len() + 1);
+    let mut placed = false;
+    for &(cs, ce) in covered.iter() {
+        if ce < merged.0 {
+            out.push((cs, ce));
+        } else if cs > merged.1 {
+            if !placed {
+                out.push(merged);
+                placed = true;
+            }
+            out.push((cs, ce));
+        } else {
+            merged = (merged.0.min(cs), merged.1.max(ce));
+        }
+    }
+    if !placed {
+        out.push(merged);
+    }
+    *covered = out;
 }
 
 /// Human-readable description of a subset for bug reports.
@@ -244,6 +359,84 @@ mod tests {
     #[test]
     fn zero_inflight_yields_nothing() {
         assert!(enumerate_subsets(0, None, 100).is_empty());
+    }
+
+    #[test]
+    fn truncation_with_cap_preserves_budget_without_losing_enumerated_subsets() {
+        // Regression: `out.len() == max_states && limit < n` used to
+        // overwrite the last enumerated subset with the full set. The budget
+        // now reserves the full set's slot up front instead.
+        let s = enumerate_subsets(5, Some(2), 4);
+        assert_eq!(s.len(), 4, "budget must hold exactly");
+        assert_eq!(*s.last().unwrap(), vec![0, 1, 2, 3, 4], "full set present");
+        // The enumerated prefix is exactly the first budget-1 subsets of the
+        // untruncated enumeration — nothing skipped, nothing overwritten.
+        let untruncated = enumerate_subsets(5, Some(2), u64::MAX);
+        assert_eq!(&s[..3], &untruncated[..3]);
+        let set: std::collections::HashSet<Vec<usize>> = s.iter().cloned().collect();
+        assert_eq!(set.len(), 4, "no duplicates");
+    }
+
+    #[test]
+    fn truncation_without_cap_still_includes_full_set() {
+        // With no cap but a state budget, small-first enumeration never
+        // reaches the full set on its own; it must still be included.
+        let s = enumerate_subsets(10, None, 20);
+        assert_eq!(s.len(), 20);
+        assert_eq!(*s.last().unwrap(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn large_first_truncation_keeps_budget_and_full_set() {
+        let s = enumerate_subsets_ordered(10, None, 20, true);
+        assert_eq!(s.len(), 20);
+        // Large-first emits the full set first; no slot is reserved.
+        assert_eq!(s[0].len(), 10);
+    }
+
+    #[test]
+    fn budget_of_one_with_cap_yields_only_the_full_set() {
+        let s = enumerate_subsets(5, Some(2), 1);
+        assert_eq!(s, vec![vec![0, 1, 2, 3, 4]]);
+    }
+
+    #[test]
+    fn state_key_equates_overwritten_and_coalesced_subsets() {
+        let writes = vec![
+            PendingWrite { off: 0, data: vec![7u8; 8], nt: true },
+            PendingWrite { off: 0, data: vec![9u8; 8], nt: true },   // covers #0
+            PendingWrite { off: 8, data: vec![3u8; 8], nt: true },
+            PendingWrite { off: 0, data: {
+                let mut d = vec![9u8; 8];
+                d.extend_from_slice(&[3u8; 8]);
+                d
+            }, nt: true },                                            // == #1 then #2
+        ];
+        // Write 1 fully covers write 0: {1} and {0,1} leave identical bytes.
+        assert_eq!(state_key(&writes, &[1]), state_key(&writes, &[0, 1]));
+        // Adjacent writes {1,2} equal the single spanning write {3}.
+        assert_eq!(state_key(&writes, &[1, 2]), state_key(&writes, &[3]));
+        // Genuinely different images differ.
+        assert_ne!(state_key(&writes, &[0]), state_key(&writes, &[1]));
+        assert_ne!(state_key(&writes, &[1]), state_key(&writes, &[1, 2]));
+        // Index order never matters (program order is recovered internally).
+        assert_eq!(state_key(&writes, &[1, 0]), state_key(&writes, &[0, 1]));
+    }
+
+    #[test]
+    fn state_key_distinguishes_offset_and_gap_layouts() {
+        let writes = vec![
+            PendingWrite { off: 0, data: vec![5u8; 4], nt: true },
+            PendingWrite { off: 4, data: vec![5u8; 4], nt: true },
+            PendingWrite { off: 8, data: vec![5u8; 4], nt: true },
+        ];
+        // Same bytes at a different offset is a different state.
+        assert_ne!(state_key(&writes, &[0]), state_key(&writes, &[1]));
+        // Contiguous [0,8) differs from gapped {[0,4), [8,12)}.
+        assert_ne!(state_key(&writes, &[0, 1]), state_key(&writes, &[0, 2]));
+        // The empty subset is the base state and keys consistently.
+        assert_eq!(state_key(&writes, &[]), state_key(&writes, &[]));
+        assert_ne!(state_key(&writes, &[]), state_key(&writes, &[0]));
     }
 
     #[test]

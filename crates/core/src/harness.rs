@@ -1,6 +1,7 @@
 //! The top-level test harness: record, replay, check (§3.3, Figure 2).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::time::{Duration, Instant};
 
 use pmem::PmDevice;
 use pmlog::{LogEntry, LogHandle, LoggingPm, Marker, OpRecord};
@@ -12,14 +13,25 @@ use vfs::{
 use crate::{
     checker::{check_crash_state, CheckKind, DataRelax},
     config::TestConfig,
-    crashgen::{coalesce, describe_subset, enumerate_subsets_ordered, PendingWrite},
+    crashgen::{coalesce, describe_subset, enumerate_subsets_ordered, state_key, PendingWrite},
     exec::Executor,
     oracle::{build_oracle, Oracle},
     report::{BugReport, CrashPhase, Violation},
 };
 
+/// Wall time spent in each stage of the pipeline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Stage 1: the crash-free oracle run.
+    pub oracle: Duration,
+    /// Stage 2: the recorded run through the write logger.
+    pub record: Duration,
+    /// Stage 3: crash-state construction and checking.
+    pub check: Duration,
+}
+
 /// Everything a test run produced.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct TestOutcome {
     /// Detected violations (deduplicated within the run, capped).
     pub reports: Vec<BugReport>,
@@ -27,12 +39,18 @@ pub struct TestOutcome {
     pub crash_points: u64,
     /// Number of crash states constructed and checked.
     pub crash_states: u64,
+    /// Of `crash_states`, how many reused an earlier check's result because
+    /// their replayed bytes produced an identical image (see
+    /// [`TestConfig::dedup`]).
+    pub dedup_hits: u64,
     /// In-flight write counts observed at each crash point (before
     /// coalescing) — the data behind Observation 7.
     pub inflight_sizes: Vec<usize>,
     /// Injected-bug code paths that executed during the run (ground truth
     /// for attribution; detection never uses this).
     pub traced_bugs: BTreeSet<BugId>,
+    /// Per-phase wall times.
+    pub timing: PhaseTimings,
     /// The workload name.
     pub workload: String,
 }
@@ -72,6 +90,7 @@ pub fn test_workload<K: FsKind>(kind: &K, workload: &Workload, cfg: &TestConfig)
     kind.options().trace.clear();
 
     // ---- 1. Oracle ----
+    let t_oracle = Instant::now();
     let oracle = match build_oracle(kind, workload, cfg.device_size) {
         Ok(o) => o,
         Err(e) => {
@@ -90,7 +109,10 @@ pub fn test_workload<K: FsKind>(kind: &K, workload: &Workload, cfg: &TestConfig)
         }
     };
 
+    out.timing.oracle = t_oracle.elapsed();
+
     // ---- 2. Recorded run ----
+    let t_record = Instant::now();
     let log = LogHandle::new();
     let dev = PmDevice::new(cfg.device_size);
     let lp = if cfg.eadr {
@@ -125,6 +147,7 @@ pub fn test_workload<K: FsKind>(kind: &K, workload: &Workload, cfg: &TestConfig)
     }
     drop(fs);
     let log = log.take();
+    out.timing.record = t_record.elapsed();
 
     // Functional divergence between the recorded run and the oracle, and
     // non-benign runtime errors, are reported even though they are not
@@ -165,7 +188,9 @@ pub fn test_workload<K: FsKind>(kind: &K, workload: &Workload, cfg: &TestConfig)
     }
 
     // ---- 3. Replay and check ----
+    let t_check = Instant::now();
     replay_and_check(kind, workload, cfg, &oracle, &rec_results, &log, guarantees, &mut out);
+    out.timing.check = t_check.elapsed();
 
     out.traced_bugs = kind.options().trace.snapshot();
     out
@@ -340,8 +365,32 @@ fn replay_and_check<K: FsKind>(
     }
 }
 
+/// The result of checking one crash state on a fresh-sink factory clone:
+/// the violation (if any) plus the instrumentation the check produced, so
+/// the caller can merge it back in canonical order.
+struct CheckRes {
+    violation: Option<Violation>,
+    cov: HashSet<u64>,
+    trace: BTreeSet<BugId>,
+}
+
 /// Checks all crash states at one crash point: optionally the bare base
 /// state, then every enumerated subset of the in-flight writes.
+///
+/// With `cfg.threads > 1` the checks run concurrently — every worker mounts
+/// its own [`pmem::CowDevice`] overlay of the shared (immutable at this
+/// point) base image on a factory clone with private coverage/trace sinks —
+/// but results are always *committed* in subset-enumeration order: counters,
+/// reports, coverage, traces, and the stop-on-first winner are bit-identical
+/// to the serial walk. Speculative checks past the winner are discarded.
+///
+/// With `cfg.dedup`, subsets whose replayed bytes form an identical image
+/// (computed up front, in enumeration order, so the decision never depends
+/// on thread count) reuse the first occurrence's result instead of
+/// remounting. Because an identical image on an identical base mounts and
+/// checks deterministically, replaying the memoized result — violation,
+/// coverage and trace alike — is observationally indistinguishable from the
+/// redundant remount; only wall time and `dedup_hits` differ.
 #[allow(clippy::too_many_arguments)]
 fn visit_crash_point<K: FsKind>(
     kind: &K,
@@ -361,41 +410,120 @@ fn visit_crash_point<K: FsKind>(
     let writes = if cfg.coalesce_data { coalesce(pending) } else { pending.to_vec() };
     let op_desc = workload.ops[seq].describe();
 
-    let run_one = |subset: &[usize], out: &mut TestOutcome| -> bool {
-        out.crash_states += 1;
-        if let Some(v) = check_crash_state(kind, base, &writes, subset, check, cfg) {
-            push_report(
-                out,
-                BugReport {
-                    workload: workload.name.clone(),
-                    op_seq: seq,
-                    op_desc: op_desc.clone(),
-                    phase,
-                    subset: describe_subset(&writes, subset),
-                    violation: v,
-                },
-            );
-            if cfg.stop_on_first {
-                return true;
-            }
-        }
-        false
-    };
-
-    if check_base && run_one(&[], out) {
-        *stop = true;
-        return;
+    let mut subsets: Vec<Vec<usize>> = Vec::new();
+    if check_base {
+        subsets.push(Vec::new());
     }
-    for subset in enumerate_subsets_ordered(
+    subsets.extend(enumerate_subsets_ordered(
         writes.len(),
         cfg.cap,
         cfg.max_states_per_point,
         cfg.large_first_subsets,
-    ) {
-        if run_one(&subset, out) {
-            *stop = true;
-            return;
+    ));
+    if subsets.is_empty() {
+        return;
+    }
+
+    // Dedup plan, fixed in enumeration order before any check runs:
+    // `None` = check this state, `Some(j)` = reuse the result of state `j`.
+    let plan: Vec<Option<usize>> = if cfg.dedup {
+        let mut first: HashMap<u128, usize> = HashMap::with_capacity(subsets.len());
+        subsets
+            .iter()
+            .enumerate()
+            .map(|(i, s)| match first.entry(state_key(&writes, s)) {
+                std::collections::hash_map::Entry::Occupied(e) => Some(*e.get()),
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(i);
+                    None
+                }
+            })
+            .collect()
+    } else {
+        vec![None; subsets.len()]
+    };
+
+    let check_one = |subset: &[usize]| -> CheckRes {
+        let fresh = kind.with_options(kind.options().with_fresh_sinks());
+        let violation = check_crash_state(&fresh, base, &writes, subset, check, cfg);
+        CheckRes {
+            violation,
+            cov: fresh.options().cov.snapshot(),
+            trace: fresh.options().trace.snapshot(),
         }
+    };
+
+    let threads = cfg.threads.max(1);
+    let mut results: Vec<Option<CheckRes>> = Vec::with_capacity(subsets.len());
+    results.resize_with(subsets.len(), || None);
+
+    // With stop-on-first, checking everything up front wastes work past the
+    // winner; process bounded speculation windows instead. Window size only
+    // trades wasted work against parallelism — it never changes the outcome.
+    let window = if cfg.stop_on_first { (threads * 4).max(4) } else { subsets.len() };
+    let mut pos = 0usize;
+    while pos < subsets.len() {
+        let hi = (pos + window).min(subsets.len());
+        let todo: Vec<usize> = (pos..hi).filter(|&i| plan[i].is_none()).collect();
+        if threads <= 1 || todo.len() <= 1 {
+            for &i in &todo {
+                results[i] = Some(check_one(&subsets[i]));
+            }
+        } else {
+            let per = todo.len().div_ceil(threads);
+            let check_one = &check_one;
+            let subsets_ref = &subsets;
+            std::thread::scope(|sc| {
+                let handles: Vec<_> = todo
+                    .chunks(per)
+                    .map(|shard| {
+                        sc.spawn(move || {
+                            shard
+                                .iter()
+                                .map(|&i| (i, check_one(&subsets_ref[i])))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    for (i, r) in h.join().expect("crash-state worker panicked") {
+                        results[i] = Some(r);
+                    }
+                }
+            });
+        }
+
+        // Ordered commit walk over this window.
+        for i in pos..hi {
+            out.crash_states += 1;
+            let res = match plan[i] {
+                Some(j) => {
+                    out.dedup_hits += 1;
+                    results[j].as_ref().expect("dedup source precedes its reuse")
+                }
+                None => results[i].as_ref().expect("checked in this window"),
+            };
+            kind.options().cov.absorb(&res.cov);
+            kind.options().trace.absorb(&res.trace);
+            if let Some(v) = res.violation.clone() {
+                push_report(
+                    out,
+                    BugReport {
+                        workload: workload.name.clone(),
+                        op_seq: seq,
+                        op_desc: op_desc.clone(),
+                        phase,
+                        subset: describe_subset(&writes, &subsets[i]),
+                        violation: v,
+                    },
+                );
+                if cfg.stop_on_first {
+                    *stop = true;
+                    return;
+                }
+            }
+        }
+        pos = hi;
     }
 }
 

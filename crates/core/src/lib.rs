@@ -53,5 +53,5 @@ pub mod oracle;
 pub mod report;
 
 pub use config::TestConfig;
-pub use harness::{test_workload, TestOutcome};
+pub use harness::{test_workload, PhaseTimings, TestOutcome};
 pub use report::{triage, BugReport, CrashPhase, Violation};

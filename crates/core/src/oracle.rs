@@ -547,6 +547,9 @@ mod tests {
             static OPTS: std::sync::OnceLock<vfs::fs::FsOptions> = std::sync::OnceLock::new();
             OPTS.get_or_init(vfs::fs::FsOptions::default)
         }
+        fn with_options(&self, _opts: vfs::fs::FsOptions) -> Self {
+            self.clone()
+        }
         fn guarantees(&self) -> vfs::Guarantees {
             vfs::Guarantees { strong: false, atomic_data_writes: false }
         }

@@ -55,7 +55,7 @@ proptest! {
         let mixed = torn_mix(&old, &new, &picks);
         // The torn image must have the old or new *size* to be legal; force
         // that by truncating/extending to one of the two lengths.
-        let mixed = &mixed[..if picks.first().unwrap_or(&0) % 2 == 0 { old.len() } else { new.len() }];
+        let mixed = &mixed[..if picks.first().unwrap_or(&0).is_multiple_of(2) { old.len() } else { new.len() }];
         let mut actual = cur.clone();
         actual.insert("/f".into(), file(7, if linked { 2 } else { 1 }, mixed));
         if linked {

@@ -54,6 +54,10 @@ impl FsKind for Ext4DaxKind {
         &self.opts
     }
 
+    fn with_options(&self, opts: FsOptions) -> Self {
+        Self { opts }
+    }
+
     fn guarantees(&self) -> Guarantees {
         Guarantees { strong: false, atomic_data_writes: false }
     }

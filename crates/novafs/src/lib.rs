@@ -72,6 +72,10 @@ impl FsKind for NovaKind {
         &self.opts
     }
 
+    fn with_options(&self, opts: FsOptions) -> Self {
+        Self { opts, ..self.clone() }
+    }
+
     fn guarantees(&self) -> Guarantees {
         // NOVA is synchronous and atomic for metadata; data writes are
         // copy-on-write and effectively atomic per write, but NOVA does not

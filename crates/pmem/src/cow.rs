@@ -119,7 +119,20 @@ impl PmBackend for CowDevice<'_> {
     }
 
     fn memset_nt(&mut self, off: u64, val: u8, len: u64) {
-        self.write_bytes(off, &vec![val; len as usize]);
+        // Page-sized chunks from one stack buffer: a memset of the whole
+        // device must not allocate O(len) (it used to build a `vec![val;
+        // len]` per call, which dominated large fallocate replays).
+        assert!(
+            (off as usize).checked_add(len as usize).is_some_and(|e| e <= self.base.len()),
+            "CowDevice memset out of range: off={off} len={len}"
+        );
+        let buf = [val; PAGE as usize];
+        let mut pos = 0u64;
+        while pos < len {
+            let n = (len - pos).min(PAGE) as usize;
+            self.write_bytes(off + pos, &buf[..n]);
+            pos += n as u64;
+        }
     }
 
     fn flush(&mut self, _off: u64, _len: u64) {}

@@ -181,7 +181,14 @@ impl PmBackend for PmDevice {
         if len == 0 {
             return;
         }
-        self.memcpy_nt(off, &vec![val; len as usize]);
+        // One allocation for the in-flight record; going through memcpy_nt
+        // would build a temporary fill buffer and then copy it again.
+        self.check_range(off, len as usize);
+        let data = vec![val; len as usize];
+        self.view[off as usize..off as usize + len as usize].copy_from_slice(&data);
+        self.inflight.push(InflightWrite { off, data, kind: InflightKind::NonTemporal });
+        self.stats.nt_bytes += len;
+        self.cost.charge(NT_LINE_NS * len.div_ceil(CACHE_LINE));
     }
 
     fn flush(&mut self, off: u64, len: u64) {

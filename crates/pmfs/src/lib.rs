@@ -52,6 +52,10 @@ impl FsKind for PmfsKind {
         &self.opts
     }
 
+    fn with_options(&self, opts: FsOptions) -> Self {
+        Self { opts }
+    }
+
     fn guarantees(&self) -> Guarantees {
         Guarantees { strong: true, atomic_data_writes: false }
     }

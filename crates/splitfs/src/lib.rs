@@ -66,6 +66,10 @@ impl FsKind for SplitFsKind {
         &self.opts
     }
 
+    fn with_options(&self, opts: FsOptions) -> Self {
+        Self { opts }
+    }
+
     fn guarantees(&self) -> Guarantees {
         // Strict mode: synchronous and atomic, including data writes.
         Guarantees { strong: true, atomic_data_writes: true }

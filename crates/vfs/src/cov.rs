@@ -70,6 +70,14 @@ impl Cov {
         }
     }
 
+    /// Merges a set of hits (typically another sink's [`Cov::snapshot`])
+    /// into this sink. No-op when disabled.
+    pub fn absorb(&self, hits: &HashSet<u64>) {
+        if let Some(s) = &self.sink {
+            s.lock().extend(hits.iter().copied());
+        }
+    }
+
     /// Merges this sink's hits into `acc`, returning how many were new.
     pub fn merge_into(&self, acc: &mut HashSet<u64>) -> usize {
         let mut new = 0;

@@ -133,6 +133,21 @@ impl FsOptions {
     pub fn with_bugs(bugs: BugSet) -> Self {
         FsOptions { bugs, ..Default::default() }
     }
+
+    /// A copy with the same behaviour knobs (bugs, cpus, extras) but *fresh*
+    /// coverage and trace sinks that share nothing with `self`. Parallel
+    /// workers check crash states on clones built from these options, so
+    /// their instrumentation can be merged back in canonical order rather
+    /// than racing on the shared sinks.
+    pub fn with_fresh_sinks(&self) -> Self {
+        FsOptions {
+            bugs: self.bugs,
+            cov: if self.cov.is_enabled() { Cov::enabled() } else { Cov::disabled() },
+            cpus: self.cpus,
+            trace: BugTrace::new(),
+            extra_bugs: self.extra_bugs,
+        }
+    }
 }
 
 /// The POSIX-subset interface every tested file system implements.
@@ -224,7 +239,11 @@ pub trait FileSystem {
 ///
 /// The test harness is generic over this trait so the same checking code
 /// records on a logging device and re-mounts on copy-on-write crash images.
-pub trait FsKind: Clone {
+///
+/// `Send + Sync` because the harness shares one factory across its
+/// crash-state worker threads (every kind is a plain options holder behind
+/// `Arc`-based sinks, so this costs implementations nothing).
+pub trait FsKind: Clone + Send + Sync {
     /// The file-system type produced for a device type `D`.
     type Fs<D: PmBackend>: FileSystem;
 
@@ -235,6 +254,12 @@ pub trait FsKind: Clone {
     /// factory passes to instances. Gives the harness access to the shared
     /// sinks.
     fn options(&self) -> &FsOptions;
+
+    /// A copy of this factory using `opts` instead of its current options
+    /// (every other knob — NOVA's fortis mode, WineFS strictness — is
+    /// preserved). Parallel workers use this with
+    /// [`FsOptions::with_fresh_sinks`] to get private instrumentation.
+    fn with_options(&self, opts: FsOptions) -> Self;
 
     /// The crash-consistency guarantees Chipmunk should assume.
     fn guarantees(&self) -> Guarantees;

@@ -38,6 +38,11 @@ impl BugTrace {
         self.sink.lock().clone()
     }
 
+    /// Merges another trace's [`BugTrace::snapshot`] into this one.
+    pub fn absorb(&self, bugs: &BTreeSet<BugId>) {
+        self.sink.lock().extend(bugs.iter().copied());
+    }
+
     /// Clears the trace.
     pub fn clear(&self) {
         self.sink.lock().clear();

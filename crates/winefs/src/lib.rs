@@ -61,6 +61,10 @@ impl FsKind for WineFsKind {
         &self.opts
     }
 
+    fn with_options(&self, opts: FsOptions) -> Self {
+        Self { opts, ..self.clone() }
+    }
+
     fn guarantees(&self) -> Guarantees {
         Guarantees { strong: true, atomic_data_writes: self.strict }
     }

@@ -53,6 +53,10 @@ impl FsKind for XfsDaxKind {
         &self.opts
     }
 
+    fn with_options(&self, opts: FsOptions) -> Self {
+        Self { opts }
+    }
+
     fn guarantees(&self) -> Guarantees {
         Guarantees { strong: false, atomic_data_writes: false }
     }

@@ -1,6 +1,6 @@
 //! Functional and crash tests for the XFS-DAX analogue.
 
-use pmem::{PmBackend, PmDevice};
+use pmem::PmDevice;
 use vfs::{
     fs::{FileSystem, FsKind, FsOptions},
     FsError, FileType, Op, OpenFlags, Workload,

@@ -13,7 +13,7 @@
 use chipmunk::exec::Executor;
 use chipmunk::oracle::{diff_trees, snapshot_tree};
 use novafs::NovaKind;
-use pmem::{PmBackend, PmDevice};
+use pmem::PmDevice;
 use pmfs::PmfsKind;
 use proptest::prelude::*;
 use splitfs::SplitFsKind;

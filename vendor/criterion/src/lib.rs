@@ -1,0 +1,149 @@
+//! Offline shim for the `criterion` surface used by `bench/benches`.
+//!
+//! Runs each benchmark closure `sample_size` times after one warm-up and
+//! prints mean and min wall time. No statistics, plotting, or baselines —
+//! just enough to keep `cargo bench` working without registry access.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value (re-export of
+/// `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifies a parameterized benchmark: `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), param) }
+    }
+}
+
+/// Passed to benchmark closures; `iter` times the workload.
+pub struct Bencher {
+    samples: usize,
+    mean: Duration,
+    min: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` once to warm up, then `samples` timed times.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        std_black_box(f());
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            std_black_box(f());
+            let d = t.elapsed();
+            total += d;
+            min = min.min(d);
+        }
+        self.mean = total / self.samples as u32;
+        self.min = min;
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher { samples: self.samples, mean: Duration::ZERO, min: Duration::ZERO };
+        f(&mut b);
+        println!(
+            "{}/{:<40} mean {:>12.3?}   min {:>12.3?}   ({} samples)",
+            self.name, id, b.mean, b.min, self.samples
+        );
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run(id, f);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = id.id.clone();
+        self.run(&name, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing already happened per-bench).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), samples: 10, _c: self }
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($f(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        let mut runs = 0;
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        g.bench_with_input(BenchmarkId::new("with_input", 7), &7, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+        // one warm-up + three samples
+        assert_eq!(runs, 4);
+    }
+}

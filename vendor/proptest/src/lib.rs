@@ -1,0 +1,240 @@
+//! Offline shim for the `proptest` crate surface used by this workspace.
+//!
+//! Implements the strategy combinators, the `proptest!` test macro, and the
+//! `prop_assert*` macros over a deterministic per-test RNG. Differences from
+//! upstream proptest, acceptable for this repo's suites:
+//!
+//! * **No shrinking** — a failing case reports its inputs (and the case
+//!   index) instead of a minimized counterexample.
+//! * **Fixed derivation of case seeds** — every test function derives its
+//!   case RNGs from a hash of its module path and name, so failures are
+//!   reproducible across runs and machines without a persistence file.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod sample;
+
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use test_runner::{ProptestConfig, TestCaseError, TestRng};
+
+/// `prop::` namespace alias as re-exported by the upstream prelude.
+pub mod prop {
+    pub use crate::arbitrary;
+    pub use crate::collection;
+    pub use crate::option;
+    pub use crate::sample;
+    pub use crate::strategy;
+}
+
+pub mod prelude {
+    //! The common imports: `use proptest::prelude::*;`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Weighted union of strategies: `prop_oneof![s1, s2]` or
+/// `prop_oneof![3 => s1, 1 => s2]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not the
+/// whole process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "{:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{} ({:?} != {:?})", format!($($fmt)+), a, b),
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "both sides equal {:?}", a);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a != b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{} (both sides equal {:?})", format!($($fmt)+), a),
+            ));
+        }
+    }};
+}
+
+/// Declares property tests. Supports the upstream form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0u64..100, v in collection::vec(any::<u8>(), 1..9)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr);) => {};
+    (config = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __inputs = {
+                    let mut s = ::std::string::String::new();
+                    $(s.push_str(&format!(
+                        concat!("  ", stringify!($arg), " = {:?}\n"), &$arg));)+
+                    s
+                };
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = __outcome {
+                    panic!(
+                        "proptest case {}/{} failed: {}\ninputs:\n{}",
+                        __case + 1, __cfg.cases, e, __inputs
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_vecs(
+            x in 3u64..17,
+            v in prop::collection::vec(any::<u8>(), 2..6),
+            exact in prop::collection::vec(1u8..=3, 4),
+            opt in prop::option::of(0usize..5),
+            pick in prop::sample::select(vec!["a", "b"]),
+            f in 0.25f64..0.75,
+        ) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert_eq!(exact.len(), 4);
+            prop_assert!(exact.iter().all(|b| (1..=3).contains(b)));
+            if let Some(o) = opt { prop_assert!(o < 5); }
+            prop_assert!(pick == "a" || pick == "b");
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn oneof_weights_and_maps(
+            s in prop_oneof![3 => Just(1u8), 1 => Just(2u8)],
+            m in (0u8..4).prop_map(|b| b * 10),
+        ) {
+            prop_assert!(s == 1 || s == 2);
+            prop_assert!(m % 10 == 0 && m < 40);
+        }
+
+        #[test]
+        fn question_mark_propagates(x in 0u32..10) {
+            let check = |v: u32| -> Result<(), TestCaseError> {
+                prop_assert!(v < 10);
+                Ok(())
+            };
+            check(x)?;
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let collect = || {
+            let mut rng = TestRng::for_case("fixed::name", 3);
+            let s = crate::collection::vec(0u8..=255, 8);
+            Strategy::generate(&s, &mut rng)
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failures_surface_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(unused)]
+            fn always_fails(x in 0u8..4) {
+                prop_assert!(false, "forced");
+            }
+        }
+        always_fails();
+    }
+}

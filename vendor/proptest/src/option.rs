@@ -1,0 +1,28 @@
+//! `option::of` — optional values.
+
+use rand::Rng;
+
+use crate::{strategy::Strategy, test_runner::TestRng};
+
+/// The strategy returned by [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        // Upstream defaults to None 1 time in 4.
+        if rng.rng().gen_range(0u32..4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+/// `Some` of the inner strategy's values, or `None` a quarter of the time.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}

@@ -1,0 +1,26 @@
+//! `sample::select` — uniform choice from a fixed list.
+
+use rand::Rng;
+
+use crate::{strategy::Strategy, test_runner::TestRng};
+
+/// The strategy returned by [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    choices: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.rng().gen_range(0..self.choices.len());
+        self.choices[i].clone()
+    }
+}
+
+/// Uniformly selects one of `choices`. Panics on an empty list.
+pub fn select<T: Clone>(choices: Vec<T>) -> Select<T> {
+    assert!(!choices.is_empty(), "sample::select on an empty list");
+    Select { choices }
+}

@@ -1,0 +1,71 @@
+//! Config, error, and RNG types backing the `proptest!` macro.
+
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Per-test configuration (only the fields this workspace uses).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed test case. Upstream distinguishes `Fail` from `Reject`; this
+/// shim only fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail<S: Into<String>>(msg: S) -> Self {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The RNG strategies draw from. Seeds derive from the test's path and the
+/// case index, so runs are reproducible everywhere with no state file.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// RNG for case `case` of the test identified by `name`.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in name.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        let mut state = h ^ ((case as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let seed = rand::splitmix64(&mut state);
+        TestRng { inner: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Access to the underlying generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}

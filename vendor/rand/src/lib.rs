@@ -1,0 +1,250 @@
+//! Offline shim for the `rand` 0.8 crate surface used by this workspace:
+//! `rngs::StdRng`, `SeedableRng::seed_from_u64`, and the `Rng` methods
+//! `gen_range` / `gen_bool` / `gen`.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — deterministic,
+//! fast, and of ample quality for workload generation. It is **not** the
+//! upstream `StdRng` (ChaCha12): streams differ from real `rand` for the
+//! same seed, which is fine here because every consumer only relies on
+//! self-consistency of a fixed seed.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core RNG interface: a source of uniformly distributed 64-bit words.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction (the slice-seed variant is omitted; the workspace
+/// only seeds from `u64`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// SplitMix64 step, used for seeding and for hashing case indices.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = splitmix64(&mut sm);
+            }
+            // All-zero state is the one forbidden state; SplitMix64 cannot
+            // produce four zero words from any seed, but keep the guard.
+            if s == [0; 4] {
+                s[0] = 0x9e37_79b9_7f4a_7c15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Types that can be drawn uniformly from an interval. The generic
+/// `SampleRange` impls below go through this trait so type inference flows
+/// from the call site into integer literals, exactly as in upstream rand.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[lo, hi)`. Panics if empty.
+    fn sample_half_open(lo: Self, hi: Self, rng: &mut impl RngCore) -> Self;
+    /// Uniform sample from `[lo, hi]`. Panics if empty.
+    fn sample_inclusive(lo: Self, hi: Self, rng: &mut impl RngCore) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(lo: $t, hi: $t, rng: &mut impl RngCore) -> $t {
+                assert!(lo < hi, "cannot sample empty range");
+                let span = (hi as i128).wrapping_sub(lo as i128) as u64;
+                // Lemire's multiply-shift; bias is < 2^-64 per draw and
+                // irrelevant for test workload generation.
+                let draw = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                (lo as i128 + draw as i128) as $t
+            }
+            fn sample_inclusive(lo: $t, hi: $t, rng: &mut impl RngCore) -> $t {
+                assert!(lo <= hi, "cannot sample empty range");
+                if lo == <$t>::MIN && hi == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = (hi as i128).wrapping_sub(lo as i128) as u64 + 1;
+                let draw = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open(lo: f64, hi: f64, rng: &mut impl RngCore) -> f64 {
+        assert!(lo < hi, "cannot sample empty range");
+        let frac = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + frac * (hi - lo)
+    }
+    fn sample_inclusive(lo: f64, hi: f64, rng: &mut impl RngCore) -> f64 {
+        Self::sample_half_open(lo, f64::from_bits(hi.to_bits() + 1), rng)
+    }
+}
+
+/// A range that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range. Panics if the range is empty.
+    fn sample(self, rng: &mut impl RngCore) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut impl RngCore) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut impl RngCore) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// Types `Rng::gen` can produce.
+pub trait Standard: Sized {
+    /// Draws a uniform value.
+    fn draw(rng: &mut impl RngCore) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn draw(rng: &mut impl RngCore) -> $t { rng.next_u64() as $t }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn draw(rng: &mut impl RngCore) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn draw(rng: &mut impl RngCore) -> f64 {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli trial with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of range");
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+
+    /// Uniform sample of a whole type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::draw(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let va: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..1000)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..1000)).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.gen_range(0u64..1000)).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = r.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = r.gen_range(1u8..=3);
+            assert!((1..=3).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_calibrated() {
+        let mut r = StdRng::seed_from_u64(2);
+        let hits = (0..20_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((5_000..7_000).contains(&hits), "{hits}");
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn full_width_inclusive_range() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let _: u8 = r.gen_range(0u8..=u8::MAX);
+        }
+    }
+}
