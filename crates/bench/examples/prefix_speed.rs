@@ -1,0 +1,54 @@
+//! Measures what the incremental engine buys on an ACE sweep: runs strong
+//! seq-1 plus the first `n` (arg, default 200) seq-2 workloads on NOVA
+//! three times — all incremental layers off (the PR-1 baseline), all on,
+//! and all but the prefix cache — printing per-phase wall times and cache
+//! counters. Crash-state counts are identical across rows by construction
+//! (the differential tests enforce it); only the time columns move. The
+//! source of the EXPERIMENTS.md "Incremental evaluation" table.
+
+use bench::run_suite;
+use chipmunk::TestConfig;
+use vfs::{BugSet, FsName};
+use workloads::ace::{seq1, seq2, AceMode};
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(200);
+    let ws: Vec<_> = seq1(AceMode::Strong)
+        .into_iter()
+        .chain(seq2(AceMode::Strong))
+        .take(56 + n)
+        .collect();
+    for (label, cfg) in [
+        (
+            "all-off ",
+            TestConfig {
+                dedup: true,
+                cross_dedup: false,
+                delta_replay: false,
+                scoped_check: false,
+                prefix_cache: false,
+                ..TestConfig::default()
+            },
+        ),
+        ("all-on  ", TestConfig::default()),
+        (
+            "no-prefix",
+            TestConfig { prefix_cache: false, ..TestConfig::default() },
+        ),
+    ] {
+        let t = std::time::Instant::now();
+        let s = run_suite(FsName::Nova, BugSet::fixed(), ws.clone(), &cfg);
+        println!(
+            "{label} total={:?} oracle={:?} record={:?} check={:?} states={} dedup={} memo={} prefix={} saved={}",
+            t.elapsed(),
+            s.phase.oracle,
+            s.phase.record,
+            s.phase.check,
+            s.crash_states,
+            s.dedup_hits,
+            s.memo_hits,
+            s.prefix_hits,
+            s.prefix_ops_saved,
+        );
+    }
+}

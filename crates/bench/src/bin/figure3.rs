@@ -2,8 +2,12 @@
 //! crash-consistency bugs by ACE and by the Syzkaller-style fuzzer.
 //!
 //! ```sh
-//! cargo run --release -p bench --bin figure3 [fuzz_budget] [threads] [nodedup]
+//! cargo run --release -p bench --bin figure3 [fuzz_budget] [threads] [nodedup] [--json <path>]
 //! ```
+//!
+//! With `--json <path>`, the two series and the aggregate counters
+//! (per-phase wall times, dedup/memo/prefix hits, states/sec) are also
+//! written to `path`.
 //!
 //! `threads` (default 1) shards crash-state checking and workload batches
 //! across that many workers; the table is identical for any value — only
@@ -19,20 +23,16 @@
 
 use std::time::Duration;
 
-use bench::{hunt_with_ace, hunt_with_fuzzer};
+use bench::{hunt_with_ace, hunt_with_fuzzer, jsonout::Json, take_json_flag, PhaseTotals};
 use chipmunk::TestConfig;
 use vfs::bugs::bug_table;
 
 fn main() {
-    let fuzz_budget: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8000);
-    let threads: usize = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
-    let dedup = std::env::args().nth(3).as_deref() != Some("nodedup");
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = take_json_flag(&mut raw);
+    let fuzz_budget: u64 = raw.first().and_then(|s| s.parse().ok()).unwrap_or(8000);
+    let threads: usize = raw.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let dedup = raw.get(2).map(String::as_str) != Some("nodedup");
     let ace_cfg = TestConfig { stop_on_first: true, dedup, ..TestConfig::default() }
         .with_threads(threads);
     let fuzz_cfg = TestConfig { dedup, ..TestConfig::fuzzing() }.with_threads(threads);
@@ -53,11 +53,19 @@ fn main() {
     let mut ace_series: Vec<(u32, Duration, u64)> = Vec::new();
     let mut fuzz_series: Vec<(u32, Duration, u64)> = Vec::new();
     let (mut states_total, mut dedup_total) = (0u64, 0u64);
+    let (mut memo_total, mut prefix_total, mut saved_total) = (0u64, 0u64, 0u64);
+    let mut phase_total = PhaseTotals::default();
     for info in &uniques {
         if info.ace_findable {
             if let (Some(h), w, _) = hunt_with_ace(info.id, &ace_cfg, 400) {
                 states_total += h.states;
                 dedup_total += h.dedup_hits;
+                memo_total += h.memo_hits;
+                prefix_total += h.prefix_hits;
+                saved_total += h.prefix_ops_saved;
+                phase_total.oracle += h.phase.oracle;
+                phase_total.record += h.phase.record;
+                phase_total.check += h.phase.check;
                 ace_series.push((info.id.number(), h.elapsed, w));
             }
         }
@@ -66,6 +74,10 @@ fn main() {
         if let Some(h) = fh {
             states_total += h.states;
             dedup_total += h.dedup_hits;
+            memo_total += h.memo_hits;
+            phase_total.oracle += h.phase.oracle;
+            phase_total.record += h.phase.record;
+            phase_total.check += h.phase.check;
             fuzz_series.push((info.id.number(), h.elapsed, w));
         }
         eprintln!("hunted bug {} ({})", info.id.number(), info.fs);
@@ -127,5 +139,48 @@ fn main() {
              (paper: ~6-20x the CPU time to the shared bugs)",
             fuzz_k as f64 / ace_k.max(1) as f64
         );
+    }
+
+    if let Some(path) = json_path {
+        let series = |s: &[(u32, Duration, u64)]| {
+            Json::Arr(
+                s.iter()
+                    .map(|&(bug, d, w)| {
+                        Json::Obj(vec![
+                            ("bug", Json::U(bug as u64)),
+                            ("seconds", Json::F(d.as_secs_f64())),
+                            ("workloads", Json::U(w)),
+                        ])
+                    })
+                    .collect(),
+            )
+        };
+        let total_secs = (at + ft).as_secs_f64();
+        let doc = Json::Obj(vec![
+            ("fuzz_budget", Json::U(fuzz_budget)),
+            ("threads", Json::U(threads as u64)),
+            ("dedup", Json::B(dedup)),
+            ("ace", series(&ace_series)),
+            ("fuzz", series(&fuzz_series)),
+            (
+                "totals",
+                Json::Obj(vec![
+                    ("states", Json::U(states_total)),
+                    ("dedup_hits", Json::U(dedup_total)),
+                    ("memo_hits", Json::U(memo_total)),
+                    ("prefix_hits", Json::U(prefix_total)),
+                    ("prefix_ops_saved", Json::U(saved_total)),
+                    ("oracle_seconds", Json::F(phase_total.oracle.as_secs_f64())),
+                    ("record_seconds", Json::F(phase_total.record.as_secs_f64())),
+                    ("check_seconds", Json::F(phase_total.check.as_secs_f64())),
+                    (
+                        "states_per_sec",
+                        Json::F(states_total as f64 / total_secs.max(1e-9)),
+                    ),
+                ]),
+            ),
+        ]);
+        std::fs::write(&path, doc.render()).expect("write --json output");
+        eprintln!("wrote {path}");
     }
 }

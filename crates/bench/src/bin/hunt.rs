@@ -3,15 +3,21 @@
 //! behind the "Parallel scaling" section of EXPERIMENTS.md.
 //!
 //! ```sh
-//! cargo run --release -p bench --bin hunt -- <bug#> [threads] [fuzz_budget] [seed] [nodedup]
+//! cargo run --release -p bench --bin hunt -- <bug#> [threads] [fuzz_budget] [seed] [nodedup] [--json <path>]
 //! ```
+//!
+//! With `--json <path>`, a machine-readable summary — per-phase wall times,
+//! dedup/memo/prefix hit counters, and states/sec — is also written to
+//! `path` (see `BENCH_hunt.json` for a committed baseline).
 
-use bench::{fmt_dur, hunt_with_ace, hunt_with_fuzzer};
+use bench::{fmt_dur, hunt_json, hunt_with_ace, hunt_with_fuzzer, jsonout::Json, take_json_flag};
 use chipmunk::TestConfig;
 use vfs::bugs::bug_table;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = take_json_flag(&mut raw);
+    let mut args = raw.into_iter();
     let number: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(14);
     let threads: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
     let budget: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(4000);
@@ -27,28 +33,54 @@ fn main() {
     let fuzz_cfg = TestConfig { dedup, ..TestConfig::fuzzing() }.with_threads(threads);
 
     println!("bug {number} on {} (threads = {threads}, dedup = {dedup})", info.fs);
-    if info.ace_findable {
-        match hunt_with_ace(info.id, &ace_cfg, 400) {
-            (Some(h), w, s) => println!(
-                "  ACE : found in {:>8} | {w} workloads, {s} states, {} dedup hits | {}",
+    let ace = if info.ace_findable {
+        let (hit, w, s) = hunt_with_ace(info.id, &ace_cfg, 400);
+        match &hit {
+            Some(h) => println!(
+                "  ACE : found in {:>8} | {w} workloads, {s} states, {} dedup, {} memo, {} prefix hits | {}",
                 fmt_dur(h.elapsed),
                 h.dedup_hits,
+                h.memo_hits,
+                h.prefix_hits,
                 h.class
             ),
-            (None, w, s) => println!("  ACE : not found | {w} workloads, {s} states"),
+            None => println!("  ACE : not found | {w} workloads, {s} states"),
         }
+        Some((hit, w, s))
     } else {
         println!("  ACE : not findable (fuzzer-only bug)");
-    }
-    match hunt_with_fuzzer(info.id, &fuzz_cfg, seed, budget) {
-        (Some(h), w, s) => println!(
-            "  fuzz: found in {:>8} | {w} workloads, {s} states, {} dedup hits | {}",
+        None
+    };
+    let (fuzz_hit, fuzz_w, fuzz_s) = hunt_with_fuzzer(info.id, &fuzz_cfg, seed, budget);
+    match &fuzz_hit {
+        Some(h) => println!(
+            "  fuzz: found in {:>8} | {fuzz_w} workloads, {fuzz_s} states, {} dedup hits | {}",
             fmt_dur(h.elapsed),
             h.dedup_hits,
             h.class
         ),
-        (None, w, s) => {
-            println!("  fuzz: not found within {budget} | {w} workloads, {s} states");
+        None => {
+            println!("  fuzz: not found within {budget} | {fuzz_w} workloads, {fuzz_s} states");
         }
+    }
+
+    if let Some(path) = json_path {
+        let doc = Json::Obj(vec![
+            ("bug", Json::U(number as u64)),
+            ("fs", Json::S(info.fs.to_string())),
+            ("threads", Json::U(threads as u64)),
+            ("dedup", Json::B(dedup)),
+            ("fuzz_budget", Json::U(budget)),
+            (
+                "ace",
+                match &ace {
+                    Some((hit, w, s)) => hunt_json(hit.as_ref(), *w, *s),
+                    None => Json::Null,
+                },
+            ),
+            ("fuzz", hunt_json(fuzz_hit.as_ref(), fuzz_w, fuzz_s)),
+        ]);
+        std::fs::write(&path, doc.render()).expect("write --json output");
+        eprintln!("wrote {path}");
     }
 }

@@ -8,7 +8,7 @@ use std::{
     time::{Duration, Instant},
 };
 
-use chipmunk::{test_workload, BugReport, TestConfig, TestOutcome};
+use chipmunk::{test_workload, BugReport, PrefixCache, TestConfig, TestOutcome};
 use ext4dax::Ext4DaxKind;
 use novafs::NovaKind;
 use pmfs::PmfsKind;
@@ -124,6 +124,46 @@ pub fn run_batch<K: FsKind>(
         .collect()
 }
 
+/// [`run_batch`] with an optional prefix cache: when the cache is live and
+/// the config is serial, workloads are *executed* in op-lexicographic order
+/// (adjacent workloads then share the longest op prefixes, which is what the
+/// cache exploits — ACE emits dependency-setup ops first, so sorted
+/// neighbours typically share their whole setup) while results are still
+/// *committed* in batch order. Per-workload outputs are pure functions of
+/// the workload, so the returned vector is byte-identical to [`run_batch`]'s.
+pub fn run_batch_cached<K: FsKind>(
+    kind: &K,
+    batch: &[Workload],
+    cfg: &TestConfig,
+    cache: Option<&mut PrefixCache<K>>,
+) -> Vec<(TestOutcome, HashSet<u64>)> {
+    let cache = match cache {
+        Some(c) if cfg.threads.max(1) <= 1 && c.is_active() => c,
+        _ => return run_batch(kind, batch, cfg),
+    };
+    let keys: Vec<Vec<String>> = batch
+        .iter()
+        .map(|w| w.ops.iter().map(|o| o.describe()).collect())
+        .collect();
+    let mut order: Vec<usize> = (0..batch.len()).collect();
+    order.sort_by(|&a, &b| keys[a].cmp(&keys[b]));
+    let mut slots: Vec<Option<(TestOutcome, HashSet<u64>, _)>> = Vec::with_capacity(batch.len());
+    slots.resize_with(batch.len(), || None);
+    for i in order {
+        slots[i] = Some(cache.run(&batch[i], cfg));
+    }
+    slots
+        .into_iter()
+        .map(|slot| {
+            let (mut out, cov, trace) = slot.expect("every batch slot filled");
+            kind.options().cov.absorb(&cov);
+            kind.options().trace.absorb(&trace);
+            out.traced_bugs = kind.options().trace.snapshot();
+            (out, cov)
+        })
+        .collect()
+}
+
 /// Result of hunting one bug with one frontend.
 #[derive(Debug, Clone)]
 pub struct HuntResult {
@@ -142,6 +182,34 @@ pub struct HuntResult {
     pub traced: bool,
     /// Crash states served from the dedup cache until the find.
     pub dedup_hits: u64,
+    /// Crash states that reused cross-point artifacts until the find.
+    pub memo_hits: u64,
+    /// Workloads resumed from a cached execution prefix until the find.
+    pub prefix_hits: u64,
+    /// Oracle + record operations skipped by prefix resumes until the find.
+    pub prefix_ops_saved: u64,
+    /// Cumulative per-phase wall time over the committed workloads.
+    pub phase: PhaseTotals,
+}
+
+/// Summed per-phase wall times across a set of workload runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTotals {
+    /// Stage 1: crash-free oracle runs.
+    pub oracle: Duration,
+    /// Stage 2: recorded runs through the write logger.
+    pub record: Duration,
+    /// Stage 3: crash-state construction and checking.
+    pub check: Duration,
+}
+
+impl PhaseTotals {
+    /// Adds one workload's timings.
+    pub fn add(&mut self, t: &chipmunk::PhaseTimings) {
+        self.oracle += t.oracle;
+        self.record += t.record;
+        self.check += t.check;
+    }
 }
 
 struct AceHunt<'a> {
@@ -159,6 +227,10 @@ impl WithKind for AceHunt<'_> {
         let mut workloads = 0u64;
         let mut states = 0u64;
         let mut dedup = 0u64;
+        let mut memo = 0u64;
+        let mut prefix = 0u64;
+        let mut saved = 0u64;
+        let mut phase = PhaseTotals::default();
         let seq3: Box<dyn Iterator<Item = Workload>> = if mode == AceMode::Strong {
             Box::new(seq3_metadata().step_by(37).take(self.max_seq3))
         } else {
@@ -166,20 +238,32 @@ impl WithKind for AceHunt<'_> {
         };
         let mut stream = seq1(mode).into_iter().chain(seq2(mode)).chain(seq3);
         // The ACE stream is a pure iterator (no feedback), so the batch size
-        // may scale with the worker count without affecting which workload
+        // may scale with the worker count — or widen into a serial lookahead
+        // window for the prefix cache — without affecting which workload
         // wins: the walk below commits counters in stream order and stops at
         // the first report, discarding speculative results past it.
         let threads = self.cfg.threads.max(1);
-        let batch_len = if threads <= 1 { 1 } else { threads * 2 };
+        let mut cache = PrefixCache::new(&kind, self.cfg);
+        let batch_len = if threads > 1 {
+            threads * 2
+        } else if cache.is_active() {
+            64
+        } else {
+            1
+        };
         loop {
             let batch: Vec<Workload> = stream.by_ref().take(batch_len).collect();
             if batch.is_empty() {
                 return (None, workloads, states);
             }
-            for (out, _cov) in run_batch(&kind, &batch, self.cfg) {
+            for (out, _cov) in run_batch_cached(&kind, &batch, self.cfg, Some(&mut cache)) {
                 workloads += 1;
                 states += out.crash_states;
                 dedup += out.dedup_hits;
+                memo += out.memo_hits;
+                prefix += out.prefix_hits;
+                saved += out.prefix_ops_saved;
+                phase.add(&out.timing);
                 if let Some(r) = out.reports.first() {
                     return (
                         Some(HuntResult {
@@ -190,6 +274,10 @@ impl WithKind for AceHunt<'_> {
                             detail: format!("{} @ {}", r.op_desc, r.violation.detail()),
                             traced: out.traced_bugs.contains(&self.bug),
                             dedup_hits: dedup,
+                            memo_hits: memo,
+                            prefix_hits: prefix,
+                            prefix_ops_saved: saved,
+                            phase,
                         }),
                         workloads,
                         states,
@@ -231,6 +319,8 @@ impl WithKind for FuzzHunt<'_> {
         let mut seen = std::collections::HashSet::new();
         let mut states = 0u64;
         let mut dedup = 0u64;
+        let mut memo = 0u64;
+        let mut phase = PhaseTotals::default();
         let mut done = 0u64;
         while done < self.budget {
             let n = FUZZ_BATCH.min((self.budget - done) as usize);
@@ -240,6 +330,8 @@ impl WithKind for FuzzHunt<'_> {
                 done += 1;
                 states += out.crash_states;
                 dedup += out.dedup_hits;
+                memo += out.memo_hits;
+                phase.add(&out.timing);
                 let mut new = 0;
                 for &h in &cov {
                     if seen.insert(h) {
@@ -257,6 +349,10 @@ impl WithKind for FuzzHunt<'_> {
                             detail: format!("{} @ {}", r.op_desc, r.violation.detail()),
                             traced: out.traced_bugs.contains(&self.bug),
                             dedup_hits: dedup,
+                            memo_hits: memo,
+                            prefix_hits: 0,
+                            prefix_ops_saved: 0,
+                            phase,
                         }),
                         done,
                         states,
@@ -302,6 +398,14 @@ pub struct SuiteStats {
     pub reports: u64,
     /// Crash states served from the dedup cache.
     pub dedup_hits: u64,
+    /// Crash states that reused cross-point artifacts.
+    pub memo_hits: u64,
+    /// Workloads resumed from a cached execution prefix.
+    pub prefix_hits: u64,
+    /// Oracle + record operations skipped by prefix resumes.
+    pub prefix_ops_saved: u64,
+    /// Cumulative per-phase wall times.
+    pub phase: PhaseTotals,
     /// Every violation report, in workload order (determinism witnesses
     /// compare these across thread counts).
     pub bug_reports: Vec<BugReport>,
@@ -319,12 +423,17 @@ impl WithKind for SuiteRun<'_> {
         let mut s = SuiteStats::default();
         let threads = self.cfg.threads.max(1);
         let chunk = if threads <= 1 { self.workloads.len() } else { threads * 2 }.max(1);
+        let mut cache = PrefixCache::new(&kind, self.cfg);
         for batch in self.workloads.chunks(chunk) {
-            for (out, _cov) in run_batch(&kind, batch, self.cfg) {
+            for (out, _cov) in run_batch_cached(&kind, batch, self.cfg, Some(&mut cache)) {
                 s.workloads += 1;
                 s.crash_points += out.crash_points;
                 s.crash_states += out.crash_states;
                 s.dedup_hits += out.dedup_hits;
+                s.memo_hits += out.memo_hits;
+                s.prefix_hits += out.prefix_hits;
+                s.prefix_ops_saved += out.prefix_ops_saved;
+                s.phase.add(&out.timing);
                 s.reports += out.reports.len() as u64;
                 s.bug_reports.extend(out.reports);
                 s.inflight.extend(out.inflight_sizes);
@@ -364,6 +473,135 @@ pub fn fmt_dur(d: Duration) -> String {
     }
 }
 
+/// Minimal JSON document builder for the binaries' `--json` flags (the
+/// workspace is dependency-frozen, so no serde).
+pub mod jsonout {
+    /// A JSON value. Objects preserve field order.
+    pub enum Json {
+        /// A float, rendered with millisecond-scale precision.
+        F(f64),
+        /// An unsigned integer.
+        U(u64),
+        /// A boolean.
+        B(bool),
+        /// A string (escaped on render).
+        S(String),
+        /// `null`.
+        Null,
+        /// An array.
+        Arr(Vec<Json>),
+        /// An object.
+        Obj(Vec<(&'static str, Json)>),
+    }
+
+    impl Json {
+        /// Renders the document with two-space indentation and a trailing
+        /// newline.
+        pub fn render(&self) -> String {
+            let mut s = String::new();
+            self.write(&mut s, 0);
+            s.push('\n');
+            s
+        }
+
+        fn write(&self, out: &mut String, ind: usize) {
+            let pad = |n: usize| "  ".repeat(n);
+            match self {
+                Json::F(v) => out.push_str(&format!("{v:.6}")),
+                Json::U(v) => out.push_str(&v.to_string()),
+                Json::B(v) => out.push_str(if *v { "true" } else { "false" }),
+                Json::Null => out.push_str("null"),
+                Json::S(v) => {
+                    out.push('"');
+                    for c in v.chars() {
+                        match c {
+                            '"' => out.push_str("\\\""),
+                            '\\' => out.push_str("\\\\"),
+                            '\n' => out.push_str("\\n"),
+                            '\t' => out.push_str("\\t"),
+                            c if (c as u32) < 0x20 => {
+                                out.push_str(&format!("\\u{:04x}", c as u32));
+                            }
+                            c => out.push(c),
+                        }
+                    }
+                    out.push('"');
+                }
+                Json::Arr(items) => {
+                    if items.is_empty() {
+                        out.push_str("[]");
+                        return;
+                    }
+                    out.push_str("[\n");
+                    for (i, item) in items.iter().enumerate() {
+                        out.push_str(&pad(ind + 1));
+                        item.write(out, ind + 1);
+                        out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                    }
+                    out.push_str(&pad(ind));
+                    out.push(']');
+                }
+                Json::Obj(fields) => {
+                    if fields.is_empty() {
+                        out.push_str("{}");
+                        return;
+                    }
+                    out.push_str("{\n");
+                    for (i, (k, v)) in fields.iter().enumerate() {
+                        out.push_str(&pad(ind + 1));
+                        out.push_str(&format!("\"{k}\": "));
+                        v.write(out, ind + 1);
+                        out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                    }
+                    out.push_str(&pad(ind));
+                    out.push('}');
+                }
+            }
+        }
+    }
+}
+
+/// Pulls a `--json <path>` flag out of a raw argument list (any position),
+/// leaving the positional arguments in place.
+pub fn take_json_flag(args: &mut Vec<String>) -> Option<String> {
+    let i = args.iter().position(|a| a == "--json")?;
+    args.remove(i);
+    if i < args.len() {
+        Some(args.remove(i))
+    } else {
+        None
+    }
+}
+
+/// Serializes one frontend's hunt result (or a miss) for the `--json`
+/// outputs: per-phase wall times, cache-layer hit counters, and throughput.
+pub fn hunt_json(hit: Option<&HuntResult>, workloads: u64, states: u64) -> jsonout::Json {
+    use jsonout::Json;
+    let mut f = vec![
+        ("found", Json::B(hit.is_some())),
+        ("workloads", Json::U(workloads)),
+        ("states", Json::U(states)),
+    ];
+    if let Some(h) = hit {
+        let secs = h.elapsed.as_secs_f64();
+        f.extend([
+            ("seconds", Json::F(secs)),
+            ("states_per_sec", Json::F(h.states as f64 / secs.max(1e-9))),
+            ("class", Json::S(h.class.clone())),
+            ("detail", Json::S(h.detail.clone())),
+            ("traced", Json::B(h.traced)),
+            ("dedup_hits", Json::U(h.dedup_hits)),
+            ("memo_hits", Json::U(h.memo_hits)),
+            ("prefix_hits", Json::U(h.prefix_hits)),
+            ("prefix_ops_saved", Json::U(h.prefix_ops_saved)),
+            ("oracle_seconds", Json::F(h.phase.oracle.as_secs_f64())),
+            ("record_seconds", Json::F(h.phase.record.as_secs_f64())),
+            ("check_seconds", Json::F(h.phase.check.as_secs_f64())),
+        ]);
+    }
+    Json::Obj(f)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -390,6 +628,28 @@ mod tests {
         assert!(hit.traced);
         assert_eq!(hit.class, "atomicity");
         assert!(workloads <= 56 + 3136);
+    }
+
+    #[test]
+    fn suite_identical_with_and_without_prefix_cache() {
+        let ws: Vec<Workload> = seq1(AceMode::Strong).into_iter().take(8).collect();
+        let bugs = BugSet::only(&[BugId::B02]);
+        let on = TestConfig::default();
+        let off = TestConfig { prefix_cache: false, ..TestConfig::default() };
+        let a = run_suite(FsName::Nova, bugs, ws.clone(), &on);
+        let b = run_suite(FsName::Nova, bugs, ws, &off);
+        assert!(a.prefix_hits > 0, "cache must engage on the serial path");
+        assert_eq!(b.prefix_hits, 0);
+        assert_eq!(a.crash_points, b.crash_points);
+        assert_eq!(a.crash_states, b.crash_states);
+        assert_eq!(a.dedup_hits, b.dedup_hits);
+        assert_eq!(a.memo_hits, b.memo_hits);
+        assert_eq!(a.inflight, b.inflight);
+        assert_eq!(
+            format!("{:?}", a.bug_reports),
+            format!("{:?}", b.bug_reports),
+            "violations must be bit-identical with the cache on"
+        );
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! Differential witnesses for the incremental crash-state engine: every
+//! cache/scoping layer (prefix cache, delta replay, cross-point memo, scoped
+//! checking) is a pure performance optimization, so toggling them must not
+//! change a single result bit.
+
+use bench::{dispatch, run_batch, run_batch_cached, run_suite, WithKind};
+use chipmunk::{PrefixCache, TestConfig, TestOutcome};
+use vfs::{
+    fs::{FsKind, FsOptions},
+    BugSet, FsName, Workload,
+};
+use workloads::ace::{seq1, AceMode};
+
+fn fingerprint(o: &TestOutcome) -> String {
+    format!(
+        "{:?}|{}|{}|{}|{:?}|{:?}",
+        o.reports, o.crash_points, o.crash_states, o.dedup_hits, o.inflight_sizes, o.traced_bugs
+    )
+}
+
+/// Full ACE seq-1 on NOVA (with the fixed injected-bug corpus): per-workload
+/// outcomes and coverage with every incremental layer enabled must equal the
+/// all-layers-off baseline.
+#[test]
+fn full_seq1_nova_layers_do_not_change_outcomes() {
+    struct Diff {
+        ws: Vec<Workload>,
+    }
+    impl WithKind for Diff {
+        type Out = ();
+        fn call<K: FsKind>(self, kind: K) {
+            let on = TestConfig::default();
+            let off = TestConfig {
+                prefix_cache: false,
+                scoped_check: false,
+                delta_replay: false,
+                cross_dedup: false,
+                ..TestConfig::default()
+            };
+            let mut cache = PrefixCache::new(&kind, &on);
+            let fast = run_batch_cached(&kind, &self.ws, &on, Some(&mut cache));
+            // Fresh shared sinks for the baseline pass so cumulative
+            // `traced_bugs` snapshots start from the same point.
+            let base_kind = kind.with_options(kind.options().with_fresh_sinks());
+            let slow = run_batch(&base_kind, &self.ws, &off);
+            assert_eq!(fast.len(), slow.len());
+            for (w, ((a, cov_a), (b, cov_b))) in self.ws.iter().zip(fast.iter().zip(&slow)) {
+                // The memo layer is off in the baseline; everything else
+                // must match bit for bit.
+                assert_eq!(fingerprint(a), fingerprint(b), "outcome diverged on {}", w.name);
+                assert_eq!(cov_a, cov_b, "coverage diverged on {}", w.name);
+            }
+            let prefix_hits: u64 = fast.iter().map(|(o, _)| o.prefix_hits).sum();
+            assert!(prefix_hits > 0, "the cache must have engaged");
+        }
+    }
+    let ws = seq1(AceMode::Strong);
+    dispatch(FsName::Nova, FsOptions::with_bugs(BugSet::fixed()), Diff { ws });
+}
+
+/// The suite runner's aggregate counters are identical across every layer
+/// combination (dedup stays on so its counter is comparable).
+#[test]
+fn suite_counters_identical_across_layer_combinations() {
+    let ws: Vec<Workload> = seq1(AceMode::Strong).into_iter().take(12).collect();
+    let configs = [
+        TestConfig::default(),
+        TestConfig { prefix_cache: false, ..TestConfig::default() },
+        TestConfig { delta_replay: false, scoped_check: false, ..TestConfig::default() },
+        TestConfig {
+            prefix_cache: false,
+            delta_replay: false,
+            scoped_check: false,
+            cross_dedup: false,
+            ..TestConfig::default()
+        },
+    ];
+    let base = run_suite(FsName::Nova, BugSet::fixed(), ws.clone(), &configs[3]);
+    for cfg in &configs[..3] {
+        let s = run_suite(FsName::Nova, BugSet::fixed(), ws.clone(), cfg);
+        assert_eq!(s.crash_points, base.crash_points);
+        assert_eq!(s.crash_states, base.crash_states);
+        assert_eq!(s.dedup_hits, base.dedup_hits);
+        assert_eq!(s.reports, base.reports);
+        assert_eq!(s.inflight, base.inflight);
+        assert_eq!(format!("{:?}", s.bug_reports), format!("{:?}", base.bug_reports));
+    }
+}

@@ -16,13 +16,16 @@
 //!    which the caller discards — the analogue of the paper's undo log for
 //!    checker mutations.
 
-use pmem::CowDevice;
+use pmem::{CowDevice, PmBackend};
 use vfs::{FileSystem, FsKind};
 
 use crate::{
     config::TestConfig,
     crashgen::{apply_subset, PendingWrite},
-    oracle::{diff_atomic_write, diff_relaxed_write, diff_trees, snapshot_tree, NodeSnap, Tree},
+    oracle::{
+        diff_atomic_write_scoped, diff_relaxed_write_scoped, diff_trees_scoped,
+        snapshot_tree_scoped, NodeSnap, Scope, Tree,
+    },
     report::Violation,
 };
 
@@ -83,15 +86,26 @@ pub fn check_crash_state<K: FsKind>(
 ) -> Option<Violation> {
     let mut cow = CowDevice::new(base);
     apply_subset(&mut cow, writes, subset);
-    let mut fs = match kind.mount(cow) {
-        Ok(fs) => fs,
-        Err(e) => return Some(Violation::Unmountable(e.to_string())),
+    check_mounted(kind, cow, check, cfg, &Scope::Full)
+}
+
+/// [`check_crash_state`] for a device the caller already built — the delta
+/// engine passes `&mut CowDevice` so the same undo-logged overlay is reused
+/// across adjacent crash states. `scope` is the crash point's in-flight
+/// scope (`Scope::Full` disables scoping regardless of config).
+pub fn check_mounted<K: FsKind, D: PmBackend>(
+    kind: &K,
+    dev: D,
+    check: &CheckKind<'_>,
+    cfg: &TestConfig,
+    scope: &Scope,
+) -> Option<Violation> {
+    let ws = walk_scope(cfg, scope);
+    let (mut fs, tree) = match mount_state(kind, dev, &ws) {
+        Ok(x) => x,
+        Err(v) => return Some(v),
     };
-    let tree = match snapshot_tree(&fs) {
-        Ok(t) => t,
-        Err(d) => return Some(Violation::CorruptState(d)),
-    };
-    if let Some(v) = compare(&tree, check, cfg) {
+    if let Some(v) = compare_checked(&tree, check, cfg, scope) {
         return Some(v);
     }
     if cfg.probe {
@@ -102,24 +116,102 @@ pub fn check_crash_state<K: FsKind>(
     None
 }
 
-fn compare(tree: &Tree, check: &CheckKind<'_>, cfg: &TestConfig) -> Option<Violation> {
+/// Mounts `kind` on `dev` (running crash recovery) and walks the tree,
+/// reading file contents only inside `walk_scope`. The two failure modes
+/// are the first two check stages: [`Violation::Unmountable`] and
+/// [`Violation::CorruptState`].
+pub fn mount_state<K: FsKind, D: PmBackend>(
+    kind: &K,
+    dev: D,
+    walk_scope: &Scope,
+) -> Result<(K::Fs<D>, Tree), Violation> {
+    let fs = kind.mount(dev).map_err(|e| Violation::Unmountable(e.to_string()))?;
+    let tree = snapshot_tree_scoped(&fs, walk_scope).map_err(Violation::CorruptState)?;
+    Ok((fs, tree))
+}
+
+/// The scope the tree walk should use. A full walk is required whenever the
+/// tree outlives this one comparison (cross-point memoization) or the
+/// validation mode needs to run the full comparison against it.
+pub fn walk_scope(cfg: &TestConfig, scope: &Scope) -> Scope {
+    if !cfg.scoped_check || cfg.scoped_validate || cfg.cross_dedup {
+        Scope::Full
+    } else {
+        scope.clone()
+    }
+}
+
+/// Stage-3 comparison honoring the scoping config: scoped when enabled,
+/// full otherwise, and — under `scoped_validate` — both, panicking if their
+/// verdicts disagree (the full verdict wins). The tree must have been
+/// walked with [`walk_scope`] so every byte the comparison needs is real.
+pub fn compare_checked(
+    tree: &Tree,
+    check: &CheckKind<'_>,
+    cfg: &TestConfig,
+    scope: &Scope,
+) -> Option<Violation> {
+    if !cfg.scoped_check {
+        return compare_state(tree, check, cfg, &Scope::Full);
+    }
+    if cfg.scoped_validate {
+        let full = compare_state(tree, check, cfg, &Scope::Full);
+        let scoped = compare_state(tree, check, cfg, scope);
+        assert_eq!(
+            full.is_some(),
+            scoped.is_some(),
+            "scoped_validate: scoped verdict {scoped:?} disagrees with full verdict {full:?} \
+             under scope {scope:?}"
+        );
+        return full;
+    }
+    compare_state(tree, check, cfg, scope)
+}
+
+/// Runs the usability probe (stage 4) on a mounted crash state.
+pub fn probe_state<F: FileSystem>(fs: &mut F, tree: &Tree) -> Option<Violation> {
+    probe(fs, tree)
+}
+
+/// Pure oracle comparison of a walked tree; file contents outside `scope`
+/// are not compared (structure and metadata always are).
+pub fn compare_state(
+    tree: &Tree,
+    check: &CheckKind<'_>,
+    cfg: &TestConfig,
+    scope: &Scope,
+) -> Option<Violation> {
     match check {
         CheckKind::Atomicity { prev, cur, relax } => {
-            let vs_cur = diff_trees(tree, cur, cfg.compare_ino);
+            let vs_cur = diff_trees_scoped(tree, cur, cfg.compare_ino, scope);
             let vs_cur = vs_cur?; // matches post-state: atomic
-            let vs_prev = diff_trees(tree, prev, cfg.compare_ino);
+            let vs_prev = diff_trees_scoped(tree, prev, cfg.compare_ino, scope);
             let Some(vs_prev) = vs_prev else {
                 return None; // matches pre-state: atomic
             };
             match relax {
                 DataRelax::Torn(target) => {
-                    let relaxed = diff_relaxed_write(tree, prev, cur, target, cfg.compare_ino)?;
+                    let relaxed = diff_relaxed_write_scoped(
+                        tree,
+                        prev,
+                        cur,
+                        target,
+                        cfg.compare_ino,
+                        scope,
+                    )?;
                     Some(Violation::AtomicityViolation(format!(
                         "torn data write exceeds allowed states: {relaxed}"
                     )))
                 }
                 DataRelax::Atomic(target) => {
-                    let relaxed = diff_atomic_write(tree, prev, cur, target, cfg.compare_ino)?;
+                    let relaxed = diff_atomic_write_scoped(
+                        tree,
+                        prev,
+                        cur,
+                        target,
+                        cfg.compare_ino,
+                        scope,
+                    )?;
                     Some(Violation::AtomicityViolation(relaxed))
                 }
                 DataRelax::None => Some(Violation::AtomicityViolation(format!(
@@ -128,10 +220,10 @@ fn compare(tree: &Tree, check: &CheckKind<'_>, cfg: &TestConfig) -> Option<Viola
                 ))),
             }
         }
-        CheckKind::Synchrony { cur } => diff_trees(tree, cur, cfg.compare_ino)
+        CheckKind::Synchrony { cur } => diff_trees_scoped(tree, cur, cfg.compare_ino, scope)
             .map(|d| Violation::SynchronyViolation(format!("completed syscall not durable: {d}"))),
         CheckKind::WeakFsync { cur, target } => match target {
-            None => diff_trees(tree, cur, cfg.compare_ino).map(|d| {
+            None => diff_trees_scoped(tree, cur, cfg.compare_ino, scope).map(|d| {
                 Violation::SynchronyViolation(format!("state after sync() not durable: {d}"))
             }),
             Some(path) => {
@@ -221,6 +313,7 @@ fn probe<F: FileSystem>(fs: &mut F, tree: &Tree) -> Option<Violation> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::oracle::snapshot_tree;
     use ext4dax::Ext4DaxKind;
     use pmem::PmDevice;
     use vfs::FileSystem;

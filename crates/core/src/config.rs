@@ -50,6 +50,35 @@ pub struct TestConfig {
     /// and traces are unchanged — except for wall time and the
     /// `dedup_hits` counter.
     pub dedup: bool,
+    /// Prefix-shared workload execution: the batched runners cache live
+    /// oracle/record/replay state per `(kind, op-prefix)` and resume each
+    /// workload from the deepest cached prefix instead of re-running mkfs
+    /// and the shared ops. Consulted by `bench`'s cached batch runner (the
+    /// single-workload [`crate::test_workload`] entry point has no batch to
+    /// share prefixes across). Observationally identical to `false` except
+    /// for wall time and the `prefix_hits`/`prefix_ops_saved` counters.
+    pub prefix_cache: bool,
+    /// Delta subset replay: on the serial path, step between adjacent crash
+    /// states of a point by applying/undoing the few writes they differ in
+    /// (one undo-logged overlay per point) instead of rebuilding a fresh
+    /// overlay per state; checker mount/probe mutations roll back through
+    /// the same undo marks. Observationally identical to `false`.
+    pub delta_replay: bool,
+    /// Cross-point memoization: crash states whose *content* (base image +
+    /// replayed subset) recurs at a later crash point reuse the memoized
+    /// mount/walk/probe artifacts instead of remounting. The oracle
+    /// comparison always runs per state (it depends on the crash point).
+    /// Observationally identical to `false` except for wall time and the
+    /// `memo_hits` counter.
+    pub cross_dedup: bool,
+    /// Scoped checking: compare file *contents* against the oracle only for
+    /// paths the in-flight operation can touch (its targets, their parents,
+    /// and hard-link aliases); structure and metadata are always compared
+    /// for every path. The full-compare escape hatch is `false`.
+    pub scoped_check: bool,
+    /// Debug mode: run the scoped and the full comparison on every state
+    /// and panic if their verdicts disagree. Implies the full tree walk.
+    pub scoped_validate: bool,
 }
 
 impl Default for TestConfig {
@@ -66,6 +95,11 @@ impl Default for TestConfig {
             large_first_subsets: false,
             threads: 1,
             dedup: true,
+            prefix_cache: true,
+            delta_replay: true,
+            cross_dedup: true,
+            scoped_check: true,
+            scoped_validate: false,
         }
     }
 }
@@ -107,5 +141,7 @@ mod tests {
         assert!(c.dedup);
         assert_eq!(TestConfig::default().with_threads(4).threads, 4);
         assert_eq!(TestConfig::default().with_threads(0).threads, 1);
+        assert!(c.prefix_cache && c.delta_replay && c.cross_dedup && c.scoped_check);
+        assert!(!c.scoped_validate);
     }
 }

@@ -1,6 +1,8 @@
-//! Crash-state generation: in-flight tracking, coalescing, and subset
-//! enumeration (§3.3).
+//! Crash-state generation: in-flight tracking, coalescing, subset
+//! enumeration (§3.3), and the delta replayer that steps between adjacent
+//! crash states instead of rebuilding each from scratch.
 
+use pmem::{write_delta, CowDevice, ImageKey, PmBackend, UndoMark};
 use pmlog::LogEntry;
 
 /// One logical in-flight write awaiting a fence.
@@ -167,6 +169,104 @@ pub fn apply_subset(img: &mut pmem::CowDevice<'_>, writes: &[PendingWrite], subs
     order.sort_unstable();
     for &i in &order {
         img.apply(writes[i].off, &writes[i].data);
+    }
+}
+
+/// Delta replayer over the crash states of one crash point.
+///
+/// Holds a single undo-logged [`CowDevice`] over the point's base image and
+/// steps it between subsets with [`SubsetWalker::goto`]: the applied writes
+/// form a stack, and moving to the next subset pops to the common prefix
+/// and pushes the rest — consecutive subsets in the canonical enumeration
+/// share long prefixes, so transitions replay O(1) writes on average rather
+/// than rebuilding the whole overlay.
+///
+/// Alongside the device, the walker maintains the state's [`ImageKey`]
+/// incrementally (the XOR-composable content hash — see [`pmem::hash`]):
+/// each applied write XORs in its byte-level delta, and each pop restores
+/// the key snapshot taken at push time. The key therefore always equals
+/// `pmem::image_key` of the materialized state, independent of the path
+/// taken to reach it.
+///
+/// Checker mutations (mount-time recovery, the usability probe) roll back
+/// through the same undo log: take a [`SubsetWalker::mark`] before
+/// mounting, mount on `&mut *walker.device()`, and
+/// [`SubsetWalker::undo_to`] afterwards. The key is untouched by this —
+/// it tracks the *replayed* state, not transient checker writes.
+pub struct SubsetWalker<'a> {
+    cow: CowDevice<'a>,
+    /// Applied write indices with, per entry, the undo mark and key value
+    /// captured just before applying it.
+    stack: Vec<(usize, UndoMark, ImageKey)>,
+    key: ImageKey,
+    scratch: Vec<u8>,
+}
+
+impl<'a> SubsetWalker<'a> {
+    /// A walker positioned at the bare base state. `base_key` must be the
+    /// [`ImageKey`] of `base` (maintained incrementally by the caller as
+    /// the base evolves across fences; `pmem::image_key(base)` to seed).
+    pub fn new(base: &'a [u8], base_key: ImageKey) -> Self {
+        SubsetWalker {
+            cow: CowDevice::new_with_undo(base),
+            stack: Vec::new(),
+            key: base_key,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Moves the device to the state `base + subset`. `subset` must be
+    /// sorted ascending (enumeration order), matching program-order replay.
+    pub fn goto(&mut self, writes: &[PendingWrite], subset: &[usize]) {
+        debug_assert!(subset.windows(2).all(|w| w[0] < w[1]), "subset must be sorted");
+        // Pop to the longest stack prefix that is also a prefix of `subset`.
+        let mut common = 0;
+        while common < self.stack.len()
+            && common < subset.len()
+            && self.stack[common].0 == subset[common]
+        {
+            common += 1;
+        }
+        while self.stack.len() > common {
+            let (_, mark, key) = self.stack.pop().expect("len > common >= 0");
+            self.cow.undo_to(mark);
+            self.key = key;
+        }
+        for &i in &subset[common..] {
+            self.push_write(writes, i);
+        }
+    }
+
+    fn push_write(&mut self, writes: &[PendingWrite], i: usize) {
+        let w = &writes[i];
+        let mark = self.cow.mark();
+        let key = self.key;
+        self.scratch.resize(w.data.len(), 0);
+        self.cow.read(w.off, &mut self.scratch);
+        self.key ^= write_delta(w.off, &self.scratch, &w.data);
+        self.cow.apply(w.off, &w.data);
+        self.stack.push((i, mark, key));
+    }
+
+    /// The [`ImageKey`] of the current state.
+    pub fn key(&self) -> ImageKey {
+        self.key
+    }
+
+    /// The device, positioned at the current state. Mount on `&mut *dev`
+    /// (not by value) so the walker keeps ownership.
+    pub fn device(&mut self) -> &mut CowDevice<'a> {
+        &mut self.cow
+    }
+
+    /// Undo mark protecting subsequent checker mutations.
+    pub fn mark(&self) -> UndoMark {
+        self.cow.mark()
+    }
+
+    /// Rolls checker mutations back to `mark`.
+    pub fn undo_to(&mut self, mark: UndoMark) {
+        self.cow.undo_to(mark);
     }
 }
 
@@ -480,6 +580,102 @@ mod tests {
             proptest::prop_assert_eq!(a.len(), b.len());
             proptest::prop_assert_eq!(&sa, &sb);
             proptest::prop_assert!(sa.contains(&(0..n).collect::<Vec<_>>()));
+        }
+    }
+
+    fn materialize(base: &[u8], writes: &[PendingWrite], subset: &[usize]) -> Vec<u8> {
+        let mut cow = pmem::CowDevice::new(base);
+        apply_subset(&mut cow, writes, subset);
+        use pmem::PmBackend;
+        cow.read_vec(0, base.len() as u64)
+    }
+
+    #[test]
+    fn walker_tracks_device_and_key_across_transitions() {
+        let mut base = vec![0u8; 8192];
+        base[100] = 42;
+        let writes = vec![
+            PendingWrite { off: 0, data: vec![1u8; 16], nt: true },
+            PendingWrite { off: 8, data: vec![2u8; 16], nt: true }, // overlaps #0
+            PendingWrite { off: 4000, data: vec![3u8; 200], nt: true }, // crosses page
+            PendingWrite { off: 100, data: vec![0u8; 4], nt: false }, // zeroes base bytes
+        ];
+        let subsets = enumerate_subsets(writes.len(), None, u64::MAX);
+        let mut walker = SubsetWalker::new(&base, pmem::image_key(&base));
+        use pmem::PmBackend;
+        for s in &subsets {
+            walker.goto(&writes, s);
+            let want = materialize(&base, &writes, s);
+            let got = walker.device().read_vec(0, base.len() as u64);
+            assert_eq!(got, want, "device mismatch at subset {s:?}");
+            assert_eq!(walker.key(), pmem::image_key(&want), "key mismatch at {s:?}");
+        }
+        // Jump back to an early subset: pops must restore exactly.
+        walker.goto(&writes, &[1]);
+        assert_eq!(walker.key(), pmem::image_key(&materialize(&base, &writes, &[1])));
+    }
+
+    #[test]
+    fn walker_checker_mutations_roll_back_without_touching_key() {
+        let base = vec![0u8; 4096];
+        let writes = vec![PendingWrite { off: 0, data: vec![7u8; 8], nt: true }];
+        let mut walker = SubsetWalker::new(&base, 0);
+        walker.goto(&writes, &[0]);
+        let key = walker.key();
+        let m = walker.mark();
+        use pmem::PmBackend;
+        walker.device().store(2000, &[9u8; 64]); // "recovery" mutation
+        walker.device().store(4, &[5u8; 8]); // overlapping the replayed write
+        walker.undo_to(m);
+        assert_eq!(walker.key(), key);
+        let img = walker.device().read_vec(0, 4096);
+        assert_eq!(img, materialize(&base, &writes, &[0]));
+    }
+
+    proptest::proptest! {
+        /// Delta replay + undo is byte-identical to a from-scratch
+        /// `CowDevice::new` + `apply_subset` for random write sets and
+        /// random subset visit sequences, and the incrementally maintained
+        /// image key always equals the recomputed one.
+        #[test]
+        fn delta_replay_matches_from_scratch(
+            seed in 0u64..1000,
+            n_writes in 1usize..6,
+            n_visits in 1usize..12,
+        ) {
+            // Deterministic pseudo-random writes and visit order from the seed.
+            let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+            let mut next = move || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s
+            };
+            let base: Vec<u8> = (0..4096u64).map(|i| (i % 251) as u8).collect();
+            let writes: Vec<PendingWrite> = (0..n_writes)
+                .map(|_| {
+                    let off = next() % 4000;
+                    let len = 1 + (next() % 96) as usize;
+                    let data: Vec<u8> = (0..len).map(|_| (next() % 256) as u8).collect();
+                    PendingWrite { off, data, nt: next() % 2 == 0 }
+                })
+                .collect();
+            let mut walker = SubsetWalker::new(&base, pmem::image_key(&base));
+            use pmem::PmBackend;
+            for _ in 0..n_visits {
+                // Random subset, sorted ascending.
+                let mask = next() as usize % (1 << n_writes);
+                let subset: Vec<usize> = (0..n_writes).filter(|i| mask & (1 << i) != 0).collect();
+                walker.goto(&writes, &subset);
+                // Random checker-style mutation, rolled back via a mark.
+                let m = walker.mark();
+                walker.device().store(next() % 4000, &[(next() % 256) as u8; 8]);
+                walker.undo_to(m);
+                let want = materialize(&base, &writes, &subset);
+                let got = walker.device().read_vec(0, base.len() as u64);
+                proptest::prop_assert_eq!(&got, &want);
+                proptest::prop_assert_eq!(walker.key(), pmem::image_key(&want));
+            }
         }
     }
 

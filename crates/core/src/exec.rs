@@ -22,7 +22,7 @@ pub struct OpResult {
 
 /// Executes workload operations against a [`FileSystem`], maintaining the
 /// descriptor-slot table.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Executor {
     slots: Vec<Option<(vfs::Fd, String)>>,
 }

@@ -1,9 +1,10 @@
 //! The top-level test harness: record, replay, check (§3.3, Figure 2).
 
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use pmem::PmDevice;
+use pmem::{write_delta, CowDevice, ImageKey, PmDevice};
 use pmlog::{LogEntry, LogHandle, LoggingPm, Marker, OpRecord};
 use vfs::{
     fs::SyscallKind,
@@ -11,11 +12,14 @@ use vfs::{
 };
 
 use crate::{
-    checker::{check_crash_state, CheckKind, DataRelax},
+    checker::{compare_checked, mount_state, probe_state, walk_scope, CheckKind, DataRelax},
     config::TestConfig,
-    crashgen::{coalesce, describe_subset, enumerate_subsets_ordered, state_key, PendingWrite},
-    exec::Executor,
-    oracle::{build_oracle, Oracle},
+    crashgen::{
+        apply_subset, coalesce, describe_subset, enumerate_subsets_ordered, PendingWrite,
+        SubsetWalker,
+    },
+    exec::{Executor, OpResult},
+    oracle::{alias_set, build_oracle, Oracle, Scope, Tree},
     report::{BugReport, CrashPhase, Violation},
 };
 
@@ -43,6 +47,17 @@ pub struct TestOutcome {
     /// their replayed bytes produced an identical image (see
     /// [`TestConfig::dedup`]).
     pub dedup_hits: u64,
+    /// Of `crash_states`, how many reused the mount/walk/probe artifacts of
+    /// an identical image first seen at an *earlier crash point* (see
+    /// [`TestConfig::cross_dedup`]); the oracle comparison still ran.
+    pub memo_hits: u64,
+    /// How many times this workload resumed from a cached execution prefix
+    /// instead of re-running mkfs and the shared ops (see
+    /// [`TestConfig::prefix_cache`]; only the batched runners populate it).
+    pub prefix_hits: u64,
+    /// Total operations (oracle + record, counted once each) skipped by
+    /// prefix-cache resumes.
+    pub prefix_ops_saved: u64,
     /// In-flight write counts observed at each crash point (before
     /// coalescing) — the data behind Observation 7.
     pub inflight_sizes: Vec<usize>,
@@ -64,7 +79,7 @@ impl TestOutcome {
 
 const MAX_REPORTS: usize = 200;
 
-fn push_report(out: &mut TestOutcome, report: BugReport) {
+pub(crate) fn push_report(out: &mut TestOutcome, report: BugReport) {
     if out.reports.len() >= MAX_REPORTS {
         return;
     }
@@ -215,153 +230,398 @@ fn atomicity_relax<'a>(
     }
 }
 
+/// The paths a crash point's in-flight writes can legally affect: the
+/// targets of every op with writes still pending plus the current op, their
+/// parent directories, and hard-link aliases in the bracketing oracle
+/// trees. Any op whose footprint cannot be named (`sync`, an unresolved
+/// slot) widens the scope to `Full`.
+fn crash_scope(
+    workload: &Workload,
+    rec_results: &[OpResult],
+    oracle: &Oracle,
+    seq: usize,
+    pending_seqs: &BTreeSet<usize>,
+    pending_unknown: bool,
+    cfg: &TestConfig,
+) -> Scope {
+    if !cfg.scoped_check || pending_unknown {
+        return Scope::Full;
+    }
+    let mut set = BTreeSet::new();
+    for s in pending_seqs.iter().copied().chain(std::iter::once(seq)) {
+        let op = &workload.ops[s];
+        let target = rec_results[s].target.as_deref();
+        let Some(paths) = op_paths(op, target) else { return Scope::Full };
+        for p in paths {
+            insert_with_parent(&mut set, p);
+            for tree in [oracle.before(s), oracle.after(s)] {
+                for a in alias_set(tree, p) {
+                    insert_with_parent(&mut set, &a);
+                }
+            }
+        }
+    }
+    Scope::Paths(set)
+}
+
+/// The paths an op addresses, or `None` when its footprint is unbounded
+/// (`sync`) or unresolvable (a slot op whose descriptor never resolved).
+fn op_paths<'a>(op: &'a vfs::Op, target: Option<&'a str>) -> Option<Vec<&'a str>> {
+    use vfs::Op;
+    match op {
+        Op::Sync | Op::SetCpu { .. } => None,
+        Op::Creat { path }
+        | Op::Mkdir { path }
+        | Op::Rmdir { path }
+        | Op::Unlink { path }
+        | Op::Remove { path }
+        | Op::Truncate { path, .. }
+        | Op::WritePath { path, .. }
+        | Op::FallocPath { path, .. }
+        | Op::FsyncPath { path }
+        | Op::Open { path, .. }
+        | Op::SetXattr { path, .. }
+        | Op::RemoveXattr { path, .. } => Some(vec![path]),
+        Op::Link { old, new } | Op::Rename { old, new } => Some(vec![old, new]),
+        Op::Close { .. }
+        | Op::Write { .. }
+        | Op::Pwrite { .. }
+        | Op::Falloc { .. }
+        | Op::Fsync { .. }
+        | Op::Fdatasync { .. }
+        | Op::Read { .. } => target.map(|t| vec![t]),
+    }
+}
+
+fn insert_with_parent(set: &mut BTreeSet<String>, p: &str) {
+    set.insert(p.to_string());
+    if let Some(idx) = p.rfind('/') {
+        set.insert(if idx == 0 { "/".to_string() } else { p[..idx].to_string() });
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn replay_and_check<K: FsKind>(
     kind: &K,
     workload: &Workload,
     cfg: &TestConfig,
     oracle: &Oracle,
-    rec_results: &[crate::exec::OpResult],
+    rec_results: &[OpResult],
     log: &pmlog::Log,
     guarantees: vfs::Guarantees,
     out: &mut TestOutcome,
 ) {
-    let mut base = vec![0u8; cfg.device_size as usize];
-    let mut pending: Vec<PendingWrite> = Vec::new();
-    let mut cur_op: Option<usize> = None;
-    let mut last_done: Option<usize> = None;
-    let mut started = false;
-    let mut stop = false;
-
+    let mut engine = ReplayEngine::new(kind, workload, cfg, oracle, rec_results, guarantees);
     for entry in log.entries() {
-        if stop {
-            // Keep replaying to completion is unnecessary once stopping.
+        if engine.stop {
+            // Replaying to completion is unnecessary once stopping.
             break;
         }
+        engine.step(entry, Some(out));
+    }
+}
+
+/// The crash-state construction and checking stage as a resumable machine:
+/// [`step`](ReplayEngine::step) consumes one log entry at a time, so the
+/// prefix cache can fast-forward through a shared prefix (checkpointed
+/// counters stand in for the skipped checks), snapshot the mutable state at
+/// any syscall boundary, and hand the suffix to a later workload.
+pub(crate) struct ReplayEngine<'a, K: FsKind> {
+    kind: &'a K,
+    workload: &'a Workload,
+    cfg: &'a TestConfig,
+    oracle: &'a Oracle,
+    rec_results: &'a [OpResult],
+    guarantees: vfs::Guarantees,
+    /// The last-known-persistent image (all pending writes drained).
+    pub base: Vec<u8>,
+    /// Incremental content hash of `base`.
+    pub base_key: ImageKey,
+    /// Cross-point artifact memo ([`TestConfig::cross_dedup`]).
+    pub memo: CrossMemo,
+    /// In-flight writes since the last fence.
+    pub pending: Vec<PendingWrite>,
+    /// Which ops still have writes in `pending` (for scope computation).
+    pub pending_seqs: BTreeSet<usize>,
+    /// Whether any pending write predates the first marker.
+    pub pending_unknown: bool,
+    cur_op: Option<usize>,
+    /// The last completed op.
+    pub last_done: Option<usize>,
+    /// Whether the first syscall marker has been seen (mkfs writes precede
+    /// it and are never crash points).
+    pub started: bool,
+    /// Stop-on-first fired; no further entries should be fed.
+    pub stop: bool,
+    /// When set, every mutation of `base` records `(off, old bytes)` here so
+    /// the caller can roll the image back (the prefix cache's base tape).
+    pub undo: Option<Vec<(u64, Vec<u8>)>>,
+}
+
+impl<'a, K: FsKind> ReplayEngine<'a, K> {
+    pub fn new(
+        kind: &'a K,
+        workload: &'a Workload,
+        cfg: &'a TestConfig,
+        oracle: &'a Oracle,
+        rec_results: &'a [OpResult],
+        guarantees: vfs::Guarantees,
+    ) -> Self {
+        ReplayEngine {
+            kind,
+            workload,
+            cfg,
+            oracle,
+            rec_results,
+            guarantees,
+            // The all-zero image hashes to 0.
+            base: vec![0u8; cfg.device_size as usize],
+            base_key: 0,
+            memo: CrossMemo::default(),
+            pending: Vec::new(),
+            pending_seqs: BTreeSet::new(),
+            pending_unknown: false,
+            cur_op: None,
+            last_done: None,
+            started: false,
+            stop: false,
+            undo: None,
+        }
+    }
+
+    /// Applies one write to `base`, maintaining the incremental hash and the
+    /// undo tape.
+    fn apply_base(&mut self, off: u64, data: &[u8]) {
+        let o = off as usize;
+        self.base_key ^= write_delta(off, &self.base[o..o + data.len()], data);
+        if let Some(u) = &mut self.undo {
+            u.push((off, self.base[o..o + data.len()].to_vec()));
+        }
+        self.base[o..o + data.len()].copy_from_slice(data);
+    }
+
+    fn scope_for(&self, seq: usize) -> Scope {
+        crash_scope(
+            self.workload,
+            self.rec_results,
+            self.oracle,
+            seq,
+            &self.pending_seqs,
+            self.pending_unknown,
+            self.cfg,
+        )
+    }
+
+    /// Consumes one log entry. With `out` present, crash points are visited
+    /// and results committed into it; with `None` the entry only advances
+    /// the replay state (fast-forward through an already-checked prefix).
+    pub fn step(&mut self, entry: &LogEntry, out: Option<&mut TestOutcome>) {
         match entry {
             LogEntry::Marker(Marker::SyscallBegin(OpRecord { seq, .. })) => {
-                started = true;
-                cur_op = Some(*seq);
+                self.started = true;
+                self.cur_op = Some(*seq);
             }
             LogEntry::Marker(Marker::SyscallEnd { seq, .. }) => {
-                cur_op = None;
-                last_done = Some(*seq);
-                let op = &workload.ops[*seq];
+                self.cur_op = None;
+                self.last_done = Some(*seq);
+                let op = &self.workload.ops[*seq];
                 if !op.is_mutating() {
-                    continue;
+                    return;
                 }
-                if guarantees.strong {
-                    let check = CheckKind::Synchrony { cur: oracle.after(*seq) };
-                    visit_crash_point(
-                        kind, workload, cfg, &base, &pending, *seq,
-                        CrashPhase::AfterSyscall, &check, true, out, &mut stop,
-                    );
+                let Some(out) = out else { return };
+                if self.guarantees.strong {
+                    let check = CheckKind::Synchrony { cur: self.oracle.after(*seq) };
+                    self.visit(*seq, CrashPhase::AfterSyscall, &check, true, false, out);
                 } else if matches!(op.kind(), SyscallKind::Fsync | SyscallKind::Sync) {
-                    let target = rec_results[*seq].target.as_deref();
+                    let target = self.rec_results[*seq].target.as_deref();
                     let target = if op.kind() == SyscallKind::Sync { None } else { target };
-                    let check = CheckKind::WeakFsync { cur: oracle.after(*seq), target };
-                    visit_crash_point(
-                        kind, workload, cfg, &base, &pending, *seq,
-                        CrashPhase::AfterFsync, &check, true, out, &mut stop,
-                    );
+                    let check = CheckKind::WeakFsync { cur: self.oracle.after(*seq), target };
+                    self.visit(*seq, CrashPhase::AfterFsync, &check, true, false, out);
                 }
             }
             LogEntry::Fence => {
-                if cfg.eadr {
+                if self.cfg.eadr {
                     // eADR: fences are pure ordering points. Every store has
                     // already been visited as its own crash state, and the
                     // state at the fence equals the state after the last
                     // store, so there is nothing new to check here.
-                    continue;
+                    return;
                 }
-                if started && guarantees.strong && !pending.is_empty() {
-                    match cur_op {
-                        Some(seq) => {
-                            let relax = atomicity_relax(
-                                &workload.ops[seq],
-                                rec_results[seq].target.as_deref(),
-                                guarantees,
-                            );
-                            let check = CheckKind::Atomicity {
-                                prev: oracle.before(seq),
-                                cur: oracle.after(seq),
-                                relax,
-                            };
-                            visit_crash_point(
-                                kind, workload, cfg, &base, &pending, seq,
-                                CrashPhase::DuringSyscall, &check, false, out, &mut stop,
-                            );
-                        }
-                        None => {
-                            // Fence between syscalls (e.g. deferred work):
-                            // the state must still be the post-state of the
-                            // last completed op.
-                            if let Some(seq) = last_done {
-                                let check = CheckKind::Synchrony { cur: oracle.after(seq) };
-                                visit_crash_point(
-                                    kind, workload, cfg, &base, &pending, seq,
-                                    CrashPhase::AfterSyscall, &check, false, out, &mut stop,
+                if self.started && self.guarantees.strong && !self.pending.is_empty() {
+                    if let Some(out) = out {
+                        match self.cur_op {
+                            Some(seq) => {
+                                let relax = atomicity_relax(
+                                    &self.workload.ops[seq],
+                                    self.rec_results[seq].target.as_deref(),
+                                    self.guarantees,
+                                );
+                                let check = CheckKind::Atomicity {
+                                    prev: self.oracle.before(seq),
+                                    cur: self.oracle.after(seq),
+                                    relax,
+                                };
+                                self.visit(
+                                    seq, CrashPhase::DuringSyscall, &check, false, false, out,
                                 );
                             }
-                        }
-                    }
-                }
-                for w in pending.drain(..) {
-                    base[w.off as usize..w.off as usize + w.data.len()].copy_from_slice(&w.data);
-                }
-            }
-            e => {
-                if let Some(w) = PendingWrite::from_entry(e) {
-                    if cfg.eadr {
-                        // Persistent caches: durable the moment it lands, and
-                        // the instant after any store is a real crash state —
-                        // not just fence boundaries. (A torn in-place update
-                        // is only visible *between* the stores that make it
-                        // up; see bug 19.)
-                        base[w.off as usize..w.off as usize + w.data.len()]
-                            .copy_from_slice(&w.data);
-                        if started && guarantees.strong {
-                            match cur_op {
-                                Some(seq) if workload.ops[seq].is_mutating() => {
-                                    let relax = atomicity_relax(
-                                        &workload.ops[seq],
-                                        rec_results[seq].target.as_deref(),
-                                        guarantees,
-                                    );
-                                    let check = CheckKind::Atomicity {
-                                        prev: oracle.before(seq),
-                                        cur: oracle.after(seq),
-                                        relax,
-                                    };
-                                    visit_crash_point(
-                                        kind, workload, cfg, &base, &[], seq,
-                                        CrashPhase::DuringSyscall, &check, true, out,
-                                        &mut stop,
+                            None => {
+                                // Fence between syscalls (e.g. deferred
+                                // work): the state must still be the
+                                // post-state of the last completed op.
+                                if let Some(seq) = self.last_done {
+                                    let check =
+                                        CheckKind::Synchrony { cur: self.oracle.after(seq) };
+                                    self.visit(
+                                        seq, CrashPhase::AfterSyscall, &check, false, false, out,
                                     );
                                 }
-                                None => {
-                                    // Deferred work between syscalls: the
-                                    // durable state must still match the
-                                    // post-state of the last completed op.
-                                    if let Some(seq) = last_done {
-                                        let check =
-                                            CheckKind::Synchrony { cur: oracle.after(seq) };
-                                        visit_crash_point(
-                                            kind, workload, cfg, &base, &[], seq,
-                                            CrashPhase::AfterSyscall, &check, true, out,
-                                            &mut stop,
-                                        );
-                                    }
-                                }
-                                _ => {}
                             }
                         }
-                    } else {
-                        pending.push(w);
                     }
+                }
+                let pending = std::mem::take(&mut self.pending);
+                for w in &pending {
+                    self.apply_base(w.off, &w.data);
+                }
+                self.pending_seqs.clear();
+                self.pending_unknown = false;
+            }
+            e => {
+                let Some(w) = PendingWrite::from_entry(e) else { return };
+                if self.cfg.eadr {
+                    // Persistent caches: durable the moment it lands, and the
+                    // instant after any store is a real crash state — not
+                    // just fence boundaries. (A torn in-place update is only
+                    // visible *between* the stores that make it up; see bug
+                    // 19.)
+                    self.apply_base(w.off, &w.data);
+                    if self.started && self.guarantees.strong {
+                        let Some(out) = out else { return };
+                        match self.cur_op {
+                            Some(seq) if self.workload.ops[seq].is_mutating() => {
+                                let relax = atomicity_relax(
+                                    &self.workload.ops[seq],
+                                    self.rec_results[seq].target.as_deref(),
+                                    self.guarantees,
+                                );
+                                let check = CheckKind::Atomicity {
+                                    prev: self.oracle.before(seq),
+                                    cur: self.oracle.after(seq),
+                                    relax,
+                                };
+                                self.visit(seq, CrashPhase::DuringSyscall, &check, true, true, out);
+                            }
+                            None => {
+                                // Deferred work between syscalls: the durable
+                                // state must still match the post-state of
+                                // the last completed op.
+                                if let Some(seq) = self.last_done {
+                                    let check =
+                                        CheckKind::Synchrony { cur: self.oracle.after(seq) };
+                                    self.visit(
+                                        seq, CrashPhase::AfterSyscall, &check, true, true, out,
+                                    );
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                } else {
+                    match self.cur_op.or(self.last_done) {
+                        Some(s) => {
+                            self.pending_seqs.insert(s);
+                        }
+                        None => self.pending_unknown = true,
+                    }
+                    self.pending.push(w);
                 }
             }
         }
+    }
+
+    /// Visits one crash point (the base image plus, unless `no_pending`, the
+    /// enumerated subsets of the in-flight writes).
+    fn visit(
+        &mut self,
+        seq: usize,
+        phase: CrashPhase,
+        check: &CheckKind<'_>,
+        check_base: bool,
+        no_pending: bool,
+        out: &mut TestOutcome,
+    ) {
+        let scope = self.scope_for(seq);
+        let pending: &[PendingWrite] = if no_pending { &[] } else { &self.pending };
+        visit_crash_point(
+            self.kind,
+            self.workload,
+            self.cfg,
+            &self.base,
+            self.base_key,
+            pending,
+            seq,
+            phase,
+            check,
+            check_base,
+            &scope,
+            &mut self.memo,
+            out,
+            &mut self.stop,
+        );
+    }
+}
+
+/// Memoized artifacts of one checked crash-state *image*, keyed by content
+/// hash in [`CrossMemo`]: a later crash point that reconstructs the same
+/// bytes reuses the mount/walk (and probe) results instead of remounting.
+/// Only the oracle comparison depends on the crash point, so it always
+/// re-runs.
+#[derive(Clone)]
+struct StateArtifacts {
+    /// Mount + tree-walk outcome (check stages 1–2).
+    pre: Result<Arc<Tree>, Violation>,
+    /// Coverage hit during mount + walk.
+    cov_mw: Arc<HashSet<u64>>,
+    /// Injected-bug trace hit during mount + walk.
+    trace_mw: Arc<BTreeSet<BugId>>,
+    /// Probe outcome (stage 4), filled lazily the first time a state with
+    /// this image passes its oracle comparison.
+    probe: Option<ProbeArtifacts>,
+}
+
+#[derive(Clone)]
+struct ProbeArtifacts {
+    violation: Option<Violation>,
+    /// Coverage snapshot of the run that filled the probe. Absorption is by
+    /// set union, so it may be a superset of the probe-only hits (the fresh
+    /// fill includes mount + walk) without affecting the merged totals.
+    cov: Arc<HashSet<u64>>,
+    trace: Arc<BTreeSet<BugId>>,
+}
+
+/// Per-workload cross-point memo (see [`TestConfig::cross_dedup`]). Bounded:
+/// new keys are refused once the cap is reached; updates of existing keys
+/// (probe fills) always land. All lookups for one crash point happen against
+/// the memo as of point entry (in-point repeats are handled by the in-point
+/// dedup plan), so decisions are identical for any thread count.
+#[derive(Default, Clone)]
+pub(crate) struct CrossMemo {
+    map: HashMap<ImageKey, StateArtifacts>,
+}
+
+const MEMO_CAP: usize = 4096;
+
+impl CrossMemo {
+    fn get(&self, key: &ImageKey) -> Option<&StateArtifacts> {
+        self.map.get(key)
+    }
+
+    fn insert(&mut self, key: ImageKey, art: StateArtifacts) {
+        if self.map.len() >= MEMO_CAP && !self.map.contains_key(&key) {
+            return;
+        }
+        self.map.insert(key, art);
     }
 }
 
@@ -370,38 +630,271 @@ fn replay_and_check<K: FsKind>(
 /// the caller can merge it back in canonical order.
 struct CheckRes {
     violation: Option<Violation>,
-    cov: HashSet<u64>,
-    trace: BTreeSet<BugId>,
+    cov: Vec<Arc<HashSet<u64>>>,
+    trace: Vec<Arc<BTreeSet<BugId>>>,
+    /// Memo entry to store at commit: fresh artifacts, or a probe fill for
+    /// an existing entry.
+    art: Option<StateArtifacts>,
+    memo_hit: bool,
+}
+
+/// How one crash state gets its result. Fixed per crash point before any
+/// check runs, so the outcome is independent of execution order.
+enum Decision {
+    /// Check from scratch (mount, walk, compare, probe).
+    Fresh,
+    /// Identical image already checked earlier *at this point*: replay
+    /// state `j`'s result ([`TestConfig::dedup`]).
+    Dup(usize),
+    /// Identical image checked at an earlier point: reuse its memoized
+    /// artifacts, re-running only the comparison ([`TestConfig::cross_dedup`]).
+    Memo(StateArtifacts),
+}
+
+fn decide(
+    i: usize,
+    key: ImageKey,
+    seen: &mut HashMap<ImageKey, usize>,
+    memo: &CrossMemo,
+    cfg: &TestConfig,
+) -> Decision {
+    match seen.entry(key) {
+        std::collections::hash_map::Entry::Occupied(e) => {
+            if cfg.dedup {
+                Decision::Dup(*e.get())
+            } else {
+                // Deliberate re-check: dedup is off, and treating the repeat
+                // as a memo hit would make the plan depend on commit timing.
+                Decision::Fresh
+            }
+        }
+        std::collections::hash_map::Entry::Vacant(v) => {
+            v.insert(i);
+            match memo.get(&key) {
+                Some(a) if cfg.cross_dedup => Decision::Memo(a.clone()),
+                _ => Decision::Fresh,
+            }
+        }
+    }
+}
+
+/// Check stages 1–4 on a prepared device. `fresh` must carry private
+/// coverage/trace sinks; `want_art` keeps the walked tree for memoization.
+fn check_staged<K: FsKind, D: pmem::PmBackend>(
+    fresh: &K,
+    dev: D,
+    check: &CheckKind<'_>,
+    cfg: &TestConfig,
+    scope: &Scope,
+    want_art: bool,
+) -> CheckRes {
+    let ws = walk_scope(cfg, scope);
+    let (mut fs, tree) = match mount_state(fresh, dev, &ws) {
+        Ok(x) => x,
+        Err(v) => {
+            let cov_mw = Arc::new(fresh.options().cov.snapshot());
+            let trace_mw = Arc::new(fresh.options().trace.snapshot());
+            return CheckRes {
+                violation: Some(v.clone()),
+                cov: vec![cov_mw.clone()],
+                trace: vec![trace_mw.clone()],
+                art: want_art.then_some(StateArtifacts {
+                    pre: Err(v),
+                    cov_mw,
+                    trace_mw,
+                    probe: None,
+                }),
+                memo_hit: false,
+            };
+        }
+    };
+    let cov_mw = Arc::new(fresh.options().cov.snapshot());
+    let trace_mw = Arc::new(fresh.options().trace.snapshot());
+    let tree = Arc::new(tree);
+    let verdict = compare_checked(&tree, check, cfg, scope);
+    let mut probe_art = None;
+    let violation = match verdict {
+        Some(v) => Some(v),
+        None if cfg.probe => {
+            let pv = probe_state(&mut fs, &tree);
+            probe_art = Some(ProbeArtifacts {
+                violation: pv.clone(),
+                cov: Arc::new(fresh.options().cov.snapshot()),
+                trace: Arc::new(fresh.options().trace.snapshot()),
+            });
+            pv
+        }
+        None => None,
+    };
+    let (cov, trace) = match &probe_art {
+        Some(p) => (vec![p.cov.clone()], vec![p.trace.clone()]),
+        None => (vec![cov_mw.clone()], vec![trace_mw.clone()]),
+    };
+    CheckRes {
+        violation,
+        cov,
+        trace,
+        art: want_art.then_some(StateArtifacts { pre: Ok(tree), cov_mw, trace_mw, probe: probe_art }),
+        memo_hit: false,
+    }
+}
+
+/// Mounts an image and runs only the usability probe against a memoized
+/// tree — the fill path for a memo hit whose comparison passed before any
+/// probe outcome was recorded.
+fn probe_on<K: FsKind, D: pmem::PmBackend>(fresh: &K, dev: D, tree: &Tree) -> ProbeArtifacts {
+    let violation = match fresh.mount(dev) {
+        Ok(mut fs) => probe_state(&mut fs, tree),
+        // Identical bytes mounted before; defensive.
+        Err(e) => Some(Violation::Unmountable(e.to_string())),
+    };
+    ProbeArtifacts {
+        violation,
+        cov: Arc::new(fresh.options().cov.snapshot()),
+        trace: Arc::new(fresh.options().trace.snapshot()),
+    }
+}
+
+/// Replays a memo hit at this crash point: mount/walk artifacts come from
+/// the memo, the oracle comparison re-runs, and `probe_fill` is invoked at
+/// most once if the probe outcome is still missing.
+fn resolve_memo_hit(
+    art: &StateArtifacts,
+    check: &CheckKind<'_>,
+    cfg: &TestConfig,
+    scope: &Scope,
+    probe_fill: impl FnOnce(&Tree) -> ProbeArtifacts,
+) -> CheckRes {
+    let plain = |violation: Option<Violation>| CheckRes {
+        violation,
+        cov: vec![art.cov_mw.clone()],
+        trace: vec![art.trace_mw.clone()],
+        art: None,
+        memo_hit: true,
+    };
+    match &art.pre {
+        Err(v) => plain(Some(v.clone())),
+        Ok(tree) => match compare_checked(tree, check, cfg, scope) {
+            Some(v) => plain(Some(v)),
+            None if cfg.probe => {
+                let (p, fill) = match &art.probe {
+                    Some(p) => (p.clone(), None),
+                    None => {
+                        let p = probe_fill(tree);
+                        let mut updated = art.clone();
+                        updated.probe = Some(p.clone());
+                        (p, Some(updated))
+                    }
+                };
+                CheckRes {
+                    violation: p.violation.clone(),
+                    cov: vec![art.cov_mw.clone(), p.cov],
+                    trace: vec![art.trace_mw.clone(), p.trace],
+                    art: fill,
+                    memo_hit: true,
+                }
+            }
+            None => plain(None),
+        },
+    }
+}
+
+/// Invariant context for committing one crash point's states.
+struct PointCtx<'a> {
+    workload: &'a str,
+    seq: usize,
+    op_desc: &'a str,
+    phase: CrashPhase,
+    stop_on_first: bool,
+}
+
+/// Commits one crash state's result in canonical order: counters, sink
+/// absorption, memo insertion, report. Returns `true` when stop-on-first
+/// fires.
+#[allow(clippy::too_many_arguments)]
+fn commit_state<K: FsKind>(
+    kind: &K,
+    ctx: &PointCtx<'_>,
+    res: &CheckRes,
+    key: ImageKey,
+    dup: bool,
+    subset_desc: impl FnOnce() -> String,
+    memo: &mut CrossMemo,
+    out: &mut TestOutcome,
+) -> bool {
+    out.crash_states += 1;
+    if dup {
+        out.dedup_hits += 1;
+    } else if res.memo_hit {
+        out.memo_hits += 1;
+    }
+    for c in &res.cov {
+        kind.options().cov.absorb(c);
+    }
+    for t in &res.trace {
+        kind.options().trace.absorb(t);
+    }
+    if !dup {
+        if let Some(a) = &res.art {
+            memo.insert(key, a.clone());
+        }
+    }
+    if let Some(v) = res.violation.clone() {
+        push_report(
+            out,
+            BugReport {
+                workload: ctx.workload.to_string(),
+                op_seq: ctx.seq,
+                op_desc: ctx.op_desc.to_string(),
+                phase: ctx.phase,
+                subset: subset_desc(),
+                violation: v,
+            },
+        );
+        if ctx.stop_on_first {
+            return true;
+        }
+    }
+    false
 }
 
 /// Checks all crash states at one crash point: optionally the bare base
 /// state, then every enumerated subset of the in-flight writes.
 ///
-/// With `cfg.threads > 1` the checks run concurrently — every worker mounts
-/// its own [`pmem::CowDevice`] overlay of the shared (immutable at this
-/// point) base image on a factory clone with private coverage/trace sinks —
-/// but results are always *committed* in subset-enumeration order: counters,
-/// reports, coverage, traces, and the stop-on-first winner are bit-identical
-/// to the serial walk. Speculative checks past the winner are discarded.
+/// Every state's image is content-hashed (incrementally, from the base
+/// image's running hash plus per-write deltas). The hash drives two reuse
+/// layers, both decided *per point, before any check runs*, so the outcome
+/// is identical for any thread count:
 ///
-/// With `cfg.dedup`, subsets whose replayed bytes form an identical image
-/// (computed up front, in enumeration order, so the decision never depends
-/// on thread count) reuse the first occurrence's result instead of
-/// remounting. Because an identical image on an identical base mounts and
-/// checks deterministically, replaying the memoized result — violation,
-/// coverage and trace alike — is observationally indistinguishable from the
-/// redundant remount; only wall time and `dedup_hits` differ.
+/// * in-point dedup ([`TestConfig::dedup`]): a repeated key replays the
+///   first occurrence's committed result;
+/// * cross-point memo ([`TestConfig::cross_dedup`]): a key first seen at an
+///   earlier crash point reuses that state's mount/walk/probe artifacts,
+///   re-running only the (point-specific) oracle comparison.
+///
+/// Serially (`threads <= 1`) the states of a point are visited by a single
+/// undo-logged overlay that steps between adjacent subsets by applying and
+/// undoing only the writes they differ in ([`TestConfig::delta_replay`]);
+/// the file system is mounted directly on that overlay and every checker
+/// mutation (mount recovery, probe) is rolled back through the same undo
+/// marks. With `cfg.threads > 1` the checks run concurrently over private
+/// [`pmem::CowDevice`] overlays, committed in canonical enumeration order —
+/// counters, reports, coverage, traces, and the stop-on-first winner are
+/// bit-identical to the serial walk.
 #[allow(clippy::too_many_arguments)]
 fn visit_crash_point<K: FsKind>(
     kind: &K,
     workload: &Workload,
     cfg: &TestConfig,
     base: &[u8],
+    base_key: ImageKey,
     pending: &[PendingWrite],
     seq: usize,
     phase: CrashPhase,
     check: &CheckKind<'_>,
     check_base: bool,
+    scope: &Scope,
+    memo: &mut CrossMemo,
     out: &mut TestOutcome,
     stop: &mut bool,
 ) {
@@ -424,38 +917,118 @@ fn visit_crash_point<K: FsKind>(
         return;
     }
 
-    // Dedup plan, fixed in enumeration order before any check runs:
-    // `None` = check this state, `Some(j)` = reuse the result of state `j`.
-    let plan: Vec<Option<usize>> = if cfg.dedup {
-        let mut first: HashMap<u128, usize> = HashMap::with_capacity(subsets.len());
-        subsets
-            .iter()
-            .enumerate()
-            .map(|(i, s)| match first.entry(state_key(&writes, s)) {
-                std::collections::hash_map::Entry::Occupied(e) => Some(*e.get()),
-                std::collections::hash_map::Entry::Vacant(v) => {
-                    v.insert(i);
-                    None
-                }
-            })
-            .collect()
-    } else {
-        vec![None; subsets.len()]
+    let ctx = PointCtx {
+        workload: &workload.name,
+        seq,
+        op_desc: &op_desc,
+        phase,
+        stop_on_first: cfg.stop_on_first,
     };
-
-    let check_one = |subset: &[usize]| -> CheckRes {
-        let fresh = kind.with_options(kind.options().with_fresh_sinks());
-        let violation = check_crash_state(&fresh, base, &writes, subset, check, cfg);
-        CheckRes {
-            violation,
-            cov: fresh.options().cov.snapshot(),
-            trace: fresh.options().trace.snapshot(),
-        }
-    };
-
+    let want_art = cfg.cross_dedup;
     let threads = cfg.threads.max(1);
     let mut results: Vec<Option<CheckRes>> = Vec::with_capacity(subsets.len());
     results.resize_with(subsets.len(), || None);
+
+    if threads <= 1 {
+        // Serial: one interleaved walk. The walker's undo-logged overlay is
+        // the crash state; decisions, checks, and commits happen per state
+        // in canonical order (decisions still cannot see same-point commits:
+        // in-point repeats are resolved by `seen` before the memo is
+        // consulted, so the plan matches the parallel one exactly).
+        let mut walker = SubsetWalker::new(base, base_key);
+        let mut seen: HashMap<ImageKey, usize> = HashMap::with_capacity(subsets.len());
+        for i in 0..subsets.len() {
+            walker.goto(&writes, &subsets[i]);
+            let key = walker.key();
+            let res = match decide(i, key, &mut seen, memo, cfg) {
+                Decision::Dup(j) => {
+                    let r = results[j].as_ref().expect("dedup source precedes its reuse");
+                    if commit_state(kind, &ctx, r, key, true, || describe_subset(&writes, &subsets[i]), memo, out)
+                    {
+                        *stop = true;
+                        return;
+                    }
+                    continue;
+                }
+                Decision::Memo(art) => {
+                    let fresh = kind.with_options(kind.options().with_fresh_sinks());
+                    resolve_memo_hit(&art, check, cfg, scope, |tree| {
+                        if cfg.delta_replay {
+                            let mark = walker.mark();
+                            let p = probe_on(&fresh, &mut *walker.device(), tree);
+                            walker.undo_to(mark);
+                            p
+                        } else {
+                            let mut cow = CowDevice::new(base);
+                            apply_subset(&mut cow, &writes, &subsets[i]);
+                            probe_on(&fresh, cow, tree)
+                        }
+                    })
+                }
+                Decision::Fresh => {
+                    let fresh = kind.with_options(kind.options().with_fresh_sinks());
+                    if cfg.delta_replay {
+                        let mark = walker.mark();
+                        let r = check_staged(
+                            &fresh,
+                            &mut *walker.device(),
+                            check,
+                            cfg,
+                            scope,
+                            want_art,
+                        );
+                        walker.undo_to(mark);
+                        r
+                    } else {
+                        let mut cow = CowDevice::new(base);
+                        apply_subset(&mut cow, &writes, &subsets[i]);
+                        check_staged(&fresh, cow, check, cfg, scope, want_art)
+                    }
+                }
+            };
+            let s = commit_state(kind, &ctx, &res, key, false, || describe_subset(&writes, &subsets[i]), memo, out);
+            results[i] = Some(res);
+            if s {
+                *stop = true;
+                return;
+            }
+        }
+        return;
+    }
+
+    // Parallel: one key pass, a fixed plan, then windowed workers over
+    // private overlays with an ordered commit walk.
+    let mut keys: Vec<ImageKey> = Vec::with_capacity(subsets.len());
+    {
+        let mut walker = SubsetWalker::new(base, base_key);
+        for s in &subsets {
+            walker.goto(&writes, s);
+            keys.push(walker.key());
+        }
+    }
+    let mut seen: HashMap<ImageKey, usize> = HashMap::with_capacity(subsets.len());
+    let plan: Vec<Decision> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| decide(i, k, &mut seen, memo, cfg))
+        .collect();
+
+    let check_one = |i: usize| -> CheckRes {
+        let fresh = kind.with_options(kind.options().with_fresh_sinks());
+        match &plan[i] {
+            Decision::Dup(_) => unreachable!("dups are resolved at commit"),
+            Decision::Memo(art) => resolve_memo_hit(art, check, cfg, scope, |tree| {
+                let mut cow = CowDevice::new(base);
+                apply_subset(&mut cow, &writes, &subsets[i]);
+                probe_on(&fresh, cow, tree)
+            }),
+            Decision::Fresh => {
+                let mut cow = CowDevice::new(base);
+                apply_subset(&mut cow, &writes, &subsets[i]);
+                check_staged(&fresh, cow, check, cfg, scope, want_art)
+            }
+        }
+    };
 
     // With stop-on-first, checking everything up front wastes work past the
     // winner; process bounded speculation windows instead. Window size only
@@ -464,24 +1037,21 @@ fn visit_crash_point<K: FsKind>(
     let mut pos = 0usize;
     while pos < subsets.len() {
         let hi = (pos + window).min(subsets.len());
-        let todo: Vec<usize> = (pos..hi).filter(|&i| plan[i].is_none()).collect();
-        if threads <= 1 || todo.len() <= 1 {
+        let todo: Vec<usize> =
+            (pos..hi).filter(|&i| !matches!(plan[i], Decision::Dup(_))).collect();
+        if todo.len() <= 1 {
             for &i in &todo {
-                results[i] = Some(check_one(&subsets[i]));
+                results[i] = Some(check_one(i));
             }
         } else {
             let per = todo.len().div_ceil(threads);
             let check_one = &check_one;
-            let subsets_ref = &subsets;
             std::thread::scope(|sc| {
                 let handles: Vec<_> = todo
                     .chunks(per)
                     .map(|shard| {
                         sc.spawn(move || {
-                            shard
-                                .iter()
-                                .map(|&i| (i, check_one(&subsets_ref[i])))
-                                .collect::<Vec<_>>()
+                            shard.iter().map(|&i| (i, check_one(i))).collect::<Vec<_>>()
                         })
                     })
                     .collect();
@@ -495,32 +1065,16 @@ fn visit_crash_point<K: FsKind>(
 
         // Ordered commit walk over this window.
         for i in pos..hi {
-            out.crash_states += 1;
-            let res = match plan[i] {
-                Some(j) => {
-                    out.dedup_hits += 1;
-                    results[j].as_ref().expect("dedup source precedes its reuse")
+            let (res, dup) = match plan[i] {
+                Decision::Dup(j) => {
+                    (results[j].as_ref().expect("dedup source precedes its reuse"), true)
                 }
-                None => results[i].as_ref().expect("checked in this window"),
+                _ => (results[i].as_ref().expect("checked in this window"), false),
             };
-            kind.options().cov.absorb(&res.cov);
-            kind.options().trace.absorb(&res.trace);
-            if let Some(v) = res.violation.clone() {
-                push_report(
-                    out,
-                    BugReport {
-                        workload: workload.name.clone(),
-                        op_seq: seq,
-                        op_desc: op_desc.clone(),
-                        phase,
-                        subset: describe_subset(&writes, &subsets[i]),
-                        violation: v,
-                    },
-                );
-                if cfg.stop_on_first {
-                    *stop = true;
-                    return;
-                }
+            if commit_state(kind, &ctx, res, keys[i], dup, || describe_subset(&writes, &subsets[i]), memo, out)
+            {
+                *stop = true;
+                return;
             }
         }
         pos = hi;

@@ -50,8 +50,11 @@ pub mod crashgen;
 pub mod exec;
 pub mod harness;
 pub mod oracle;
+pub mod prefix;
 pub mod report;
 
 pub use config::TestConfig;
 pub use harness::{test_workload, PhaseTimings, TestOutcome};
+pub use oracle::Scope;
+pub use prefix::{test_workload_cached, PrefixCache};
 pub use report::{triage, BugReport, CrashPhase, Violation};

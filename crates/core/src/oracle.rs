@@ -7,12 +7,44 @@
 //! at the end, so snapshot *k* is the legal state "before op *k*" and
 //! snapshot *k+1* the legal state "after op *k*".
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use pmem::PmDevice;
 use vfs::{FileSystem, FileType, FsError, FsKind, Workload};
 
 use crate::exec::{Executor, OpResult};
+
+/// The set of paths a crash point's in-flight operations can affect —
+/// the targets themselves, their parent directories (entry lists and link
+/// counts change there), and every hard-link alias of a target file.
+///
+/// Scoped checking (§ [`crate::TestConfig::scoped_check`]) compares file
+/// *contents* against the oracle only inside the scope; structure and
+/// metadata (presence, type, size, link counts, directory entries) are
+/// always compared everywhere. `Full` is the escape hatch: everything is
+/// in scope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Scope {
+    /// Every path is in scope (full comparison).
+    Full,
+    /// Only the listed paths are in scope for data comparison.
+    Paths(BTreeSet<String>),
+}
+
+impl Scope {
+    /// Whether `path`'s file contents are compared.
+    pub fn contains(&self, path: &str) -> bool {
+        match self {
+            Scope::Full => true,
+            Scope::Paths(set) => set.contains(path),
+        }
+    }
+
+    /// Whether this is the full (unscoped) comparison.
+    pub fn is_full(&self) -> bool {
+        matches!(self, Scope::Full)
+    }
+}
 
 /// Snapshot of one file or directory.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,6 +79,14 @@ pub type Tree = BTreeMap<String, NodeSnap>;
 /// Any corruption error surfaced during the walk is returned as `Err` with
 /// a description — on a crash state this is itself a consistency violation.
 pub fn snapshot_tree<F: FileSystem>(fs: &F) -> Result<Tree, String> {
+    snapshot_tree_scoped(fs, &Scope::Full)
+}
+
+/// [`snapshot_tree`], but file *contents* are read only for paths inside
+/// `scope` — out-of-scope files get their real metadata (ino, nlink, size)
+/// and empty placeholder data. Such a tree may only be compared with the
+/// same scope (the scoped diffs skip exactly those bytes).
+pub fn snapshot_tree_scoped<F: FileSystem>(fs: &F, scope: &Scope) -> Result<Tree, String> {
     let mut tree = Tree::new();
     let mut queue = vec!["/".to_string()];
     while let Some(dir) = queue.pop() {
@@ -68,9 +108,12 @@ pub fn snapshot_tree<F: FileSystem>(fs: &F) -> Result<Tree, String> {
                     let meta = fs
                         .stat(&path)
                         .map_err(|e| format!("stat({path}) failed during tree walk: {e}"))?;
-                    let data = fs
-                        .read_file(&path)
-                        .map_err(|e| format!("read({path}) failed during tree walk: {e}"))?;
+                    let data = if scope.contains(&path) {
+                        fs.read_file(&path)
+                            .map_err(|e| format!("read({path}) failed during tree walk: {e}"))?
+                    } else {
+                        Vec::new()
+                    };
                     tree.insert(
                         path,
                         NodeSnap::File {
@@ -132,11 +175,25 @@ pub fn build_oracle<K: FsKind>(
 ///
 /// Returns `None` on a match, or a human-readable first difference.
 pub fn diff_trees(actual: &Tree, expect: &Tree, compare_ino: bool) -> Option<String> {
+    diff_trees_scoped(actual, expect, compare_ino, &Scope::Full)
+}
+
+/// [`diff_trees`], but file *contents* are compared only for paths inside
+/// `scope`. Structure — presence, type, ino (when configured), nlink, size,
+/// directory entries — is still compared for every path.
+pub fn diff_trees_scoped(
+    actual: &Tree,
+    expect: &Tree,
+    compare_ino: bool,
+    scope: &Scope,
+) -> Option<String> {
     for (path, enode) in expect {
         match actual.get(path) {
             None => return Some(format!("{path} missing (expected to exist)")),
             Some(anode) => {
-                if let Some(d) = diff_nodes(path, anode, enode, compare_ino) {
+                if let Some(d) =
+                    diff_nodes_scoped(path, anode, enode, compare_ino, scope.contains(path))
+                {
                     return Some(d);
                 }
             }
@@ -150,7 +207,13 @@ pub fn diff_trees(actual: &Tree, expect: &Tree, compare_ino: bool) -> Option<Str
     None
 }
 
-fn diff_nodes(path: &str, actual: &NodeSnap, expect: &NodeSnap, compare_ino: bool) -> Option<String> {
+fn diff_nodes_scoped(
+    path: &str,
+    actual: &NodeSnap,
+    expect: &NodeSnap,
+    compare_ino: bool,
+    compare_data: bool,
+) -> Option<String> {
     match (actual, expect) {
         (
             NodeSnap::File { ino: ai, nlink: an, size: asz, data: ad },
@@ -165,7 +228,7 @@ fn diff_nodes(path: &str, actual: &NodeSnap, expect: &NodeSnap, compare_ino: boo
             if asz != esz {
                 return Some(format!("{path}: size {asz} != expected {esz}"));
             }
-            if ad != ed {
+            if compare_data && ad != ed {
                 let first = ad.iter().zip(ed.iter()).position(|(a, b)| a != b);
                 return Some(format!(
                     "{path}: contents differ (first difference at offset {})",
@@ -215,6 +278,13 @@ fn write_aliases<'t>(tree: &'t Tree, target: &'t str) -> std::collections::BTree
     set
 }
 
+/// Owned alias set for scope construction: every path in `tree` that names
+/// the same inode as `target` (plus `target` itself). Used by the harness
+/// to expand a crash point's scope across hard links.
+pub fn alias_set(tree: &Tree, target: &str) -> BTreeSet<String> {
+    write_aliases(tree, target).into_iter().map(str::to_string).collect()
+}
+
 /// Relaxed comparison for crashes in the middle of a non-atomic data write:
 /// every file other than the written inode (under any of its hard-linked
 /// names) must match `cur`, while the written file's size must be the old
@@ -227,6 +297,20 @@ pub fn diff_relaxed_write(
     target: &str,
     compare_ino: bool,
 ) -> Option<String> {
+    diff_relaxed_write_scoped(actual, prev, cur, target, compare_ino, &Scope::Full)
+}
+
+/// [`diff_relaxed_write`] with scoped data comparison for the untouched
+/// files (the written inode's aliases are always fully checked; the caller
+/// must have them in scope so the walk read their bytes).
+pub fn diff_relaxed_write_scoped(
+    actual: &Tree,
+    prev: &Tree,
+    cur: &Tree,
+    target: &str,
+    compare_ino: bool,
+    scope: &Scope,
+) -> Option<String> {
     let aliases = write_aliases(cur, target);
     // Check all non-target nodes against the current oracle.
     for (path, enode) in cur {
@@ -236,7 +320,9 @@ pub fn diff_relaxed_write(
         match actual.get(path) {
             None => return Some(format!("{path} missing (untouched by the data write)")),
             Some(anode) => {
-                if let Some(d) = diff_nodes(path, anode, enode, compare_ino) {
+                if let Some(d) =
+                    diff_nodes_scoped(path, anode, enode, compare_ino, scope.contains(path))
+                {
                     return Some(format!("untouched file changed: {d}"));
                 }
             }
@@ -300,6 +386,20 @@ pub fn diff_atomic_write(
     target: &str,
     compare_ino: bool,
 ) -> Option<String> {
+    diff_atomic_write_scoped(actual, prev, cur, target, compare_ino, &Scope::Full)
+}
+
+/// [`diff_atomic_write`] with scoped data comparison for the untouched
+/// files (the written inode's aliases are always fully checked; the caller
+/// must have them in scope so the walk read their bytes).
+pub fn diff_atomic_write_scoped(
+    actual: &Tree,
+    prev: &Tree,
+    cur: &Tree,
+    target: &str,
+    compare_ino: bool,
+    scope: &Scope,
+) -> Option<String> {
     let aliases = write_aliases(cur, target);
     for (path, enode) in cur {
         if aliases.contains(path.as_str()) {
@@ -308,7 +408,9 @@ pub fn diff_atomic_write(
         match actual.get(path) {
             None => return Some(format!("{path} missing (untouched by the data write)")),
             Some(anode) => {
-                if let Some(d) = diff_nodes(path, anode, enode, compare_ino) {
+                if let Some(d) =
+                    diff_nodes_scoped(path, anode, enode, compare_ino, scope.contains(path))
+                {
                     return Some(format!("untouched file changed: {d}"));
                 }
             }

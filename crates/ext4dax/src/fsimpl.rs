@@ -24,6 +24,7 @@ struct OpenFile {
 }
 
 /// The ext4-DAX-style file system (see the crate docs).
+#[derive(Clone)]
 pub struct Ext4Dax<D> {
     dev: D,
     geo: Geometry,

@@ -69,4 +69,8 @@ impl FsKind for Ext4DaxKind {
     fn mount<D: PmBackend>(&self, dev: D) -> FsResult<Self::Fs<D>> {
         Ext4Dax::mount(dev, &self.opts)
     }
+
+    fn fork_fs<D: PmBackend + Clone>(&self, fs: &Self::Fs<D>) -> Option<Self::Fs<D>> {
+        Some(fs.clone())
+    }
 }

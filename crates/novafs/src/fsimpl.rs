@@ -30,6 +30,7 @@ use crate::{
 const MAX_FILE_BLOCKS: u64 = 1 << 20;
 
 /// The NOVA / NOVA-Fortis file system.
+#[derive(Clone)]
 pub struct Nova<D> {
     dev: D,
     geo: Geometry,

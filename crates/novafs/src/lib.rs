@@ -91,4 +91,8 @@ impl FsKind for NovaKind {
     fn mount<D: PmBackend>(&self, dev: D) -> FsResult<Self::Fs<D>> {
         Nova::mount(dev, &self.opts, self.fortis)
     }
+
+    fn fork_fs<D: pmem::PmBackend + Clone>(&self, fs: &Self::Fs<D>) -> Option<Self::Fs<D>> {
+        Some(fs.clone())
+    }
 }

@@ -114,7 +114,7 @@ impl Allocator {
 }
 
 /// Whole-FS volatile state.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Volatile {
     /// Per-inode DRAM state (present only for live inodes).
     pub inodes: HashMap<u64, InodeState>,

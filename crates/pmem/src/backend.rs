@@ -128,6 +128,48 @@ pub trait PmBackend {
     }
 }
 
+/// A mutable reference to a backend is itself a backend. This lets the
+/// harness mount a file system on `&mut CowDevice` without giving up
+/// ownership, so the same overlay (and its undo log) survives across the
+/// mount/check/unmount cycle of many crash states.
+impl<T: PmBackend + ?Sized> PmBackend for &mut T {
+    fn len(&self) -> u64 {
+        (**self).len()
+    }
+
+    fn read(&self, off: u64, buf: &mut [u8]) {
+        (**self).read(off, buf);
+    }
+
+    fn store(&mut self, off: u64, data: &[u8]) {
+        (**self).store(off, data);
+    }
+
+    fn memcpy_nt(&mut self, off: u64, data: &[u8]) {
+        (**self).memcpy_nt(off, data);
+    }
+
+    fn memset_nt(&mut self, off: u64, val: u8, len: u64) {
+        (**self).memset_nt(off, val, len);
+    }
+
+    fn flush(&mut self, off: u64, len: u64) {
+        (**self).flush(off, len);
+    }
+
+    fn fence(&mut self) {
+        (**self).fence();
+    }
+
+    fn note_media_read(&mut self, len: u64) {
+        (**self).note_media_read(len);
+    }
+
+    fn sim_cost(&self) -> SimCost {
+        (**self).sim_cost()
+    }
+}
+
 /// Rounds `off` down to its cache-line base.
 pub fn line_base(off: u64) -> u64 {
     off & !(CACHE_LINE - 1)

@@ -1,0 +1,127 @@
+//! XOR-composable content hashing of device images.
+//!
+//! Crash-state deduplication needs a key that identifies the *post-crash
+//! device content*. The original implementation recomputed a latest-writer-
+//! wins interval hash per subset, which is O(total in-flight bytes) per
+//! state. This module provides an incrementally maintainable alternative:
+//! the key of an image is the XOR over all offsets of a per-`(offset, byte)`
+//! term, with the term of a zero byte defined as 0. Properties:
+//!
+//! * **Content-determined**: the key depends only on the final bytes, not on
+//!   the write order or on how the key was maintained. A delta replayer and
+//!   a from-scratch construction agree exactly.
+//! * **O(changed bytes) updates**: changing a byte `old → new` at `off`
+//!   updates the key with `key ^= term(off, old) ^ term(off, new)`.
+//! * **Zero images hash to 0** for every device size, so no per-size
+//!   baseline needs precomputing.
+//!
+//! The 128-bit key is two independent 64-bit mixes, making accidental
+//! collisions (which would merge distinct crash states) negligible for the
+//! non-adversarial images the harness produces.
+
+/// Content key of a device image (see module docs).
+pub type ImageKey = u128;
+
+const SEED_LO: u64 = 0x243f_6a88_85a3_08d3;
+const SEED_HI: u64 = 0x1319_8a2e_0370_7344;
+
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The XOR term contributed by `byte` at `off`. Zero bytes contribute 0.
+///
+/// `off` must be below 2^56 (device offsets are far smaller), so
+/// `(off << 8) | byte` is injective over `(off, byte)`.
+#[inline]
+pub fn byte_term(off: u64, byte: u8) -> ImageKey {
+    if byte == 0 {
+        return 0;
+    }
+    debug_assert!(off < 1 << 56);
+    let x = (off << 8) | byte as u64;
+    let lo = splitmix64(x ^ SEED_LO);
+    let hi = splitmix64(x ^ SEED_HI);
+    ((hi as ImageKey) << 64) | lo as ImageKey
+}
+
+/// Full-image key: XOR of [`byte_term`] over every offset. O(len) — used to
+/// seed incremental maintenance and to cross-check it in tests.
+pub fn image_key(img: &[u8]) -> ImageKey {
+    let mut key = 0;
+    for (i, &b) in img.iter().enumerate() {
+        if b != 0 {
+            key ^= byte_term(i as u64, b);
+        }
+    }
+    key
+}
+
+/// Key delta for overwriting the bytes `old` at `off` with `new`
+/// (`old.len() == new.len()`). XOR the result into a maintained key.
+pub fn write_delta(off: u64, old: &[u8], new: &[u8]) -> ImageKey {
+    debug_assert_eq!(old.len(), new.len());
+    let mut d = 0;
+    for (i, (&o, &n)) in old.iter().zip(new).enumerate() {
+        if o != n {
+            let at = off + i as u64;
+            d ^= byte_term(at, o) ^ byte_term(at, n);
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_images_hash_to_zero() {
+        assert_eq!(image_key(&[0u8; 100]), 0);
+        assert_eq!(image_key(&[0u8; 9000]), 0);
+        assert_eq!(image_key(&[]), 0);
+    }
+
+    #[test]
+    fn key_is_content_determined() {
+        let mut a = vec![0u8; 512];
+        a[10] = 3;
+        a[500] = 7;
+        let mut b = vec![0u8; 512];
+        b[500] = 7;
+        b[10] = 3;
+        assert_eq!(image_key(&a), image_key(&b));
+        b[10] = 4;
+        assert_ne!(image_key(&a), image_key(&b));
+    }
+
+    #[test]
+    fn position_matters() {
+        let mut a = vec![0u8; 64];
+        a[1] = 5;
+        let mut b = vec![0u8; 64];
+        b[2] = 5;
+        assert_ne!(image_key(&a), image_key(&b));
+    }
+
+    #[test]
+    fn incremental_matches_full() {
+        let mut img: Vec<u8> = (0..1000).map(|i| (i * 7 % 256) as u8).collect();
+        let mut key = image_key(&img);
+        let new = [9u8, 0, 255, 3, 3];
+        let off = 123u64;
+        key ^= write_delta(off, &img[123..128], &new);
+        img[123..128].copy_from_slice(&new);
+        assert_eq!(key, image_key(&img));
+    }
+
+    #[test]
+    fn write_delta_of_identical_bytes_is_zero() {
+        let old = [1u8, 2, 3];
+        assert_eq!(write_delta(40, &old, &old), 0);
+    }
+}

@@ -40,10 +40,14 @@ pub mod backend;
 pub mod cost;
 pub mod cow;
 pub mod device;
+pub mod fork;
+pub mod hash;
 pub mod shared;
 
 pub use backend::{PmBackend, CACHE_LINE, WORD};
 pub use cost::{PmStats, SimCost};
-pub use cow::CowDevice;
+pub use cow::{CowDevice, UndoMark};
 pub use device::{InflightKind, InflightWrite, PmDevice};
+pub use fork::ForkDevice;
+pub use hash::{byte_term, image_key, write_delta, ImageKey};
 pub use shared::{SharedDev, Window};

@@ -7,14 +7,17 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use pmem::{CowDevice, PmBackend, PmDevice};
 
-/// System allocator wrapper recording the largest single allocation.
+/// System allocator wrapper recording the largest single allocation and the
+/// total bytes requested.
 struct MaxTracking;
 
 static MAX_ALLOC: AtomicUsize = AtomicUsize::new(0);
+static TOTAL_ALLOC: AtomicUsize = AtomicUsize::new(0);
 
 unsafe impl GlobalAlloc for MaxTracking {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         MAX_ALLOC.fetch_max(layout.size(), Ordering::Relaxed);
+        TOTAL_ALLOC.fetch_add(layout.size(), Ordering::Relaxed);
         System.alloc(layout)
     }
 
@@ -24,6 +27,7 @@ unsafe impl GlobalAlloc for MaxTracking {
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         MAX_ALLOC.fetch_max(new_size, Ordering::Relaxed);
+        TOTAL_ALLOC.fetch_add(new_size, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -62,6 +66,36 @@ fn cow_memset_out_of_range_panics_before_writing() {
     let base = vec![0u8; 4096];
     let mut cow = CowDevice::new(&base);
     cow.memset_nt(4000, 1, 200);
+}
+
+#[test]
+fn cow_page_fault_allocates_one_page_without_zero_prefill() {
+    // `page_mut` used to zero-fill a fresh 4 KiB buffer and then overwrite
+    // the whole thing with the base copy. The page is now built from the
+    // base slice directly, so faulting a page costs exactly one page-sized
+    // allocation (plus small HashMap bookkeeping), with no transient second
+    // buffer and no reallocation.
+    let base = vec![0x5au8; 64 * 4096];
+    let mut cow = CowDevice::new(&base);
+    cow.store(0, &[1]); // warm up the overlay HashMap
+    let pages = 32usize;
+    TOTAL_ALLOC.store(0, Ordering::Relaxed);
+    MAX_ALLOC.store(0, Ordering::Relaxed);
+    for p in 1..=pages {
+        cow.store(p as u64 * 4096, &[2]); // one fresh page fault each
+    }
+    let total = TOTAL_ALLOC.load(Ordering::Relaxed);
+    let peak = MAX_ALLOC.load(Ordering::Relaxed);
+    // One 4096-byte buffer per faulted page + bounded map growth slack.
+    assert!(
+        total <= pages * 4096 + 16 * 1024,
+        "{pages} page faults allocated {total} bytes in total"
+    );
+    assert!(peak <= 16 * 1024, "largest single allocation was {peak} bytes");
+    // Faulted pages must still carry the base content.
+    let mut b = [0u8; 2];
+    cow.read(4096, &mut b);
+    assert_eq!(b, [2, 0x5a]);
 }
 
 #[test]

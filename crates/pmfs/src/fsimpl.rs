@@ -45,6 +45,7 @@ impl UpdatePlan {
 }
 
 /// The PMFS file system.
+#[derive(Clone)]
 pub struct Pmfs<D> {
     dev: D,
     geo: Geometry,

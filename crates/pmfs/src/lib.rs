@@ -67,4 +67,8 @@ impl FsKind for PmfsKind {
     fn mount<D: PmBackend>(&self, dev: D) -> FsResult<Self::Fs<D>> {
         Pmfs::mount(dev, &self.opts)
     }
+
+    fn fork_fs<D: pmem::PmBackend + Clone>(&self, fs: &Self::Fs<D>) -> Option<Self::Fs<D>> {
+        Some(fs.clone())
+    }
 }

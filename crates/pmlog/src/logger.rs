@@ -104,6 +104,21 @@ pub struct LoggingPm<D> {
     log_plain_stores: bool,
 }
 
+impl<D: Clone> Clone for LoggingPm<D> {
+    /// Clones the wrapper *sharing* the log handle: both sides append to the
+    /// same log. The prefix cache relies on this — a forked file system keeps
+    /// recording into the cache's one log stream, and the harness `take`s the
+    /// log between runs so each resume appends to an empty log.
+    fn clone(&self) -> Self {
+        LoggingPm {
+            dev: self.dev.clone(),
+            log: self.log.clone(),
+            dirty_lines: self.dirty_lines.clone(),
+            log_plain_stores: self.log_plain_stores,
+        }
+    }
+}
+
 impl<D: PmBackend> LoggingPm<D> {
     /// Wraps `dev`, recording into the log behind `log`.
     pub fn new(dev: D, log: LogHandle) -> Self {

@@ -270,6 +270,16 @@ pub trait FsKind: Clone + Send + Sync {
     /// Mounts `dev`, running crash recovery. This is the operation under
     /// test when checking crash states.
     fn mount<D: PmBackend>(&self, dev: D) -> FsResult<Self::Fs<D>>;
+
+    /// Forks a live instance, producing an independent file system whose
+    /// in-memory state (and, when `D` is itself copy-on-write, device
+    /// state) no longer aliases the original. Kinds that support cheap
+    /// forking override this; the default `None` makes the caller fall
+    /// back to re-executing from scratch. Used by the prefix cache to
+    /// resume shared workload prefixes.
+    fn fork_fs<D: PmBackend + Clone>(&self, _fs: &Self::Fs<D>) -> Option<Self::Fs<D>> {
+        None
+    }
 }
 
 #[cfg(test)]

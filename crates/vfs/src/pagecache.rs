@@ -25,7 +25,7 @@ pub enum BlockClass {
     Data,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Page {
     buf: Box<[u8]>,
     dirty: bool,
@@ -33,7 +33,7 @@ struct Page {
 }
 
 /// A write-back page cache over device blocks.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct PageCache {
     pages: HashMap<u64, Page>,
 }

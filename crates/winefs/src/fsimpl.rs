@@ -39,6 +39,7 @@ impl UpdatePlan {
 }
 
 /// The WineFS file system.
+#[derive(Clone)]
 pub struct WineFs<D> {
     dev: D,
     geo: Geometry,

@@ -76,4 +76,8 @@ impl FsKind for WineFsKind {
     fn mount<D: PmBackend>(&self, dev: D) -> FsResult<Self::Fs<D>> {
         WineFs::mount(dev, &self.opts, self.strict)
     }
+
+    fn fork_fs<D: pmem::PmBackend + Clone>(&self, fs: &Self::Fs<D>) -> Option<Self::Fs<D>> {
+        Some(fs.clone())
+    }
 }

@@ -32,6 +32,7 @@ struct OpenFile {
 }
 
 /// The XFS-DAX-style file system (see the crate docs).
+#[derive(Clone)]
 pub struct XfsDax<D> {
     dev: D,
     geo: Geometry,

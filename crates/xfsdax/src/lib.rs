@@ -68,4 +68,8 @@ impl FsKind for XfsDaxKind {
     fn mount<D: PmBackend>(&self, dev: D) -> FsResult<Self::Fs<D>> {
         XfsDax::mount(dev, &self.opts)
     }
+
+    fn fork_fs<D: PmBackend + Clone>(&self, fs: &Self::Fs<D>) -> Option<Self::Fs<D>> {
+        Some(fs.clone())
+    }
 }
