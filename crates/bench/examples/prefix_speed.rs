@@ -1,10 +1,15 @@
 //! Measures what the incremental engine buys on an ACE sweep: runs strong
-//! seq-1 plus the first `n` (arg, default 200) seq-2 workloads on NOVA
+//! seq-1 plus the first `n` (arg 1, default 200) seq-2 workloads on NOVA
 //! three times — all incremental layers off (the PR-1 baseline), all on,
 //! and all but the prefix cache — printing per-phase wall times and cache
 //! counters. Crash-state counts are identical across rows by construction
 //! (the differential tests enforce it); only the time columns move. The
-//! source of the EXPERIMENTS.md "Incremental evaluation" table.
+//! source of the EXPERIMENTS.md "Incremental evaluation" and
+//! "Parallel + incremental" tables.
+//!
+//! Arg 2 (default 1) sets `TestConfig::threads`: with the prefix-tree
+//! scheduler the counter columns — including `prefix`/`saved` — must not
+//! move either, whatever the thread count.
 
 use bench::run_suite;
 use chipmunk::TestConfig;
@@ -13,6 +18,7 @@ use workloads::ace::{seq1, seq2, AceMode};
 
 fn main() {
     let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(200);
+    let threads: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(1);
     let ws: Vec<_> = seq1(AceMode::Strong)
         .into_iter()
         .chain(seq2(AceMode::Strong))
@@ -36,10 +42,11 @@ fn main() {
             TestConfig { prefix_cache: false, ..TestConfig::default() },
         ),
     ] {
+        let cfg = cfg.with_threads(threads);
         let t = std::time::Instant::now();
         let s = run_suite(FsName::Nova, BugSet::fixed(), ws.clone(), &cfg);
         println!(
-            "{label} total={:?} oracle={:?} record={:?} check={:?} states={} dedup={} memo={} prefix={} saved={}",
+            "{label} total={:?} oracle={:?} record={:?} check={:?} states={} dedup={} memo={} prefix={} saved={} subtrees={} depth={} per-worker={:?}",
             t.elapsed(),
             s.phase.oracle,
             s.phase.record,
@@ -49,6 +56,9 @@ fn main() {
             s.memo_hits,
             s.prefix_hits,
             s.prefix_ops_saved,
+            s.sched_subtrees,
+            s.sched_subtree_max_depth,
+            s.per_worker_prefix_hits,
         );
     }
 }

@@ -54,6 +54,8 @@ fn main() {
     let mut fuzz_series: Vec<(u32, Duration, u64)> = Vec::new();
     let (mut states_total, mut dedup_total) = (0u64, 0u64);
     let (mut memo_total, mut prefix_total, mut saved_total) = (0u64, 0u64, 0u64);
+    let (mut subtree_total, mut depth_max) = (0u64, 0u64);
+    let mut worker_hits: Vec<u64> = Vec::new();
     let mut phase_total = PhaseTotals::default();
     for info in &uniques {
         if info.ace_findable {
@@ -63,6 +65,14 @@ fn main() {
                 memo_total += h.memo_hits;
                 prefix_total += h.prefix_hits;
                 saved_total += h.prefix_ops_saved;
+                subtree_total += h.sched_subtrees;
+                depth_max = depth_max.max(h.sched_subtree_max_depth);
+                if worker_hits.len() < h.per_worker_prefix_hits.len() {
+                    worker_hits.resize(h.per_worker_prefix_hits.len(), 0);
+                }
+                for (slot, &v) in worker_hits.iter_mut().zip(&h.per_worker_prefix_hits) {
+                    *slot += v;
+                }
                 phase_total.oracle += h.phase.oracle;
                 phase_total.record += h.phase.record;
                 phase_total.check += h.phase.check;
@@ -170,6 +180,12 @@ fn main() {
                     ("memo_hits", Json::U(memo_total)),
                     ("prefix_hits", Json::U(prefix_total)),
                     ("prefix_ops_saved", Json::U(saved_total)),
+                    ("subtrees", Json::U(subtree_total)),
+                    ("subtree_max_depth", Json::U(depth_max)),
+                    (
+                        "per_worker_prefix_hits",
+                        Json::Arr(worker_hits.iter().map(|&v| Json::U(v)).collect()),
+                    ),
                     ("oracle_seconds", Json::F(phase_total.oracle.as_secs_f64())),
                     ("record_seconds", Json::F(phase_total.record.as_secs_f64())),
                     ("check_seconds", Json::F(phase_total.check.as_secs_f64())),

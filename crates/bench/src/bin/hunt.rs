@@ -37,11 +37,14 @@ fn main() {
         let (hit, w, s) = hunt_with_ace(info.id, &ace_cfg, 400);
         match &hit {
             Some(h) => println!(
-                "  ACE : found in {:>8} | {w} workloads, {s} states, {} dedup, {} memo, {} prefix hits | {}",
+                "  ACE : found in {:>8} | {w} workloads, {s} states, {} dedup, {} memo, {} prefix hits, {} subtrees (depth {}), per-worker {:?} | {}",
                 fmt_dur(h.elapsed),
                 h.dedup_hits,
                 h.memo_hits,
                 h.prefix_hits,
+                h.sched_subtrees,
+                h.sched_subtree_max_depth,
+                h.per_worker_prefix_hits,
                 h.class
             ),
             None => println!("  ACE : not found | {w} workloads, {s} states"),

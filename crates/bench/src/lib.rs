@@ -8,7 +8,7 @@ use std::{
     time::{Duration, Instant},
 };
 
-use chipmunk::{test_workload, BugReport, PrefixCache, TestConfig, TestOutcome};
+use chipmunk::{test_workload, BugReport, TestConfig, TestOutcome};
 use ext4dax::Ext4DaxKind;
 use novafs::NovaKind;
 use pmfs::PmfsKind;
@@ -23,6 +23,10 @@ use workloads::{
     ace::{seq1, seq2, seq3_metadata, AceMode},
     fuzz::{FuzzConfig, Fuzzer},
 };
+
+pub mod sched;
+
+pub use sched::{plan_subtrees, Scheduler, SubtreePlan, WorkloadResult};
 
 /// Rank-2 helper: run a generic closure against the `FsKind` for a given
 /// file system (the kinds are distinct types, so plain closures cannot be
@@ -124,44 +128,59 @@ pub fn run_batch<K: FsKind>(
         .collect()
 }
 
-/// [`run_batch`] with an optional prefix cache: when the cache is live and
-/// the config is serial, workloads are *executed* in op-lexicographic order
-/// (adjacent workloads then share the longest op prefixes, which is what the
-/// cache exploits — ACE emits dependency-setup ops first, so sorted
-/// neighbours typically share their whole setup) while results are still
-/// *committed* in batch order. Per-workload outputs are pure functions of
-/// the workload, so the returned vector is byte-identical to [`run_batch`]'s.
+/// [`run_batch`] with an optional prefix-tree scheduler: when the scheduler
+/// is live, workloads are *executed* grouped by prefix subtree, each group
+/// op-lexicographically sorted (adjacent workloads then share the longest op
+/// prefixes, which is what each worker's cache exploits — ACE emits
+/// dependency-setup ops first, so sorted neighbours typically share their
+/// whole setup) while results are still *committed* in batch order. With
+/// `cfg.threads > 1` and [`TestConfig::par_prefix`] on, whole subtrees run
+/// on parallel workers (see [`Scheduler`]); with `par_prefix` off the plain
+/// sharded [`run_batch`] path is used instead, as before the two composed.
+/// Per-workload outputs are pure functions of the workload, so the returned
+/// vector is byte-identical to [`run_batch`]'s for every thread count.
 pub fn run_batch_cached<K: FsKind>(
     kind: &K,
     batch: &[Workload],
     cfg: &TestConfig,
-    cache: Option<&mut PrefixCache<K>>,
+    sched: Option<&mut Scheduler<K>>,
 ) -> Vec<(TestOutcome, HashSet<u64>)> {
-    let cache = match cache {
-        Some(c) if cfg.threads.max(1) <= 1 && c.is_active() => c,
+    let threads = cfg.threads.max(1);
+    let sched = match sched {
+        Some(s) if s.is_active() && cfg.prefix_cache && (threads <= 1 || cfg.par_prefix) => s,
         _ => return run_batch(kind, batch, cfg),
     };
-    let keys: Vec<Vec<String>> = batch
-        .iter()
-        .map(|w| w.ops.iter().map(|o| o.describe()).collect())
-        .collect();
-    let mut order: Vec<usize> = (0..batch.len()).collect();
-    order.sort_by(|&a, &b| keys[a].cmp(&keys[b]));
-    let mut slots: Vec<Option<(TestOutcome, HashSet<u64>, _)>> = Vec::with_capacity(batch.len());
-    slots.resize_with(batch.len(), || None);
-    for i in order {
-        slots[i] = Some(cache.run(&batch[i], cfg));
-    }
-    slots
+    sched
+        .run(batch, cfg)
         .into_iter()
-        .map(|slot| {
-            let (mut out, cov, trace) = slot.expect("every batch slot filled");
+        .map(|(mut out, cov, trace)| {
             kind.options().cov.absorb(&cov);
             kind.options().trace.absorb(&trace);
             out.traced_bugs = kind.options().trace.snapshot();
             (out, cov)
         })
         .collect()
+}
+
+/// The one batch-sizing rule for the scheduled batch runners (the ACE hunt
+/// stream loop and the suite runner used to each have their own).
+///
+/// * `total = Some(n)`: the whole workload set is known up front (suites) —
+///   schedule it as a single batch; the scheduler partitions it internally,
+///   so pre-chunking would only cut subtrees and cost prefix reuse.
+/// * `total = None`, cache active: a fixed 64-workload lookahead window,
+///   independent of the thread count so batch boundaries (and with them all
+///   prefix counters) are identical for every `threads` value.
+/// * `total = None`, cache inactive: `threads * 2`, just enough lookahead to
+///   keep the sharded [`run_batch`] workers busy without over-speculating
+///   past a stop-on-first winner.
+pub fn sched_batch_len(threads: usize, cache_active: bool, total: Option<usize>) -> usize {
+    let threads = threads.max(1);
+    match total {
+        Some(n) => n.max(1),
+        None if cache_active => 64,
+        None => threads * 2,
+    }
 }
 
 /// Result of hunting one bug with one frontend.
@@ -188,6 +207,15 @@ pub struct HuntResult {
     pub prefix_hits: u64,
     /// Oracle + record operations skipped by prefix resumes until the find.
     pub prefix_ops_saved: u64,
+    /// Prefix subtrees the scheduler partitioned the batches into (summed
+    /// over batches; thread-count-invariant).
+    pub sched_subtrees: u64,
+    /// Deepest within-subtree shared op prefix seen in any batch.
+    pub sched_subtree_max_depth: u64,
+    /// Cumulative `prefix_hits` per scheduler worker slot — describes the
+    /// schedule, so (unlike every other field) it varies with the thread
+    /// count. Empty when the scheduler never engaged.
+    pub per_worker_prefix_hits: Vec<u64>,
     /// Cumulative per-phase wall time over the committed workloads.
     pub phase: PhaseTotals,
 }
@@ -230,6 +258,8 @@ impl WithKind for AceHunt<'_> {
         let mut memo = 0u64;
         let mut prefix = 0u64;
         let mut saved = 0u64;
+        let mut subtrees = 0u64;
+        let mut max_depth = 0u64;
         let mut phase = PhaseTotals::default();
         let seq3: Box<dyn Iterator<Item = Workload>> = if mode == AceMode::Strong {
             Box::new(seq3_metadata().step_by(37).take(self.max_seq3))
@@ -238,31 +268,25 @@ impl WithKind for AceHunt<'_> {
         };
         let mut stream = seq1(mode).into_iter().chain(seq2(mode)).chain(seq3);
         // The ACE stream is a pure iterator (no feedback), so the batch size
-        // may scale with the worker count — or widen into a serial lookahead
-        // window for the prefix cache — without affecting which workload
-        // wins: the walk below commits counters in stream order and stops at
-        // the first report, discarding speculative results past it.
-        let threads = self.cfg.threads.max(1);
-        let mut cache = PrefixCache::new(&kind, self.cfg);
-        let batch_len = if threads > 1 {
-            threads * 2
-        } else if cache.is_active() {
-            64
-        } else {
-            1
-        };
+        // is pure lookahead — it never affects which workload wins: the walk
+        // below commits counters in stream order and stops at the first
+        // report, discarding speculative results past it.
+        let mut sched = Scheduler::new(&kind, self.cfg);
+        let batch_len = sched_batch_len(self.cfg.threads, sched.is_active(), None);
         loop {
             let batch: Vec<Workload> = stream.by_ref().take(batch_len).collect();
             if batch.is_empty() {
                 return (None, workloads, states);
             }
-            for (out, _cov) in run_batch_cached(&kind, &batch, self.cfg, Some(&mut cache)) {
+            for (out, _cov) in run_batch_cached(&kind, &batch, self.cfg, Some(&mut sched)) {
                 workloads += 1;
                 states += out.crash_states;
                 dedup += out.dedup_hits;
                 memo += out.memo_hits;
                 prefix += out.prefix_hits;
                 saved += out.prefix_ops_saved;
+                subtrees += out.sched_subtrees;
+                max_depth = max_depth.max(out.sched_subtree_max_depth);
                 phase.add(&out.timing);
                 if let Some(r) = out.reports.first() {
                     return (
@@ -277,6 +301,9 @@ impl WithKind for AceHunt<'_> {
                             memo_hits: memo,
                             prefix_hits: prefix,
                             prefix_ops_saved: saved,
+                            sched_subtrees: subtrees,
+                            sched_subtree_max_depth: max_depth,
+                            per_worker_prefix_hits: sched.per_worker_hits.clone(),
                             phase,
                         }),
                         workloads,
@@ -352,6 +379,9 @@ impl WithKind for FuzzHunt<'_> {
                             memo_hits: memo,
                             prefix_hits: 0,
                             prefix_ops_saved: 0,
+                            sched_subtrees: 0,
+                            sched_subtree_max_depth: 0,
+                            per_worker_prefix_hits: Vec::new(),
                             phase,
                         }),
                         done,
@@ -404,6 +434,15 @@ pub struct SuiteStats {
     pub prefix_hits: u64,
     /// Oracle + record operations skipped by prefix resumes.
     pub prefix_ops_saved: u64,
+    /// Prefix subtrees the scheduler partitioned the suite into (summed over
+    /// batches; thread-count-invariant).
+    pub sched_subtrees: u64,
+    /// Deepest within-subtree shared op prefix seen in any batch.
+    pub sched_subtree_max_depth: u64,
+    /// Cumulative `prefix_hits` per scheduler worker slot. Varies with the
+    /// thread count by nature (it describes the schedule, not the results) —
+    /// keep it out of determinism fingerprints.
+    pub per_worker_prefix_hits: Vec<u64>,
     /// Cumulative per-phase wall times.
     pub phase: PhaseTotals,
     /// Every violation report, in workload order (determinism witnesses
@@ -421,11 +460,13 @@ impl WithKind for SuiteRun<'_> {
     fn call<K: FsKind>(self, kind: K) -> SuiteStats {
         let start = Instant::now();
         let mut s = SuiteStats::default();
-        let threads = self.cfg.threads.max(1);
-        let chunk = if threads <= 1 { self.workloads.len() } else { threads * 2 }.max(1);
-        let mut cache = PrefixCache::new(&kind, self.cfg);
+        let mut sched = Scheduler::new(&kind, self.cfg);
+        // The whole suite is one scheduled batch (`total = Some(..)`): the
+        // scheduler partitions it into subtrees internally, so pre-chunking
+        // would only cut subtrees at arbitrary boundaries and lose reuse.
+        let chunk = sched_batch_len(self.cfg.threads, sched.is_active(), Some(self.workloads.len()));
         for batch in self.workloads.chunks(chunk) {
-            for (out, _cov) in run_batch_cached(&kind, batch, self.cfg, Some(&mut cache)) {
+            for (out, _cov) in run_batch_cached(&kind, batch, self.cfg, Some(&mut sched)) {
                 s.workloads += 1;
                 s.crash_points += out.crash_points;
                 s.crash_states += out.crash_states;
@@ -433,12 +474,15 @@ impl WithKind for SuiteRun<'_> {
                 s.memo_hits += out.memo_hits;
                 s.prefix_hits += out.prefix_hits;
                 s.prefix_ops_saved += out.prefix_ops_saved;
+                s.sched_subtrees += out.sched_subtrees;
+                s.sched_subtree_max_depth = s.sched_subtree_max_depth.max(out.sched_subtree_max_depth);
                 s.phase.add(&out.timing);
                 s.reports += out.reports.len() as u64;
                 s.bug_reports.extend(out.reports);
                 s.inflight.extend(out.inflight_sizes);
             }
         }
+        s.per_worker_prefix_hits = sched.per_worker_hits;
         s.elapsed = start.elapsed();
         s
     }
@@ -594,6 +638,12 @@ pub fn hunt_json(hit: Option<&HuntResult>, workloads: u64, states: u64) -> jsono
             ("memo_hits", Json::U(h.memo_hits)),
             ("prefix_hits", Json::U(h.prefix_hits)),
             ("prefix_ops_saved", Json::U(h.prefix_ops_saved)),
+            ("subtrees", Json::U(h.sched_subtrees)),
+            ("subtree_max_depth", Json::U(h.sched_subtree_max_depth)),
+            (
+                "per_worker_prefix_hits",
+                Json::Arr(h.per_worker_prefix_hits.iter().map(|&v| Json::U(v)).collect()),
+            ),
             ("oracle_seconds", Json::F(h.phase.oracle.as_secs_f64())),
             ("record_seconds", Json::F(h.phase.record.as_secs_f64())),
             ("check_seconds", Json::F(h.phase.check.as_secs_f64())),
@@ -628,6 +678,23 @@ mod tests {
         assert!(hit.traced);
         assert_eq!(hit.class, "atomicity");
         assert!(workloads <= 56 + 3136);
+    }
+
+    #[test]
+    fn one_batch_sizing_rule() {
+        // Known totals (suites): the whole set, whatever the threads.
+        assert_eq!(sched_batch_len(1, true, Some(3192)), 3192);
+        assert_eq!(sched_batch_len(8, false, Some(10)), 10);
+        assert_eq!(sched_batch_len(4, true, Some(0)), 1, "empty suites stay harmless");
+        // Streams with a live cache: a fixed lookahead window, independent
+        // of the thread count so prefix counters match across thread counts.
+        for t in [0, 1, 2, 8, 32] {
+            assert_eq!(sched_batch_len(t, true, None), 64);
+        }
+        // Streams without a cache: just enough lookahead for the shards.
+        assert_eq!(sched_batch_len(1, false, None), 2);
+        assert_eq!(sched_batch_len(8, false, None), 16);
+        assert_eq!(sched_batch_len(0, false, None), 2, "threads are clamped to 1");
     }
 
     #[test]

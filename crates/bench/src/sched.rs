@@ -1,0 +1,312 @@
+//! Prefix-tree-aware deterministic scheduling of workload batches.
+//!
+//! The incremental engine's [`PrefixCache`] and multi-thread workload
+//! sharding used to be mutually exclusive: sharding scattered a batch's
+//! workloads across workers by arrival position, destroying the adjacent
+//! shared op prefixes the cache feeds on. The [`Scheduler`] composes them:
+//!
+//! 1. [`plan_subtrees`] partitions a batch into **prefix subtrees** — the
+//!    groups of workloads sharing their first operation, each sorted
+//!    op-lexicographically so neighbours inside a group share the deepest
+//!    possible prefixes. Workloads in *different* groups share no ops at
+//!    all, so cutting the batch at group boundaries loses zero prefix reuse.
+//! 2. Whole groups are assigned to workers round-robin **by sorted group
+//!    key**, never by arrival order, and each worker owns a private
+//!    [`PrefixCache`] (the caches are `Send`; checkpoints move with their
+//!    worker). Results commit in canonical batch order.
+//! 3. When the batch has fewer subtrees than the config has threads, the
+//!    leftover parallelism moves *inside* each worker: its workloads run
+//!    with `threads = total / groups`, which parallelizes the crash-subset
+//!    checks of each crash point (bit-identical to the serial walk by
+//!    construction, see `chipmunk::harness`).
+//!
+//! Determinism across thread counts falls out of three invariants: each
+//! workload's outcome is a pure function of the workload (the cache's
+//! differential tests pin cached ≡ uncached); a group's internal execution
+//! order is the same whichever worker runs it; and the first workload of a
+//! group always resumes from depth 0 (no ops shared with any other group),
+//! so per-workload `prefix_hits`/`prefix_ops_saved` cannot depend on which
+//! groups preceded it on the same worker. Per-worker caches are [`reset`]
+//! at the start of every scheduled call so counters are a pure function of
+//! the batch, not of scheduling history.
+//!
+//! [`reset`]: PrefixCache::reset
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use chipmunk::{PrefixCache, TestConfig, TestOutcome};
+use vfs::{BugId, FsKind, Workload};
+
+/// What one scheduled workload produces: its outcome, the crash-state
+/// coverage keys it visited, and the bug ids it tripped.
+pub type WorkloadResult = (TestOutcome, HashSet<u64>, BTreeSet<BugId>);
+
+/// A deterministic partition of one batch into prefix subtrees.
+///
+/// Produced by [`plan_subtrees`]; a pure function of the op-description
+/// keys, invariant under permutation of the batch (group membership and
+/// intra-group order depend only on the keys and their batch indices as
+/// tie-breaks).
+pub struct SubtreePlan {
+    /// Batch indices per subtree. Groups are ordered by their root op
+    /// description; members are ordered op-lexicographically (batch index
+    /// breaks exact-duplicate ties). Concatenating the groups reproduces
+    /// exactly the global op-lexicographic execution order the serial cached
+    /// runner has always used.
+    pub groups: Vec<Vec<usize>>,
+    /// Deepest common op prefix within any single group (a singleton
+    /// group's depth is its own op count).
+    pub max_depth: u64,
+}
+
+/// Groups a batch (given each workload's op-description key) into prefix
+/// subtrees keyed by the first operation. See [`SubtreePlan`].
+pub fn plan_subtrees(keys: &[Vec<String>]) -> SubtreePlan {
+    let mut by_root: BTreeMap<Option<&String>, Vec<usize>> = BTreeMap::new();
+    for (i, k) in keys.iter().enumerate() {
+        by_root.entry(k.first()).or_default().push(i);
+    }
+    let mut groups: Vec<Vec<usize>> = Vec::with_capacity(by_root.len());
+    let mut max_depth = 0u64;
+    for (_, mut members) in by_root {
+        members.sort_by(|&a, &b| keys[a].cmp(&keys[b]).then(a.cmp(&b)));
+        let mut depth = keys[members[0]].len();
+        for &m in &members[1..] {
+            let lcp = keys[members[0]]
+                .iter()
+                .zip(&keys[m])
+                .take_while(|(a, b)| a == b)
+                .count();
+            depth = depth.min(lcp);
+        }
+        max_depth = max_depth.max(depth as u64);
+        groups.push(members);
+    }
+    SubtreePlan { groups, max_depth }
+}
+
+/// How many worker threads a scheduled call uses, and how many inner
+/// threads each worker's `TestConfig` gets. Subtree-level splitting wins
+/// when there are at least as many groups as threads; otherwise the spare
+/// parallelism shifts to subset-level splitting inside each worker.
+fn split_levels(threads: usize, groups: usize) -> (usize, usize) {
+    let threads = threads.max(1);
+    let workers = threads.min(groups).max(1);
+    let inner = if groups >= threads { 1 } else { (threads / groups.max(1)).max(1) };
+    (workers, inner)
+}
+
+/// A prefix-tree-aware batch scheduler: per-worker [`PrefixCache`]s plus the
+/// deterministic subtree partitioning that keeps them effective under
+/// `threads > 1`. Create one next to a batch loop (where a bare
+/// `PrefixCache` used to live) and feed batches through [`Scheduler::run`]
+/// — or through [`crate::run_batch_cached`], which also absorbs sinks.
+pub struct Scheduler<K: FsKind> {
+    kind: K,
+    caches: Vec<PrefixCache<K>>,
+    /// Cumulative subtree count across all scheduled batches.
+    pub subtrees: u64,
+    /// Deepest within-subtree shared prefix seen in any batch.
+    pub subtree_max_depth: u64,
+    /// Cumulative `prefix_hits` per worker slot. Length = the most workers
+    /// any batch used; unlike every other counter this *is* a function of
+    /// the thread count (it describes the schedule, not the results), so it
+    /// stays out of determinism fingerprints.
+    pub per_worker_hits: Vec<u64>,
+}
+
+impl<K: FsKind> Scheduler<K> {
+    /// Creates a scheduler testing workloads under `kind`.
+    pub fn new(kind: &K, cfg: &TestConfig) -> Self {
+        Scheduler {
+            kind: kind.clone(),
+            caches: vec![PrefixCache::new(kind, cfg)],
+            subtrees: 0,
+            subtree_max_depth: 0,
+            per_worker_hits: Vec::new(),
+        }
+    }
+
+    /// Whether the caches are live (see [`PrefixCache::is_active`]; a kind
+    /// that cannot fork disables its cache on first use, after which every
+    /// batch should take the plain sharded path).
+    pub fn is_active(&self) -> bool {
+        self.caches.iter().all(|c| c.is_active())
+    }
+
+    /// Runs `batch`, returning per-workload `(outcome, coverage, trace)`
+    /// triples **in batch order**, byte-identical for every `cfg.threads`.
+    /// Sinks are private per workload — callers absorb them in batch order
+    /// (see [`crate::run_batch_cached`]).
+    pub fn run(
+        &mut self,
+        batch: &[Workload],
+        cfg: &TestConfig,
+    ) -> Vec<WorkloadResult> {
+        let keys: Vec<Vec<String>> = batch
+            .iter()
+            .map(|w| w.ops.iter().map(|o| o.describe()).collect())
+            .collect();
+        let plan = plan_subtrees(&keys);
+        self.subtrees += plan.groups.len() as u64;
+        self.subtree_max_depth = self.subtree_max_depth.max(plan.max_depth);
+
+        let (workers, inner) = split_levels(cfg.threads, plan.groups.len());
+        while self.caches.len() < workers {
+            self.caches.push(PrefixCache::new(&self.kind, cfg));
+        }
+        if self.per_worker_hits.len() < workers {
+            self.per_worker_hits.resize(workers, 0);
+        }
+        for c in &mut self.caches {
+            c.reset();
+        }
+        let wcfg = TestConfig { threads: inner, ..cfg.clone() };
+
+        let mut slots: Vec<Option<WorkloadResult>> = Vec::with_capacity(batch.len());
+        slots.resize_with(batch.len(), || None);
+        let mut hits = vec![0u64; workers];
+
+        if workers <= 1 {
+            let cache = &mut self.caches[0];
+            for g in &plan.groups {
+                for &i in g {
+                    let r = cache.run(&batch[i], &wcfg);
+                    hits[0] += r.0.prefix_hits;
+                    slots[i] = Some(r);
+                }
+            }
+        } else {
+            // Round-robin whole groups over workers by sorted-group index.
+            let mut assign: Vec<Vec<usize>> = vec![Vec::new(); workers];
+            for g in 0..plan.groups.len() {
+                assign[g % workers].push(g);
+            }
+            let plan = &plan;
+            let wcfg = &wcfg;
+            let worker_results: Vec<(u64, Vec<(usize, _)>)> = std::thread::scope(|sc| {
+                let handles: Vec<_> = self
+                    .caches
+                    .iter_mut()
+                    .take(workers)
+                    .zip(&assign)
+                    .map(|(cache, gs)| {
+                        sc.spawn(move || {
+                            let mut out = Vec::new();
+                            let mut h = 0u64;
+                            for &g in gs {
+                                for &i in &plan.groups[g] {
+                                    let r = cache.run(&batch[i], wcfg);
+                                    h += r.0.prefix_hits;
+                                    out.push((i, r));
+                                }
+                            }
+                            (h, out)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("scheduler worker panicked"))
+                    .collect()
+            });
+            for (w, (h, rs)) in worker_results.into_iter().enumerate() {
+                hits[w] = h;
+                for (i, r) in rs {
+                    slots[i] = Some(r);
+                }
+            }
+        }
+        for (w, h) in hits.into_iter().enumerate() {
+            self.per_worker_hits[w] += h;
+        }
+
+        let mut out: Vec<_> =
+            slots.into_iter().map(|s| s.expect("every batch slot filled")).collect();
+        if let Some(first) = out.first_mut() {
+            first.0.sched_subtrees = plan.groups.len() as u64;
+            first.0.sched_subtree_max_depth = plan.max_depth;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(ops: &[&str]) -> Vec<String> {
+        ops.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn plan_is_a_partition_grouped_by_root() {
+        let keys = vec![
+            k(&["mkdir /a", "creat /a/f"]),
+            k(&["creat /x", "fsync /x"]),
+            k(&["mkdir /a", "creat /a/g"]),
+            k(&[]),
+            k(&["creat /x"]),
+        ];
+        let plan = plan_subtrees(&keys);
+        // Groups ordered by root key: empty first, then creat, then mkdir.
+        assert_eq!(plan.groups, vec![vec![3], vec![4, 1], vec![0, 2]]);
+        let mut all: Vec<usize> = plan.groups.concat();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn concatenated_groups_equal_global_sort() {
+        let keys = vec![
+            k(&["b", "x"]),
+            k(&["a", "z"]),
+            k(&["b", "a"]),
+            k(&["a", "a"]),
+            k(&["a", "z"]),
+        ];
+        let plan = plan_subtrees(&keys);
+        let concat: Vec<usize> = plan.groups.concat();
+        let mut global: Vec<usize> = (0..keys.len()).collect();
+        global.sort_by(|&a, &b| keys[a].cmp(&keys[b]));
+        assert_eq!(concat, global);
+    }
+
+    #[test]
+    fn max_depth_is_deepest_shared_prefix() {
+        let keys = vec![
+            k(&["a", "b", "c"]),
+            k(&["a", "b", "d"]),
+            k(&["x"]),
+        ];
+        let plan = plan_subtrees(&keys);
+        // Group "a" shares ["a", "b"] (depth 2); singleton "x" has depth 1.
+        assert_eq!(plan.max_depth, 2);
+        let single = plan_subtrees(&[k(&["p", "q", "r"])]);
+        assert_eq!(single.max_depth, 3, "a singleton chain is its own depth");
+    }
+
+    #[test]
+    fn split_levels_trade_subtrees_for_inner_threads() {
+        assert_eq!(split_levels(1, 10), (1, 1));
+        assert_eq!(split_levels(8, 10), (8, 1), "enough subtrees: all outer");
+        assert_eq!(split_levels(8, 2), (2, 4), "few subtrees: split inside");
+        assert_eq!(split_levels(8, 1), (1, 8));
+        assert_eq!(split_levels(4, 3), (3, 1), "remainder stays outer");
+        assert_eq!(split_levels(2, 0), (1, 2), "empty batch is harmless");
+    }
+
+    #[test]
+    fn plan_is_permutation_invariant_modulo_duplicate_ties() {
+        let keys = vec![k(&["m", "n"]), k(&["m"]), k(&["q", "r"]), k(&["q", "r", "s"])];
+        let plan = plan_subtrees(&keys);
+        // Reverse the batch; the groups must contain the same key multisets
+        // in the same order.
+        let rev: Vec<Vec<String>> = keys.iter().rev().cloned().collect();
+        let plan_rev = plan_subtrees(&rev);
+        let names = |p: &SubtreePlan, ks: &[Vec<String>]| -> Vec<Vec<Vec<String>>> {
+            p.groups.iter().map(|g| g.iter().map(|&i| ks[i].clone()).collect()).collect()
+        };
+        assert_eq!(names(&plan, &keys), names(&plan_rev, &rev));
+    }
+}

@@ -1,15 +1,18 @@
 //! Differential witnesses for the incremental crash-state engine: every
 //! cache/scoping layer (prefix cache, delta replay, cross-point memo, scoped
 //! checking) is a pure performance optimization, so toggling them must not
-//! change a single result bit.
+//! change a single result bit — and, since the prefix-tree scheduler, the
+//! same holds for the worker thread count.
 
-use bench::{dispatch, run_batch, run_batch_cached, run_suite, WithKind};
-use chipmunk::{PrefixCache, TestConfig, TestOutcome};
+use bench::{dispatch, plan_subtrees, run_batch, run_batch_cached, run_suite, Scheduler, WithKind};
+use chipmunk::{TestConfig, TestOutcome};
 use vfs::{
     fs::{FsKind, FsOptions},
     BugSet, FsName, Workload,
 };
 use workloads::ace::{seq1, AceMode};
+
+use proptest::prelude::*;
 
 fn fingerprint(o: &TestOutcome) -> String {
     format!(
@@ -37,8 +40,8 @@ fn full_seq1_nova_layers_do_not_change_outcomes() {
                 cross_dedup: false,
                 ..TestConfig::default()
             };
-            let mut cache = PrefixCache::new(&kind, &on);
-            let fast = run_batch_cached(&kind, &self.ws, &on, Some(&mut cache));
+            let mut sched = Scheduler::new(&kind, &on);
+            let fast = run_batch_cached(&kind, &self.ws, &on, Some(&mut sched));
             // Fresh shared sinks for the baseline pass so cumulative
             // `traced_bugs` snapshots start from the same point.
             let base_kind = kind.with_options(kind.options().with_fresh_sinks());
@@ -84,5 +87,126 @@ fn suite_counters_identical_across_layer_combinations() {
         assert_eq!(s.reports, base.reports);
         assert_eq!(s.inflight, base.inflight);
         assert_eq!(format!("{:?}", s.bug_reports), format!("{:?}", base.bug_reports));
+    }
+}
+
+/// The composed-fast-paths matrix: `{threads} × {prefix_cache on/off}` on
+/// seq-1 must give identical outcomes and identical aggregate counters. The
+/// thread axis honors `CHIPMUNK_MATRIX_THREADS` (comma-separated; CI runs the
+/// matrix again at `threads=4`) and defaults to the issue's `1, 2, 8`.
+#[test]
+fn matrix_threads_by_prefix_cache_is_byte_identical() {
+    let thread_axis: Vec<usize> = std::env::var("CHIPMUNK_MATRIX_THREADS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .map(|t| t.trim().parse().expect("CHIPMUNK_MATRIX_THREADS: bad thread count"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 2, 8]);
+    let ws: Vec<Workload> = seq1(AceMode::Strong).into_iter().take(16).collect();
+    let base = run_suite(
+        FsName::Nova,
+        BugSet::fixed(),
+        ws.clone(),
+        &TestConfig::default().with_threads(thread_axis[0]),
+    );
+    assert!(base.prefix_hits > 0, "the cache must engage in the matrix's first cell");
+    assert!(base.sched_subtrees > 0, "the scheduler must have partitioned the suite");
+    for &threads in &thread_axis {
+        for prefix_cache in [true, false] {
+            let cfg = TestConfig { prefix_cache, ..TestConfig::default().with_threads(threads) };
+            let s = run_suite(FsName::Nova, BugSet::fixed(), ws.clone(), &cfg);
+            let cell = format!("threads={threads} prefix_cache={prefix_cache}");
+            assert_eq!(s.workloads, base.workloads, "{cell}");
+            assert_eq!(s.crash_points, base.crash_points, "{cell}");
+            assert_eq!(s.crash_states, base.crash_states, "{cell}");
+            assert_eq!(s.dedup_hits, base.dedup_hits, "{cell}");
+            assert_eq!(s.memo_hits, base.memo_hits, "{cell}");
+            assert_eq!(s.reports, base.reports, "{cell}");
+            assert_eq!(s.inflight, base.inflight, "{cell}");
+            assert_eq!(
+                format!("{:?}", s.bug_reports),
+                format!("{:?}", base.bug_reports),
+                "bug trajectories diverged at {cell}"
+            );
+            if prefix_cache {
+                // The prefix counters themselves are thread-count-invariant:
+                // subtree partitioning is a pure function of the batch and
+                // groups move to workers wholesale.
+                assert_eq!(s.prefix_hits, base.prefix_hits, "{cell}");
+                assert_eq!(s.prefix_ops_saved, base.prefix_ops_saved, "{cell}");
+                assert_eq!(s.sched_subtrees, base.sched_subtrees, "{cell}");
+                assert_eq!(s.sched_subtree_max_depth, base.sched_subtree_max_depth, "{cell}");
+            } else {
+                assert_eq!(s.prefix_hits, 0, "{cell}");
+                assert_eq!(s.prefix_ops_saved, 0, "{cell}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Subtree planning is a true partition: every batch index appears in
+    /// exactly one group.
+    #[test]
+    fn subtree_plan_is_a_partition(
+        keys in proptest::collection::vec(
+            proptest::collection::vec((0u8..6).prop_map(|b| format!("op{b}")), 0..5),
+            0..24,
+        )
+    ) {
+        let plan = plan_subtrees(&keys);
+        let mut seen = vec![false; keys.len()];
+        for g in &plan.groups {
+            prop_assert!(!g.is_empty(), "no empty groups");
+            for &i in g {
+                prop_assert!(i < keys.len());
+                prop_assert!(!seen[i], "index {i} assigned twice");
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "every workload assigned");
+        // Workloads sharing a group share their first op; distinct groups
+        // have distinct roots.
+        for g in &plan.groups {
+            for &i in g {
+                prop_assert_eq!(keys[i].first(), keys[g[0]].first());
+            }
+        }
+        let roots: Vec<_> = plan.groups.iter().map(|g| keys[g[0]].first()).collect();
+        let mut dedup = roots.clone();
+        dedup.dedup();
+        prop_assert_eq!(roots, dedup);
+    }
+
+    /// Planning is invariant under permutation of the batch input order:
+    /// the same key multiset always yields the same groups-of-keys, whatever
+    /// order the workloads arrived in.
+    #[test]
+    fn subtree_plan_is_permutation_invariant(
+        keys in proptest::collection::vec(
+            proptest::collection::vec((0u8..4).prop_map(|b| format!("op{b}")), 0..4),
+            0..16,
+        ),
+        seed in any::<u64>(),
+    ) {
+        // Deterministic Fisher–Yates from the seed.
+        let mut perm: Vec<usize> = (0..keys.len()).collect();
+        let mut state = seed | 1;
+        for i in (1..perm.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            perm.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let shuffled: Vec<Vec<String>> = perm.iter().map(|&i| keys[i].clone()).collect();
+        let to_keys = |p: &bench::SubtreePlan, ks: &[Vec<String>]| -> Vec<Vec<Vec<String>>> {
+            p.groups.iter().map(|g| g.iter().map(|&i| ks[i].clone()).collect()).collect()
+        };
+        let a = plan_subtrees(&keys);
+        let b = plan_subtrees(&shuffled);
+        prop_assert_eq!(to_keys(&a, &keys), to_keys(&b, &shuffled));
+        prop_assert_eq!(a.max_depth, b.max_depth);
     }
 }

@@ -79,6 +79,15 @@ pub struct TestConfig {
     /// Debug mode: run the scoped and the full comparison on every state
     /// and panic if their verdicts disagree. Implies the full tree walk.
     pub scoped_validate: bool,
+    /// Prefix-tree-aware parallel scheduling: with `threads > 1` the batched
+    /// runners partition whole prefix subtrees across workers (each with its
+    /// own `PrefixCache`), so `prefix_cache` stays effective instead of being
+    /// disabled by parallelism. Subtree assignment is deterministic (sorted
+    /// subtree keys, round-robin) and results commit in canonical batch
+    /// order, so all outcomes and counters stay bit-identical across thread
+    /// counts. `false` falls back to plain workload sharding (the pre-compose
+    /// behavior). No effect at `threads <= 1`.
+    pub par_prefix: bool,
 }
 
 impl Default for TestConfig {
@@ -100,6 +109,7 @@ impl Default for TestConfig {
             cross_dedup: true,
             scoped_check: true,
             scoped_validate: false,
+            par_prefix: true,
         }
     }
 }
@@ -143,5 +153,6 @@ mod tests {
         assert_eq!(TestConfig::default().with_threads(0).threads, 1);
         assert!(c.prefix_cache && c.delta_replay && c.cross_dedup && c.scoped_check);
         assert!(!c.scoped_validate);
+        assert!(c.par_prefix);
     }
 }

@@ -58,6 +58,14 @@ pub struct TestOutcome {
     /// Total operations (oracle + record, counted once each) skipped by
     /// prefix-cache resumes.
     pub prefix_ops_saved: u64,
+    /// Prefix subtrees the scheduler partitioned this workload's batch into.
+    /// Set on the first outcome of each scheduled batch (0 elsewhere), so
+    /// summing over outcomes gives the total across batches. A pure function
+    /// of the batch contents — identical for every thread count.
+    pub sched_subtrees: u64,
+    /// Deepest op prefix shared within any subtree of this workload's batch
+    /// (same first-outcome convention as `sched_subtrees`).
+    pub sched_subtree_max_depth: u64,
     /// In-flight write counts observed at each crash point (before
     /// coalescing) — the data behind Observation 7.
     pub inflight_sizes: Vec<usize>,

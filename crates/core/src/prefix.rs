@@ -24,8 +24,14 @@
 //!
 //! Anything the cache cannot handle exactly — a file system whose
 //! [`FsKind::fork_fs`] returns `None` (SplitFS's window device aliases its
-//! sibling), `mkfs`/oracle failures, multi-threaded configs — falls back to
-//! the plain [`test_workload`] path.
+//! sibling), `mkfs`/oracle failures — falls back to the plain
+//! [`test_workload`] path.
+//!
+//! Multi-threaded configs compose: a cache (and all its live checkpoints) is
+//! `Send`, so the bench scheduler moves per-worker caches across its worker
+//! threads, and `cfg.threads > 1` inside a cached run parallelizes the
+//! crash-subset checks — which are bit-identical to the serial walk by
+//! construction, so the checkpointed replay state is thread-count-invariant.
 
 use std::collections::{BTreeSet, HashSet};
 use std::time::Instant;
@@ -142,6 +148,14 @@ impl<K: FsKind> PrefixCache<K> {
         !self.disabled
     }
 
+    /// Drops all cached state (the next run re-formats from genesis) while
+    /// keeping the disabled flag. The scheduler resets its per-worker caches
+    /// at the start of every scheduled batch so counters are a pure function
+    /// of the batch, not of what ran before it on the same worker.
+    pub fn reset(&mut self) {
+        self.state = None;
+    }
+
     /// Tests `w`, resuming from the deepest cached prefix when possible.
     /// Returns the outcome plus the workload's private coverage and trace
     /// sets — the same triple a fresh-sink [`test_workload`] run yields.
@@ -150,7 +164,7 @@ impl<K: FsKind> PrefixCache<K> {
         w: &Workload,
         cfg: &TestConfig,
     ) -> (TestOutcome, HashSet<u64>, BTreeSet<BugId>) {
-        if self.disabled || !cfg.prefix_cache || cfg.threads > 1 {
+        if self.disabled || !cfg.prefix_cache {
             return self.fallback(w, cfg);
         }
         if self.state.is_none() && !self.init_genesis(cfg) {
@@ -561,6 +575,15 @@ mod tests {
     use ext4dax::Ext4DaxKind;
     use novafs::NovaKind;
     use vfs::fs::FsOptions;
+
+    /// The whole cache — live forked file systems, log handles, replay
+    /// checkpoints — must be movable to a scheduler worker thread.
+    #[test]
+    fn prefix_cache_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<PrefixCache<NovaKind>>();
+        assert_send::<PrefixCache<Ext4DaxKind>>();
+    }
 
     fn fingerprint(o: &TestOutcome) -> (Vec<String>, u64, u64, u64, u64, Vec<usize>) {
         (

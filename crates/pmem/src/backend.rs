@@ -23,7 +23,11 @@ pub const WORD: u64 = 8;
 /// File systems are generic over this trait so the same implementation can
 /// run on a plain [`crate::PmDevice`], a logging wrapper (recording mode), or
 /// a [`crate::CowDevice`] crash image (checking mode).
-pub trait PmBackend {
+///
+/// `Send` is a supertrait so that a mounted file system — and with it a whole
+/// prefix checkpoint — can be handed to a scheduler worker thread. Backends
+/// are still owned by one thread at a time; nothing here implies `Sync`.
+pub trait PmBackend: Send {
     /// Total size of the device in bytes.
     fn len(&self) -> u64;
 

@@ -7,9 +7,13 @@
 //! device, in (amortized) far less time than re-executing the prefix.
 //!
 //! [`ForkDevice`] makes `Clone` cheap with layered copy-on-write: the page
-//! overlay is a stack of `Rc`-shared layers. A clone shares every layer;
+//! overlay is a stack of `Arc`-shared layers. A clone shares every layer;
 //! the first write on either side after a clone notices the shared top
 //! layer (strong count > 1) and pushes a fresh private layer to write into.
+//! `Arc` (not `Rc`) so a forked checkpoint — and with it a whole
+//! `PrefixCache` — can move across scheduler worker threads; ownership of a
+//! device still stays with one thread at a time, so the single-owner write
+//! path remains lock-free (`Arc::get_mut` on the uniquely held top layer).
 //! Cloning an entry that is never written again is therefore O(depth), and
 //! re-cloning the same cached entry many times — the prefix-cache hot path —
 //! never copies page data at all.
@@ -19,7 +23,7 @@
 //! by the number of clone points with intervening writes, i.e. the cached
 //! prefix depth — single digits in practice.
 
-use std::{collections::HashMap, rc::Rc};
+use std::{collections::HashMap, sync::Arc};
 
 use crate::{backend::PmBackend, cost::SimCost};
 
@@ -43,7 +47,7 @@ pub struct ForkDevice {
     len: u64,
     /// Overlay layers, oldest first. The last layer is written to when
     /// uniquely owned; a shared last layer is frozen by pushing a new one.
-    layers: Vec<Rc<HashMap<u64, Box<[u8]>>>>,
+    layers: Vec<Arc<HashMap<u64, Box<[u8]>>>>,
 }
 
 impl ForkDevice {
@@ -82,17 +86,17 @@ impl ForkDevice {
     }
 
     fn page_mut(&mut self, pno: u64) -> &mut [u8] {
-        let top_unique = self.layers.last().is_some_and(|l| Rc::strong_count(l) == 1);
+        let top_unique = self.layers.last().is_some_and(|l| Arc::strong_count(l) == 1);
         let top_has = top_unique && self.layers.last().expect("checked").contains_key(&pno);
         if !top_has {
             let content = self.read_page(pno);
             if !top_unique {
-                self.layers.push(Rc::new(HashMap::new()));
+                self.layers.push(Arc::new(HashMap::new()));
             }
-            let top = Rc::get_mut(self.layers.last_mut().expect("pushed")).expect("unique top");
+            let top = Arc::get_mut(self.layers.last_mut().expect("pushed")).expect("unique top");
             top.insert(pno, content);
         }
-        Rc::get_mut(self.layers.last_mut().expect("present"))
+        Arc::get_mut(self.layers.last_mut().expect("present"))
             .expect("unique top")
             .get_mut(&pno)
             .expect("inserted")
@@ -106,7 +110,7 @@ impl ForkDevice {
                 merged.insert(pno, page.clone());
             }
         }
-        self.layers = vec![Rc::new(merged)];
+        self.layers = vec![Arc::new(merged)];
     }
 
     fn write_bytes(&mut self, off: u64, data: &[u8]) {

@@ -51,11 +51,28 @@ pub fn byte_term(off: u64, byte: u8) -> ImageKey {
 
 /// Full-image key: XOR of [`byte_term`] over every offset. O(len) — used to
 /// seed incremental maintenance and to cross-check it in tests.
+///
+/// Scans 8-byte words (`u64::from_le_bytes`) and skips zero words without
+/// touching individual bytes; device images are overwhelmingly zero, so the
+/// inner `byte_term` mix runs only on the sparse nonzero residue. The key is
+/// bit-identical to the per-byte definition.
 pub fn image_key(img: &[u8]) -> ImageKey {
     let mut key = 0;
-    for (i, &b) in img.iter().enumerate() {
+    let mut chunks = img.chunks_exact(8);
+    let mut off = 0u64;
+    for w in chunks.by_ref() {
+        if u64::from_le_bytes(w.try_into().expect("8-byte chunk")) != 0 {
+            for (i, &b) in w.iter().enumerate() {
+                if b != 0 {
+                    key ^= byte_term(off + i as u64, b);
+                }
+            }
+        }
+        off += 8;
+    }
+    for (i, &b) in chunks.remainder().iter().enumerate() {
         if b != 0 {
-            key ^= byte_term(i as u64, b);
+            key ^= byte_term(off + i as u64, b);
         }
     }
     key
@@ -63,12 +80,32 @@ pub fn image_key(img: &[u8]) -> ImageKey {
 
 /// Key delta for overwriting the bytes `old` at `off` with `new`
 /// (`old.len() == new.len()`). XOR the result into a maintained key.
+///
+/// Compares 8-byte words first and only descends to byte terms inside words
+/// that actually differ — the incremental `state_key` path mostly re-applies
+/// bytes that are already in place, so whole words short-circuit.
 pub fn write_delta(off: u64, old: &[u8], new: &[u8]) -> ImageKey {
     debug_assert_eq!(old.len(), new.len());
     let mut d = 0;
-    for (i, (&o, &n)) in old.iter().zip(new).enumerate() {
+    let mut o_chunks = old.chunks_exact(8);
+    let mut n_chunks = new.chunks_exact(8);
+    let mut pos = 0u64;
+    for (ow, nw) in o_chunks.by_ref().zip(n_chunks.by_ref()) {
+        let owv = u64::from_le_bytes(ow.try_into().expect("8-byte chunk"));
+        let nwv = u64::from_le_bytes(nw.try_into().expect("8-byte chunk"));
+        if owv != nwv {
+            for (i, (&o, &n)) in ow.iter().zip(nw).enumerate() {
+                if o != n {
+                    let at = off + pos + i as u64;
+                    d ^= byte_term(at, o) ^ byte_term(at, n);
+                }
+            }
+        }
+        pos += 8;
+    }
+    for (i, (&o, &n)) in o_chunks.remainder().iter().zip(n_chunks.remainder()).enumerate() {
         if o != n {
-            let at = off + i as u64;
+            let at = off + pos + i as u64;
             d ^= byte_term(at, o) ^ byte_term(at, n);
         }
     }
@@ -123,5 +160,51 @@ mod tests {
     fn write_delta_of_identical_bytes_is_zero() {
         let old = [1u8, 2, 3];
         assert_eq!(write_delta(40, &old, &old), 0);
+    }
+
+    /// Per-byte reference implementations: the word-scanning fast paths must
+    /// be bit-identical to these on every length and alignment.
+    fn image_key_naive(img: &[u8]) -> ImageKey {
+        let mut key = 0;
+        for (i, &b) in img.iter().enumerate() {
+            key ^= byte_term(i as u64, b);
+        }
+        key
+    }
+
+    fn write_delta_naive(off: u64, old: &[u8], new: &[u8]) -> ImageKey {
+        let mut d = 0;
+        for (i, (&o, &n)) in old.iter().zip(new).enumerate() {
+            let at = off + i as u64;
+            d ^= byte_term(at, o) ^ byte_term(at, n);
+        }
+        d
+    }
+
+    #[test]
+    fn word_scan_matches_naive_on_all_lengths() {
+        // Lengths straddling word boundaries, with zero runs and dense data.
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 63, 64, 100, 257] {
+            let img: Vec<u8> =
+                (0..len).map(|i| if i % 5 == 0 { 0 } else { (i * 31 % 256) as u8 }).collect();
+            assert_eq!(image_key(&img), image_key_naive(&img), "len={len}");
+        }
+    }
+
+    #[test]
+    fn write_delta_matches_naive_on_all_lengths() {
+        for len in [0usize, 1, 7, 8, 9, 17, 40, 129] {
+            let old: Vec<u8> = (0..len).map(|i| (i * 13 % 256) as u8).collect();
+            // Differs only sparsely so most words short-circuit.
+            let new: Vec<u8> =
+                old.iter().enumerate().map(|(i, &b)| if i % 11 == 3 { b ^ 0x40 } else { b }).collect();
+            for off in [0u64, 1, 8, 4096] {
+                assert_eq!(
+                    write_delta(off, &old, &new),
+                    write_delta_naive(off, &old, &new),
+                    "len={len} off={off}"
+                );
+            }
+        }
     }
 }

@@ -7,33 +7,41 @@
 //! [`SharedDev`] provides a cloneable handle to a single backend and
 //! [`Window`] exposes an offset/length sub-range of it.
 
-use std::{cell::RefCell, rc::Rc};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::{backend::PmBackend, cost::SimCost};
 
 /// A cloneable shared handle to a PM backend.
 ///
-/// Interior mutability via `RefCell` is sufficient: workloads are executed
-/// sequentially (the paper runs one system call at a time, §3.1).
+/// The handle is `Send` (an `Arc<Mutex<_>>`) so a file system built on it can
+/// move between scheduler worker threads along with the rest of a prefix
+/// checkpoint. The mutex is never contended: workloads are executed
+/// sequentially (the paper runs one system call at a time, §3.1), so every
+/// lock is the uncontended fast path — this is ownership transfer, not
+/// concurrent access.
 pub struct SharedDev<D> {
-    inner: Rc<RefCell<D>>,
+    inner: Arc<Mutex<D>>,
 }
 
 impl<D> Clone for SharedDev<D> {
     fn clone(&self) -> Self {
-        SharedDev { inner: Rc::clone(&self.inner) }
+        SharedDev { inner: Arc::clone(&self.inner) }
     }
 }
 
 impl<D: PmBackend> SharedDev<D> {
     /// Wraps `dev` in a shared handle.
     pub fn new(dev: D) -> Self {
-        SharedDev { inner: Rc::new(RefCell::new(dev)) }
+        SharedDev { inner: Arc::new(Mutex::new(dev)) }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, D> {
+        self.inner.lock().expect("SharedDev poisoned")
     }
 
     /// Runs `f` with mutable access to the underlying device.
     pub fn with<R>(&self, f: impl FnOnce(&mut D) -> R) -> R {
-        f(&mut self.inner.borrow_mut())
+        f(&mut self.lock())
     }
 
     /// Creates a window exposing `[base, base + len)` of this device.
@@ -42,7 +50,7 @@ impl<D: PmBackend> SharedDev<D> {
     ///
     /// Panics if the window extends past the end of the device.
     pub fn window(&self, base: u64, len: u64) -> Window<D> {
-        let dev_len = self.inner.borrow().len();
+        let dev_len = self.lock().len();
         assert!(
             base.checked_add(len).is_some_and(|e| e <= dev_len),
             "window [{base}, +{len}) out of range for device of {dev_len} bytes"
@@ -53,39 +61,39 @@ impl<D: PmBackend> SharedDev<D> {
 
 impl<D: PmBackend> PmBackend for SharedDev<D> {
     fn len(&self) -> u64 {
-        self.inner.borrow().len()
+        self.lock().len()
     }
 
     fn read(&self, off: u64, buf: &mut [u8]) {
-        self.inner.borrow().read(off, buf);
+        self.lock().read(off, buf);
     }
 
     fn store(&mut self, off: u64, data: &[u8]) {
-        self.inner.borrow_mut().store(off, data);
+        self.lock().store(off, data);
     }
 
     fn memcpy_nt(&mut self, off: u64, data: &[u8]) {
-        self.inner.borrow_mut().memcpy_nt(off, data);
+        self.lock().memcpy_nt(off, data);
     }
 
     fn memset_nt(&mut self, off: u64, val: u8, len: u64) {
-        self.inner.borrow_mut().memset_nt(off, val, len);
+        self.lock().memset_nt(off, val, len);
     }
 
     fn flush(&mut self, off: u64, len: u64) {
-        self.inner.borrow_mut().flush(off, len);
+        self.lock().flush(off, len);
     }
 
     fn fence(&mut self) {
-        self.inner.borrow_mut().fence();
+        self.lock().fence();
     }
 
     fn note_media_read(&mut self, len: u64) {
-        self.inner.borrow_mut().note_media_read(len);
+        self.lock().note_media_read(len);
     }
 
     fn sim_cost(&self) -> SimCost {
-        self.inner.borrow().sim_cost()
+        self.lock().sim_cost()
     }
 }
 

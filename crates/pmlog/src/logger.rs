@@ -1,6 +1,9 @@
 //! The logging backend wrapper and the shared log.
 
-use std::{cell::RefCell, collections::BTreeSet, rc::Rc};
+use std::{
+    collections::BTreeSet,
+    sync::{Arc, Mutex},
+};
 
 use pmem::{
     backend::{line_base, lines_overlapping, PmBackend, CACHE_LINE},
@@ -50,9 +53,12 @@ impl Log {
 /// A cloneable shared handle to a [`Log`].
 ///
 /// The harness holds one handle (to insert system-call markers and read the
-/// log back) while the [`LoggingPm`] wrapper holds another.
+/// log back) while the [`LoggingPm`] wrapper holds another. The handle is an
+/// `Arc<Mutex<_>>` so a recording file system inside a prefix checkpoint can
+/// move between scheduler worker threads; both holders always live on the
+/// same thread, so every lock is uncontended.
 #[derive(Debug, Clone, Default)]
-pub struct LogHandle(Rc<RefCell<Log>>);
+pub struct LogHandle(Arc<Mutex<Log>>);
 
 impl LogHandle {
     /// Creates a handle to a fresh empty log.
@@ -60,9 +66,13 @@ impl LogHandle {
         Self::default()
     }
 
+    fn lock(&self) -> std::sync::MutexGuard<'_, Log> {
+        self.0.lock().expect("log poisoned")
+    }
+
     /// Appends an entry to the log.
     pub fn push(&self, e: LogEntry) {
-        self.0.borrow_mut().push(e);
+        self.lock().push(e);
     }
 
     /// Appends a harness marker.
@@ -72,17 +82,17 @@ impl LogHandle {
 
     /// Runs `f` with shared access to the log.
     pub fn with<R>(&self, f: impl FnOnce(&Log) -> R) -> R {
-        f(&self.0.borrow())
+        f(&self.lock())
     }
 
     /// Takes the accumulated log, leaving an empty one behind.
     pub fn take(&self) -> Log {
-        std::mem::take(&mut self.0.borrow_mut())
+        std::mem::take(&mut self.lock())
     }
 
     /// Clones the current log contents.
     pub fn snapshot(&self) -> Log {
-        self.0.borrow().clone()
+        self.lock().clone()
     }
 }
 

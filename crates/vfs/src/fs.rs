@@ -245,7 +245,11 @@ pub trait FileSystem {
 /// `Arc`-based sinks, so this costs implementations nothing).
 pub trait FsKind: Clone + Send + Sync {
     /// The file-system type produced for a device type `D`.
-    type Fs<D: PmBackend>: FileSystem;
+    ///
+    /// `Send` so that a mounted instance — the live part of a prefix
+    /// checkpoint — can be handed to a scheduler worker thread together with
+    /// its device.
+    type Fs<D: PmBackend>: FileSystem + Send;
 
     /// Which paper file system this is.
     fn name(&self) -> FsName;
