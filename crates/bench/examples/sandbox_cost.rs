@@ -1,0 +1,49 @@
+//! Measures what the fault-isolation layer costs on a clean sweep: runs
+//! strong seq-1 plus the first `n` (arg 1, default 3136) seq-2 workloads on
+//! NOVA twice — sandbox + fuel watchdog on (the default) and both off —
+//! printing per-phase wall times and the sandbox counters. On a healthy
+//! file system no guard ever fires, so the delta is pure bookkeeping:
+//! `catch_unwind` entry per checker stage plus one fuel tick per device op.
+//! The source of the EXPERIMENTS.md "Fault isolation overhead" table.
+//!
+//! Arg 2 (default 1) sets `TestConfig::threads`.
+
+use bench::run_suite;
+use chipmunk::TestConfig;
+use vfs::{BugSet, FsName};
+use workloads::ace::{seq1, seq2, AceMode};
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3136);
+    let threads: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let ws: Vec<_> = seq1(AceMode::Strong)
+        .into_iter()
+        .chain(seq2(AceMode::Strong))
+        .take(56 + n)
+        .collect();
+    for (label, cfg) in [
+        (
+            "sandbox-off",
+            TestConfig { sandbox: false, recovery_fuel: None, ..TestConfig::default() },
+        ),
+        ("sandbox-on ", TestConfig::default()),
+    ] {
+        let cfg = cfg.with_threads(threads);
+        let t = std::time::Instant::now();
+        let s = run_suite(FsName::Nova, BugSet::fixed(), ws.clone(), &cfg);
+        println!(
+            "{label} total={:?} oracle={:?} record={:?} check={:?} states={} reports={} \
+             panics={} hangs={} retries={} fuel={}",
+            t.elapsed(),
+            s.phase.oracle,
+            s.phase.record,
+            s.phase.check,
+            s.crash_states,
+            s.reports,
+            s.recovery_panics,
+            s.recovery_hangs,
+            s.sandbox_retries,
+            s.fuel_exhausted,
+        );
+    }
+}

@@ -56,6 +56,7 @@ fn main() {
     let (mut memo_total, mut prefix_total, mut saved_total) = (0u64, 0u64, 0u64);
     let (mut subtree_total, mut depth_max) = (0u64, 0u64);
     let mut worker_hits: Vec<u64> = Vec::new();
+    let mut sandbox_totals = [0u64; 4];
     let mut phase_total = PhaseTotals::default();
     for info in &uniques {
         if info.ace_findable {
@@ -73,6 +74,10 @@ fn main() {
                 for (slot, &v) in worker_hits.iter_mut().zip(&h.per_worker_prefix_hits) {
                     *slot += v;
                 }
+                sandbox_totals[0] += h.recovery_panics;
+                sandbox_totals[1] += h.recovery_hangs;
+                sandbox_totals[2] += h.sandbox_retries;
+                sandbox_totals[3] += h.fuel_exhausted;
                 phase_total.oracle += h.phase.oracle;
                 phase_total.record += h.phase.record;
                 phase_total.check += h.phase.check;
@@ -85,6 +90,10 @@ fn main() {
             states_total += h.states;
             dedup_total += h.dedup_hits;
             memo_total += h.memo_hits;
+            sandbox_totals[0] += h.recovery_panics;
+            sandbox_totals[1] += h.recovery_hangs;
+            sandbox_totals[2] += h.sandbox_retries;
+            sandbox_totals[3] += h.fuel_exhausted;
             phase_total.oracle += h.phase.oracle;
             phase_total.record += h.phase.record;
             phase_total.check += h.phase.check;
@@ -182,6 +191,10 @@ fn main() {
                     ("prefix_ops_saved", Json::U(saved_total)),
                     ("subtrees", Json::U(subtree_total)),
                     ("subtree_max_depth", Json::U(depth_max)),
+                    ("recovery_panics", Json::U(sandbox_totals[0])),
+                    ("recovery_hangs", Json::U(sandbox_totals[1])),
+                    ("sandbox_retries", Json::U(sandbox_totals[2])),
+                    ("fuel_exhausted", Json::U(sandbox_totals[3])),
                     (
                         "per_worker_prefix_hits",
                         Json::Arr(worker_hits.iter().map(|&v| Json::U(v)).collect()),
@@ -196,7 +209,7 @@ fn main() {
                 ]),
             ),
         ]);
-        std::fs::write(&path, doc.render()).expect("write --json output");
+        bench::jsonout::write_atomic(&path, &doc.render()).expect("write --json output");
         eprintln!("wrote {path}");
     }
 }

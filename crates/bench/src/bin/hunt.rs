@@ -83,7 +83,7 @@ fn main() {
             ),
             ("fuzz", hunt_json(fuzz_hit.as_ref(), fuzz_w, fuzz_s)),
         ]);
-        std::fs::write(&path, doc.render()).expect("write --json output");
+        bench::jsonout::write_atomic(&path, &doc.render()).expect("write --json output");
         eprintln!("wrote {path}");
     }
 }

@@ -8,7 +8,7 @@ use std::{
     time::{Duration, Instant},
 };
 
-use chipmunk::{test_workload, BugReport, TestConfig, TestOutcome};
+use chipmunk::{sandbox, test_workload, BugReport, CrashPhase, Stage, TestConfig, TestOutcome, Violation};
 use ext4dax::Ext4DaxKind;
 use novafs::NovaKind;
 use pmfs::PmfsKind;
@@ -79,7 +79,16 @@ pub fn run_batch<K: FsKind>(
     let threads = cfg.threads.max(1);
     let run_one = |w: &Workload| {
         let fresh = kind.with_options(kind.options().with_fresh_sinks());
-        let out = test_workload(&fresh, w, cfg);
+        // With the sandbox on, a panic escaping the whole run (e.g. during
+        // recording, outside the per-stage checker guards) fails only this
+        // workload: it commits a synthesized worker-failure outcome and the
+        // rest of the batch proceeds. Sandbox off keeps fail-fast panics.
+        let out = if cfg.sandbox {
+            sandbox::guarded(Stage::Worker, || test_workload(&fresh, w, cfg))
+                .unwrap_or_else(|v| worker_failure_outcome(w, v))
+        } else {
+            test_workload(&fresh, w, cfg)
+        };
         let cov = fresh.options().cov.snapshot();
         let trace = fresh.options().trace.snapshot();
         (out, cov, trace)
@@ -99,18 +108,36 @@ pub fn run_batch<K: FsKind>(
                 .chunks(per)
                 .enumerate()
                 .map(|(c, shard)| {
-                    sc.spawn(move || {
+                    let h = sc.spawn(move || {
                         shard
                             .iter()
                             .enumerate()
                             .map(|(j, w)| (c * per + j, run_one(w)))
                             .collect::<Vec<_>>()
-                    })
+                    });
+                    (c, shard, h)
                 })
                 .collect();
-            for h in handles {
-                for (i, r) in h.join().expect("workload worker panicked") {
-                    slots[i] = Some(r);
+            for (c, shard, h) in handles {
+                match h.join() {
+                    Ok(rs) => {
+                        for (i, r) in rs {
+                            slots[i] = Some(r);
+                        }
+                    }
+                    Err(_) => {
+                        // A shard worker died (only possible with the
+                        // sandbox off, or on a harness bug). Re-run its
+                        // items one at a time so only the panicking
+                        // workload fails, with a diagnostic.
+                        for (j, w) in shard.iter().enumerate() {
+                            let r = sandbox::guarded(Stage::Worker, || run_one(w))
+                                .unwrap_or_else(|v| {
+                                    (worker_failure_outcome(w, v), HashSet::new(), Default::default())
+                                });
+                            slots[c * per + j] = Some(r);
+                        }
+                    }
                 }
             }
         });
@@ -126,6 +153,28 @@ pub fn run_batch<K: FsKind>(
             (out, cov)
         })
         .collect()
+}
+
+/// The outcome committed for a workload whose *worker* died outside the
+/// per-stage checker sandbox (e.g. a panic while recording): one
+/// worker-stage report carrying the panic diagnostic, so a batch loses only
+/// the affected item.
+pub(crate) fn worker_failure_outcome(w: &Workload, v: Violation) -> TestOutcome {
+    let mut out = TestOutcome { workload: w.name.clone(), ..Default::default() };
+    match &v {
+        Violation::RecoveryPanic { .. } => out.recovery_panics = 1,
+        Violation::RecoveryHang { .. } => out.recovery_hangs = 1,
+        _ => {}
+    }
+    out.reports.push(BugReport {
+        workload: w.name.clone(),
+        op_seq: 0,
+        op_desc: "<worker>".to_string(),
+        phase: CrashPhase::DuringSyscall,
+        subset: String::new(),
+        violation: v,
+    });
+    out
 }
 
 /// [`run_batch`] with an optional prefix-tree scheduler: when the scheduler
@@ -216,6 +265,18 @@ pub struct HuntResult {
     /// schedule, so (unlike every other field) it varies with the thread
     /// count. Empty when the scheduler never engaged.
     pub per_worker_prefix_hits: Vec<u64>,
+    /// Checker-stage panics converted into `recovery-panic` findings until
+    /// the find (see `TestConfig::sandbox`).
+    pub recovery_panics: u64,
+    /// Fuel-watchdog hangs converted into `recovery-hang` findings until
+    /// the find.
+    pub recovery_hangs: u64,
+    /// Sandbox findings re-checked on the slow fresh-device path before
+    /// being reported.
+    pub sandbox_retries: u64,
+    /// Crash states whose committed verdict involved an exhausted fuel
+    /// budget.
+    pub fuel_exhausted: u64,
     /// Cumulative per-phase wall time over the committed workloads.
     pub phase: PhaseTotals,
 }
@@ -260,6 +321,7 @@ impl WithKind for AceHunt<'_> {
         let mut saved = 0u64;
         let mut subtrees = 0u64;
         let mut max_depth = 0u64;
+        let mut sandbox_counts = [0u64; 4];
         let mut phase = PhaseTotals::default();
         let seq3: Box<dyn Iterator<Item = Workload>> = if mode == AceMode::Strong {
             Box::new(seq3_metadata().step_by(37).take(self.max_seq3))
@@ -287,6 +349,10 @@ impl WithKind for AceHunt<'_> {
                 saved += out.prefix_ops_saved;
                 subtrees += out.sched_subtrees;
                 max_depth = max_depth.max(out.sched_subtree_max_depth);
+                sandbox_counts[0] += out.recovery_panics;
+                sandbox_counts[1] += out.recovery_hangs;
+                sandbox_counts[2] += out.sandbox_retries;
+                sandbox_counts[3] += out.fuel_exhausted;
                 phase.add(&out.timing);
                 if let Some(r) = out.reports.first() {
                     return (
@@ -304,6 +370,10 @@ impl WithKind for AceHunt<'_> {
                             sched_subtrees: subtrees,
                             sched_subtree_max_depth: max_depth,
                             per_worker_prefix_hits: sched.per_worker_hits.clone(),
+                            recovery_panics: sandbox_counts[0],
+                            recovery_hangs: sandbox_counts[1],
+                            sandbox_retries: sandbox_counts[2],
+                            fuel_exhausted: sandbox_counts[3],
                             phase,
                         }),
                         workloads,
@@ -347,6 +417,7 @@ impl WithKind for FuzzHunt<'_> {
         let mut states = 0u64;
         let mut dedup = 0u64;
         let mut memo = 0u64;
+        let mut sandbox_counts = [0u64; 4];
         let mut phase = PhaseTotals::default();
         let mut done = 0u64;
         while done < self.budget {
@@ -358,6 +429,10 @@ impl WithKind for FuzzHunt<'_> {
                 states += out.crash_states;
                 dedup += out.dedup_hits;
                 memo += out.memo_hits;
+                sandbox_counts[0] += out.recovery_panics;
+                sandbox_counts[1] += out.recovery_hangs;
+                sandbox_counts[2] += out.sandbox_retries;
+                sandbox_counts[3] += out.fuel_exhausted;
                 phase.add(&out.timing);
                 let mut new = 0;
                 for &h in &cov {
@@ -382,6 +457,10 @@ impl WithKind for FuzzHunt<'_> {
                             sched_subtrees: 0,
                             sched_subtree_max_depth: 0,
                             per_worker_prefix_hits: Vec::new(),
+                            recovery_panics: sandbox_counts[0],
+                            recovery_hangs: sandbox_counts[1],
+                            sandbox_retries: sandbox_counts[2],
+                            fuel_exhausted: sandbox_counts[3],
                             phase,
                         }),
                         done,
@@ -443,6 +522,15 @@ pub struct SuiteStats {
     /// thread count by nature (it describes the schedule, not the results) —
     /// keep it out of determinism fingerprints.
     pub per_worker_prefix_hits: Vec<u64>,
+    /// Checker-stage panics converted into `recovery-panic` findings.
+    pub recovery_panics: u64,
+    /// Fuel-watchdog hangs converted into `recovery-hang` findings.
+    pub recovery_hangs: u64,
+    /// Sandbox findings re-checked on the slow fresh-device path.
+    pub sandbox_retries: u64,
+    /// Crash states whose committed verdict involved an exhausted fuel
+    /// budget.
+    pub fuel_exhausted: u64,
     /// Cumulative per-phase wall times.
     pub phase: PhaseTotals,
     /// Every violation report, in workload order (determinism witnesses
@@ -476,6 +564,10 @@ impl WithKind for SuiteRun<'_> {
                 s.prefix_ops_saved += out.prefix_ops_saved;
                 s.sched_subtrees += out.sched_subtrees;
                 s.sched_subtree_max_depth = s.sched_subtree_max_depth.max(out.sched_subtree_max_depth);
+                s.recovery_panics += out.recovery_panics;
+                s.recovery_hangs += out.recovery_hangs;
+                s.sandbox_retries += out.sandbox_retries;
+                s.fuel_exhausted += out.fuel_exhausted;
                 s.phase.add(&out.timing);
                 s.reports += out.reports.len() as u64;
                 s.bug_reports.extend(out.reports);
@@ -520,6 +612,42 @@ pub fn fmt_dur(d: Duration) -> String {
 /// Minimal JSON document builder for the binaries' `--json` flags (the
 /// workspace is dependency-frozen, so no serde).
 pub mod jsonout {
+    use std::io::Write;
+
+    /// Writes `contents` to `path` atomically: the bytes go to a `.tmp`
+    /// sibling first and are renamed over the target only once fully
+    /// written, so a failure mid-write leaves any existing file at `path`
+    /// untouched (the binaries overwrite baseline artifacts in place).
+    pub fn write_atomic(path: &str, contents: &str) -> std::io::Result<()> {
+        write_atomic_impl(path, contents, None)
+    }
+
+    /// `fail_after` simulates an I/O failure after that many bytes (test
+    /// hook for the mid-write-crash guarantee).
+    fn write_atomic_impl(
+        path: &str,
+        contents: &str,
+        fail_after: Option<usize>,
+    ) -> std::io::Result<()> {
+        let tmp = format!("{path}.tmp");
+        let res = (|| {
+            let mut f = std::fs::File::create(&tmp)?;
+            if let Some(n) = fail_after {
+                f.write_all(&contents.as_bytes()[..n.min(contents.len())])?;
+                return Err(std::io::Error::other("simulated mid-write failure"));
+            }
+            f.write_all(contents.as_bytes())?;
+            f.sync_all()
+        })();
+        match res {
+            Ok(()) => std::fs::rename(&tmp, path),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
     /// A JSON value. Objects preserve field order.
     pub enum Json {
         /// A float, rendered with millisecond-scale precision.
@@ -603,6 +731,33 @@ pub mod jsonout {
             }
         }
     }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn atomic_write_survives_mid_write_failure() {
+            let dir = std::env::temp_dir();
+            let path = dir
+                .join(format!("chipmunk-atomic-{}.json", std::process::id()))
+                .to_string_lossy()
+                .into_owned();
+            write_atomic(&path, "{\"old\": true}\n").expect("initial write");
+            let err = write_atomic_impl(&path, "{\"new\": true}\n", Some(4))
+                .expect_err("simulated failure must surface");
+            assert!(err.to_string().contains("simulated"), "{err}");
+            let kept = std::fs::read_to_string(&path).expect("target must survive");
+            assert_eq!(kept, "{\"old\": true}\n", "old contents must be intact");
+            assert!(
+                !std::path::Path::new(&format!("{path}.tmp")).exists(),
+                "failed temp file must be cleaned up"
+            );
+            write_atomic(&path, "{\"new\": true}\n").expect("second write");
+            assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"new\": true}\n");
+            let _ = std::fs::remove_file(&path);
+        }
+    }
 }
 
 /// Pulls a `--json <path>` flag out of a raw argument list (any position),
@@ -640,6 +795,10 @@ pub fn hunt_json(hit: Option<&HuntResult>, workloads: u64, states: u64) -> jsono
             ("prefix_ops_saved", Json::U(h.prefix_ops_saved)),
             ("subtrees", Json::U(h.sched_subtrees)),
             ("subtree_max_depth", Json::U(h.sched_subtree_max_depth)),
+            ("recovery_panics", Json::U(h.recovery_panics)),
+            ("recovery_hangs", Json::U(h.recovery_hangs)),
+            ("sandbox_retries", Json::U(h.sandbox_retries)),
+            ("fuel_exhausted", Json::U(h.fuel_exhausted)),
             (
                 "per_worker_prefix_hits",
                 Json::Arr(h.per_worker_prefix_hits.iter().map(|&v| Json::U(v)).collect()),

@@ -34,7 +34,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 
-use chipmunk::{PrefixCache, TestConfig, TestOutcome};
+use chipmunk::{sandbox, PrefixCache, Stage, TestConfig, TestOutcome};
 use vfs::{BugId, FsKind, Workload};
 
 /// What one scheduled workload produces: its outcome, the crash-state
@@ -182,38 +182,65 @@ impl<K: FsKind> Scheduler<K> {
             for g in 0..plan.groups.len() {
                 assign[g % workers].push(g);
             }
-            let plan = &plan;
-            let wcfg = &wcfg;
-            let worker_results: Vec<(u64, Vec<(usize, _)>)> = std::thread::scope(|sc| {
-                let handles: Vec<_> = self
-                    .caches
-                    .iter_mut()
-                    .take(workers)
-                    .zip(&assign)
-                    .map(|(cache, gs)| {
-                        sc.spawn(move || {
-                            let mut out = Vec::new();
-                            let mut h = 0u64;
-                            for &g in gs {
-                                for &i in &plan.groups[g] {
-                                    let r = cache.run(&batch[i], wcfg);
-                                    h += r.0.prefix_hits;
-                                    out.push((i, r));
+            type WorkerOut = (u64, Vec<(usize, WorkloadResult)>);
+            let plan2 = &plan;
+            let wcfg2 = &wcfg;
+            let worker_results: Vec<std::thread::Result<WorkerOut>> =
+                std::thread::scope(|sc| {
+                    let handles: Vec<_> = self
+                        .caches
+                        .iter_mut()
+                        .take(workers)
+                        .zip(&assign)
+                        .map(|(cache, gs)| {
+                            sc.spawn(move || {
+                                let mut out = Vec::new();
+                                let mut h = 0u64;
+                                for &g in gs {
+                                    for &i in &plan2.groups[g] {
+                                        let r = cache.run(&batch[i], wcfg2);
+                                        h += r.0.prefix_hits;
+                                        out.push((i, r));
+                                    }
                                 }
-                            }
-                            (h, out)
+                                (h, out)
+                            })
                         })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("scheduler worker panicked"))
-                    .collect()
-            });
-            for (w, (h, rs)) in worker_results.into_iter().enumerate() {
-                hits[w] = h;
-                for (i, r) in rs {
-                    slots[i] = Some(r);
+                        .collect();
+                    handles.into_iter().map(|h| h.join()).collect()
+                });
+            for (w, res) in worker_results.into_iter().enumerate() {
+                match res {
+                    Ok((h, rs)) => {
+                        hits[w] = h;
+                        for (i, r) in rs {
+                            slots[i] = Some(r);
+                        }
+                    }
+                    Err(_) => {
+                        // The worker died mid-group; its cache dropped its
+                        // live state during the unwind (the next run falls
+                        // back to genesis). Re-run its items one at a time
+                        // so only the panicking workload fails, with a
+                        // worker-stage diagnostic.
+                        let cache = &mut self.caches[w];
+                        for &g in &assign[w] {
+                            for &i in &plan.groups[g] {
+                                let r = sandbox::guarded(Stage::Worker, || {
+                                    cache.run(&batch[i], &wcfg)
+                                })
+                                .unwrap_or_else(|v| {
+                                    (
+                                        crate::worker_failure_outcome(&batch[i], v),
+                                        HashSet::new(),
+                                        BTreeSet::new(),
+                                    )
+                                });
+                                hits[w] += r.0.prefix_hits;
+                                slots[i] = Some(r);
+                            }
+                        }
+                    }
                 }
             }
         }

@@ -101,15 +101,15 @@ pub fn check_mounted<K: FsKind, D: PmBackend>(
     scope: &Scope,
 ) -> Option<Violation> {
     let ws = walk_scope(cfg, scope);
-    let (mut fs, tree) = match mount_state(kind, dev, &ws) {
+    let (mut fs, tree) = match crate::sandbox::mount_walk(kind, dev, &ws, cfg) {
         Ok(x) => x,
         Err(v) => return Some(v),
     };
-    if let Some(v) = compare_checked(&tree, check, cfg, scope) {
+    if let Some(v) = crate::sandbox::compare(&tree, check, cfg, scope) {
         return Some(v);
     }
     if cfg.probe {
-        if let Some(v) = probe(&mut fs, &tree) {
+        if let Some(v) = crate::sandbox::probe(&mut fs, &tree, cfg) {
             return Some(v);
         }
     }

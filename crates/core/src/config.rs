@@ -88,7 +88,30 @@ pub struct TestConfig {
     /// counts. `false` falls back to plain workload sharding (the pre-compose
     /// behavior). No effect at `threads <= 1`.
     pub par_prefix: bool,
+    /// Fault isolation for the checking pipeline: run every checker stage
+    /// (mount, walk, compare, probe) under `catch_unwind`, so a file-system
+    /// panic while checking a crash state becomes a
+    /// [`Violation::RecoveryPanic`](crate::report::Violation::RecoveryPanic)
+    /// finding instead of tearing down the sweep — the in-process analogue
+    /// of the paper's VM isolation. `false` restores fail-fast panics (for
+    /// debugging the harness itself).
+    pub sandbox: bool,
+    /// Deterministic recovery watchdog: the fuel budget, in simulated device
+    /// ops, that one mount+walk (or probe) of a crash state may spend before
+    /// it is declared a
+    /// [`Violation::RecoveryHang`](crate::report::Violation::RecoveryHang).
+    /// Counted in device ops rather than wall-clock so verdicts are
+    /// bit-identical at any thread count. Requires `sandbox`. `None`
+    /// disables the watchdog.
+    pub recovery_fuel: Option<u64>,
 }
+
+/// Default [`TestConfig::recovery_fuel`] budget. A full mount + walk of the
+/// default 4 MiB device spends well under 2 M fuel units (≈ 1 unit per device
+/// op + 1 per 64 bytes moved) on every file system in this workspace; 50 M
+/// gives a > 25× margin while still bounding an injected infinite recovery
+/// loop to well under a second of spinning.
+pub const DEFAULT_RECOVERY_FUEL: u64 = 50_000_000;
 
 impl Default for TestConfig {
     fn default() -> Self {
@@ -110,6 +133,8 @@ impl Default for TestConfig {
             scoped_check: true,
             scoped_validate: false,
             par_prefix: true,
+            sandbox: true,
+            recovery_fuel: Some(DEFAULT_RECOVERY_FUEL),
         }
     }
 }
@@ -154,5 +179,7 @@ mod tests {
         assert!(c.prefix_cache && c.delta_replay && c.cross_dedup && c.scoped_check);
         assert!(!c.scoped_validate);
         assert!(c.par_prefix);
+        assert!(c.sandbox);
+        assert_eq!(c.recovery_fuel, Some(DEFAULT_RECOVERY_FUEL));
     }
 }

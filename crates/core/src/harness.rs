@@ -12,7 +12,7 @@ use vfs::{
 };
 
 use crate::{
-    checker::{compare_checked, mount_state, probe_state, walk_scope, CheckKind, DataRelax},
+    checker::{probe_state, walk_scope, CheckKind, DataRelax},
     config::TestConfig,
     crashgen::{
         apply_subset, coalesce, describe_subset, enumerate_subsets_ordered, PendingWrite,
@@ -20,7 +20,8 @@ use crate::{
     },
     exec::{Executor, OpResult},
     oracle::{alias_set, build_oracle, Oracle, Scope, Tree},
-    report::{BugReport, CrashPhase, Violation},
+    report::{BugReport, CrashPhase, Stage, Violation},
+    sandbox,
 };
 
 /// Wall time spent in each stage of the pipeline.
@@ -66,6 +67,22 @@ pub struct TestOutcome {
     /// Deepest op prefix shared within any subtree of this workload's batch
     /// (same first-outcome convention as `sched_subtrees`).
     pub sched_subtree_max_depth: u64,
+    /// Crash states whose committed verdict was a
+    /// [`Violation::RecoveryPanic`] — the file system panicked while the
+    /// sandbox was checking the state (see [`TestConfig::sandbox`]).
+    pub recovery_panics: u64,
+    /// Crash states whose committed verdict was a
+    /// [`Violation::RecoveryHang`] — the deterministic fuel watchdog fired
+    /// (see [`TestConfig::recovery_fuel`]).
+    pub recovery_hangs: u64,
+    /// Crash states re-checked once on the slow full-walk fresh-device path
+    /// because a panic/hang was first seen under a fast path
+    /// (`prefix_cache`/`delta_replay`/`scoped_check`/`cross_dedup`), so
+    /// fast-path artifacts are never mislabeled as FS bugs.
+    pub sandbox_retries: u64,
+    /// Crash states whose check hit fuel exhaustion at any point, including
+    /// hangs that the slow-path re-check subsequently cleared.
+    pub fuel_exhausted: u64,
     /// In-flight write counts observed at each crash point (before
     /// coalescing) — the data behind Observation 7.
     pub inflight_sizes: Vec<usize>,
@@ -644,6 +661,19 @@ struct CheckRes {
     /// an existing entry.
     art: Option<StateArtifacts>,
     memo_hit: bool,
+    /// This state was re-checked on the slow full-walk fresh-device path
+    /// after a sandbox violation under a fast path (see [`finalize_check`]).
+    sandbox_retry: bool,
+    /// The fuel watchdog fired while checking this state (pre- or
+    /// post-retry).
+    fuel_fired: bool,
+}
+
+/// Whether a staged verdict came from the sandbox (panic/hang) rather than
+/// from a consistency check. Sandbox verdicts are never memoized — they may
+/// be fast-path artifacts until the slow-path retry confirms them.
+fn is_sandbox_violation(v: &Violation) -> bool {
+    matches!(v, Violation::RecoveryPanic { .. } | Violation::RecoveryHang { .. })
 }
 
 /// How one crash state gets its result. Fixed per crash point before any
@@ -697,34 +727,37 @@ fn check_staged<K: FsKind, D: pmem::PmBackend>(
     want_art: bool,
 ) -> CheckRes {
     let ws = walk_scope(cfg, scope);
-    let (mut fs, tree) = match mount_state(fresh, dev, &ws) {
+    let (mut fs, tree) = match sandbox::mount_walk(fresh, dev, &ws, cfg) {
         Ok(x) => x,
         Err(v) => {
             let cov_mw = Arc::new(fresh.options().cov.snapshot());
             let trace_mw = Arc::new(fresh.options().trace.snapshot());
+            let memoizable = !is_sandbox_violation(&v);
             return CheckRes {
                 violation: Some(v.clone()),
                 cov: vec![cov_mw.clone()],
                 trace: vec![trace_mw.clone()],
-                art: want_art.then_some(StateArtifacts {
+                art: (want_art && memoizable).then_some(StateArtifacts {
                     pre: Err(v),
                     cov_mw,
                     trace_mw,
                     probe: None,
                 }),
                 memo_hit: false,
+                sandbox_retry: false,
+                fuel_fired: false,
             };
         }
     };
     let cov_mw = Arc::new(fresh.options().cov.snapshot());
     let trace_mw = Arc::new(fresh.options().trace.snapshot());
     let tree = Arc::new(tree);
-    let verdict = compare_checked(&tree, check, cfg, scope);
+    let verdict = sandbox::compare(&tree, check, cfg, scope);
     let mut probe_art = None;
     let violation = match verdict {
         Some(v) => Some(v),
         None if cfg.probe => {
-            let pv = probe_state(&mut fs, &tree);
+            let pv = sandbox::probe(&mut fs, &tree, cfg);
             probe_art = Some(ProbeArtifacts {
                 violation: pv.clone(),
                 cov: Arc::new(fresh.options().cov.snapshot()),
@@ -738,23 +771,46 @@ fn check_staged<K: FsKind, D: pmem::PmBackend>(
         Some(p) => (vec![p.cov.clone()], vec![p.trace.clone()]),
         None => (vec![cov_mw.clone()], vec![trace_mw.clone()]),
     };
+    let memoizable = !violation.as_ref().is_some_and(is_sandbox_violation);
     CheckRes {
         violation,
         cov,
         trace,
-        art: want_art.then_some(StateArtifacts { pre: Ok(tree), cov_mw, trace_mw, probe: probe_art }),
+        art: (want_art && memoizable)
+            .then_some(StateArtifacts { pre: Ok(tree), cov_mw, trace_mw, probe: probe_art }),
         memo_hit: false,
+        sandbox_retry: false,
+        fuel_fired: false,
     }
 }
 
 /// Mounts an image and runs only the usability probe against a memoized
 /// tree — the fill path for a memo hit whose comparison passed before any
 /// probe outcome was recorded.
-fn probe_on<K: FsKind, D: pmem::PmBackend>(fresh: &K, dev: D, tree: &Tree) -> ProbeArtifacts {
-    let violation = match fresh.mount(dev) {
-        Ok(mut fs) => probe_state(&mut fs, tree),
-        // Identical bytes mounted before; defensive.
-        Err(e) => Some(Violation::Unmountable(e.to_string())),
+fn probe_on<K: FsKind, D: pmem::PmBackend>(
+    fresh: &K,
+    dev: D,
+    tree: &Tree,
+    cfg: &TestConfig,
+) -> ProbeArtifacts {
+    let violation = if cfg.sandbox {
+        // One fuel budget covers the re-mount and the probe, mirroring the
+        // fresh-check path's mount+walk / probe budgets.
+        let _fuel = pmem::FuelGuard::arm(cfg.recovery_fuel);
+        match sandbox::guarded(Stage::Mount, || fresh.mount(dev)) {
+            Err(v) => Some(v),
+            // Identical bytes mounted before; defensive.
+            Ok(Err(e)) => Some(Violation::Unmountable(e.to_string())),
+            Ok(Ok(mut fs)) => match sandbox::guarded(Stage::Probe, || probe_state(&mut fs, tree)) {
+                Ok(v) => v,
+                Err(v) => Some(v),
+            },
+        }
+    } else {
+        match fresh.mount(dev) {
+            Ok(mut fs) => probe_state(&mut fs, tree),
+            Err(e) => Some(Violation::Unmountable(e.to_string())),
+        }
     };
     ProbeArtifacts {
         violation,
@@ -779,19 +835,29 @@ fn resolve_memo_hit(
         trace: vec![art.trace_mw.clone()],
         art: None,
         memo_hit: true,
+        sandbox_retry: false,
+        fuel_fired: false,
     };
     match &art.pre {
         Err(v) => plain(Some(v.clone())),
-        Ok(tree) => match compare_checked(tree, check, cfg, scope) {
+        Ok(tree) => match sandbox::compare(tree, check, cfg, scope) {
             Some(v) => plain(Some(v)),
             None if cfg.probe => {
                 let (p, fill) = match &art.probe {
                     Some(p) => (p.clone(), None),
                     None => {
                         let p = probe_fill(tree);
-                        let mut updated = art.clone();
-                        updated.probe = Some(p.clone());
-                        (p, Some(updated))
+                        // A sandboxed probe verdict may be a fast-path
+                        // artifact; keep it out of the memo so later points
+                        // re-probe (and re-verify) rather than inherit it.
+                        let fill = if p.violation.as_ref().is_some_and(is_sandbox_violation) {
+                            None
+                        } else {
+                            let mut updated = art.clone();
+                            updated.probe = Some(p.clone());
+                            Some(updated)
+                        };
+                        (p, fill)
                     }
                 };
                 CheckRes {
@@ -800,11 +866,57 @@ fn resolve_memo_hit(
                     trace: vec![art.trace_mw.clone(), p.trace],
                     art: fill,
                     memo_hit: true,
+                    sandbox_retry: false,
+                    fuel_fired: false,
                 }
             }
             None => plain(None),
         },
     }
+}
+
+/// Applies the slow-path retry rule to a freshly checked state: when the
+/// verdict is a sandbox violation (panic/hang) and any fast path was active,
+/// the state is re-checked exactly once on a fresh [`CowDevice`] with a full
+/// walk and every fast path disabled, and the slow verdict wins. The sandbox
+/// itself stays on for the retry, so a deterministic FS panic still surfaces
+/// as a `RecoveryPanic` — now provably not a fast-path artifact.
+fn finalize_check<K: FsKind>(
+    kind: &K,
+    base: &[u8],
+    writes: &[PendingWrite],
+    subset: &[usize],
+    check: &CheckKind<'_>,
+    cfg: &TestConfig,
+    mut res: CheckRes,
+) -> CheckRes {
+    res.fuel_fired = matches!(res.violation, Some(Violation::RecoveryHang { .. }));
+    if !res.violation.as_ref().is_some_and(is_sandbox_violation) {
+        return res;
+    }
+    // Pure function of the config (never of thread count or timing), so the
+    // retry decision is identical on every path that can reach this state.
+    let fast_path_active =
+        cfg.delta_replay || cfg.scoped_check || cfg.cross_dedup || cfg.prefix_cache;
+    if !fast_path_active {
+        return res;
+    }
+    let slow_cfg = TestConfig {
+        delta_replay: false,
+        scoped_check: false,
+        scoped_validate: false,
+        cross_dedup: false,
+        prefix_cache: false,
+        ..cfg.clone()
+    };
+    let fresh = kind.with_options(kind.options().with_fresh_sinks());
+    let mut cow = CowDevice::new(base);
+    apply_subset(&mut cow, writes, subset);
+    let mut slow = check_staged(&fresh, cow, check, &slow_cfg, &Scope::Full, false);
+    slow.sandbox_retry = true;
+    slow.fuel_fired =
+        res.fuel_fired || matches!(slow.violation, Some(Violation::RecoveryHang { .. }));
+    slow
 }
 
 /// Invariant context for committing one crash point's states.
@@ -835,6 +947,20 @@ fn commit_state<K: FsKind>(
         out.dedup_hits += 1;
     } else if res.memo_hit {
         out.memo_hits += 1;
+    }
+    // Sandbox counters increment at commit time only, so speculative work
+    // past a stop-on-first winner never skews them; dup replays recount like
+    // any other replayed verdict.
+    match &res.violation {
+        Some(Violation::RecoveryPanic { .. }) => out.recovery_panics += 1,
+        Some(Violation::RecoveryHang { .. }) => out.recovery_hangs += 1,
+        _ => {}
+    }
+    if res.sandbox_retry {
+        out.sandbox_retries += 1;
+    }
+    if res.fuel_fired {
+        out.fuel_exhausted += 1;
     }
     for c in &res.cov {
         kind.options().cov.absorb(c);
@@ -960,22 +1086,23 @@ fn visit_crash_point<K: FsKind>(
                 }
                 Decision::Memo(art) => {
                     let fresh = kind.with_options(kind.options().with_fresh_sinks());
-                    resolve_memo_hit(&art, check, cfg, scope, |tree| {
+                    let r = resolve_memo_hit(&art, check, cfg, scope, |tree| {
                         if cfg.delta_replay {
                             let mark = walker.mark();
-                            let p = probe_on(&fresh, &mut *walker.device(), tree);
+                            let p = probe_on(&fresh, &mut *walker.device(), tree, cfg);
                             walker.undo_to(mark);
                             p
                         } else {
                             let mut cow = CowDevice::new(base);
                             apply_subset(&mut cow, &writes, &subsets[i]);
-                            probe_on(&fresh, cow, tree)
+                            probe_on(&fresh, cow, tree, cfg)
                         }
-                    })
+                    });
+                    finalize_check(kind, base, &writes, &subsets[i], check, cfg, r)
                 }
                 Decision::Fresh => {
                     let fresh = kind.with_options(kind.options().with_fresh_sinks());
-                    if cfg.delta_replay {
+                    let r = if cfg.delta_replay {
                         let mark = walker.mark();
                         let r = check_staged(
                             &fresh,
@@ -991,7 +1118,8 @@ fn visit_crash_point<K: FsKind>(
                         let mut cow = CowDevice::new(base);
                         apply_subset(&mut cow, &writes, &subsets[i]);
                         check_staged(&fresh, cow, check, cfg, scope, want_art)
-                    }
+                    };
+                    finalize_check(kind, base, &writes, &subsets[i], check, cfg, r)
                 }
             };
             let s = commit_state(kind, &ctx, &res, key, false, || describe_subset(&writes, &subsets[i]), memo, out);
@@ -1023,19 +1151,20 @@ fn visit_crash_point<K: FsKind>(
 
     let check_one = |i: usize| -> CheckRes {
         let fresh = kind.with_options(kind.options().with_fresh_sinks());
-        match &plan[i] {
+        let r = match &plan[i] {
             Decision::Dup(_) => unreachable!("dups are resolved at commit"),
             Decision::Memo(art) => resolve_memo_hit(art, check, cfg, scope, |tree| {
                 let mut cow = CowDevice::new(base);
                 apply_subset(&mut cow, &writes, &subsets[i]);
-                probe_on(&fresh, cow, tree)
+                probe_on(&fresh, cow, tree, cfg)
             }),
             Decision::Fresh => {
                 let mut cow = CowDevice::new(base);
                 apply_subset(&mut cow, &writes, &subsets[i]);
                 check_staged(&fresh, cow, check, cfg, scope, want_art)
             }
-        }
+        };
+        finalize_check(kind, base, &writes, &subsets[i], check, cfg, r)
     };
 
     // With stop-on-first, checking everything up front wastes work past the
@@ -1055,17 +1184,43 @@ fn visit_crash_point<K: FsKind>(
             let per = todo.len().div_ceil(threads);
             let check_one = &check_one;
             std::thread::scope(|sc| {
-                let handles: Vec<_> = todo
+                let handles: Vec<(&[usize], _)> = todo
                     .chunks(per)
                     .map(|shard| {
-                        sc.spawn(move || {
+                        let h = sc.spawn(move || {
                             shard.iter().map(|&i| (i, check_one(i))).collect::<Vec<_>>()
-                        })
+                        });
+                        (shard, h)
                     })
                     .collect();
-                for h in handles {
-                    for (i, r) in h.join().expect("crash-state worker panicked") {
-                        results[i] = Some(r);
+                for (shard, h) in handles {
+                    match h.join() {
+                        Ok(rs) => {
+                            for (i, r) in rs {
+                                results[i] = Some(r);
+                            }
+                        }
+                        Err(_) => {
+                            // A worker died outside the per-stage sandbox
+                            // (sandbox off, or a harness bug): fail only the
+                            // affected items. Re-check the shard one state
+                            // at a time so the survivors keep their real
+                            // verdicts and only the panicking state reports
+                            // a worker-stage diagnostic.
+                            for &i in shard {
+                                let r = sandbox::guarded(Stage::Worker, || check_one(i))
+                                    .unwrap_or_else(|v| CheckRes {
+                                        violation: Some(v),
+                                        cov: vec![],
+                                        trace: vec![],
+                                        art: None,
+                                        memo_hit: false,
+                                        sandbox_retry: false,
+                                        fuel_fired: false,
+                                    });
+                                results[i] = Some(r);
+                            }
+                        }
                     }
                 }
             });

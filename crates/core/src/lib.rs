@@ -52,9 +52,10 @@ pub mod harness;
 pub mod oracle;
 pub mod prefix;
 pub mod report;
+pub mod sandbox;
 
 pub use config::TestConfig;
 pub use harness::{test_workload, PhaseTimings, TestOutcome};
 pub use oracle::Scope;
 pub use prefix::{test_workload_cached, PrefixCache};
-pub use report::{triage, BugReport, CrashPhase, Violation};
+pub use report::{triage, BugReport, CrashPhase, Stage, Violation};

@@ -79,6 +79,10 @@ struct ReplayCkpt {
     crash_states: u64,
     dedup_hits: u64,
     memo_hits: u64,
+    recovery_panics: u64,
+    recovery_hangs: u64,
+    sandbox_retries: u64,
+    fuel_exhausted: u64,
     inflight: Vec<usize>,
     /// Reports carry the *cached* workload's name; splicing re-labels them.
     reports: Vec<BugReport>,
@@ -264,6 +268,10 @@ impl<K: FsKind> PrefixCache<K> {
                 crash_states: 0,
                 dedup_hits: 0,
                 memo_hits: 0,
+                recovery_panics: 0,
+                recovery_hangs: 0,
+                sandbox_retries: 0,
+                fuel_exhausted: 0,
                 inflight: Vec::new(),
                 reports: Vec::new(),
                 cov: HashSet::new(),
@@ -418,6 +426,10 @@ impl<K: FsKind> PrefixCache<K> {
             crash_states: ck.crash_states,
             dedup_hits: ck.dedup_hits,
             memo_hits: ck.memo_hits,
+            recovery_panics: ck.recovery_panics,
+            recovery_hangs: ck.recovery_hangs,
+            sandbox_retries: ck.sandbox_retries,
+            fuel_exhausted: ck.fuel_exhausted,
             inflight_sizes: ck.inflight.clone(),
             reports: ck
                 .reports
@@ -501,6 +513,10 @@ impl<K: FsKind> PrefixCache<K> {
         out.crash_states = chk.crash_states;
         out.dedup_hits = chk.dedup_hits;
         out.memo_hits = chk.memo_hits;
+        out.recovery_panics = chk.recovery_panics;
+        out.recovery_hangs = chk.recovery_hangs;
+        out.sandbox_retries = chk.sandbox_retries;
+        out.fuel_exhausted = chk.fuel_exhausted;
         out.inflight_sizes = chk.inflight_sizes;
         for r in chk.reports {
             push_report(&mut out, r);
@@ -535,6 +551,10 @@ impl<K: FsKind> PrefixCache<K> {
             crash_states: chk.crash_states,
             dedup_hits: chk.dedup_hits,
             memo_hits: chk.memo_hits,
+            recovery_panics: chk.recovery_panics,
+            recovery_hangs: chk.recovery_hangs,
+            sandbox_retries: chk.sandbox_retries,
+            fuel_exhausted: chk.fuel_exhausted,
             inflight: chk.inflight_sizes.clone(),
             reports: chk.reports.clone(),
             cov: check_kind.options().cov.snapshot(),
@@ -585,13 +605,19 @@ mod tests {
         assert_send::<PrefixCache<Ext4DaxKind>>();
     }
 
-    fn fingerprint(o: &TestOutcome) -> (Vec<String>, u64, u64, u64, u64, Vec<usize>) {
+    fn fingerprint(o: &TestOutcome) -> (Vec<String>, Vec<u64>, Vec<usize>) {
         (
             o.reports.iter().map(|r| format!("{:?}", r)).collect(),
-            o.crash_points,
-            o.crash_states,
-            o.dedup_hits,
-            o.memo_hits,
+            vec![
+                o.crash_points,
+                o.crash_states,
+                o.dedup_hits,
+                o.memo_hits,
+                o.recovery_panics,
+                o.recovery_hangs,
+                o.sandbox_retries,
+                o.fuel_exhausted,
+            ],
             o.inflight_sizes.clone(),
         )
     }

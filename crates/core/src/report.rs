@@ -30,6 +30,33 @@ impl std::fmt::Display for CrashPhase {
     }
 }
 
+/// The checker stage a sandboxed failure was caught in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Mounting the crash state (file-system recovery).
+    Mount,
+    /// Walking the recovered tree.
+    Walk,
+    /// Comparing the recovered tree against the oracle states.
+    Compare,
+    /// The usability probe.
+    Probe,
+    /// A harness worker thread, outside any per-stage guard.
+    Worker,
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Stage::Mount => write!(f, "mount"),
+            Stage::Walk => write!(f, "walk"),
+            Stage::Compare => write!(f, "compare"),
+            Stage::Probe => write!(f, "probe"),
+            Stage::Worker => write!(f, "worker"),
+        }
+    }
+}
+
 /// The consistency property a crash state violated.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Violation {
@@ -52,6 +79,23 @@ pub enum Violation {
     /// The file system reported an internal invariant violation during the
     /// recorded run (KASAN/BUG() analogue).
     RuntimeError(String),
+    /// The file system panicked while the sandbox was checking a crash state
+    /// (the in-process analogue of a kernel oops during recovery — several of
+    /// the paper's 23 bugs are exactly this).
+    RecoveryPanic {
+        /// The checker stage the panic unwound from.
+        stage: Stage,
+        /// The panic message.
+        payload: String,
+    },
+    /// Recovery exceeded its deterministic fuel budget — the simulated-op
+    /// analogue of a recovery loop that never terminates.
+    RecoveryHang {
+        /// The checker stage the watchdog fired in.
+        stage: Stage,
+        /// Human-readable description including the exhausted budget.
+        payload: String,
+    },
 }
 
 impl Violation {
@@ -65,6 +109,8 @@ impl Violation {
             Violation::UnusableState(_) => "unusable",
             Violation::OracleDivergence(_) => "oracle-divergence",
             Violation::RuntimeError(_) => "runtime-error",
+            Violation::RecoveryPanic { .. } => "recovery-panic",
+            Violation::RecoveryHang { .. } => "recovery-hang",
         }
     }
 
@@ -78,6 +124,18 @@ impl Violation {
             | Violation::UnusableState(s)
             | Violation::OracleDivergence(s)
             | Violation::RuntimeError(s) => s,
+            Violation::RecoveryPanic { payload, .. }
+            | Violation::RecoveryHang { payload, .. } => payload,
+        }
+    }
+
+    /// The stage a sandboxed failure was caught in, for the sandbox classes.
+    pub fn stage(&self) -> Option<Stage> {
+        match self {
+            Violation::RecoveryPanic { stage, .. } | Violation::RecoveryHang { stage, .. } => {
+                Some(*stage)
+            }
+            _ => None,
         }
     }
 }
@@ -118,6 +176,9 @@ impl BugReport {
     fn tokens(&self) -> BTreeSet<String> {
         let mut t: BTreeSet<String> = BTreeSet::new();
         t.insert(format!("class:{}", self.violation.class()));
+        if let Some(stage) = self.violation.stage() {
+            t.insert(format!("stage:{stage}"));
+        }
         for w in self.op_desc.split(|c: char| !c.is_alphanumeric() && c != '/') {
             if !w.is_empty() {
                 t.insert(w.to_string());
@@ -270,6 +331,47 @@ mod tests {
         assert!(j.contains("w\\\"q"), "{j}");
         assert!(j.contains("line1\\nline2"), "{j}");
         assert!(j.contains("\"class\":\"synchrony\""));
+    }
+
+    #[test]
+    fn sandbox_classes_are_stable() {
+        let p = Violation::RecoveryPanic { stage: Stage::Mount, payload: "boom".into() };
+        let h = Violation::RecoveryHang { stage: Stage::Walk, payload: "out of fuel".into() };
+        // These strings are persisted in JSON baselines and matched by CI
+        // smoke assertions; changing them is a breaking change.
+        assert_eq!(p.class(), "recovery-panic");
+        assert_eq!(h.class(), "recovery-hang");
+        assert_eq!(p.detail(), "boom");
+        assert_eq!(h.detail(), "out of fuel");
+        assert_eq!(p.stage(), Some(Stage::Mount));
+        assert_eq!(h.stage(), Some(Stage::Walk));
+        assert_eq!(Violation::RuntimeError("x".into()).stage(), None);
+    }
+
+    #[test]
+    fn chaos_findings_triage_like_ordinary_violations() {
+        let sandbox = |stage, payload: &str, hang: bool| BugReport {
+            workload: "w".into(),
+            op_seq: 0,
+            op_desc: "creat(/foo)".into(),
+            phase: CrashPhase::DuringSyscall,
+            subset: "[]".into(),
+            violation: if hang {
+                Violation::RecoveryHang { stage, payload: payload.into() }
+            } else {
+                Violation::RecoveryPanic { stage, payload: payload.into() }
+            },
+        };
+        let reports = vec![
+            sandbox(Stage::Mount, "mount: journal replay deref null entry", false),
+            sandbox(Stage::Mount, "mount: journal replay deref null entry", false),
+            sandbox(Stage::Mount, "mount: recovery exceeded fuel budget", true),
+            report(0, "creat(/foo)", "file missing after crash"),
+        ];
+        let clusters = triage(&reports, 0.4);
+        // Duplicate panics merge; panic vs hang vs atomicity never merge,
+        // even with identical op descriptions (class-gated).
+        assert_eq!(clusters, vec![vec![0, 1], vec![2], vec![3]]);
     }
 
     #[test]

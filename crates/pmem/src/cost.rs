@@ -27,6 +27,8 @@ pub const STORE_WORD_NS: u64 = 1;
 /// update).
 pub const MEDIA_READ_LINE_NS: u64 = 170;
 
+use std::cell::Cell;
+
 /// Accumulated simulated time.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
 pub struct SimCost {
@@ -65,6 +67,95 @@ pub struct PmStats {
     pub max_inflight: u64,
 }
 
+// ---------------------------------------------------------------------------
+// Deterministic fuel watchdog.
+//
+// Chipmunk runs the target file system's recovery *in process*, so a recovery
+// loop that never terminates would hang the whole sweep. A wall-clock timeout
+// would break the bit-identical determinism the harness guarantees across
+// thread counts; instead the checker arms a *fuel* budget denominated in
+// simulated device operations (the same unit the cost model accounts), and
+// every metered device op burns fuel. Exhaustion raises a typed panic that
+// the `core::sandbox` layer converts into `Violation::RecoveryHang`.
+//
+// Fuel is thread-local: each crash-state check runs start-to-finish on one
+// thread, so the accounting is a pure function of the crash-state image and
+// the check configuration — identical at any thread count.
+
+thread_local! {
+    static FUEL: Cell<Option<u64>> = const { Cell::new(None) };
+    static FUEL_BUDGET: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Panic payload raised by [`tick`] when the armed fuel budget runs out.
+///
+/// Carried through `std::panic::panic_any`; the sandbox layer downcasts it to
+/// distinguish a simulated hang from an ordinary panic.
+#[derive(Debug, Clone, Copy)]
+pub struct FuelExhausted {
+    /// The budget that was armed when exhaustion hit.
+    pub budget: u64,
+}
+
+/// RAII guard arming the calling thread's fuel budget.
+///
+/// Restores the previously armed budget (usually none) on drop — including
+/// during the unwind triggered by exhaustion itself — so fuel never leaks
+/// into unrelated work on the same thread.
+pub struct FuelGuard {
+    prev: Option<u64>,
+    prev_budget: u64,
+}
+
+impl FuelGuard {
+    /// Arms `budget` simulated ops of fuel on this thread; `None` leaves the
+    /// watchdog disarmed (the guard is then a no-op).
+    pub fn arm(budget: Option<u64>) -> FuelGuard {
+        let prev = FUEL.with(Cell::get);
+        let prev_budget = FUEL_BUDGET.with(Cell::get);
+        if let Some(b) = budget {
+            FUEL.with(|f| f.set(Some(b)));
+            FUEL_BUDGET.with(|f| f.set(b));
+        }
+        FuelGuard { prev, prev_budget }
+    }
+}
+
+impl Drop for FuelGuard {
+    fn drop(&mut self) {
+        FUEL.with(|f| f.set(self.prev));
+        FUEL_BUDGET.with(|f| f.set(self.prev_budget));
+    }
+}
+
+/// Whether a fuel budget is currently armed on this thread.
+pub fn fuel_armed() -> bool {
+    FUEL.with(Cell::get).is_some()
+}
+
+/// Fuel units charged for one device op touching `len` bytes: one unit per
+/// op plus one per cache line moved, mirroring the latency model above.
+#[inline]
+pub fn op_units(len: usize) -> u64 {
+    1 + (len as u64 >> 6)
+}
+
+/// Burns `units` of fuel if a budget is armed; raises [`FuelExhausted`] (via
+/// `panic_any`) when the budget runs dry. A no-op on disarmed threads.
+#[inline]
+pub fn tick(units: u64) {
+    FUEL.with(|f| {
+        if let Some(rem) = f.get() {
+            if rem < units {
+                f.set(Some(0));
+                let budget = FUEL_BUDGET.with(Cell::get);
+                std::panic::panic_any(FuelExhausted { budget });
+            }
+            f.set(Some(rem - units));
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,5 +168,47 @@ mod tests {
         assert_eq!(c.ns, 15);
         c.charge(u64::MAX);
         assert_eq!(c.ns, u64::MAX);
+    }
+
+    #[test]
+    fn tick_without_fuel_is_a_noop() {
+        assert!(!fuel_armed());
+        tick(u64::MAX); // must not panic
+    }
+
+    #[test]
+    fn fuel_guard_arms_restores_and_nests() {
+        {
+            let _g = FuelGuard::arm(Some(100));
+            assert!(fuel_armed());
+            tick(40);
+            {
+                let _inner = FuelGuard::arm(Some(7));
+                tick(5);
+            }
+            // Inner guard restored the outer budget's remaining fuel.
+            tick(60); // 40 + 60 = 100: exactly exhausts, does not exceed
+        }
+        assert!(!fuel_armed());
+    }
+
+    #[test]
+    fn exhaustion_raises_fuel_exhausted_and_disarms() {
+        let caught = std::panic::catch_unwind(|| {
+            let _g = FuelGuard::arm(Some(10));
+            tick(11);
+        })
+        .expect_err("fuel must run out");
+        let fe = caught.downcast_ref::<FuelExhausted>().expect("typed payload");
+        assert_eq!(fe.budget, 10);
+        assert!(!fuel_armed(), "guard drop during unwind disarms the thread");
+    }
+
+    #[test]
+    fn op_units_charges_per_line() {
+        assert_eq!(op_units(0), 1);
+        assert_eq!(op_units(63), 1);
+        assert_eq!(op_units(64), 2);
+        assert_eq!(op_units(4096), 65);
     }
 }

@@ -11,7 +11,10 @@
 
 use std::collections::HashMap;
 
-use crate::{backend::PmBackend, cost::SimCost};
+use crate::{
+    backend::PmBackend,
+    cost::{self, SimCost},
+};
 
 /// Overlay page size.
 const PAGE: u64 = 4096;
@@ -117,6 +120,11 @@ impl<'a> CowDevice<'a> {
     }
 
     fn write_bytes(&mut self, off: u64, data: &[u8]) {
+        // Crash-state checks run on CowDevice stacks, so this is where the
+        // recovery fuel watchdog meters the file system's device traffic.
+        // Ticking before the undo record keeps the log consistent if the
+        // watchdog fires mid-sequence.
+        cost::tick(cost::op_units(data.len()));
         assert!(
             (off as usize).checked_add(data.len()).is_some_and(|e| e <= self.base.len()),
             "CowDevice write out of range: off={off} len={}",
@@ -144,6 +152,7 @@ impl<'a> CowDevice<'a> {
     }
 
     fn read_bytes(&self, off: u64, buf: &mut [u8]) {
+        cost::tick(cost::op_units(buf.len()));
         assert!(
             (off as usize).checked_add(buf.len()).is_some_and(|e| e <= self.base.len()),
             "CowDevice read out of range: off={off} len={}",
@@ -201,9 +210,13 @@ impl PmBackend for CowDevice<'_> {
         }
     }
 
-    fn flush(&mut self, _off: u64, _len: u64) {}
+    fn flush(&mut self, _off: u64, _len: u64) {
+        cost::tick(1);
+    }
 
-    fn fence(&mut self) {}
+    fn fence(&mut self) {
+        cost::tick(1);
+    }
 
     fn sim_cost(&self) -> SimCost {
         SimCost::default()

@@ -40,12 +40,14 @@ pub mod backend;
 pub mod cost;
 pub mod cow;
 pub mod device;
+pub mod fault;
 pub mod fork;
 pub mod hash;
 pub mod shared;
 
 pub use backend::{PmBackend, CACHE_LINE, WORD};
-pub use cost::{PmStats, SimCost};
+pub use cost::{FuelExhausted, FuelGuard, PmStats, SimCost};
+pub use fault::{FaultDevice, FaultPlan, FaultRole};
 pub use cow::{CowDevice, UndoMark};
 pub use device::{InflightKind, InflightWrite, PmDevice};
 pub use fork::ForkDevice;

@@ -1,0 +1,87 @@
+//! Chaos wrapper: any [`FsKind`] with injected device-level faults.
+//!
+//! [`ChaosKind`] interposes a [`pmem::FaultDevice`] between a wrapped file
+//! system and whatever device the harness hands it, so a [`FaultPlan`] —
+//! panic at the n-th mount op, spin forever, tear a store during recording —
+//! fires inside otherwise-correct file-system code. It is the self-test
+//! fixture for the harness's fault isolation (`core::sandbox`): the sweep
+//! must survive the injected crash, report it exactly once, and stay
+//! bit-identical across thread counts and fast-path configurations.
+//!
+//! Faults are injected per *lineage*: each mount gets its own op counter
+//! starting at zero, so whether a plan fires on a given crash state is a
+//! pure function of that state's content — independent of check order,
+//! worker threads, or prefix-cache splicing.
+
+use pmem::{FaultDevice, FaultPlan, FaultRole, PmBackend};
+
+use crate::{
+    bugs::FsName,
+    error::FsResult,
+    fs::{FsKind, FsOptions, Guarantees},
+};
+
+/// The file-system instance type a [`ChaosKind`] produces for a device `D`:
+/// the wrapped kind's instance running on a fault-injecting device.
+pub type ChaosFs<K, D> = <K as FsKind>::Fs<FaultDevice<D>>;
+
+/// An [`FsKind`] that runs the wrapped kind on a [`FaultDevice`] carrying a
+/// fixed [`FaultPlan`]. `mkfs` (the recording lineage) gets
+/// [`FaultRole::Record`]; `mount` (the recovery lineage under test) gets
+/// [`FaultRole::Mount`].
+#[derive(Clone)]
+pub struct ChaosKind<K> {
+    inner: K,
+    plan: FaultPlan,
+}
+
+impl<K: FsKind> ChaosKind<K> {
+    /// Wraps `inner` so every device it touches carries `plan`.
+    pub fn new(inner: K, plan: FaultPlan) -> Self {
+        ChaosKind { inner, plan }
+    }
+
+    /// The wrapped kind.
+    pub fn inner(&self) -> &K {
+        &self.inner
+    }
+
+    /// The injected fault plan.
+    pub fn plan(&self) -> FaultPlan {
+        self.plan
+    }
+}
+
+impl<K: FsKind> FsKind for ChaosKind<K> {
+    type Fs<D: PmBackend> = K::Fs<FaultDevice<D>>;
+
+    fn name(&self) -> FsName {
+        self.inner.name()
+    }
+
+    fn options(&self) -> &FsOptions {
+        self.inner.options()
+    }
+
+    fn with_options(&self, opts: FsOptions) -> Self {
+        ChaosKind { inner: self.inner.with_options(opts), plan: self.plan }
+    }
+
+    fn guarantees(&self) -> Guarantees {
+        self.inner.guarantees()
+    }
+
+    fn mkfs<D: PmBackend>(&self, dev: D) -> FsResult<Self::Fs<D>> {
+        self.inner.mkfs(FaultDevice::new(dev, self.plan, FaultRole::Record))
+    }
+
+    fn mount<D: PmBackend>(&self, dev: D) -> FsResult<Self::Fs<D>> {
+        self.inner.mount(FaultDevice::new(dev, self.plan, FaultRole::Mount))
+    }
+
+    fn fork_fs<D: PmBackend + Clone>(&self, fs: &Self::Fs<D>) -> Option<Self::Fs<D>> {
+        // FaultDevice clones carry their op counters, so a forked lineage
+        // resumes exactly where re-execution would be.
+        self.inner.fork_fs(fs)
+    }
+}

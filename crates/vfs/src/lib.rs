@@ -21,6 +21,7 @@
 //!   truth for crash-free semantics in property tests.
 
 pub mod bugs;
+pub mod chaos;
 pub mod cov;
 pub mod error;
 pub mod fs;
@@ -32,6 +33,7 @@ pub mod types;
 pub mod workload;
 
 pub use bugs::{BugId, BugInfo, BugKind, BugSet, FsName};
+pub use chaos::{ChaosFs, ChaosKind};
 pub use cov::Cov;
 pub use error::{FsError, FsResult};
 pub use fs::{FileSystem, FsKind, Guarantees};
