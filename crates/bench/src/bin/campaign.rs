@@ -13,7 +13,7 @@
 //! rounds, clusters, and fixes are identical for any value.
 
 use bench::{dispatch, mode_for, run_batch, WithKind, STRONG_SYSTEMS};
-use chipmunk::{report::triage, BugReport, TestConfig};
+use chipmunk::{exemplar, report::triage, BugReport, TestConfig};
 use vfs::{
     fs::{FsKind, FsOptions},
     BugId, BugSet, FsName, Workload,
@@ -102,6 +102,21 @@ fn main() {
                 clusters.len(),
                 relevant.iter().map(|b| b.number()).collect::<Vec<_>>()
             );
+            // One minimal exemplar per cluster (fewest ops, then smallest
+            // replayed subset): the report a developer would debug first,
+            // and the one `hunt --shrink` would package as the bundle.
+            for cluster in &clusters {
+                let e = &reports[exemplar(&reports, cluster)];
+                println!(
+                    "    [{} x{}] {} | {} @ op {} | {} in subset",
+                    e.violation.class(),
+                    cluster.len(),
+                    e.workload,
+                    e.op_desc,
+                    e.op_seq,
+                    e.subset_ids.len(),
+                );
+            }
             if relevant.is_empty() {
                 println!("{fs}: reports without traced cause — stopping");
                 break;

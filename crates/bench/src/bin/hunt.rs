@@ -1,36 +1,142 @@
 //! Hunts one injected bug (by Table 1 number) with both frontends, printing
 //! time-to-find, work counters, and dedup hit counts. The measurement tool
-//! behind the "Parallel scaling" section of EXPERIMENTS.md.
+//! behind the "Parallel scaling" section of EXPERIMENTS.md — and, with
+//! `--shrink` / `--repro`, the front door to minimized repro bundles.
 //!
 //! ```sh
-//! cargo run --release -p bench --bin hunt -- <bug#> [threads] [fuzz_budget] [seed] [nodedup] [--json <path>]
+//! cargo run --release -p bench --bin hunt -- <bug#> [threads] [fuzz_budget] [seed] [nodedup] [--json <path>] [--shrink] [--out <path>]
+//! cargo run --release -p bench --bin hunt -- --repro <bundle.json>
 //! ```
 //!
 //! With `--json <path>`, a machine-readable summary — per-phase wall times,
 //! dedup/memo/prefix hit counters, and states/sec — is also written to
 //! `path` (see `BENCH_hunt.json` for a committed baseline).
+//!
+//! With `--shrink`, the first find is delta-debugged down to a minimal
+//! `(workload, crash subset)` pair and written as a self-contained repro
+//! bundle (default `repro-bug<N>.json`; override with `--out`). With
+//! `--repro <file>`, the bundle is replayed instead of hunting: exit status
+//! 0 iff the replay reproduces the expected violation class.
+//!
+//! Unknown flags, malformed numbers, and extra arguments are fatal (exit 2)
+//! rather than silently ignored.
 
-use bench::{fmt_dur, hunt_json, hunt_with_ace, hunt_with_fuzzer, jsonout::Json, take_json_flag};
+use bench::{
+    fmt_dur, hunt_json, hunt_with_ace, hunt_with_fuzzer, jsonout::Json, shrink_to_bundle,
+    HuntResult, ReproBundle,
+};
 use chipmunk::TestConfig;
 use vfs::bugs::bug_table;
 
+fn usage() -> ! {
+    eprintln!(
+        "usage: hunt [bug#] [threads] [fuzz_budget] [seed] [nodedup] [--json <path>] [--shrink] [--out <path>]"
+    );
+    eprintln!("       hunt --repro <bundle.json>");
+    std::process::exit(2);
+}
+
+fn flag_value(flag: &str, it: &mut impl Iterator<Item = String>) -> String {
+    it.next().unwrap_or_else(|| {
+        eprintln!("{flag} needs a value");
+        usage()
+    })
+}
+
+fn parse_pos<T: std::str::FromStr>(v: Option<&String>, what: &str, default: T) -> T {
+    match v {
+        None => default,
+        Some(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!("bad {what}: {s:?}");
+            usage()
+        }),
+    }
+}
+
 fn main() {
-    let mut raw: Vec<String> = std::env::args().skip(1).collect();
-    let json_path = take_json_flag(&mut raw);
-    let mut args = raw.into_iter();
-    let number: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(14);
-    let threads: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
-    let budget: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(4000);
-    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0xf16 + number as u64);
-    let dedup = args.next().as_deref() != Some("nodedup");
+    let mut pos: Vec<String> = Vec::new();
+    let mut json_path: Option<String> = None;
+    let mut repro_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut do_shrink = false;
+    let mut nodedup = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json_path = Some(flag_value("--json", &mut it)),
+            "--repro" => repro_path = Some(flag_value("--repro", &mut it)),
+            "--out" => out_path = Some(flag_value("--out", &mut it)),
+            "--shrink" => do_shrink = true,
+            "nodedup" => nodedup = true,
+            s if s.starts_with('-') => {
+                eprintln!("unknown flag {s:?}");
+                usage();
+            }
+            _ => pos.push(a),
+        }
+    }
+    if pos.len() > 4 {
+        eprintln!("unexpected argument {:?}", pos[4]);
+        usage();
+    }
+    if out_path.is_some() && !do_shrink {
+        eprintln!("--out only makes sense with --shrink");
+        usage();
+    }
+
+    // Replay mode: no hunting, no other arguments.
+    if let Some(path) = repro_path {
+        if do_shrink || json_path.is_some() || nodedup || !pos.is_empty() {
+            eprintln!("--repro takes no other arguments");
+            usage();
+        }
+        let bundle = ReproBundle::load(&path).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+        let out = bundle.replay().unwrap_or_else(|e| {
+            eprintln!("error: replay failed: {e}");
+            std::process::exit(1);
+        });
+        println!(
+            "repro {path}: {} on {} | expected {}{} | got {}{}{}",
+            bundle.workload.name,
+            bundle.fs,
+            bundle.expect_class,
+            bundle.expect_stage.map(|s| format!(" @ {s:?}")).unwrap_or_default(),
+            out.class,
+            out.stage.map(|s| format!(" @ {s:?}")).unwrap_or_default(),
+            if out.ok { " | OK" } else { " | MISMATCH" },
+        );
+        if !out.detail.is_empty() {
+            println!("  {}", out.detail);
+        }
+        std::process::exit(if out.ok { 0 } else { 1 });
+    }
+
+    let number: u32 = parse_pos(pos.first(), "bug number", 14);
+    let threads: usize = parse_pos(pos.get(1), "thread count", 1);
+    let budget: u64 = parse_pos(pos.get(2), "fuzz budget", 4000);
+    let seed: u64 = parse_pos(pos.get(3), "seed", 0xf16 + number as u64);
+    let dedup = !nodedup;
 
     let info = bug_table()
         .iter()
         .find(|b| b.id.number() == number)
         .unwrap_or_else(|| panic!("no bug #{number} in the Table 1 corpus"));
-    let ace_cfg = TestConfig { stop_on_first: true, dedup, ..TestConfig::default() }
+    // With --shrink, enumerate subsets large-first: the first hit then
+    // carries a maximal write subset (instead of the usually-minimal one
+    // small-first stops at), which is the raw material the subset ddmin pass
+    // minimizes.
+    let ace_cfg = TestConfig {
+        stop_on_first: true,
+        dedup,
+        large_first_subsets: do_shrink,
+        ..TestConfig::default()
+    }
+    .with_threads(threads);
+    let fuzz_cfg = TestConfig { dedup, large_first_subsets: do_shrink, ..TestConfig::fuzzing() }
         .with_threads(threads);
-    let fuzz_cfg = TestConfig { dedup, ..TestConfig::fuzzing() }.with_threads(threads);
 
     println!("bug {number} on {} (threads = {threads}, dedup = {dedup})", info.fs);
     let ace = if info.ace_findable {
@@ -67,7 +173,7 @@ fn main() {
         }
     }
 
-    if let Some(path) = json_path {
+    if let Some(path) = &json_path {
         let doc = Json::Obj(vec![
             ("bug", Json::U(number as u64)),
             ("fs", Json::S(info.fs.to_string())),
@@ -83,7 +189,39 @@ fn main() {
             ),
             ("fuzz", hunt_json(fuzz_hit.as_ref(), fuzz_w, fuzz_s)),
         ]);
-        bench::jsonout::write_atomic(&path, &doc.render()).expect("write --json output");
+        bench::jsonout::write_atomic(path, &doc.render()).expect("write --json output");
         eprintln!("wrote {path}");
+    }
+
+    if do_shrink {
+        // Prefer the fuzzer find — fuzzing finds are the heavyweight ones
+        // shrinking exists for (ACE workloads are ≤ 3 ops by construction);
+        // fall back to the ACE find.
+        let find: Option<(&HuntResult, &TestConfig)> = match (&fuzz_hit, &ace) {
+            (Some(h), _) => Some((h, &fuzz_cfg)),
+            (_, Some((Some(h), _, _))) => Some((h, &ace_cfg)),
+            _ => None,
+        };
+        let Some((hit, cfg)) = find else {
+            eprintln!("  shrink: no find to shrink");
+            std::process::exit(1);
+        };
+        let (bundle, stats) =
+            shrink_to_bundle(info.fs, &[info.id], &hit.workload, &hit.report, cfg, seed)
+                .unwrap_or_else(|e| {
+                    eprintln!("error: shrink failed: {e}");
+                    std::process::exit(1);
+                });
+        let path = out_path.unwrap_or_else(|| format!("repro-bug{number}.json"));
+        bundle.save(&path).expect("write repro bundle");
+        println!(
+            "  shrink: ops {} -> {}, subset {} -> {} ({} workload + {} state candidates) | wrote {path}",
+            stats.ops_before,
+            stats.ops_after,
+            stats.subset_before,
+            stats.subset_after,
+            stats.op_candidates,
+            stats.state_candidates,
+        );
     }
 }

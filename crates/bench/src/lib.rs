@@ -24,8 +24,10 @@ use workloads::{
     fuzz::{FuzzConfig, Fuzzer},
 };
 
+pub mod repro;
 pub mod sched;
 
+pub use repro::{shrink_to_bundle, ReplayOutcome, ReproBundle};
 pub use sched::{plan_subtrees, Scheduler, SubtreePlan, WorkloadResult};
 
 /// Rank-2 helper: run a generic closure against the `FsKind` for a given
@@ -172,6 +174,8 @@ pub(crate) fn worker_failure_outcome(w: &Workload, v: Violation) -> TestOutcome 
         op_desc: "<worker>".to_string(),
         phase: CrashPhase::DuringSyscall,
         subset: String::new(),
+        point: None,
+        subset_ids: Vec::new(),
         violation: v,
     });
     out
@@ -245,6 +249,11 @@ pub struct HuntResult {
     pub class: String,
     /// The first report's one-line description.
     pub detail: String,
+    /// The workload that triggered the find (input to shrinking and repro
+    /// bundles).
+    pub workload: Workload,
+    /// The full first report.
+    pub report: chipmunk::BugReport,
     /// Whether the injected bug's code path was traced during the finding
     /// run (ground-truth attribution).
     pub traced: bool,
@@ -340,7 +349,8 @@ impl WithKind for AceHunt<'_> {
             if batch.is_empty() {
                 return (None, workloads, states);
             }
-            for (out, _cov) in run_batch_cached(&kind, &batch, self.cfg, Some(&mut sched)) {
+            let results = run_batch_cached(&kind, &batch, self.cfg, Some(&mut sched));
+            for (w, (out, _cov)) in batch.iter().zip(results) {
                 workloads += 1;
                 states += out.crash_states;
                 dedup += out.dedup_hits;
@@ -362,6 +372,8 @@ impl WithKind for AceHunt<'_> {
                             states,
                             class: r.violation.class().to_string(),
                             detail: format!("{} @ {}", r.op_desc, r.violation.detail()),
+                            workload: w.clone(),
+                            report: r.clone(),
                             traced: out.traced_bugs.contains(&self.bug),
                             dedup_hits: dedup,
                             memo_hits: memo,
@@ -449,6 +461,8 @@ impl WithKind for FuzzHunt<'_> {
                             states,
                             class: r.violation.class().to_string(),
                             detail: format!("{} @ {}", r.op_desc, r.violation.detail()),
+                            workload: w.clone(),
+                            report: r.clone(),
                             traced: out.traced_bugs.contains(&self.bug),
                             dedup_hits: dedup,
                             memo_hits: memo,
@@ -618,8 +632,23 @@ pub mod jsonout {
     /// sibling first and are renamed over the target only once fully
     /// written, so a failure mid-write leaves any existing file at `path`
     /// untouched (the binaries overwrite baseline artifacts in place).
+    ///
+    /// The temp file is fsynced before the rename and the parent directory
+    /// after it — without the directory fsync the rename itself is not
+    /// durable, so a real crash could lose the "atomically" written file
+    /// (the very bug class this workspace exists to catch).
     pub fn write_atomic(path: &str, contents: &str) -> std::io::Result<()> {
         write_atomic_impl(path, contents, None)
+    }
+
+    /// Fsyncs the directory containing `path` (best effort on platforms
+    /// where directories cannot be opened; Linux supports it).
+    fn fsync_parent_dir(path: &str) -> std::io::Result<()> {
+        let parent = match std::path::Path::new(path).parent() {
+            Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+            _ => std::path::PathBuf::from("."),
+        };
+        std::fs::File::open(&parent)?.sync_all()
     }
 
     /// `fail_after` simulates an I/O failure after that many bytes (test
@@ -640,7 +669,10 @@ pub mod jsonout {
             f.sync_all()
         })();
         match res {
-            Ok(()) => std::fs::rename(&tmp, path),
+            Ok(()) => {
+                std::fs::rename(&tmp, path)?;
+                fsync_parent_dir(path)
+            }
             Err(e) => {
                 let _ = std::fs::remove_file(&tmp);
                 Err(e)
@@ -732,6 +764,260 @@ pub mod jsonout {
         }
     }
 
+    /// A parsed JSON value, as read back from a document on disk. Distinct
+    /// from the writer type [`Json`] (whose object keys are `&'static str`,
+    /// which parser output cannot provide).
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum JVal {
+        /// Any number (integers included; JSON does not distinguish).
+        Num(f64),
+        /// A string.
+        Str(String),
+        /// A boolean.
+        Bool(bool),
+        /// `null`.
+        Null,
+        /// An array.
+        Arr(Vec<JVal>),
+        /// An object (field order preserved).
+        Obj(Vec<(String, JVal)>),
+    }
+
+    impl JVal {
+        /// Object field lookup.
+        pub fn get(&self, key: &str) -> Option<&JVal> {
+            match self {
+                JVal::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The string payload, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                JVal::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The numeric payload as an unsigned integer, if exact.
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                JVal::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                    Some(*n as u64)
+                }
+                _ => None,
+            }
+        }
+
+        /// The numeric payload.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                JVal::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The array payload, if this is an array.
+        pub fn as_arr(&self) -> Option<&[JVal]> {
+            match self {
+                JVal::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parses a JSON document (recursive descent; the workspace is
+    /// dependency-frozen, so no serde). Trailing garbage is an error.
+    pub fn parse(s: &str) -> Result<JVal, String> {
+        let b = s.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(b, &mut pos)?;
+        skip_ws(b, &mut pos);
+        if pos != b.len() {
+            return Err(format!("trailing characters at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        if *pos < b.len() && b[*pos] == c {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", c as char, *pos))
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<JVal, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            None => Err("unexpected end of input".into()),
+            Some(b'{') => {
+                *pos += 1;
+                let mut fields = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(JVal::Obj(fields));
+                }
+                loop {
+                    skip_ws(b, pos);
+                    let key = match parse_value(b, pos)? {
+                        JVal::Str(s) => s,
+                        _ => return Err(format!("object key must be a string at byte {}", *pos)),
+                    };
+                    skip_ws(b, pos);
+                    expect(b, pos, b':')?;
+                    fields.push((key, parse_value(b, pos)?));
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(JVal::Obj(fields));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(JVal::Arr(items));
+                }
+                loop {
+                    items.push(parse_value(b, pos)?);
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(JVal::Arr(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                    }
+                }
+            }
+            Some(b'"') => parse_string(b, pos).map(JVal::Str),
+            Some(b't') => parse_lit(b, pos, "true").map(|_| JVal::Bool(true)),
+            Some(b'f') => parse_lit(b, pos, "false").map(|_| JVal::Bool(false)),
+            Some(b'n') => parse_lit(b, pos, "null").map(|_| JVal::Null),
+            Some(_) => parse_number(b, pos),
+        }
+    }
+
+    fn parse_lit(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("invalid literal at byte {}", *pos))
+        }
+    }
+
+    fn parse_number(b: &[u8], pos: &mut usize) -> Result<JVal, String> {
+        let start = *pos;
+        if b.get(*pos) == Some(&b'-') {
+            *pos += 1;
+        }
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+            *pos += 1;
+        }
+        let text = std::str::from_utf8(&b[start..*pos]).expect("ascii number bytes");
+        // Reject forms `f64::from_str` accepts but JSON does not (leading
+        // zeros, bare '.', 'inf', ...): digits with optional sign, fraction,
+        // exponent only.
+        let ok = {
+            let t = text.strip_prefix('-').unwrap_or(text);
+            let (mant, exp) = match t.split_once(['e', 'E']) {
+                Some((m, e)) => (m, Some(e)),
+                None => (t, None),
+            };
+            let (int, frac) = match mant.split_once('.') {
+                Some((i, f)) => (i, Some(f)),
+                None => (mant, None),
+            };
+            let int_ok = int == "0"
+                || (!int.is_empty()
+                    && !int.starts_with('0')
+                    && int.bytes().all(|c| c.is_ascii_digit()));
+            let frac_ok =
+                frac.is_none_or(|f| !f.is_empty() && f.bytes().all(|c| c.is_ascii_digit()));
+            let exp_ok = exp.is_none_or(|e| {
+                let e = e.strip_prefix(['+', '-']).unwrap_or(e);
+                !e.is_empty() && e.bytes().all(|c| c.is_ascii_digit())
+            });
+            int_ok && frac_ok && exp_ok
+        };
+        if !ok {
+            return Err(format!("invalid number {text:?} at byte {start}"));
+        }
+        text.parse::<f64>()
+            .map(JVal::Num)
+            .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(b, pos, b'"')?;
+        let mut out = Vec::new();
+        loop {
+            match b.get(*pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return String::from_utf8(out).map_err(|_| "invalid UTF-8".into());
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"') => out.push(b'"'),
+                        Some(b'\\') => out.push(b'\\'),
+                        Some(b'/') => out.push(b'/'),
+                        Some(b'n') => out.push(b'\n'),
+                        Some(b't') => out.push(b'\t'),
+                        Some(b'r') => out.push(b'\r'),
+                        Some(b'b') => out.push(0x08),
+                        Some(b'f') => out.push(0x0c),
+                        Some(b'u') => {
+                            let hex = b
+                                .get(*pos + 1..*pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let cp = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            // The writer only emits \u for control chars, so
+                            // surrogate pairs are out of scope; reject them
+                            // rather than decode wrongly.
+                            let c = char::from_u32(cp)
+                                .ok_or_else(|| format!("unpaired surrogate \\u{cp:04x}"))?;
+                            let mut buf = [0u8; 4];
+                            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                            *pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", *pos)),
+                    }
+                    *pos += 1;
+                }
+                Some(&c) => {
+                    out.push(c);
+                    *pos += 1;
+                }
+            }
+        }
+    }
+
     #[cfg(test)]
     mod tests {
         use super::*;
@@ -756,6 +1042,63 @@ pub mod jsonout {
             write_atomic(&path, "{\"new\": true}\n").expect("second write");
             assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"new\": true}\n");
             let _ = std::fs::remove_file(&path);
+        }
+
+        #[test]
+        fn atomic_write_syncs_parent_directory() {
+            // The rename is only durable once the parent directory is
+            // fsynced; exercise both parent shapes (explicit directory and
+            // bare filename, which syncs ".").
+            let dir = std::env::temp_dir().join(format!("chipmunk-dirsync-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            let nested = dir.join("out.json").to_string_lossy().into_owned();
+            write_atomic(&nested, "{}\n").expect("write in fresh directory");
+            assert_eq!(std::fs::read_to_string(&nested).unwrap(), "{}\n");
+            fsync_parent_dir("bare-filename-no-parent.json").expect("'.' fallback must sync");
+            // A mid-write failure must not leave the directory entry either.
+            let gone = dir.join("never.json").to_string_lossy().into_owned();
+            write_atomic_impl(&gone, "{\"x\": 1}\n", Some(2)).expect_err("simulated failure");
+            assert!(!std::path::Path::new(&gone).exists());
+            assert!(!std::path::Path::new(&format!("{gone}.tmp")).exists());
+            let _ = std::fs::remove_file(&nested);
+            let _ = std::fs::remove_dir(&dir);
+        }
+
+        #[test]
+        fn parse_round_trips_rendered_documents() {
+            let doc = Json::Obj(vec![
+                ("num", Json::U(42)),
+                ("neg", Json::F(-1.5)),
+                ("s", Json::S("a \"quoted\"\nline\ttab \\ unicode \u{1f600}".into())),
+                ("b", Json::B(true)),
+                ("nothing", Json::Null),
+                ("arr", Json::Arr(vec![Json::U(1), Json::U(2), Json::Arr(vec![])])),
+                ("obj", Json::Obj(vec![("k", Json::S("v".into()))])),
+                ("empty", Json::Obj(vec![])),
+            ]);
+            let v = parse(&doc.render()).expect("parse rendered doc");
+            assert_eq!(v.get("num").and_then(JVal::as_u64), Some(42));
+            assert_eq!(v.get("neg").and_then(JVal::as_f64), Some(-1.5));
+            assert_eq!(
+                v.get("s").and_then(JVal::as_str),
+                Some("a \"quoted\"\nline\ttab \\ unicode \u{1f600}")
+            );
+            assert_eq!(v.get("b"), Some(&JVal::Bool(true)));
+            assert_eq!(v.get("nothing"), Some(&JVal::Null));
+            let arr = v.get("arr").and_then(JVal::as_arr).unwrap();
+            assert_eq!(arr.len(), 3);
+            assert_eq!(v.get("obj").and_then(|o| o.get("k")).and_then(JVal::as_str), Some("v"));
+            assert!(v.get("missing").is_none());
+        }
+
+        #[test]
+        fn parse_rejects_malformed_documents() {
+            for bad in [
+                "", "{", "}", "[1,", "{\"k\": }", "{\"k\" 1}", "tru", "\"unterminated",
+                "\"bad \\q escape\"", "01x", "{\"a\":1} trailing",
+            ] {
+                assert!(parse(bad).is_err(), "{bad:?} must not parse");
+            }
         }
     }
 }

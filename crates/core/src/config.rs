@@ -158,6 +158,65 @@ impl TestConfig {
         self.threads = threads.max(1);
         self
     }
+
+    /// The outcome-affecting knobs as stable `(key, value)` string pairs —
+    /// what a repro bundle must persist for a replay to reach the same
+    /// verdict. The pure performance knobs (`threads`, `dedup`,
+    /// `prefix_cache`, `delta_replay`, `cross_dedup`, `scoped_check`,
+    /// `par_prefix`) are deliberately absent: they are observationally
+    /// identical by construction, so a bundle replays correctly under any of
+    /// them.
+    pub fn semantic_knobs(&self) -> Vec<(&'static str, String)> {
+        fn opt(v: Option<u64>) -> String {
+            match v {
+                Some(x) => x.to_string(),
+                None => "none".into(),
+            }
+        }
+        vec![
+            ("device_size", self.device_size.to_string()),
+            ("cap", opt(self.cap.map(|c| c as u64))),
+            ("max_states_per_point", self.max_states_per_point.to_string()),
+            ("coalesce_data", self.coalesce_data.to_string()),
+            ("probe", self.probe.to_string()),
+            ("stop_on_first", self.stop_on_first.to_string()),
+            ("compare_ino", self.compare_ino.to_string()),
+            ("eadr", self.eadr.to_string()),
+            ("large_first_subsets", self.large_first_subsets.to_string()),
+            ("sandbox", self.sandbox.to_string()),
+            ("recovery_fuel", opt(self.recovery_fuel)),
+        ]
+    }
+
+    /// Sets one knob from its [`semantic_knobs`](Self::semantic_knobs)
+    /// string form. Unknown keys are errors so a bundle written by a newer
+    /// build fails loudly instead of silently replaying under wrong knobs.
+    pub fn set_knob(&mut self, key: &str, value: &str) -> Result<(), String> {
+        fn b(v: &str) -> Result<bool, String> {
+            v.parse().map_err(|_| format!("bad bool {v:?}"))
+        }
+        fn n(v: &str) -> Result<u64, String> {
+            v.parse().map_err(|_| format!("bad number {v:?}"))
+        }
+        fn opt_n(v: &str) -> Result<Option<u64>, String> {
+            if v == "none" { Ok(None) } else { n(v).map(Some) }
+        }
+        match key {
+            "device_size" => self.device_size = n(value)?,
+            "cap" => self.cap = opt_n(value)?.map(|c| c as usize),
+            "max_states_per_point" => self.max_states_per_point = n(value)?,
+            "coalesce_data" => self.coalesce_data = b(value)?,
+            "probe" => self.probe = b(value)?,
+            "stop_on_first" => self.stop_on_first = b(value)?,
+            "compare_ino" => self.compare_ino = b(value)?,
+            "eadr" => self.eadr = b(value)?,
+            "large_first_subsets" => self.large_first_subsets = b(value)?,
+            "sandbox" => self.sandbox = b(value)?,
+            "recovery_fuel" => self.recovery_fuel = opt_n(value)?,
+            _ => return Err(format!("unknown config knob {key:?}")),
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -181,5 +240,28 @@ mod tests {
         assert!(c.par_prefix);
         assert!(c.sandbox);
         assert_eq!(c.recovery_fuel, Some(DEFAULT_RECOVERY_FUEL));
+    }
+
+    #[test]
+    fn semantic_knobs_round_trip() {
+        let src = TestConfig {
+            device_size: 8 * 1024 * 1024,
+            cap: Some(3),
+            stop_on_first: true,
+            eadr: true,
+            recovery_fuel: None,
+            ..Default::default()
+        };
+        let mut dst = TestConfig::default();
+        for (k, v) in src.semantic_knobs() {
+            dst.set_knob(k, &v).unwrap();
+        }
+        for ((k1, v1), (k2, v2)) in src.semantic_knobs().iter().zip(dst.semantic_knobs()) {
+            assert_eq!((*k1, v1), (k2, &v2));
+        }
+        assert_eq!(dst.cap, Some(3));
+        assert_eq!(dst.recovery_fuel, None);
+        assert!(dst.set_knob("threads", "4").is_err());
+        assert!(dst.set_knob("cap", "many").is_err());
     }
 }

@@ -142,6 +142,8 @@ pub fn test_workload<K: FsKind>(kind: &K, workload: &Workload, cfg: &TestConfig)
                     op_desc: "(oracle run)".into(),
                     phase: CrashPhase::DuringSyscall,
                     subset: "-".into(),
+                    point: None,
+                    subset_ids: Vec::new(),
                     violation: Violation::RuntimeError(format!("oracle run failed: {e}")),
                 },
             );
@@ -171,6 +173,8 @@ pub fn test_workload<K: FsKind>(kind: &K, workload: &Workload, cfg: &TestConfig)
                     op_desc: "(mkfs)".into(),
                     phase: CrashPhase::DuringSyscall,
                     subset: "-".into(),
+                    point: None,
+                    subset_ids: Vec::new(),
                     violation: Violation::RuntimeError(format!("mkfs failed: {e}")),
                 },
             );
@@ -204,6 +208,8 @@ pub fn test_workload<K: FsKind>(kind: &K, workload: &Workload, cfg: &TestConfig)
                         op_desc: desc.clone(),
                         phase: CrashPhase::DuringSyscall,
                         subset: "-".into(),
+                        point: None,
+                        subset_ids: Vec::new(),
                         violation: Violation::RuntimeError(e.to_string()),
                     },
                 );
@@ -218,6 +224,8 @@ pub fn test_workload<K: FsKind>(kind: &K, workload: &Workload, cfg: &TestConfig)
                     op_desc: desc,
                     phase: CrashPhase::DuringSyscall,
                     subset: "-".into(),
+                    point: None,
+                    subset_ids: Vec::new(),
                     violation: Violation::OracleDivergence(format!(
                         "recorded run returned {:?}, oracle returned {:?}",
                         rec.result, ora.result
@@ -381,6 +389,34 @@ pub(crate) struct ReplayEngine<'a, K: FsKind> {
     /// When set, every mutation of `base` records `(off, old bytes)` here so
     /// the caller can roll the image back (the prefix cache's base tape).
     pub undo: Option<Vec<(u64, Vec<u8>)>>,
+    /// When set, the engine is in single-state mode: crash points are only
+    /// counted until the target ordinal is reached, where exactly one subset
+    /// state is built and checked (see [`check_one_state`]).
+    single: Option<SingleTarget>,
+}
+
+/// Target and result slot for the engine's single-state mode.
+struct SingleTarget {
+    point: u64,
+    subset: Vec<usize>,
+    result: Option<StateProbe>,
+    error: Option<String>,
+}
+
+/// The verdict of replaying exactly one crash state (see [`check_one_state`]).
+#[derive(Debug, Clone)]
+pub struct StateProbe {
+    /// The check's verdict (`None`: the state is consistent).
+    pub violation: Option<Violation>,
+    /// Index of the system call the crash point belongs to.
+    pub op_seq: usize,
+    /// Description of that system call.
+    pub op_desc: String,
+    /// Crash point position.
+    pub phase: CrashPhase,
+    /// Number of (coalesced) in-flight writes at the point — the universe
+    /// the subset indexes into.
+    pub n_writes: usize,
 }
 
 impl<'a, K: FsKind> ReplayEngine<'a, K> {
@@ -411,6 +447,7 @@ impl<'a, K: FsKind> ReplayEngine<'a, K> {
             started: false,
             stop: false,
             undo: None,
+            single: None,
         }
     }
 
@@ -576,6 +613,10 @@ impl<'a, K: FsKind> ReplayEngine<'a, K> {
         no_pending: bool,
         out: &mut TestOutcome,
     ) {
+        if self.single.is_some() {
+            self.visit_single(seq, phase, check, no_pending, out);
+            return;
+        }
         let scope = self.scope_for(seq);
         let pending: &[PendingWrite] = if no_pending { &[] } else { &self.pending };
         visit_crash_point(
@@ -595,6 +636,119 @@ impl<'a, K: FsKind> ReplayEngine<'a, K> {
             &mut self.stop,
         );
     }
+
+    /// Single-state mode: counts crash points exactly like
+    /// [`visit_crash_point`] does, and at the target ordinal builds and
+    /// checks the one requested subset state instead of enumerating.
+    fn visit_single(
+        &mut self,
+        seq: usize,
+        phase: CrashPhase,
+        check: &CheckKind<'_>,
+        no_pending: bool,
+        out: &mut TestOutcome,
+    ) {
+        out.crash_points += 1;
+        let ordinal = out.crash_points - 1;
+        let tgt = self.single.as_ref().expect("single mode");
+        if ordinal != tgt.point {
+            return;
+        }
+        let pending: &[PendingWrite] = if no_pending { &[] } else { &self.pending };
+        let writes = if self.cfg.coalesce_data { coalesce(pending) } else { pending.to_vec() };
+        let subset = tgt.subset.clone();
+        if let Some(&bad) = subset.iter().find(|&&i| i >= writes.len()) {
+            let tgt = self.single.as_mut().expect("single mode");
+            tgt.error = Some(format!(
+                "subset index {bad} out of range ({} in-flight writes at point {ordinal})",
+                writes.len()
+            ));
+            self.stop = true;
+            return;
+        }
+        let scope = self.scope_for(seq);
+        let fresh = self.kind.with_options(self.kind.options().with_fresh_sinks());
+        let mut cow = CowDevice::new(&self.base);
+        apply_subset(&mut cow, &writes, &subset);
+        let r = check_staged(&fresh, cow, check, self.cfg, &scope, false);
+        let r = finalize_check(self.kind, &self.base, &writes, &subset, check, self.cfg, r);
+        out.crash_states += 1;
+        for c in &r.cov {
+            self.kind.options().cov.absorb(c);
+        }
+        for t in &r.trace {
+            self.kind.options().trace.absorb(t);
+        }
+        let probe = StateProbe {
+            violation: r.violation,
+            op_seq: seq,
+            op_desc: self.workload.ops[seq].describe(),
+            phase,
+            n_writes: writes.len(),
+        };
+        let tgt = self.single.as_mut().expect("single mode");
+        tgt.result = Some(probe);
+        self.stop = true;
+    }
+}
+
+/// Replays exactly one crash state of a workload: the crash point with
+/// global ordinal `point` (a full run's [`BugReport::point`]), with the
+/// in-flight write subset `subset` applied. One oracle run and one recorded
+/// run, then a replay that fast-forwards to the target point and checks a
+/// single state instead of enumerating all subsets — the primitive behind
+/// repro-bundle replay and the shrinker's crash-subset ddmin pass.
+///
+/// Errors are infrastructure problems (oracle/mkfs failure, ordinal or
+/// subset index out of range), not violations.
+pub fn check_one_state<K: FsKind>(
+    kind: &K,
+    workload: &Workload,
+    cfg: &TestConfig,
+    point: u64,
+    subset: &[usize],
+) -> Result<StateProbe, String> {
+    let guarantees = kind.guarantees();
+    kind.options().trace.clear();
+    let oracle = build_oracle(kind, workload, cfg.device_size)
+        .map_err(|e| format!("oracle run failed: {e}"))?;
+
+    let log = LogHandle::new();
+    let dev = PmDevice::new(cfg.device_size);
+    let lp = if cfg.eadr {
+        LoggingPm::new_eadr(dev, log.clone())
+    } else {
+        LoggingPm::new(dev, log.clone())
+    };
+    let mut fs = kind.mkfs(lp).map_err(|e| format!("mkfs failed: {e}"))?;
+    let mut ex = Executor::new();
+    let mut rec_results = Vec::with_capacity(workload.ops.len());
+    for (seq, op) in workload.ops.iter().enumerate() {
+        log.marker(Marker::SyscallBegin(OpRecord { seq, desc: op.describe() }));
+        let r = ex.exec(&mut fs, op, seq);
+        log.marker(Marker::SyscallEnd { seq, ok: r.result.is_ok() });
+        rec_results.push(r);
+    }
+    drop(fs);
+    let log = log.take();
+
+    let mut out = TestOutcome { workload: workload.name.clone(), ..Default::default() };
+    let mut engine = ReplayEngine::new(kind, workload, cfg, &oracle, &rec_results, guarantees);
+    engine.single =
+        Some(SingleTarget { point, subset: subset.to_vec(), result: None, error: None });
+    for entry in log.entries() {
+        if engine.stop {
+            break;
+        }
+        engine.step(entry, Some(&mut out));
+    }
+    let tgt = engine.single.take().expect("single mode");
+    if let Some(e) = tgt.error {
+        return Err(e);
+    }
+    tgt.result.ok_or_else(|| {
+        format!("crash point ordinal {point} out of range ({} points)", out.crash_points)
+    })
 }
 
 /// Memoized artifacts of one checked crash-state *image*, keyed by content
@@ -925,6 +1079,9 @@ struct PointCtx<'a> {
     seq: usize,
     op_desc: &'a str,
     phase: CrashPhase,
+    /// Global crash-point ordinal (0-based; `out.crash_points - 1` at point
+    /// entry). Stamped into reports so a single state can be re-targeted.
+    point: u64,
     stop_on_first: bool,
 }
 
@@ -938,6 +1095,7 @@ fn commit_state<K: FsKind>(
     res: &CheckRes,
     key: ImageKey,
     dup: bool,
+    subset_ids: &[usize],
     subset_desc: impl FnOnce() -> String,
     memo: &mut CrossMemo,
     out: &mut TestOutcome,
@@ -982,6 +1140,8 @@ fn commit_state<K: FsKind>(
                 op_desc: ctx.op_desc.to_string(),
                 phase: ctx.phase,
                 subset: subset_desc(),
+                point: Some(ctx.point),
+                subset_ids: subset_ids.to_vec(),
                 violation: v,
             },
         );
@@ -1056,6 +1216,7 @@ fn visit_crash_point<K: FsKind>(
         seq,
         op_desc: &op_desc,
         phase,
+        point: out.crash_points - 1,
         stop_on_first: cfg.stop_on_first,
     };
     let want_art = cfg.cross_dedup;
@@ -1077,7 +1238,7 @@ fn visit_crash_point<K: FsKind>(
             let res = match decide(i, key, &mut seen, memo, cfg) {
                 Decision::Dup(j) => {
                     let r = results[j].as_ref().expect("dedup source precedes its reuse");
-                    if commit_state(kind, &ctx, r, key, true, || describe_subset(&writes, &subsets[i]), memo, out)
+                    if commit_state(kind, &ctx, r, key, true, &subsets[i], || describe_subset(&writes, &subsets[i]), memo, out)
                     {
                         *stop = true;
                         return;
@@ -1122,7 +1283,7 @@ fn visit_crash_point<K: FsKind>(
                     finalize_check(kind, base, &writes, &subsets[i], check, cfg, r)
                 }
             };
-            let s = commit_state(kind, &ctx, &res, key, false, || describe_subset(&writes, &subsets[i]), memo, out);
+            let s = commit_state(kind, &ctx, &res, key, false, &subsets[i], || describe_subset(&writes, &subsets[i]), memo, out);
             results[i] = Some(res);
             if s {
                 *stop = true;
@@ -1234,7 +1395,7 @@ fn visit_crash_point<K: FsKind>(
                 }
                 _ => (results[i].as_ref().expect("checked in this window"), false),
             };
-            if commit_state(kind, &ctx, res, keys[i], dup, || describe_subset(&writes, &subsets[i]), memo, out)
+            if commit_state(kind, &ctx, res, keys[i], dup, &subsets[i], || describe_subset(&writes, &subsets[i]), memo, out)
             {
                 *stop = true;
                 return;

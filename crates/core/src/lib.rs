@@ -53,9 +53,11 @@ pub mod oracle;
 pub mod prefix;
 pub mod report;
 pub mod sandbox;
+pub mod shrink;
 
 pub use config::TestConfig;
-pub use harness::{test_workload, PhaseTimings, TestOutcome};
+pub use harness::{check_one_state, test_workload, PhaseTimings, StateProbe, TestOutcome};
 pub use oracle::Scope;
 pub use prefix::{test_workload_cached, PrefixCache};
-pub use report::{triage, BugReport, CrashPhase, Stage, Violation};
+pub use report::{exemplar, triage, BugReport, CrashPhase, Stage, Violation};
+pub use shrink::{shrink, ShrinkStats, Shrunk};

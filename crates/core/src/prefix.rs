@@ -378,6 +378,8 @@ impl<K: FsKind> PrefixCache<K> {
                             op_desc: desc.clone(),
                             phase: CrashPhase::DuringSyscall,
                             subset: "-".into(),
+                            point: None,
+                            subset_ids: Vec::new(),
                             violation: Violation::RuntimeError(e.to_string()),
                         },
                     );
@@ -392,6 +394,8 @@ impl<K: FsKind> PrefixCache<K> {
                         op_desc: desc,
                         phase: CrashPhase::DuringSyscall,
                         subset: "-".into(),
+                        point: None,
+                        subset_ids: Vec::new(),
                         violation: Violation::OracleDivergence(format!(
                             "recorded run returned {:?}, oracle returned {:?}",
                             rec.result, ora.result

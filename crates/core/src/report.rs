@@ -153,6 +153,13 @@ pub struct BugReport {
     pub phase: CrashPhase,
     /// Which in-flight writes were replayed to build the state.
     pub subset: String,
+    /// Global crash-point ordinal (the value of the crash-point counter when
+    /// this point was visited). Identifies the exact fence within `op_seq`,
+    /// which the shrinker and repro bundles need for single-state replay.
+    pub point: Option<u64>,
+    /// Indices into the coalesced in-flight write list that were replayed to
+    /// build the state (the machine-readable form of `subset`).
+    pub subset_ids: Vec<usize>,
     /// The violated property.
     pub violation: Violation,
 }
@@ -219,14 +226,27 @@ impl BugReport {
             }
             out
         }
+        let point = match self.point {
+            Some(p) => p.to_string(),
+            None => "null".to_string(),
+        };
+        let ids = self
+            .subset_ids
+            .iter()
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
             "{{\"workload\":\"{}\",\"op_seq\":{},\"op\":\"{}\",\"phase\":\"{}\",\
-             \"subset\":\"{}\",\"class\":\"{}\",\"detail\":\"{}\"}}",
+             \"subset\":\"{}\",\"point\":{},\"subset_ids\":[{}],\"class\":\"{}\",\
+             \"detail\":\"{}\"}}",
             esc(&self.workload),
             self.op_seq,
             esc(&self.op_desc),
             self.phase,
             esc(&self.subset),
+            point,
+            ids,
             self.violation.class(),
             esc(self.violation.detail()),
         )
@@ -252,7 +272,11 @@ pub fn triage(reports: &[BugReport], threshold: f64) -> Vec<Vec<usize>> {
         let mut placed = false;
         for c in clusters.iter_mut() {
             if c.iter().any(|&j| {
+                // Gate on the class AND the sandbox stage: a recovery panic
+                // caught at mount and one caught during the walk are distinct
+                // failure modes even when their payloads read alike.
                 reports[i].violation.class() == reports[j].violation.class()
+                    && reports[i].violation.stage() == reports[j].violation.stage()
                     && jaccard(&toks[i], &toks[j]) >= threshold
             }) {
                 c.push(i);
@@ -267,6 +291,17 @@ pub fn triage(reports: &[BugReport], threshold: f64) -> Vec<Vec<usize>> {
     clusters
 }
 
+/// Picks the minimal exemplar of a triage cluster: the report reached through
+/// the fewest workload ops, breaking ties by fewest replayed writes and then
+/// by position. Shrunk repros (short workloads, small subsets) win over the
+/// raw finds they minimize, so each bug class surfaces its smallest witness.
+pub fn exemplar(reports: &[BugReport], cluster: &[usize]) -> usize {
+    *cluster
+        .iter()
+        .min_by_key(|&&i| (reports[i].op_seq, reports[i].subset_ids.len(), i))
+        .expect("exemplar of empty cluster")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,6 +313,8 @@ mod tests {
             op_desc: op.into(),
             phase: CrashPhase::DuringSyscall,
             subset: "[]".into(),
+            point: None,
+            subset_ids: Vec::new(),
             violation: match class {
                 0 => Violation::AtomicityViolation(detail.into()),
                 1 => Violation::SynchronyViolation(detail.into()),
@@ -323,6 +360,8 @@ mod tests {
             op_desc: "rename(/a, /b)".into(),
             phase: CrashPhase::AfterSyscall,
             subset: "[nt#0@0x10+8]".into(),
+            point: Some(17),
+            subset_ids: vec![0, 2],
             violation: Violation::SynchronyViolation("line1\nline2".into()),
         };
         let j = r.to_json();
@@ -331,6 +370,10 @@ mod tests {
         assert!(j.contains("w\\\"q"), "{j}");
         assert!(j.contains("line1\\nline2"), "{j}");
         assert!(j.contains("\"class\":\"synchrony\""));
+        assert!(j.contains("\"point\":17"), "{j}");
+        assert!(j.contains("\"subset_ids\":[0,2]"), "{j}");
+        let none = BugReport { point: None, subset_ids: vec![], ..r };
+        assert!(none.to_json().contains("\"point\":null"));
     }
 
     #[test]
@@ -356,6 +399,8 @@ mod tests {
             op_desc: "creat(/foo)".into(),
             phase: CrashPhase::DuringSyscall,
             subset: "[]".into(),
+            point: None,
+            subset_ids: Vec::new(),
             violation: if hang {
                 Violation::RecoveryHang { stage, payload: payload.into() }
             } else {
@@ -372,6 +417,46 @@ mod tests {
         // Duplicate panics merge; panic vs hang vs atomicity never merge,
         // even with identical op descriptions (class-gated).
         assert_eq!(clusters, vec![vec![0, 1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn same_class_different_stage_never_merges() {
+        // Regression: the class gate alone let a recovery panic at mount and
+        // one during the walk dedup into a single group when their payloads
+        // were similar enough.
+        let at = |stage| BugReport {
+            workload: "w".into(),
+            op_seq: 0,
+            op_desc: "rename(/a, /b)".into(),
+            phase: CrashPhase::DuringSyscall,
+            subset: "[]".into(),
+            point: None,
+            subset_ids: Vec::new(),
+            violation: Violation::RecoveryPanic {
+                stage,
+                payload: "journal replay deref null entry".into(),
+            },
+        };
+        let reports = vec![at(Stage::Mount), at(Stage::Walk), at(Stage::Mount)];
+        let clusters = triage(&reports, 0.1);
+        assert_eq!(clusters, vec![vec![0, 2], vec![1]]);
+    }
+
+    #[test]
+    fn exemplar_prefers_fewest_ops_then_smallest_subset() {
+        let mut a = report(0, "rename(/foo, /bar)", "/bar missing");
+        a.op_seq = 7;
+        a.subset_ids = vec![0, 1, 2];
+        let mut b = report(0, "rename(/foo, /baz)", "/baz missing");
+        b.op_seq = 2;
+        b.subset_ids = vec![0, 1];
+        let mut c = report(0, "rename(/foo, /qux)", "/qux missing");
+        c.op_seq = 2;
+        c.subset_ids = vec![0];
+        let reports = vec![a, b, c];
+        assert_eq!(exemplar(&reports, &[0, 1, 2]), 2);
+        assert_eq!(exemplar(&reports, &[0, 1]), 1);
+        assert_eq!(exemplar(&reports, &[0]), 0);
     }
 
     #[test]

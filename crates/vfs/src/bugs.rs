@@ -176,6 +176,27 @@ impl std::fmt::Display for FsName {
     }
 }
 
+impl std::str::FromStr for FsName {
+    type Err = String;
+
+    /// Parses the `Display` form back (case-insensitive) — repro bundles
+    /// persist the display name.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        const ALL: [FsName; 7] = [
+            FsName::Nova,
+            FsName::NovaFortis,
+            FsName::Pmfs,
+            FsName::WineFs,
+            FsName::SplitFs,
+            FsName::Ext4Dax,
+            FsName::XfsDax,
+        ];
+        ALL.into_iter()
+            .find(|n| n.to_string().eq_ignore_ascii_case(s))
+            .ok_or_else(|| format!("unknown file system {s:?}"))
+    }
+}
+
 /// Ground-truth metadata for one bug instance (one Table 1 row half).
 #[derive(Debug, Clone)]
 pub struct BugInfo {
@@ -670,5 +691,22 @@ mod tests {
         };
         assert_eq!(list(5), vec![3, 4, 5, 6, 9, 10, 11, 12, 13, 19, 20]);
         assert_eq!(list(5), list(7));
+    }
+
+    #[test]
+    fn fs_name_parses_its_display_form() {
+        for fs in [
+            FsName::Nova,
+            FsName::NovaFortis,
+            FsName::Pmfs,
+            FsName::WineFs,
+            FsName::SplitFs,
+            FsName::Ext4Dax,
+            FsName::XfsDax,
+        ] {
+            assert_eq!(fs.to_string().parse::<FsName>(), Ok(fs));
+            assert_eq!(fs.to_string().to_lowercase().parse::<FsName>(), Ok(fs));
+        }
+        assert!("btrfs".parse::<FsName>().is_err());
     }
 }

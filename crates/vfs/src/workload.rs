@@ -136,6 +136,285 @@ impl Op {
     }
 }
 
+// ---- Wire form (repro bundles) ----
+//
+// Each op serializes to one line of space-separated tokens with a stable
+// leading keyword. String tokens (paths, xattr names) are percent-escaped so
+// the grammar survives arbitrary contents; xattr values are hex. The format
+// is part of the repro-bundle schema: committed bundles are replayed by CI,
+// so parsing must stay backward compatible.
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        // Printable ASCII minus the two meta characters passes through;
+        // everything else (spaces, control bytes, UTF-8 continuations) is
+        // escaped byte-wise.
+        if (0x21..=0x7e).contains(&b) && b != b'%' {
+            out.push(b as char);
+        } else {
+            out.push_str(&format!("%{b:02x}"));
+        }
+    }
+    if out.is_empty() {
+        "%".to_string() // empty-string sentinel (a bare '%' decodes to "")
+    } else {
+        out
+    }
+}
+
+fn unesc(s: &str) -> Result<String, String> {
+    if s == "%" {
+        return Ok(String::new());
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes.get(i + 1..i + 3).ok_or_else(|| format!("truncated escape in {s:?}"))?;
+            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+            out.push(u8::from_str_radix(hex, 16).map_err(|e| format!("bad escape in {s:?}: {e}"))?);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).map_err(|e| e.to_string())
+}
+
+fn flags_to_wire(f: &OpenFlags) -> String {
+    let mut s = String::new();
+    if f.create {
+        s.push('c');
+    }
+    if f.excl {
+        s.push('e');
+    }
+    if f.trunc {
+        s.push('t');
+    }
+    if f.append {
+        s.push('a');
+    }
+    if s.is_empty() {
+        s.push('-');
+    }
+    s
+}
+
+fn flags_from_wire(s: &str) -> Result<OpenFlags, String> {
+    let mut f = OpenFlags::default();
+    for c in s.chars() {
+        match c {
+            'c' => f.create = true,
+            'e' => f.excl = true,
+            't' => f.trunc = true,
+            'a' => f.append = true,
+            '-' => {}
+            _ => return Err(format!("unknown open flag {c:?} in {s:?}")),
+        }
+    }
+    Ok(f)
+}
+
+fn falloc_from_wire(s: &str) -> Result<FallocMode, String> {
+    FallocMode::ALL
+        .into_iter()
+        .find(|m| m.name() == s)
+        .ok_or_else(|| format!("unknown fallocate mode {s:?}"))
+}
+
+fn hex_encode(v: &[u8]) -> String {
+    if v.is_empty() {
+        return "-".to_string();
+    }
+    v.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn hex_decode(s: &str) -> Result<Vec<u8>, String> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    if !s.len().is_multiple_of(2) {
+        return Err(format!("odd-length hex {s:?}"));
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).map_err(|e| format!("bad hex {s:?}: {e}")))
+        .collect()
+}
+
+impl Op {
+    /// Serializes to the stable one-line wire form used by repro bundles.
+    pub fn to_wire(&self) -> String {
+        match self {
+            Op::Creat { path } => format!("creat {}", esc(path)),
+            Op::Mkdir { path } => format!("mkdir {}", esc(path)),
+            Op::Rmdir { path } => format!("rmdir {}", esc(path)),
+            Op::Unlink { path } => format!("unlink {}", esc(path)),
+            Op::Remove { path } => format!("remove {}", esc(path)),
+            Op::Link { old, new } => format!("link {} {}", esc(old), esc(new)),
+            Op::Rename { old, new } => format!("rename {} {}", esc(old), esc(new)),
+            Op::Truncate { path, size } => format!("truncate {} {size}", esc(path)),
+            Op::WritePath { path, off, size } => format!("write_path {} {off} {size}", esc(path)),
+            Op::FallocPath { path, mode, off, len } => {
+                format!("falloc_path {} {} {off} {len}", esc(path), mode.name())
+            }
+            Op::FsyncPath { path } => format!("fsync_path {}", esc(path)),
+            Op::Open { slot, path, flags } => {
+                format!("open {slot} {} {}", esc(path), flags_to_wire(flags))
+            }
+            Op::Close { slot } => format!("close {slot}"),
+            Op::Write { slot, size } => format!("write {slot} {size}"),
+            Op::Pwrite { slot, off, size } => format!("pwrite {slot} {off} {size}"),
+            Op::Falloc { slot, mode, off, len } => {
+                format!("falloc {slot} {} {off} {len}", mode.name())
+            }
+            Op::Fsync { slot } => format!("fsync {slot}"),
+            Op::Fdatasync { slot } => format!("fdatasync {slot}"),
+            Op::Sync => "sync".to_string(),
+            Op::Read { slot, off, len } => format!("read {slot} {off} {len}"),
+            Op::SetXattr { path, name, value } => {
+                format!("setxattr {} {} {}", esc(path), esc(name), hex_encode(value))
+            }
+            Op::RemoveXattr { path, name } => {
+                format!("removexattr {} {}", esc(path), esc(name))
+            }
+            Op::SetCpu { cpu } => format!("set_cpu {cpu}"),
+        }
+    }
+
+    /// Parses the wire form produced by [`Op::to_wire`].
+    pub fn from_wire(line: &str) -> Result<Op, String> {
+        let toks: Vec<&str> = line.split(' ').filter(|t| !t.is_empty()).collect();
+        let arity = |n: usize| -> Result<(), String> {
+            if toks.len() == n + 1 {
+                Ok(())
+            } else {
+                Err(format!("op {:?}: expected {n} arguments, got {}", toks.first().copied().unwrap_or(""), toks.len().saturating_sub(1)))
+            }
+        };
+        let num = |s: &str| -> Result<u64, String> {
+            s.parse::<u64>().map_err(|e| format!("bad number {s:?}: {e}"))
+        };
+        let slot = |s: &str| -> Result<usize, String> {
+            s.parse::<usize>().map_err(|e| format!("bad slot {s:?}: {e}"))
+        };
+        let Some(&kw) = toks.first() else { return Err("empty op line".to_string()) };
+        Ok(match kw {
+            "creat" => {
+                arity(1)?;
+                Op::Creat { path: unesc(toks[1])? }
+            }
+            "mkdir" => {
+                arity(1)?;
+                Op::Mkdir { path: unesc(toks[1])? }
+            }
+            "rmdir" => {
+                arity(1)?;
+                Op::Rmdir { path: unesc(toks[1])? }
+            }
+            "unlink" => {
+                arity(1)?;
+                Op::Unlink { path: unesc(toks[1])? }
+            }
+            "remove" => {
+                arity(1)?;
+                Op::Remove { path: unesc(toks[1])? }
+            }
+            "link" => {
+                arity(2)?;
+                Op::Link { old: unesc(toks[1])?, new: unesc(toks[2])? }
+            }
+            "rename" => {
+                arity(2)?;
+                Op::Rename { old: unesc(toks[1])?, new: unesc(toks[2])? }
+            }
+            "truncate" => {
+                arity(2)?;
+                Op::Truncate { path: unesc(toks[1])?, size: num(toks[2])? }
+            }
+            "write_path" => {
+                arity(3)?;
+                Op::WritePath { path: unesc(toks[1])?, off: num(toks[2])?, size: num(toks[3])? }
+            }
+            "falloc_path" => {
+                arity(4)?;
+                Op::FallocPath {
+                    path: unesc(toks[1])?,
+                    mode: falloc_from_wire(toks[2])?,
+                    off: num(toks[3])?,
+                    len: num(toks[4])?,
+                }
+            }
+            "fsync_path" => {
+                arity(1)?;
+                Op::FsyncPath { path: unesc(toks[1])? }
+            }
+            "open" => {
+                arity(3)?;
+                Op::Open { slot: slot(toks[1])?, path: unesc(toks[2])?, flags: flags_from_wire(toks[3])? }
+            }
+            "close" => {
+                arity(1)?;
+                Op::Close { slot: slot(toks[1])? }
+            }
+            "write" => {
+                arity(2)?;
+                Op::Write { slot: slot(toks[1])?, size: num(toks[2])? }
+            }
+            "pwrite" => {
+                arity(3)?;
+                Op::Pwrite { slot: slot(toks[1])?, off: num(toks[2])?, size: num(toks[3])? }
+            }
+            "falloc" => {
+                arity(4)?;
+                Op::Falloc {
+                    slot: slot(toks[1])?,
+                    mode: falloc_from_wire(toks[2])?,
+                    off: num(toks[3])?,
+                    len: num(toks[4])?,
+                }
+            }
+            "fsync" => {
+                arity(1)?;
+                Op::Fsync { slot: slot(toks[1])? }
+            }
+            "fdatasync" => {
+                arity(1)?;
+                Op::Fdatasync { slot: slot(toks[1])? }
+            }
+            "sync" => {
+                arity(0)?;
+                Op::Sync
+            }
+            "read" => {
+                arity(3)?;
+                Op::Read { slot: slot(toks[1])?, off: num(toks[2])?, len: num(toks[3])? }
+            }
+            "setxattr" => {
+                arity(3)?;
+                Op::SetXattr {
+                    path: unesc(toks[1])?,
+                    name: unesc(toks[2])?,
+                    value: hex_decode(toks[3])?,
+                }
+            }
+            "removexattr" => {
+                arity(2)?;
+                Op::RemoveXattr { path: unesc(toks[1])?, name: unesc(toks[2])? }
+            }
+            "set_cpu" => {
+                arity(1)?;
+                Op::SetCpu { cpu: slot(toks[1])? }
+            }
+            other => return Err(format!("unknown op keyword {other:?}")),
+        })
+    }
+}
+
 /// A sequence of operations to run against a freshly formatted file system.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Workload {
@@ -155,6 +434,21 @@ impl Workload {
     pub fn describe(&self) -> String {
         let ops: Vec<String> = self.ops.iter().map(|o| o.describe()).collect();
         format!("[{}] {}", self.name, ops.join("; "))
+    }
+
+    /// Serializes every op to its wire line (see [`Op::to_wire`]).
+    pub fn to_wire_lines(&self) -> Vec<String> {
+        self.ops.iter().map(|o| o.to_wire()).collect()
+    }
+
+    /// Rebuilds a workload from wire lines produced by
+    /// [`Workload::to_wire_lines`].
+    pub fn from_wire_lines<S: AsRef<str>>(name: &str, lines: &[S]) -> Result<Workload, String> {
+        let ops = lines
+            .iter()
+            .map(|l| Op::from_wire(l.as_ref()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Workload::new(name, ops))
     }
 }
 
@@ -205,6 +499,64 @@ mod tests {
         assert!(Op::Sync.is_mutating());
         assert!(!Op::Read { slot: 0, off: 0, len: 1 }.is_mutating());
         assert!(!Op::SetCpu { cpu: 1 }.is_mutating());
+    }
+
+    #[test]
+    fn wire_roundtrips_every_variant() {
+        let ops = vec![
+            Op::Creat { path: "/a b".into() },
+            Op::Mkdir { path: "/d".into() },
+            Op::Rmdir { path: "/d".into() },
+            Op::Unlink { path: "/a b".into() },
+            Op::Remove { path: "/x%y".into() },
+            Op::Link { old: "/a".into(), new: "/b".into() },
+            Op::Rename { old: "/a".into(), new: "/ü".into() },
+            Op::Truncate { path: "/f".into(), size: 4096 },
+            Op::WritePath { path: "/f".into(), off: 17, size: 900 },
+            Op::FallocPath { path: "/f".into(), mode: FallocMode::PunchHole, off: 0, len: 64 },
+            Op::FsyncPath { path: "/f".into() },
+            Op::Open { slot: 2, path: "/f".into(), flags: OpenFlags::CREAT_TRUNC },
+            Op::Open { slot: 0, path: "/f".into(), flags: OpenFlags::RDWR },
+            Op::Close { slot: 2 },
+            Op::Write { slot: 0, size: 33 },
+            Op::Pwrite { slot: 0, off: 8, size: 16 },
+            Op::Falloc { slot: 0, mode: FallocMode::KeepSize, off: 1, len: 2 },
+            Op::Fsync { slot: 0 },
+            Op::Fdatasync { slot: 0 },
+            Op::Sync,
+            Op::Read { slot: 0, off: 0, len: 10 },
+            Op::SetXattr { path: "/f".into(), name: "user.k".into(), value: vec![0, 255, 9] },
+            Op::SetXattr { path: "/f".into(), name: "".into(), value: vec![] },
+            Op::RemoveXattr { path: "/f".into(), name: "user.k".into() },
+            Op::SetCpu { cpu: 3 },
+        ];
+        for op in &ops {
+            let wire = op.to_wire();
+            let back = Op::from_wire(&wire).unwrap_or_else(|e| panic!("{wire:?}: {e}"));
+            assert_eq!(&back, op, "wire {wire:?}");
+        }
+        let w = Workload::new("rt", ops);
+        let lines = w.to_wire_lines();
+        let back = Workload::from_wire_lines("rt", &lines).expect("workload roundtrip");
+        assert_eq!(back, w);
+    }
+
+    #[test]
+    fn wire_rejects_malformed_lines() {
+        for bad in [
+            "",
+            "frobnicate /x",
+            "creat",
+            "creat /a /b",
+            "truncate /f notanumber",
+            "open 0 /f q",
+            "falloc 0 badmode 0 1",
+            "setxattr /f k zz1", // odd-length hex
+            "creat /a%g",        // bad escape
+            "creat /a%2",        // truncated escape
+        ] {
+            assert!(Op::from_wire(bad).is_err(), "{bad:?} must not parse");
+        }
     }
 
     #[test]
