@@ -1,0 +1,292 @@
+//! `campaignd`: the persistent, resumable, multi-process campaign service.
+//!
+//! Coordinator mode initialises (or reopens) an on-disk campaign store,
+//! spawns N worker processes over the store's file-based work queue, waits
+//! for them, runs an in-process mop-up worker (which reclaims the leases of
+//! any worker that died), and merges all task results in canonical order
+//! into the deterministic `campaign.json` — byte-identical for any worker
+//! count, thread count, or kill/resume pattern.
+//!
+//! ```sh
+//! campaignd --store <dir> [--fs NOVA] [--bug N] [--seq1-take N] [--seq2-step N]
+//!           [--fuzz-budget N] [--seed HEX] [--batch N] [--cap N|none]
+//!           [--bitmap-bits N] [--workers N] [--threads N] [--ttl-ms N]
+//! campaignd --resume <dir> [--workers N] [--threads N] [--ttl-ms N]
+//! campaignd --worker --store <dir> [--threads N] [--ttl-ms N] [--worker-id ID] [--die-after N]
+//! ```
+//!
+//! `--resume` reopens an existing store and continues it under the
+//! persisted spec (spec flags are rejected — a campaign's population is
+//! immutable). `--workers 0` initialises the store and exits without
+//! running anything — for driving detached workers by hand (or from CI)
+//! and merging later with `--resume`. Worker mode is what the coordinator
+//! spawns; `--die-after N`
+//! aborts the worker process after N journal checkpoints (the CI smoke
+//! job's stand-in for a SIGKILL that lands exactly on a checkpoint
+//! boundary; killing mid-append is exercised separately and only tears the
+//! journal tail). Unknown flags, malformed numbers, and extra arguments are
+//! fatal (exit 2).
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use bench::campaign::{
+    runner::{self, RunOpts},
+    store::CampaignStore,
+    CampaignSpec,
+};
+use bench::jsonout::JVal;
+use vfs::FsName;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: campaignd --store <dir> [--fs NAME] [--bug N] [--seq1-take N] [--seq2-step N]\n\
+         \x20                [--fuzz-budget N] [--seed HEX] [--batch N] [--cap N|none]\n\
+         \x20                [--bitmap-bits N] [--workers N] [--threads N] [--ttl-ms N]\n\
+         \x20      campaignd --resume <dir> [--workers N] [--threads N] [--ttl-ms N]\n\
+         \x20      campaignd --worker --store <dir> [--threads N] [--ttl-ms N] [--worker-id ID] [--die-after N]"
+    );
+    std::process::exit(2);
+}
+
+fn flag_value(flag: &str, it: &mut impl Iterator<Item = String>) -> String {
+    it.next().unwrap_or_else(|| {
+        eprintln!("{flag} needs a value");
+        usage()
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(what: &str, s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("bad {what}: {s:?}");
+        usage()
+    })
+}
+
+fn fail(e: impl std::fmt::Display) -> ! {
+    eprintln!("error: {e}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut store_dir: Option<PathBuf> = None;
+    let mut resume_dir: Option<PathBuf> = None;
+    let mut worker_mode = false;
+    let mut worker_id: Option<String> = None;
+    let mut die_after: Option<u64> = None;
+    let mut workers: usize = 2;
+    let mut threads: usize = 1;
+    let mut ttl_ms: u64 = 5000;
+    let mut spec = CampaignSpec::default();
+    let mut spec_flags = false;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--store" => store_dir = Some(PathBuf::from(flag_value("--store", &mut it))),
+            "--resume" => resume_dir = Some(PathBuf::from(flag_value("--resume", &mut it))),
+            "--worker" => worker_mode = true,
+            "--worker-id" => worker_id = Some(flag_value("--worker-id", &mut it)),
+            "--die-after" => {
+                die_after = Some(parse_num("--die-after", &flag_value("--die-after", &mut it)));
+            }
+            "--workers" => workers = parse_num("--workers", &flag_value("--workers", &mut it)),
+            "--threads" => threads = parse_num("--threads", &flag_value("--threads", &mut it)),
+            "--ttl-ms" => ttl_ms = parse_num("--ttl-ms", &flag_value("--ttl-ms", &mut it)),
+            "--fs" => {
+                spec.fs = flag_value("--fs", &mut it).parse::<FsName>().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                });
+                spec_flags = true;
+            }
+            "--bug" => {
+                spec.bug = Some(parse_num("--bug", &flag_value("--bug", &mut it)));
+                spec_flags = true;
+            }
+            "--seq1-take" => {
+                spec.seq1_take = parse_num("--seq1-take", &flag_value("--seq1-take", &mut it));
+                spec_flags = true;
+            }
+            "--seq2-step" => {
+                spec.seq2_step = parse_num("--seq2-step", &flag_value("--seq2-step", &mut it));
+                spec_flags = true;
+            }
+            "--fuzz-budget" => {
+                spec.fuzz_budget =
+                    parse_num("--fuzz-budget", &flag_value("--fuzz-budget", &mut it));
+                spec_flags = true;
+            }
+            "--seed" => {
+                let s = flag_value("--seed", &mut it);
+                spec.fuzz_seed = u64::from_str_radix(&s, 16).unwrap_or_else(|_| {
+                    eprintln!("bad --seed (hex): {s:?}");
+                    usage()
+                });
+                spec_flags = true;
+            }
+            "--batch" => {
+                spec.batch = parse_num::<usize>("--batch", &flag_value("--batch", &mut it)).max(1);
+                spec_flags = true;
+            }
+            "--cap" => {
+                let s = flag_value("--cap", &mut it);
+                spec.cap = if s == "none" { None } else { Some(parse_num("--cap", &s)) };
+                spec_flags = true;
+            }
+            "--bitmap-bits" => {
+                spec.bitmap_bits =
+                    parse_num("--bitmap-bits", &flag_value("--bitmap-bits", &mut it));
+                if !spec.bitmap_bits.is_power_of_two() {
+                    eprintln!("--bitmap-bits must be a power of two");
+                    usage();
+                }
+                spec_flags = true;
+            }
+            s => {
+                eprintln!("unknown argument {s:?}");
+                usage();
+            }
+        }
+    }
+    if let Some(n) = spec.bug {
+        if !vfs::bugs::bug_table().iter().any(|b| b.id.number() == n) {
+            eprintln!("no bug #{n} in the Table 1 corpus");
+            usage();
+        }
+    }
+
+    let opts = RunOpts {
+        threads: threads.max(1),
+        ttl: Duration::from_millis(ttl_ms),
+        worker_id: worker_id
+            .clone()
+            .unwrap_or_else(|| format!("w{}", std::process::id())),
+        kill_after_checkpoints: die_after,
+        hard_kill: true,
+    };
+
+    if worker_mode {
+        if resume_dir.is_some() || spec_flags {
+            eprintln!("--worker takes --store plus worker flags only");
+            usage();
+        }
+        let Some(dir) = store_dir else {
+            eprintln!("--worker needs --store");
+            usage();
+        };
+        let store = CampaignStore::open(&dir).unwrap_or_else(|e| fail(e));
+        let sum = runner::run_worker(&store, &opts).unwrap_or_else(|e| fail(e));
+        runner::write_summary(&store, &opts, &sum);
+        return;
+    }
+    if die_after.is_some() || worker_id.is_some() {
+        eprintln!("--die-after/--worker-id only make sense with --worker");
+        usage();
+    }
+
+    let store = match (store_dir, resume_dir) {
+        (Some(_), Some(_)) | (None, None) => {
+            eprintln!("exactly one of --store / --resume is required");
+            usage();
+        }
+        (Some(dir), None) => CampaignStore::open_or_init(&dir, &spec).unwrap_or_else(|e| fail(e)),
+        (None, Some(dir)) => {
+            if spec_flags {
+                eprintln!("--resume continues the persisted spec; spec flags are not allowed");
+                usage();
+            }
+            CampaignStore::open(&dir).unwrap_or_else(|e| fail(e))
+        }
+    };
+
+    let started = std::time::Instant::now();
+    let total = store.spec.total_tasks();
+    println!(
+        "campaign at {} | fs {} | {} tasks ({} ace + {} fuzz) | {} workers x {} threads",
+        store.dir.display(),
+        store.spec.fs,
+        total,
+        store.spec.ace_tasks(),
+        store.spec.fuzz_tasks(),
+        workers,
+        threads,
+    );
+    if workers == 0 {
+        // Init-only: the store exists and is ready for detached workers
+        // (`campaignd --worker --store <dir>`); a later `--resume` merges.
+        println!("initialised only (--workers 0); run workers against the store, then --resume");
+        return;
+    }
+
+    // Spawn the fleet: each worker is this same binary in --worker mode.
+    let exe = std::env::current_exe().unwrap_or_else(|e| fail(e));
+    let spawned = workers.saturating_sub(1); // this process is worker 0
+    let children: Vec<std::process::Child> = (0..spawned)
+        .map(|i| {
+            std::process::Command::new(&exe)
+                .arg("--worker")
+                .arg("--store")
+                .arg(&store.dir)
+                .arg("--threads")
+                .arg(threads.to_string())
+                .arg("--ttl-ms")
+                .arg(ttl_ms.to_string())
+                .arg("--worker-id")
+                .arg(format!("w{}", i + 1))
+                .spawn()
+                .unwrap_or_else(|e| fail(format!("spawn worker: {e}")))
+        })
+        .collect();
+
+    // Worker 0 runs in-process; it also mops up after any child that dies
+    // (dead-pid leases are reclaimed by the stale check).
+    let opts = RunOpts { worker_id: "w0".into(), ..opts };
+    let sum = runner::run_worker(&store, &opts).unwrap_or_else(|e| fail(e));
+    runner::write_summary(&store, &opts, &sum);
+    for mut c in children {
+        let _ = c.wait();
+    }
+
+    let merged = runner::merge(&store).unwrap_or_else(|e| fail(e));
+    let elapsed = started.elapsed();
+    let run = JVal::Obj(vec![
+        ("workers".into(), JVal::Num(workers as f64)),
+        ("threads".into(), JVal::Num(threads as f64)),
+        ("elapsed_ms".into(), JVal::Num(elapsed.as_millis() as f64)),
+        ("tasks_run".into(), JVal::Num(sum.tasks_run as f64)),
+        ("tasks_resumed".into(), JVal::Num(sum.tasks_resumed as f64)),
+        (
+            "journal_workloads_replayed".into(),
+            JVal::Num(sum.journal_workloads_replayed as f64),
+        ),
+        ("rewarm_runs".into(), JVal::Num(sum.rewarm_runs as f64)),
+    ]);
+    bench::jsonout::write_atomic(
+        &store.dir.join("run.json").to_string_lossy(),
+        &(run.render() + "\n"),
+    )
+    .unwrap_or_else(|e| fail(e));
+
+    println!(
+        "merged {} workloads | {} crash points, {} crash states | {} reports | \
+         {} state bits, {} cov bits | {} corpus entries | fingerprint {:016x}",
+        merged.workloads,
+        merged.totals[0],
+        merged.totals[1],
+        merged.reports,
+        merged.state_bits_set,
+        merged.cov_bits_set,
+        merged.corpus_entries,
+        merged.fingerprint,
+    );
+    println!(
+        "worker w0: {} tasks ({} resumed, {} replayed, {} rewarmed) | prefix ops saved {} | {}",
+        sum.tasks_run,
+        sum.tasks_resumed,
+        sum.journal_workloads_replayed,
+        sum.rewarm_runs,
+        merged.totals[5],
+        bench::fmt_dur(elapsed),
+    );
+}

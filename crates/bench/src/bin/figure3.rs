@@ -7,7 +7,10 @@
 //!
 //! With `--json <path>`, the two series and the aggregate counters
 //! (per-phase wall times, dedup/memo/prefix hits, states/sec) are also
-//! written to `path`.
+//! written to `path`, along with a `campaign_resume` section benchmarking
+//! the persistent campaign store's kill-and-resume path (see
+//! `bench::campaign`): cold vs resumed `prefix_ops_saved`, journal splice
+//! and rewarm counts, and a byte-identity check of the merged documents.
 //!
 //! `threads` (default 1) shards crash-state checking and workload batches
 //! across that many workers; the table is identical for any value — only
@@ -20,19 +23,109 @@
 //! ACE finds its 19 bugs in minutes of CPU time and plateaus; the fuzzer is
 //! one to two orders of magnitude slower to the shared bugs but keeps going
 //! and finds four more (23 total).
+//!
+//! Unknown flags, malformed numbers, and extra arguments are fatal (exit 2)
+//! rather than silently ignored.
 
 use std::time::Duration;
 
-use bench::{hunt_with_ace, hunt_with_fuzzer, jsonout::Json, take_json_flag, PhaseTotals};
+use bench::campaign::{
+    runner::{self, RunOpts},
+    store::CampaignStore,
+    CampaignSpec,
+};
+use bench::{hunt_with_ace, hunt_with_fuzzer, jsonout::Json, PhaseTotals};
 use chipmunk::TestConfig;
 use vfs::bugs::bug_table;
 
+fn usage() -> ! {
+    eprintln!("usage: figure3 [fuzz_budget] [threads] [nodedup] [--json <path>]");
+    std::process::exit(2);
+}
+
+fn parse_pos<T: std::str::FromStr>(v: Option<&String>, what: &str, default: T) -> T {
+    match v {
+        None => default,
+        Some(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!("bad {what}: {s:?}");
+            usage()
+        }),
+    }
+}
+
+/// Benchmarks the persistent-campaign resume path for the `--json` doc: a
+/// small store-backed campaign run cold, then the same campaign killed
+/// mid-flight at a journal checkpoint and resumed. The counters show what
+/// resume costs and saves — how many workloads were spliced from the
+/// journal instead of re-run, how many rewarm runs the prefix cache
+/// needed, and that the resumed run re-earns the cold `prefix_ops_saved`
+/// with a byte-identical merged document.
+fn campaign_resume_bench() -> Json {
+    let spec = CampaignSpec {
+        seq1_take: 12,
+        seq2_step: 0,
+        fuzz_budget: 10,
+        batch: 6,
+        bitmap_bits: 1 << 12,
+        ..CampaignSpec::default()
+    };
+    let base = std::env::temp_dir().join(format!("chipmunk-fig3-camp-{}", std::process::id()));
+    let run = |dir: &std::path::Path, kill_at: Option<u64>| {
+        let _ = std::fs::remove_dir_all(dir);
+        let store = CampaignStore::open_or_init(dir, &spec).expect("init campaign store");
+        if let Some(k) = kill_at {
+            let killed = RunOpts { kill_after_checkpoints: Some(k), ..RunOpts::default() };
+            let sum = runner::run_worker(&store, &killed).expect("interrupted campaign run");
+            assert!(sum.interrupted, "kill budget must fire mid-campaign");
+        }
+        let sum = runner::run_worker(&store, &RunOpts::default()).expect("campaign run");
+        let merged = runner::merge(&store).expect("merge campaign");
+        (sum, merged)
+    };
+    let (_, cold) = run(&base.join("cold"), None);
+    // Kill inside the second ACE task: the resume must splice the first
+    // task's committed result *and* the second's partial journal.
+    let (sum, warm) = run(&base.join("resumed"), Some(9));
+    let doc = Json::Obj(vec![
+        ("cold_prefix_ops_saved", Json::U(cold.totals[5])),
+        ("resumed_prefix_ops_saved", Json::U(warm.totals[5])),
+        ("tasks_resumed", Json::U(sum.tasks_resumed)),
+        ("journal_workloads_replayed", Json::U(sum.journal_workloads_replayed)),
+        ("rewarm_runs", Json::U(sum.rewarm_runs)),
+        ("byte_identical", Json::B(cold.doc == warm.doc)),
+    ]);
+    let _ = std::fs::remove_dir_all(&base);
+    doc
+}
+
 fn main() {
-    let mut raw: Vec<String> = std::env::args().skip(1).collect();
-    let json_path = take_json_flag(&mut raw);
-    let fuzz_budget: u64 = raw.first().and_then(|s| s.parse().ok()).unwrap_or(8000);
-    let threads: usize = raw.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
-    let dedup = raw.get(2).map(String::as_str) != Some("nodedup");
+    let mut pos: Vec<String> = Vec::new();
+    let mut json_path: Option<String> = None;
+    let mut nodedup = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => {
+                json_path = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--json needs a value");
+                    usage()
+                }));
+            }
+            "nodedup" => nodedup = true,
+            s if s.starts_with('-') => {
+                eprintln!("unknown flag {s:?}");
+                usage();
+            }
+            _ => pos.push(a),
+        }
+    }
+    if pos.len() > 2 {
+        eprintln!("unexpected argument {:?}", pos[2]);
+        usage();
+    }
+    let fuzz_budget: u64 = parse_pos(pos.first(), "fuzz budget", 8000);
+    let threads: usize = parse_pos(pos.get(1), "thread count", 1);
+    let dedup = !nodedup;
     let ace_cfg = TestConfig { stop_on_first: true, dedup, ..TestConfig::default() }
         .with_threads(threads);
     let fuzz_cfg = TestConfig { dedup, ..TestConfig::fuzzing() }.with_threads(threads);
@@ -208,6 +301,7 @@ fn main() {
                     ),
                 ]),
             ),
+            ("campaign_resume", campaign_resume_bench()),
         ]);
         bench::jsonout::write_atomic(&path, &doc.render()).expect("write --json output");
         eprintln!("wrote {path}");

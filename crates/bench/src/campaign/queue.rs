@@ -1,0 +1,232 @@
+//! File-based shared work queue: lease + heartbeat files.
+//!
+//! Claiming task `n` creates `leases/task-<n>.lease` with `create_new`
+//! (atomic on every real file system — exactly one claimant wins). The
+//! lease records the worker id and pid; the runner heartbeats it (rewrites
+//! the file, refreshing the mtime) after every journaled workload. A lease
+//! is **stale** — reclaimable — when its recorded pid is provably dead
+//! (`/proc/<pid>` gone on Linux), when both pid and worker id are this very
+//! claimant's (an in-process predecessor that was interrupted; a worker's
+//! claims are sequential, so a live self-claim cannot exist — but another
+//! worker sharing the process is live), or when its heartbeat is older than
+//! the TTL (the portable fallback, and the only signal across machines on a
+//! shared store). Completed tasks are never claimed: the
+//! committed result file is checked first.
+
+use std::path::PathBuf;
+
+use crate::jsonout::{self, JVal};
+
+use super::store::CampaignStore;
+use super::wire::ju;
+
+/// Outcome of a claim attempt.
+pub enum Claim {
+    /// This worker owns the task; run it, then `release` (or let a crash
+    /// leave the lease for reclamation).
+    Claimed(Lease),
+    /// Another live worker holds the lease.
+    Busy,
+    /// The task already has a committed result.
+    Done,
+}
+
+/// A held lease. Dropping it does **not** release the file — a crashed
+/// worker must leave its lease behind for the stale check; release is
+/// explicit on success.
+pub struct Lease {
+    path: PathBuf,
+    worker: String,
+}
+
+impl Lease {
+    /// Refreshes the heartbeat (rewrite → fresh mtime). Failures are
+    /// swallowed: a missed heartbeat only risks needless reclamation, and
+    /// duplicate execution is harmless (results are deterministic and
+    /// journal appends are first-writer-wins).
+    pub fn heartbeat(&self) {
+        let _ = std::fs::write(&self.path, lease_body(&self.worker));
+    }
+
+    /// Releases the lease after the task's result is committed.
+    pub fn release(self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+fn lease_body(worker: &str) -> String {
+    let mut line = JVal::Obj(vec![
+        ("worker".into(), JVal::Str(worker.to_string())),
+        ("pid".into(), ju(std::process::id() as u64)),
+    ])
+    .render();
+    line.push('\n');
+    line
+}
+
+/// Whether `pid` is a live process. Linux reads `/proc`; elsewhere the
+/// answer is "unknown" (`true`), leaving staleness to the TTL.
+fn pid_alive(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        PathBuf::from(format!("/proc/{pid}")).exists()
+    } else {
+        true
+    }
+}
+
+/// The claim side of the queue.
+pub struct WorkQueue<'a> {
+    store: &'a CampaignStore,
+    worker: String,
+    /// Heartbeat age beyond which a lease whose pid cannot be proven dead
+    /// is still considered stale.
+    ttl: std::time::Duration,
+}
+
+impl<'a> WorkQueue<'a> {
+    /// A queue handle for `worker` (a human-readable id for lease files).
+    pub fn new(store: &'a CampaignStore, worker: &str, ttl: std::time::Duration) -> Self {
+        WorkQueue { store, worker: worker.to_string(), ttl }
+    }
+
+    /// Attempts to claim task `id`.
+    pub fn claim(&self, id: usize) -> Claim {
+        if self.store.result_exists(id) {
+            return Claim::Done;
+        }
+        let path = self.store.lease_path(id);
+        match self.try_create(&path) {
+            Some(lease) => Claim::Claimed(lease),
+            None => {
+                if self.is_stale(&path) {
+                    // Reclaim: remove the dead worker's lease, then race for
+                    // the replacement like any other claimant.
+                    let _ = std::fs::remove_file(&path);
+                    match self.try_create(&path) {
+                        Some(lease) => Claim::Claimed(lease),
+                        None => Claim::Busy,
+                    }
+                } else {
+                    Claim::Busy
+                }
+            }
+        }
+    }
+
+    fn try_create(&self, path: &PathBuf) -> Option<Lease> {
+        let mut f = std::fs::OpenOptions::new().write(true).create_new(true).open(path).ok()?;
+        use std::io::Write;
+        let _ = f.write_all(lease_body(&self.worker).as_bytes());
+        let _ = f.sync_data();
+        Some(Lease { path: path.clone(), worker: self.worker.clone() })
+    }
+
+    /// Stale = provably dead pid, our own pid *and* worker id (a previous
+    /// interrupted run of this very worker — the pid alone is not enough,
+    /// since several workers may share a process), or heartbeat older than
+    /// the TTL. An unreadable or unparsable lease (torn write of a dying
+    /// worker) falls back to the TTL on its file age.
+    fn is_stale(&self, path: &PathBuf) -> bool {
+        let meta = match std::fs::metadata(path) {
+            Ok(m) => m,
+            Err(_) => return false, // released under us — claim will retry
+        };
+        let age_expired = meta
+            .modified()
+            .ok()
+            .and_then(|t| t.elapsed().ok())
+            .is_some_and(|age| age > self.ttl);
+        let body = std::fs::read_to_string(path)
+            .ok()
+            .and_then(|text| jsonout::parse(text.trim()).ok());
+        let pid = body.as_ref().and_then(|v| v.get("pid").and_then(JVal::as_u64));
+        let ours = body
+            .as_ref()
+            .and_then(|v| v.get("worker").and_then(JVal::as_str))
+            .is_some_and(|w| w == self.worker);
+        match pid {
+            Some(pid) => {
+                (pid as u32 == std::process::id() && ours)
+                    || !pid_alive(pid as u32)
+                    || age_expired
+            }
+            None => age_expired,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::CampaignSpec;
+    use std::time::Duration;
+
+    fn store(tag: &str) -> CampaignStore {
+        let dir = std::env::temp_dir().join(format!("chipmunk-queue-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        CampaignStore::open_or_init(&dir, &CampaignSpec::default()).unwrap()
+    }
+
+    #[test]
+    fn claim_is_exclusive_and_done_wins() {
+        let s = store("claim");
+        let q = WorkQueue::new(&s, "w0", Duration::from_secs(3600));
+        let lease = match q.claim(0) {
+            Claim::Claimed(l) => l,
+            _ => panic!("first claim must win"),
+        };
+        std::fs::write(s.lease_path(1), "{\"worker\":\"other\",\"pid\":1}\n").unwrap();
+        assert!(matches!(q.claim(1), Claim::Busy), "live foreign lease is busy");
+        // Same pid but a different worker id: a sibling worker sharing this
+        // process is live, not an interrupted predecessor.
+        std::fs::write(
+            s.lease_path(2),
+            format!("{{\"worker\":\"sibling\",\"pid\":{}}}\n", std::process::id()),
+        )
+        .unwrap();
+        assert!(matches!(q.claim(2), Claim::Busy), "in-process sibling lease is busy");
+        lease.release();
+        s.write_result(0, &[]).unwrap();
+        assert!(matches!(q.claim(0), Claim::Done));
+        let _ = std::fs::remove_dir_all(&s.dir);
+    }
+
+    #[test]
+    fn dead_pid_and_self_pid_leases_are_reclaimed() {
+        let s = store("stale");
+        let q = WorkQueue::new(&s, "w0", Duration::from_secs(3600));
+        // A pid that cannot exist (pid_max is < 2^22 by default; u32::MAX
+        // is far beyond any real configuration).
+        std::fs::write(
+            s.lease_path(0),
+            format!("{{\"worker\":\"gone\",\"pid\":{}}}\n", u32::MAX - 1),
+        )
+        .unwrap();
+        assert!(matches!(q.claim(0), Claim::Claimed(_)), "dead pid lease is reclaimed");
+        // Our own pid *and* worker id: an interrupted in-process
+        // predecessor of this very worker.
+        std::fs::write(
+            s.lease_path(1),
+            format!("{{\"worker\":\"w0\",\"pid\":{}}}\n", std::process::id()),
+        )
+        .unwrap();
+        assert!(matches!(q.claim(1), Claim::Claimed(_)), "self lease is reclaimed");
+        let _ = std::fs::remove_dir_all(&s.dir);
+    }
+
+    #[test]
+    fn expired_heartbeat_is_reclaimed_even_with_live_pid() {
+        let s = store("ttl");
+        // TTL of zero: any lease is immediately stale by age. pid 1 is
+        // always alive (init), so this exercises the TTL arm specifically.
+        let q = WorkQueue::new(&s, "w0", Duration::from_millis(0));
+        std::fs::write(s.lease_path(0), "{\"worker\":\"slow\",\"pid\":1}\n").unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(matches!(q.claim(0), Claim::Claimed(_)));
+        // Garbage lease contents also fall back to the TTL.
+        std::fs::write(s.lease_path(1), "not json").unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(matches!(q.claim(1), Claim::Claimed(_)));
+        let _ = std::fs::remove_dir_all(&s.dir);
+    }
+}

@@ -1,0 +1,573 @@
+//! The campaign worker: claims tasks off the queue, runs them with the
+//! existing scheduling machinery, journals per-workload checkpoints, and
+//! commits results; plus the canonical-order merge that folds all task
+//! results into the deterministic campaign document.
+//!
+//! ## Why a resumed campaign is byte-identical *and* warm
+//!
+//! An ACE task is one scheduled batch: [`crate::plan_subtrees`] partitions
+//! it into prefix subtrees and the workloads run group by group through one
+//! [`PrefixCache`] — exactly the `Scheduler`'s single-worker execution
+//! order, so per-workload outcomes (including `prefix_hits` /
+//! `prefix_ops_saved`) are pure functions of the task. On resume, journaled
+//! workloads are spliced from their checkpoints; at the first missing
+//! workload the runner **re-warms** the cache by re-running the last
+//! journaled workload of that group (discarding its result — the journal
+//! already has it): cache state is a pure function of the workload that
+//! produced it, so the next live workload resumes from precisely the op
+//! prefix it would have seen uninterrupted. Resumed runs therefore re-earn
+//! 100% of the serial `prefix_ops_saved`, not ≥ 90%.
+//!
+//! A fuzz task resumes by *replay*: generation is deterministic given the
+//! seed and the feedback sequence, and every checkpoint records the exact
+//! new-coverage hashes its workload contributed, so re-running
+//! `next_workload`/`feedback` over the journaled prefix puts the RNG
+//! stream, corpus, and seen-set exactly where the killed worker left them.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::time::Duration;
+
+use chipmunk::{sandbox, test_workload, PrefixCache, Stage, TestConfig};
+use vfs::{
+    fs::{FsKind, FsOptions},
+    BugSet, Cov, Workload,
+};
+use workloads::fuzz::{FuzzConfig, Fuzzer};
+
+use crate::jsonout::{self, JVal};
+use crate::{dispatch, plan_subtrees, SubtreePlan, WithKind};
+
+use super::queue::{Claim, Lease, WorkQueue};
+use super::store::{CampaignStore, TaskJournal};
+use super::wire::{fnv1a, ju, WRes};
+use super::{CampaignSpec, TaskKind, FUZZ_TASK_LEN};
+
+/// Worker runtime options (everything *not* in the spec: these may differ
+/// between runs of the same campaign without affecting its results).
+#[derive(Debug, Clone)]
+pub struct RunOpts {
+    /// In-harness threads (crash-subset parallelism). Outcome-invariant.
+    pub threads: usize,
+    /// Lease heartbeat TTL for stale-lease reclamation.
+    pub ttl: Duration,
+    /// Worker id (lease files, summary file name).
+    pub worker_id: String,
+    /// Test hook: stop after this many journal checkpoint appends —
+    /// `hard_kill` aborts the process (a genuine SIGKILL-shaped death, no
+    /// destructors), otherwise the worker returns with `interrupted` set,
+    /// leaving its lease behind exactly as a kill would.
+    pub kill_after_checkpoints: Option<u64>,
+    /// Abort instead of returning when the kill hook fires.
+    pub hard_kill: bool,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            threads: 1,
+            ttl: Duration::from_secs(5),
+            worker_id: format!("w{}", std::process::id()),
+            kill_after_checkpoints: None,
+            hard_kill: false,
+        }
+    }
+}
+
+/// What one worker did (written to `journal/worker-<id>.json` on clean
+/// exit; purely observability — never part of the deterministic document).
+#[derive(Debug, Default, Clone)]
+pub struct WorkerSummary {
+    /// Tasks this worker completed.
+    pub tasks_run: u64,
+    /// Of those, tasks resumed from a non-empty journal.
+    pub tasks_resumed: u64,
+    /// Workload results spliced from journals instead of re-run.
+    pub journal_workloads_replayed: u64,
+    /// Cache re-warm runs (re-executions of an already-journaled workload
+    /// to rebuild `PrefixCache` state mid-group).
+    pub rewarm_runs: u64,
+    /// The kill hook fired (test runs only).
+    pub interrupted: bool,
+}
+
+impl WorkerSummary {
+    /// Serializes the summary.
+    pub fn to_jval(&self, worker_id: &str) -> JVal {
+        JVal::Obj(vec![
+            ("worker".into(), JVal::Str(worker_id.to_string())),
+            ("tasks_run".into(), ju(self.tasks_run)),
+            ("tasks_resumed".into(), ju(self.tasks_resumed)),
+            ("journal_workloads_replayed".into(), ju(self.journal_workloads_replayed)),
+            ("rewarm_runs".into(), ju(self.rewarm_runs)),
+            ("interrupted".into(), JVal::Bool(self.interrupted)),
+        ])
+    }
+}
+
+enum TaskRun {
+    Complete(Vec<WRes>),
+    Interrupted,
+}
+
+/// Runs one worker over the store until every task has a committed result
+/// (or the kill hook fires). Safe to run concurrently with any number of
+/// other workers, in this process or others, on the same store.
+pub fn run_worker(store: &CampaignStore, opts: &RunOpts) -> Result<WorkerSummary, String> {
+    let spec = &store.spec;
+    let ace_ws = spec.ace_workloads();
+    let total = spec.total_tasks();
+    let queue = WorkQueue::new(store, &opts.worker_id, opts.ttl);
+    let mut budget = opts.kill_after_checkpoints;
+    let mut sum = WorkerSummary::default();
+
+    loop {
+        let mut progressed = false;
+        let mut all_done = true;
+        for id in 0..total {
+            if store.result_exists(id) {
+                continue;
+            }
+            all_done = false;
+            let kind = spec.task_kind(id, ace_ws.len());
+            if let TaskKind::Fuzz { index } = kind {
+                // Fuzz batches are sequentially dependent: generation of
+                // batch k replays batches 0..k.
+                if index > 0 && !store.result_exists(id - 1) {
+                    continue;
+                }
+            }
+            let lease = match queue.claim(id) {
+                Claim::Claimed(l) => l,
+                Claim::Busy | Claim::Done => continue,
+            };
+            match run_task(store, id, kind, &ace_ws, &lease, opts, &mut budget, &mut sum)? {
+                TaskRun::Complete(results) => {
+                    store.write_result(id, &results)?;
+                    lease.release();
+                    sum.tasks_run += 1;
+                    progressed = true;
+                }
+                TaskRun::Interrupted => {
+                    // Drop the lease without releasing it (`Lease` has no
+                    // Drop) — that is what a kill does; a successor (often
+                    // this very process) reclaims it via the stale check.
+                    sum.interrupted = true;
+                    return Ok(sum);
+                }
+            }
+        }
+        if all_done {
+            break;
+        }
+        if !progressed {
+            // Someone else holds the remaining leases (or a fuzz dependency
+            // is still running elsewhere): wait for heartbeats to resolve.
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+    Ok(sum)
+}
+
+/// Writes the worker's summary file (observability only).
+pub fn write_summary(store: &CampaignStore, opts: &RunOpts, sum: &WorkerSummary) {
+    let path = store.dir.join("journal").join(format!("worker-{}.json", opts.worker_id));
+    let _ = jsonout::write_atomic(
+        &path.to_string_lossy(),
+        &(sum.to_jval(&opts.worker_id).render() + "\n"),
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_task(
+    store: &CampaignStore,
+    id: usize,
+    kind: TaskKind,
+    ace_ws: &[Workload],
+    lease: &Lease,
+    opts: &RunOpts,
+    budget: &mut Option<u64>,
+    sum: &mut WorkerSummary,
+) -> Result<TaskRun, String> {
+    match kind {
+        TaskKind::Ace { start, len } => {
+            let ws = &ace_ws[start..start + len];
+            let keys: Vec<Vec<String>> =
+                ws.iter().map(|w| w.ops.iter().map(|o| o.describe()).collect()).collect();
+            let plan = plan_subtrees(&keys);
+            let sig = ace_plan_sig(id, &keys, &plan);
+            let state = TaskJournal::recover(&store.journal_path(id), sig);
+            if !state.done.is_empty() {
+                sum.tasks_resumed += 1;
+                sum.journal_workloads_replayed += state.done.len() as u64;
+            }
+            let mut journal = TaskJournal::open(&store.journal_path(id), &state, sig)?;
+            let cfg = store.spec.ace_cfg(opts.threads);
+            dispatch(
+                store.spec.fs,
+                campaign_opts(&store.spec),
+                AceTask {
+                    ws,
+                    plan: &plan,
+                    cfg: &cfg,
+                    bitmap_bits: store.spec.bitmap_bits,
+                    done: state.done,
+                    journal: &mut journal,
+                    lease,
+                    budget,
+                    hard_kill: opts.hard_kill,
+                    rewarms: &mut sum.rewarm_runs,
+                },
+            )
+        }
+        TaskKind::Fuzz { index } => {
+            let sig = fuzz_plan_sig(id, &store.spec, index);
+            let state = TaskJournal::recover(&store.journal_path(id), sig);
+            if !state.done.is_empty() {
+                sum.tasks_resumed += 1;
+                sum.journal_workloads_replayed += state.done.len() as u64;
+            }
+            let mut journal = TaskJournal::open(&store.journal_path(id), &state, sig)?;
+            // Replay material: every earlier fuzz batch's committed results,
+            // in order (their existence gates claiming this task).
+            let first_fuzz = id - index as usize;
+            let mut prior = Vec::new();
+            for t in first_fuzz..id {
+                prior.push(
+                    store
+                        .load_result(t)?
+                        .ok_or_else(|| format!("fuzz task {t} claimed before its dependency"))?,
+                );
+            }
+            let len = FUZZ_TASK_LEN.min(store.spec.fuzz_budget - index * FUZZ_TASK_LEN) as usize;
+            let cfg = store.spec.fuzz_cfg(opts.threads);
+            dispatch(
+                store.spec.fs,
+                campaign_opts(&store.spec),
+                FuzzTask {
+                    spec: &store.spec,
+                    len,
+                    prior,
+                    cfg: &cfg,
+                    done: state.done,
+                    journal: &mut journal,
+                    lease,
+                    budget,
+                    hard_kill: opts.hard_kill,
+                },
+            )
+        }
+    }
+}
+
+/// Campaigns hunt the as-released file system with coverage on (the fuzzer
+/// feeds on it; ACE coverage enriches the store's bitmap for free). A spec
+/// targeting one Table 1 bug (`hunt --store`) injects only that bug.
+fn campaign_opts(spec: &CampaignSpec) -> FsOptions {
+    let bugs = match spec.bug {
+        Some(n) => {
+            let id = vfs::bugs::bug_table()
+                .iter()
+                .find(|b| b.id.number() == n)
+                .expect("spec.bug validated at parse time")
+                .id;
+            BugSet::only(&[id])
+        }
+        None => BugSet::as_released(),
+    };
+    FsOptions { bugs, cov: Cov::enabled(), ..Default::default() }
+}
+
+/// Ticks the kill-hook budget after a checkpoint append. Returns `true`
+/// when the worker must stop now.
+fn kill_tick(budget: &mut Option<u64>, hard_kill: bool) -> bool {
+    let Some(b) = budget else { return false };
+    *b = b.saturating_sub(1);
+    if *b > 0 {
+        return false;
+    }
+    if hard_kill {
+        // A real SIGKILL runs no destructors; neither does abort. The lease
+        // and any torn journal tail stay exactly as they are.
+        std::process::abort();
+    }
+    true
+}
+
+fn ace_plan_sig(task: usize, keys: &[Vec<String>], plan: &SubtreePlan) -> u64 {
+    let mut h = fnv1a(b"ace-plan", 0);
+    h = fnv1a(&(task as u64).to_le_bytes(), h);
+    for g in &plan.groups {
+        h = fnv1a(b"G", h);
+        for &i in g {
+            h = fnv1a(&(i as u64).to_le_bytes(), h);
+            for k in &keys[i] {
+                h = fnv1a(k.as_bytes(), h);
+                h = fnv1a(b";", h);
+            }
+        }
+    }
+    fnv1a(&plan.max_depth.to_le_bytes(), h)
+}
+
+fn fuzz_plan_sig(task: usize, spec: &CampaignSpec, index: u64) -> u64 {
+    let mut h = fnv1a(b"fuzz-plan", 0);
+    h = fnv1a(&(task as u64).to_le_bytes(), h);
+    h = fnv1a(&spec.fuzz_seed.to_le_bytes(), h);
+    h = fnv1a(&index.to_le_bytes(), h);
+    fnv1a(&spec.fuzz_budget.to_le_bytes(), h)
+}
+
+struct AceTask<'a> {
+    ws: &'a [Workload],
+    plan: &'a SubtreePlan,
+    cfg: &'a TestConfig,
+    bitmap_bits: u64,
+    done: BTreeMap<usize, WRes>,
+    journal: &'a mut TaskJournal,
+    lease: &'a Lease,
+    budget: &'a mut Option<u64>,
+    hard_kill: bool,
+    rewarms: &'a mut u64,
+}
+
+impl WithKind for AceTask<'_> {
+    type Out = Result<TaskRun, String>;
+
+    fn call<K: FsKind>(mut self, kind: K) -> Self::Out {
+        let mut cache = PrefixCache::new(&kind, self.cfg);
+        let mut slots: Vec<Option<WRes>> = Vec::with_capacity(self.ws.len());
+        slots.resize_with(self.ws.len(), || None);
+        let guarded_run = |cache: &mut PrefixCache<K>, w: &Workload, cfg: &TestConfig| {
+            sandbox::guarded(Stage::Worker, || cache.run(w, cfg)).unwrap_or_else(|v| {
+                (crate::worker_failure_outcome(w, v), HashSet::new(), BTreeSet::new())
+            })
+        };
+        for g in &self.plan.groups {
+            // `warm` = the cache currently holds the state of this group's
+            // previous workload (the serial invariant a journal skip breaks).
+            let mut warm = false;
+            for (pos, &i) in g.iter().enumerate() {
+                if let Some(r) = self.done.remove(&i) {
+                    slots[i] = Some(r);
+                    warm = false;
+                    continue;
+                }
+                if !warm && pos > 0 && cache.is_active() {
+                    // Re-warm: re-run the group's previous (journaled)
+                    // workload, discarding its result. Cache state is a pure
+                    // function of the workload that produced it, so the next
+                    // live run splices from exactly the prefix depth it
+                    // would have seen uninterrupted.
+                    let _ = guarded_run(&mut cache, &self.ws[g[pos - 1]], self.cfg);
+                    *self.rewarms += 1;
+                }
+                let (out, cov, _trace) = guarded_run(&mut cache, &self.ws[i], self.cfg);
+                let mut res = WRes::from_outcome(&out, &cov, self.bitmap_bits, Vec::new(), None);
+                if i == 0 {
+                    // The scheduler stamps subtree stats on the batch's
+                    // first outcome; the plan is known up front, so the
+                    // stamp lands even when index 0 runs after a resume.
+                    res.counters[6] = self.plan.groups.len() as u64;
+                    res.counters[7] = self.plan.max_depth;
+                }
+                self.journal.checkpoint(i, &res)?;
+                self.lease.heartbeat();
+                slots[i] = Some(res);
+                warm = true;
+                if kill_tick(self.budget, self.hard_kill) {
+                    return Ok(TaskRun::Interrupted);
+                }
+            }
+        }
+        Ok(TaskRun::Complete(slots.into_iter().map(|s| s.expect("slot filled")).collect()))
+    }
+}
+
+struct FuzzTask<'a> {
+    spec: &'a CampaignSpec,
+    len: usize,
+    prior: Vec<Vec<WRes>>,
+    cfg: &'a TestConfig,
+    done: BTreeMap<usize, WRes>,
+    journal: &'a mut TaskJournal,
+    lease: &'a Lease,
+    budget: &'a mut Option<u64>,
+    hard_kill: bool,
+}
+
+impl WithKind for FuzzTask<'_> {
+    type Out = Result<TaskRun, String>;
+
+    fn call<K: FsKind>(mut self, kind: K) -> Self::Out {
+        let mut fuzzer = Fuzzer::new(self.spec.fuzz_seed, FuzzConfig::default());
+        let mut seen: HashSet<u64> = HashSet::new();
+        // Rebuild the generation trajectory: every prior batch, then this
+        // task's journaled prefix, replaying the recorded feedback.
+        let replay = |fuzzer: &mut Fuzzer, seen: &mut HashSet<u64>, r: &WRes| {
+            let w = fuzzer.next_workload();
+            debug_assert_eq!(w.name, r.name, "fuzz replay diverged from the journal");
+            seen.extend(r.cov_new.iter().copied());
+            fuzzer.feedback(&w, r.cov_new.len());
+        };
+        for batch in &self.prior {
+            for r in batch {
+                replay(&mut fuzzer, &mut seen, r);
+            }
+        }
+        let mut slots: Vec<Option<WRes>> = Vec::with_capacity(self.len);
+        slots.resize_with(self.len, || None);
+        for (i, slot) in slots.iter_mut().enumerate() {
+            if let Some(r) = self.done.remove(&i) {
+                replay(&mut fuzzer, &mut seen, &r);
+                *slot = Some(r);
+                continue;
+            }
+            let w = fuzzer.next_workload();
+            // Mirror `run_batch`'s per-workload semantics: fresh sinks, the
+            // whole run guarded so an FS panic fails one workload only.
+            let fresh = kind.with_options(kind.options().with_fresh_sinks());
+            let out = sandbox::guarded(Stage::Worker, || test_workload(&fresh, &w, self.cfg))
+                .unwrap_or_else(|v| crate::worker_failure_outcome(&w, v));
+            let cov = fresh.options().cov.snapshot();
+            let mut new: Vec<u64> = cov.iter().filter(|h| !seen.contains(h)).copied().collect();
+            new.sort_unstable();
+            seen.extend(new.iter().copied());
+            fuzzer.feedback(&w, new.len());
+            // Corpus-worthy: new coverage (what the fuzzer itself keeps) or
+            // a violation (what a developer wants preserved).
+            let keep = !new.is_empty() || !out.reports.is_empty();
+            let res = WRes::from_outcome(
+                &out,
+                &cov,
+                self.spec.bitmap_bits,
+                new,
+                keep.then(|| w.to_wire_lines()),
+            );
+            self.journal.checkpoint(i, &res)?;
+            self.lease.heartbeat();
+            *slot = Some(res);
+            if kill_tick(self.budget, self.hard_kill) {
+                return Ok(TaskRun::Interrupted);
+            }
+        }
+        Ok(TaskRun::Complete(slots.into_iter().map(|s| s.expect("slot filled")).collect()))
+    }
+}
+
+/// The merged campaign: totals in canonical task order plus the rendered
+/// deterministic document.
+#[derive(Debug)]
+pub struct Merged {
+    /// Rendered `campaign.json` contents (deterministic: byte-identical for
+    /// any worker count, thread count, or kill/resume pattern).
+    pub doc: String,
+    /// Workloads merged.
+    pub workloads: u64,
+    /// Summed counters (see [`super::wire::COUNTER_NAMES`]).
+    pub totals: [u64; 12],
+    /// Total violation reports.
+    pub reports: u64,
+    /// Bits set in the persistent crash-state bitmap.
+    pub state_bits_set: u64,
+    /// Bits set in the persistent coverage bitmap.
+    pub cov_bits_set: u64,
+    /// Corpus entries written.
+    pub corpus_entries: u64,
+    /// FNV-1a chain over every workload result line, in canonical order.
+    pub fingerprint: u64,
+}
+
+/// Merges all committed task results in canonical (task, batch-index)
+/// order, writes `campaign.json`, the coverage bitmaps, and the corpus
+/// entries, and returns the totals. Fails if any task is incomplete.
+pub fn merge(store: &CampaignStore) -> Result<Merged, String> {
+    let spec = &store.spec;
+    let total = spec.total_tasks();
+    let mut totals = [0u64; 12];
+    let mut workloads = 0u64;
+    let mut fingerprint = 0u64;
+    let mut reports: Vec<JVal> = Vec::new();
+    let mut state_map = vec![0u8; (spec.bitmap_bits / 8) as usize];
+    let mut cov_map = vec![0u8; (spec.bitmap_bits / 8) as usize];
+    let mut corpus_entries = 0u64;
+    let set = |map: &mut [u8], bit: u64| map[(bit / 8) as usize] |= 1 << (bit % 8);
+
+    for id in 0..total {
+        let results = store
+            .load_result(id)?
+            .ok_or_else(|| format!("task {id} has no committed result; campaign incomplete"))?;
+        for res in &results {
+            workloads += 1;
+            fingerprint = fnv1a(res.to_jval().render().as_bytes(), fingerprint);
+            for (idx, c) in res.counters.iter().enumerate() {
+                if idx == 7 {
+                    // sched_subtree_max_depth is a max, everything else sums.
+                    totals[idx] = totals[idx].max(*c);
+                } else {
+                    totals[idx] += c;
+                }
+            }
+            for &b in &res.state_bits {
+                set(&mut state_map, b);
+            }
+            for &b in &res.cov_bits {
+                set(&mut cov_map, b);
+            }
+            for r in &res.reports {
+                reports.push(r.to_jval());
+            }
+            if let Some(ops) = &res.ops {
+                let entry = JVal::Obj(vec![
+                    ("name".into(), JVal::Str(res.name.clone())),
+                    ("fs".into(), JVal::Str(spec.fs.to_string())),
+                    ("ops".into(), JVal::Arr(ops.iter().map(|l| JVal::Str(l.clone())).collect())),
+                ]);
+                let path = store.dir.join("corpus").join(format!("{}.json", res.name));
+                jsonout::write_atomic(&path.to_string_lossy(), &(entry.render() + "\n"))
+                    .map_err(|e| e.to_string())?;
+                corpus_entries += 1;
+            }
+        }
+    }
+    let state_bits_set = state_map.iter().map(|b| b.count_ones() as u64).sum();
+    let cov_bits_set = cov_map.iter().map(|b| b.count_ones() as u64).sum();
+    jsonout::write_atomic_bytes(&store.dir.join("coverage/state.bits").to_string_lossy(), &state_map)
+        .map_err(|e| e.to_string())?;
+    jsonout::write_atomic_bytes(&store.dir.join("coverage/cov.bits").to_string_lossy(), &cov_map)
+        .map_err(|e| e.to_string())?;
+
+    let totals_obj = JVal::Obj(
+        super::wire::COUNTER_NAMES
+            .iter()
+            .zip(totals)
+            .map(|(n, v)| (n.to_string(), ju(v)))
+            .collect(),
+    );
+    let n_reports = reports.len() as u64;
+    let doc = JVal::Obj(vec![
+        ("chipmunk_campaign".into(), ju(super::store::STORE_VERSION)),
+        ("spec".into(), spec.to_jval()),
+        ("tasks".into(), ju(total as u64)),
+        ("workloads".into(), ju(workloads)),
+        ("totals".into(), totals_obj),
+        ("state_bits_set".into(), ju(state_bits_set)),
+        ("cov_bits_set".into(), ju(cov_bits_set)),
+        ("reports".into(), JVal::Arr(reports)),
+        ("fingerprint".into(), JVal::Str(format!("{fingerprint:016x}"))),
+    ])
+    .render()
+        + "\n";
+    jsonout::write_atomic(&store.dir.join("campaign.json").to_string_lossy(), &doc)
+        .map_err(|e| e.to_string())?;
+
+    Ok(Merged {
+        doc,
+        workloads,
+        totals,
+        reports: n_reports,
+        state_bits_set,
+        cov_bits_set,
+        corpus_entries,
+        fingerprint,
+    })
+}

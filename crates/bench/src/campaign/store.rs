@@ -1,0 +1,340 @@
+//! The on-disk campaign store and the per-task journal.
+//!
+//! Layout of a store directory:
+//!
+//! ```text
+//! store.json               # version + CampaignSpec (write_atomic)
+//! journal/task-<n>.log     # append-only: plan line + one line per workload
+//! leases/task-<n>.lease    # claim files (see queue.rs)
+//! results/task-<n>.json    # committed task result (presence = complete)
+//! corpus/<name>.json       # corpus-worthy fuzz workloads, wire form
+//! coverage/state.bits      # persistent crash-state bitmap
+//! coverage/cov.bits        # persistent coverage bitmap
+//! campaign.json            # deterministic merged document + fingerprint
+//! run.json                 # nondeterministic run info (wall time, resumes)
+//! ```
+//!
+//! Everything JSON goes through [`crate::jsonout::write_atomic`]; the
+//! bitmaps through [`crate::jsonout::write_atomic_bytes`]. Journals are the
+//! one append-in-place structure: a torn tail line (the half-written
+//! checkpoint of a SIGKILL'd worker) is detected by the parser and
+//! truncated away before the successor appends.
+
+use std::io::{Read, Seek, Write};
+use std::path::{Path, PathBuf};
+
+use crate::jsonout::{self, JVal};
+
+use super::wire::{ju, WRes};
+use super::CampaignSpec;
+
+/// Store format version (`store.json`'s `chipmunk_campaign` field).
+pub const STORE_VERSION: u64 = 1;
+
+/// An open campaign store.
+#[derive(Debug)]
+pub struct CampaignStore {
+    /// Root directory.
+    pub dir: PathBuf,
+    /// The campaign spec (immutable once the store is initialised).
+    pub spec: CampaignSpec,
+}
+
+fn p2s(p: &Path) -> String {
+    p.to_string_lossy().into_owned()
+}
+
+impl CampaignStore {
+    /// Initialises a fresh store at `dir` (creating directories) or opens
+    /// the existing one. When the store exists, `spec` must match the
+    /// persisted spec exactly — a campaign's population is immutable.
+    pub fn open_or_init(dir: &Path, spec: &CampaignSpec) -> Result<Self, String> {
+        if dir.join("store.json").exists() {
+            let store = Self::open(dir)?;
+            if store.spec != *spec {
+                return Err(format!(
+                    "store {} holds a different campaign spec; use --resume to continue it \
+                     or point --store at a fresh directory",
+                    dir.display()
+                ));
+            }
+            return Ok(store);
+        }
+        for sub in ["journal", "leases", "results", "corpus", "coverage"] {
+            std::fs::create_dir_all(dir.join(sub)).map_err(|e| e.to_string())?;
+        }
+        let doc = JVal::Obj(vec![
+            ("chipmunk_campaign".into(), ju(STORE_VERSION)),
+            ("spec".into(), spec.to_jval()),
+        ]);
+        jsonout::write_atomic(&p2s(&dir.join("store.json")), &(doc.render() + "\n"))
+            .map_err(|e| e.to_string())?;
+        Ok(CampaignStore { dir: dir.to_path_buf(), spec: spec.clone() })
+    }
+
+    /// Opens an existing store, parsing and validating `store.json`.
+    pub fn open(dir: &Path) -> Result<Self, String> {
+        let path = dir.join("store.json");
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let doc = jsonout::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let version = doc
+            .get("chipmunk_campaign")
+            .and_then(JVal::as_u64)
+            .ok_or_else(|| format!("{}: not a campaign store", path.display()))?;
+        if version != STORE_VERSION {
+            return Err(format!(
+                "{}: store version {version} (this build reads {STORE_VERSION})",
+                path.display()
+            ));
+        }
+        let spec = CampaignSpec::from_jval(
+            doc.get("spec").ok_or_else(|| format!("{}: missing spec", path.display()))?,
+        )?;
+        Ok(CampaignStore { dir: dir.to_path_buf(), spec })
+    }
+
+    /// Path of task `id`'s journal.
+    pub fn journal_path(&self, id: usize) -> PathBuf {
+        self.dir.join("journal").join(format!("task-{id}.log"))
+    }
+
+    /// Path of task `id`'s lease file.
+    pub fn lease_path(&self, id: usize) -> PathBuf {
+        self.dir.join("leases").join(format!("task-{id}.lease"))
+    }
+
+    /// Path of task `id`'s committed result.
+    pub fn result_path(&self, id: usize) -> PathBuf {
+        self.dir.join("results").join(format!("task-{id}.json"))
+    }
+
+    /// Whether task `id` has a committed result.
+    pub fn result_exists(&self, id: usize) -> bool {
+        self.result_path(id).exists()
+    }
+
+    /// Commits task `id`'s results atomically (the completion marker).
+    pub fn write_result(&self, id: usize, results: &[WRes]) -> Result<(), String> {
+        let doc = JVal::Arr(results.iter().map(WRes::to_jval).collect());
+        jsonout::write_atomic(&p2s(&self.result_path(id)), &(doc.render() + "\n"))
+            .map_err(|e| e.to_string())
+    }
+
+    /// Loads task `id`'s committed results, or `None` if not yet complete.
+    pub fn load_result(&self, id: usize) -> Result<Option<Vec<WRes>>, String> {
+        let path = self.result_path(id);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(format!("{}: {e}", path.display())),
+        };
+        let doc = jsonout::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        doc.as_arr()
+            .ok_or_else(|| format!("{}: not an array", path.display()))?
+            .iter()
+            .map(WRes::from_jval)
+            .collect::<Result<Vec<_>, _>>()
+            .map(Some)
+            .map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+/// What a journal recovery found: the plan signature line (if any) and the
+/// completed workloads, keyed by their batch index within the task.
+#[derive(Debug, Default)]
+pub struct JournalState {
+    /// The recorded plan signature, when a valid plan line exists.
+    pub plan_sig: Option<u64>,
+    /// Completed workloads by batch index (first writer wins; duplicate
+    /// appends from a raced lease are byte-identical by determinism).
+    pub done: std::collections::BTreeMap<usize, WRes>,
+    /// Byte length of the valid prefix (a torn tail is truncated to this
+    /// before appending).
+    pub valid_len: u64,
+}
+
+/// An open per-task journal: recover once, then append checkpoints.
+pub struct TaskJournal {
+    file: std::fs::File,
+    /// Checkpoints appended through this handle (test observability).
+    pub appended: u64,
+}
+
+impl TaskJournal {
+    /// Reads a journal, tolerating a torn tail: lines are consumed while
+    /// they parse; the first unparsable or unterminated line ends recovery
+    /// (everything before it is intact — each append is one `write` of one
+    /// `\n`-terminated line). A plan-signature mismatch (the spec changed
+    /// the batch under the journal — should be impossible; defense in
+    /// depth) discards the journal entirely.
+    pub fn recover(path: &Path, expect_sig: u64) -> JournalState {
+        let mut st = JournalState::default();
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return st;
+        };
+        let mut consumed = 0usize;
+        for line in text.split_inclusive('\n') {
+            if !line.ends_with('\n') {
+                break; // torn tail
+            }
+            let Ok(v) = jsonout::parse(line.trim_end()) else {
+                break;
+            };
+            if st.plan_sig.is_none() {
+                // First line must be the plan signature.
+                let Some(sig) = v
+                    .get("plan")
+                    .and_then(JVal::as_str)
+                    .and_then(|s| u64::from_str_radix(s, 16).ok())
+                else {
+                    break;
+                };
+                if sig != expect_sig {
+                    return JournalState::default();
+                }
+                st.plan_sig = Some(sig);
+            } else {
+                let Some(i) = v.get("i").and_then(JVal::as_u64) else {
+                    break;
+                };
+                let Some(res) = v.get("res").and_then(|r| WRes::from_jval(r).ok()) else {
+                    break;
+                };
+                st.done.entry(i as usize).or_insert(res);
+            }
+            consumed += line.len();
+        }
+        st.valid_len = consumed as u64;
+        st
+    }
+
+    /// Opens the journal for appending, truncating a torn tail to
+    /// `valid_len` first. When the journal is empty/new, writes the plan
+    /// line.
+    pub fn open(path: &Path, state: &JournalState, plan_sig: u64) -> Result<Self, String> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        file.set_len(state.valid_len).map_err(|e| e.to_string())?;
+        let mut j = TaskJournal { file, appended: 0 };
+        j.file.seek(std::io::SeekFrom::End(0)).map_err(|e| e.to_string())?;
+        if state.plan_sig.is_none() {
+            j.append_line(&JVal::Obj(vec![(
+                "plan".into(),
+                JVal::Str(format!("{plan_sig:016x}")),
+            )]))?;
+        }
+        Ok(j)
+    }
+
+    /// Appends one completed workload checkpoint and fsyncs, so a kill
+    /// after this call can lose at most work that postdates the checkpoint.
+    pub fn checkpoint(&mut self, batch_index: usize, res: &WRes) -> Result<(), String> {
+        self.append_line(&JVal::Obj(vec![
+            ("i".into(), ju(batch_index as u64)),
+            ("res".into(), res.to_jval()),
+        ]))?;
+        self.appended += 1;
+        Ok(())
+    }
+
+    fn append_line(&mut self, v: &JVal) -> Result<(), String> {
+        let mut line = v.render();
+        line.push('\n');
+        // One write per line: a torn line can only be the very tail.
+        self.file.write_all(line.as_bytes()).map_err(|e| e.to_string())?;
+        self.file.sync_data().map_err(|e| e.to_string())
+    }
+}
+
+/// Reads a whole file as bytes, returning an empty vec when absent.
+pub fn read_bytes_or_empty(path: &Path) -> Vec<u8> {
+    let mut buf = Vec::new();
+    if let Ok(mut f) = std::fs::File::open(path) {
+        let _ = f.read_to_end(&mut buf);
+    }
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("chipmunk-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn wres(name: &str) -> WRes {
+        WRes {
+            name: name.into(),
+            counters: [1; 12],
+            state_bits: vec![2],
+            cov_bits: vec![],
+            cov_new: vec![],
+            reports: vec![],
+            ops: None,
+        }
+    }
+
+    #[test]
+    fn store_init_open_and_spec_mismatch() {
+        let dir = tmpdir("init");
+        let spec = CampaignSpec { seq1_take: 4, batch: 2, ..CampaignSpec::default() };
+        let s = CampaignStore::open_or_init(&dir, &spec).unwrap();
+        assert_eq!(CampaignStore::open(&dir).unwrap().spec, spec);
+        // Reopening with the same spec is fine; a different one is refused.
+        CampaignStore::open_or_init(&dir, &spec).unwrap();
+        let other = CampaignSpec { seq1_take: 5, ..spec.clone() };
+        assert!(CampaignStore::open_or_init(&dir, &other).unwrap_err().contains("different"));
+        // Results round-trip, and absence is None not an error.
+        assert!(s.load_result(0).unwrap().is_none());
+        s.write_result(0, &[wres("a"), wres("b")]).unwrap();
+        let back = s.load_result(0).unwrap().unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[1].name, "b");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_recovers_and_truncates_torn_tail() {
+        let dir = tmpdir("journal");
+        let path = dir.join("task-0.log");
+        let sig = 0xabcdu64;
+
+        let st = TaskJournal::recover(&path, sig);
+        assert!(st.plan_sig.is_none() && st.done.is_empty());
+        let mut j = TaskJournal::open(&path, &st, sig).unwrap();
+        j.checkpoint(0, &wres("w0")).unwrap();
+        j.checkpoint(1, &wres("w1")).unwrap();
+        drop(j);
+
+        // Simulate a SIGKILL mid-append: a torn half line at the tail.
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"i\":2,\"res\":{\"name\":\"to").unwrap();
+        drop(f);
+
+        let st = TaskJournal::recover(&path, sig);
+        assert_eq!(st.plan_sig, Some(sig));
+        assert_eq!(st.done.len(), 2);
+        assert_eq!(st.done[&1].name, "w1");
+        // Appending truncates the torn tail; the next recovery sees 3 clean
+        // checkpoints.
+        let mut j = TaskJournal::open(&path, &st, sig).unwrap();
+        j.checkpoint(2, &wres("w2")).unwrap();
+        drop(j);
+        let st = TaskJournal::recover(&path, sig);
+        assert_eq!(st.done.len(), 3);
+
+        // A different plan signature discards everything.
+        let st = TaskJournal::recover(&path, sig + 1);
+        assert!(st.plan_sig.is_none() && st.done.is_empty() && st.valid_len == 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -24,6 +24,7 @@ use workloads::{
     fuzz::{FuzzConfig, Fuzzer},
 };
 
+pub mod campaign;
 pub mod repro;
 pub mod sched;
 
@@ -417,7 +418,7 @@ struct FuzzHunt<'a> {
 /// coverage feedback in generation order before generating the next batch.
 /// Fixed — never derived from the thread count — so the generation
 /// trajectory is identical for every `TestConfig::threads` value.
-const FUZZ_BATCH: usize = 8;
+pub(crate) const FUZZ_BATCH: usize = 8;
 
 impl WithKind for FuzzHunt<'_> {
     type Out = (Option<HuntResult>, u64, u64);
@@ -638,6 +639,12 @@ pub mod jsonout {
     /// durable, so a real crash could lose the "atomically" written file
     /// (the very bug class this workspace exists to catch).
     pub fn write_atomic(path: &str, contents: &str) -> std::io::Result<()> {
+        write_atomic_impl(path, contents.as_bytes(), None)
+    }
+
+    /// [`write_atomic`] for binary contents (the campaign store's coverage
+    /// bitmaps are raw bit arrays, not JSON).
+    pub fn write_atomic_bytes(path: &str, contents: &[u8]) -> std::io::Result<()> {
         write_atomic_impl(path, contents, None)
     }
 
@@ -655,17 +662,17 @@ pub mod jsonout {
     /// hook for the mid-write-crash guarantee).
     fn write_atomic_impl(
         path: &str,
-        contents: &str,
+        contents: &[u8],
         fail_after: Option<usize>,
     ) -> std::io::Result<()> {
         let tmp = format!("{path}.tmp");
         let res = (|| {
             let mut f = std::fs::File::create(&tmp)?;
             if let Some(n) = fail_after {
-                f.write_all(&contents.as_bytes()[..n.min(contents.len())])?;
+                f.write_all(&contents[..n.min(contents.len())])?;
                 return Err(std::io::Error::other("simulated mid-write failure"));
             }
-            f.write_all(contents.as_bytes())?;
+            f.write_all(contents)?;
             f.sync_all()
         })();
         match res {
@@ -698,6 +705,25 @@ pub mod jsonout {
         Obj(Vec<(&'static str, Json)>),
     }
 
+    /// Escapes `v` into `out` as a JSON string literal (quotes included).
+    /// Shared by both emitters so object keys and values escape identically.
+    fn escape_str(out: &mut String, v: &str) {
+        out.push('"');
+        for c in v.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
     impl Json {
         /// Renders the document with two-space indentation and a trailing
         /// newline.
@@ -715,22 +741,7 @@ pub mod jsonout {
                 Json::U(v) => out.push_str(&v.to_string()),
                 Json::B(v) => out.push_str(if *v { "true" } else { "false" }),
                 Json::Null => out.push_str("null"),
-                Json::S(v) => {
-                    out.push('"');
-                    for c in v.chars() {
-                        match c {
-                            '"' => out.push_str("\\\""),
-                            '\\' => out.push_str("\\\\"),
-                            '\n' => out.push_str("\\n"),
-                            '\t' => out.push_str("\\t"),
-                            c if (c as u32) < 0x20 => {
-                                out.push_str(&format!("\\u{:04x}", c as u32));
-                            }
-                            c => out.push(c),
-                        }
-                    }
-                    out.push('"');
-                }
+                Json::S(v) => escape_str(out, v),
                 Json::Arr(items) => {
                     if items.is_empty() {
                         out.push_str("[]");
@@ -753,7 +764,8 @@ pub mod jsonout {
                     out.push_str("{\n");
                     for (i, (k, v)) in fields.iter().enumerate() {
                         out.push_str(&pad(ind + 1));
-                        out.push_str(&format!("\"{k}\": "));
+                        escape_str(out, k);
+                        out.push_str(": ");
                         v.write(out, ind + 1);
                         out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
                     }
@@ -825,6 +837,61 @@ pub mod jsonout {
                 _ => None,
             }
         }
+
+        /// The boolean payload, if this is a boolean.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                JVal::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        /// Renders the value back to compact (single-line) JSON such that
+        /// `parse(v.render()) == v` for every parseable value. The campaign
+        /// journal depends on this: each checkpoint is one line, so the
+        /// emitter must never produce embedded newlines (strings escape
+        /// them) and numbers must round-trip exactly — floats use Rust's
+        /// shortest-exact `Display` form, not a fixed precision. Non-finite
+        /// floats (which [`parse`] can never produce) render as `null`.
+        pub fn render(&self) -> String {
+            let mut s = String::new();
+            self.render_into(&mut s);
+            s
+        }
+
+        fn render_into(&self, out: &mut String) {
+            match self {
+                JVal::Num(n) if n.is_finite() => {
+                    out.push_str(&format!("{n}"));
+                }
+                JVal::Num(_) => out.push_str("null"),
+                JVal::Str(s) => escape_str(out, s),
+                JVal::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                JVal::Null => out.push_str("null"),
+                JVal::Arr(items) => {
+                    out.push('[');
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        item.render_into(out);
+                    }
+                    out.push(']');
+                }
+                JVal::Obj(fields) => {
+                    out.push('{');
+                    for (i, (k, v)) in fields.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        escape_str(out, k);
+                        out.push(':');
+                        v.render_into(out);
+                    }
+                    out.push('}');
+                }
+            }
+        }
     }
 
     /// Parses a JSON document (recursive descent; the workspace is
@@ -875,6 +942,12 @@ pub mod jsonout {
                     };
                     skip_ws(b, pos);
                     expect(b, pos, b':')?;
+                    // Duplicate keys are ambiguous (which one does `get`
+                    // mean?) and a classic smuggling vector; the journal and
+                    // corpus readers must never see them resolve silently.
+                    if fields.iter().any(|(k, _)| *k == key) {
+                        return Err(format!("duplicate object key {key:?} at byte {}", *pos));
+                    }
                     fields.push((key, parse_value(b, pos)?));
                     skip_ws(b, pos);
                     match b.get(*pos) {
@@ -1030,7 +1103,7 @@ pub mod jsonout {
                 .to_string_lossy()
                 .into_owned();
             write_atomic(&path, "{\"old\": true}\n").expect("initial write");
-            let err = write_atomic_impl(&path, "{\"new\": true}\n", Some(4))
+            let err = write_atomic_impl(&path, b"{\"new\": true}\n", Some(4))
                 .expect_err("simulated failure must surface");
             assert!(err.to_string().contains("simulated"), "{err}");
             let kept = std::fs::read_to_string(&path).expect("target must survive");
@@ -1057,7 +1130,7 @@ pub mod jsonout {
             fsync_parent_dir("bare-filename-no-parent.json").expect("'.' fallback must sync");
             // A mid-write failure must not leave the directory entry either.
             let gone = dir.join("never.json").to_string_lossy().into_owned();
-            write_atomic_impl(&gone, "{\"x\": 1}\n", Some(2)).expect_err("simulated failure");
+            write_atomic_impl(&gone, b"{\"x\": 1}\n", Some(2)).expect_err("simulated failure");
             assert!(!std::path::Path::new(&gone).exists());
             assert!(!std::path::Path::new(&format!("{gone}.tmp")).exists());
             let _ = std::fs::remove_file(&nested);

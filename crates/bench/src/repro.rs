@@ -68,7 +68,7 @@ pub struct ReplayOutcome {
     pub ok: bool,
 }
 
-fn stage_name(s: Stage) -> &'static str {
+pub(crate) fn stage_name(s: Stage) -> &'static str {
     match s {
         Stage::Mount => "mount",
         Stage::Walk => "walk",
@@ -78,7 +78,7 @@ fn stage_name(s: Stage) -> &'static str {
     }
 }
 
-fn stage_from(s: &str) -> Result<Stage, String> {
+pub(crate) fn stage_from(s: &str) -> Result<Stage, String> {
     match s {
         "mount" => Ok(Stage::Mount),
         "walk" => Ok(Stage::Walk),

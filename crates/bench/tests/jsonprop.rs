@@ -1,0 +1,162 @@
+//! Property tests for the hand-rolled JSON layer (`bench::jsonout`): the
+//! campaign store's journals, results, and merged document all depend on
+//! `parse` ∘ `render` being the identity, and on the parser rejecting
+//! malformed input *deterministically* (journal recovery truncates at the
+//! first unparsable line — a parser that flip-flops would make resume
+//! nondeterministic).
+//!
+//! The vendored proptest shim has no recursive strategies, so value trees
+//! are built by a seeded `StdRng` recursive builder driven by a `u64` seed
+//! strategy — every case is still fully reproducible from its seed.
+
+use bench::jsonout::{parse, JVal};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// A generated string exercising escapes: quotes, backslashes, control
+/// characters, newlines/tabs, and multi-byte unicode.
+fn gen_string(rng: &mut StdRng) -> String {
+    let alphabet: &[&str] = &[
+        "a", "Z", "0", " ", "\"", "\\", "\n", "\t", "\r", "\u{1}", "\u{1f}", "é", "質", "🦀",
+        "/", "{", "}", "[", "]", ":", ",",
+    ];
+    let len = rng.gen_range(0usize..12);
+    (0..len).map(|_| alphabet[rng.gen_range(0usize..alphabet.len())]).collect()
+}
+
+/// A finite f64 that is interesting but exactly representable: integers,
+/// dyadic fractions, and a few extremes. (`render` emits the shortest exact
+/// decimal form, so any finite value round-trips; NaN is excluded because
+/// `JVal` equality is derived.)
+fn gen_num(rng: &mut StdRng) -> f64 {
+    match rng.gen_range(0u32..6) {
+        0 => 0.0,
+        1 => rng.gen_range(-1_000_000i64..1_000_000) as f64,
+        2 => rng.gen_range(0u64..(1 << 53)) as f64,
+        3 => rng.gen_range(-4096i64..4096) as f64 / 1024.0,
+        4 => -0.0,
+        _ => 1.5e12,
+    }
+}
+
+/// Recursive value builder: depth-bounded, with distinct object keys (the
+/// parser rejects duplicates, so a generated tree must not contain any).
+fn gen_jval(rng: &mut StdRng, depth: usize) -> JVal {
+    let max = if depth == 0 { 3 } else { 5 };
+    match rng.gen_range(0u32..=max) {
+        0 => JVal::Null,
+        1 => JVal::Bool(rng.gen_bool(0.5)),
+        2 => JVal::Num(gen_num(rng)),
+        3 => JVal::Str(gen_string(rng)),
+        4 => {
+            let n = rng.gen_range(0usize..4);
+            JVal::Arr((0..n).map(|_| gen_jval(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.gen_range(0usize..4);
+            let mut fields: Vec<(String, JVal)> = Vec::new();
+            for i in 0..n {
+                let mut key = gen_string(rng);
+                key.push_str(&format!("#{i}")); // force uniqueness
+                let val = gen_jval(rng, depth - 1);
+                fields.push((key, val));
+            }
+            JVal::Obj(fields)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// `parse(render(v)) == v` for arbitrary value trees, and `render` is
+    /// a pure function (same tree → same bytes).
+    #[test]
+    fn parse_render_roundtrip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let v = gen_jval(&mut rng, 4);
+        let text = v.render();
+        prop_assert_eq!(&text, &v.render(), "render must be deterministic");
+        let back = parse(&text);
+        prop_assert!(back.is_ok(), "{:?} failed to parse back: {:?}", text, back);
+        prop_assert_eq!(back.unwrap(), v, "round trip through {}", text);
+    }
+
+    /// A duplicated object key is rejected wherever it occurs — top level
+    /// or nested — and the error is deterministic.
+    #[test]
+    fn duplicate_keys_rejected(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let key = gen_string(&mut rng);
+        let inner = JVal::Obj(vec![
+            (key.clone(), JVal::Num(1.0)),
+            (key.clone(), JVal::Num(2.0)),
+        ]);
+        let nested = JVal::Arr(vec![JVal::Null, inner.clone()]);
+        for v in [inner, nested] {
+            let text = v.render();
+            let e1 = parse(&text).expect_err("duplicate key must be rejected");
+            let e2 = parse(&text).expect_err("duplicate key must be rejected");
+            prop_assert_eq!(&e1, &e2, "rejection must be deterministic");
+            prop_assert!(e1.contains("duplicate"), "unexpected error {}", e1);
+        }
+    }
+
+    /// Garbage never panics the parser, and accept/reject (with the exact
+    /// error text) is stable across calls — the property journal recovery
+    /// leans on.
+    #[test]
+    fn garbage_is_rejected_deterministically(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Mutate a valid rendering: truncate, splice bytes, or inject junk.
+        let v = gen_jval(&mut rng, 3);
+        let mut text = v.render();
+        let snap = |s: &str, mut i: usize| {
+            while !s.is_char_boundary(i) {
+                i -= 1;
+            }
+            i
+        };
+        match rng.gen_range(0u32..3) {
+            0 => {
+                let cut = snap(&text, rng.gen_range(0usize..=text.len()));
+                text.truncate(cut);
+            }
+            1 => {
+                let junk: &[&str] = &["}", "]", ",,", "tru", "01", "+5", "\"", "{\"a\":}", "nul"];
+                text.push_str(junk[rng.gen_range(0usize..junk.len())]);
+            }
+            _ => {
+                let pos = snap(&text, rng.gen_range(0usize..=text.len()));
+                text.insert(pos, '\u{0}');
+            }
+        }
+        let r1 = parse(&text);
+        let r2 = parse(&text);
+        prop_assert_eq!(r1, r2, "parser must be deterministic on {:?}", text);
+    }
+}
+
+/// Fixed malformed inputs the fuzz loop above may not always hit: these are
+/// the exact shapes torn journal tails take.
+#[test]
+fn known_garbage_rejected() {
+    for bad in [
+        "",
+        "{",
+        "{\"i\":1",
+        "{\"i\":1,\"res\":{\"name\":\"to",
+        "[1,]",
+        "{\"a\":1,}",
+        "01",
+        "1.",
+        "-",
+        "\"\\x\"",
+        "\"unterminated",
+        "truefalse",
+        "{\"a\":1}{\"b\":2}",
+        "{\"a\":1,\"a\":2}",
+    ] {
+        assert!(parse(bad).is_err(), "must reject {bad:?}");
+    }
+}

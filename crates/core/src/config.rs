@@ -104,6 +104,15 @@ pub struct TestConfig {
     /// bit-identical at any thread count. Requires `sandbox`. `None`
     /// disables the watchdog.
     pub recovery_fuel: Option<u64>,
+    /// Record the content key of every committed crash state into
+    /// [`TestOutcome::state_keys`](crate::TestOutcome), in canonical commit
+    /// order (the campaign store folds them into its persistent per-FS
+    /// crash-state bitmaps). Off by default — the vector grows with
+    /// `crash_states` and most callers never look at it. Purely additive
+    /// observability: verdicts, counters and reports are unaffected, so the
+    /// knob stays out of [`semantic_knobs`](Self::semantic_knobs) like the
+    /// other non-semantic switches.
+    pub collect_state_keys: bool,
 }
 
 /// Default [`TestConfig::recovery_fuel`] budget. A full mount + walk of the
@@ -135,6 +144,7 @@ impl Default for TestConfig {
             par_prefix: true,
             sandbox: true,
             recovery_fuel: Some(DEFAULT_RECOVERY_FUEL),
+            collect_state_keys: false,
         }
     }
 }
@@ -240,6 +250,7 @@ mod tests {
         assert!(c.par_prefix);
         assert!(c.sandbox);
         assert_eq!(c.recovery_fuel, Some(DEFAULT_RECOVERY_FUEL));
+        assert!(!c.collect_state_keys);
     }
 
     #[test]

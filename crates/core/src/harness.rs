@@ -86,6 +86,11 @@ pub struct TestOutcome {
     /// In-flight write counts observed at each crash point (before
     /// coalescing) — the data behind Observation 7.
     pub inflight_sizes: Vec<usize>,
+    /// Content keys (folded to 64 bits) of every committed crash state, in
+    /// canonical commit order — one entry per `crash_states` increment.
+    /// Populated only under [`TestConfig::collect_state_keys`]; the campaign
+    /// store ORs them into its persistent per-FS crash-state bitmaps.
+    pub state_keys: Vec<u64>,
     /// Injected-bug code paths that executed during the run (ground truth
     /// for attribution; detection never uses this).
     pub traced_bugs: BTreeSet<BugId>,
@@ -1083,6 +1088,7 @@ struct PointCtx<'a> {
     /// entry). Stamped into reports so a single state can be re-targeted.
     point: u64,
     stop_on_first: bool,
+    collect_keys: bool,
 }
 
 /// Commits one crash state's result in canonical order: counters, sink
@@ -1101,6 +1107,9 @@ fn commit_state<K: FsKind>(
     out: &mut TestOutcome,
 ) -> bool {
     out.crash_states += 1;
+    if ctx.collect_keys {
+        out.state_keys.push((key as u64) ^ ((key >> 64) as u64));
+    }
     if dup {
         out.dedup_hits += 1;
     } else if res.memo_hit {
@@ -1218,6 +1227,7 @@ fn visit_crash_point<K: FsKind>(
         phase,
         point: out.crash_points - 1,
         stop_on_first: cfg.stop_on_first,
+        collect_keys: cfg.collect_state_keys,
     };
     let want_art = cfg.cross_dedup;
     let threads = cfg.threads.max(1);

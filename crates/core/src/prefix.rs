@@ -84,6 +84,7 @@ struct ReplayCkpt {
     sandbox_retries: u64,
     fuel_exhausted: u64,
     inflight: Vec<usize>,
+    state_keys: Vec<u64>,
     /// Reports carry the *cached* workload's name; splicing re-labels them.
     reports: Vec<BugReport>,
     cov: HashSet<u64>,
@@ -273,6 +274,7 @@ impl<K: FsKind> PrefixCache<K> {
                 sandbox_retries: 0,
                 fuel_exhausted: 0,
                 inflight: Vec::new(),
+                state_keys: Vec::new(),
                 reports: Vec::new(),
                 cov: HashSet::new(),
                 trace: BTreeSet::new(),
@@ -435,6 +437,7 @@ impl<K: FsKind> PrefixCache<K> {
             sandbox_retries: ck.sandbox_retries,
             fuel_exhausted: ck.fuel_exhausted,
             inflight_sizes: ck.inflight.clone(),
+            state_keys: ck.state_keys.clone(),
             reports: ck
                 .reports
                 .iter()
@@ -522,6 +525,7 @@ impl<K: FsKind> PrefixCache<K> {
         out.sandbox_retries = chk.sandbox_retries;
         out.fuel_exhausted = chk.fuel_exhausted;
         out.inflight_sizes = chk.inflight_sizes;
+        out.state_keys = chk.state_keys;
         for r in chk.reports {
             push_report(&mut out, r);
         }
@@ -560,6 +564,7 @@ impl<K: FsKind> PrefixCache<K> {
             sandbox_retries: chk.sandbox_retries,
             fuel_exhausted: chk.fuel_exhausted,
             inflight: chk.inflight_sizes.clone(),
+            state_keys: chk.state_keys.clone(),
             reports: chk.reports.clone(),
             cov: check_kind.options().cov.snapshot(),
             trace: check_kind.options().trace.snapshot(),
