@@ -2,7 +2,7 @@
 //! crash-consistency bugs by ACE and by the Syzkaller-style fuzzer.
 //!
 //! ```sh
-//! cargo run --release -p bench --bin figure3 [fuzz_budget] [threads] [nodedup] [--json <path>]
+//! cargo run --release -p bench --bin figure3 [fuzz_budget] [threads] [nodedup] [norep] [--json <path>]
 //! ```
 //!
 //! With `--json <path>`, the two series and the aggregate counters
@@ -39,7 +39,7 @@ use chipmunk::TestConfig;
 use vfs::bugs::bug_table;
 
 fn usage() -> ! {
-    eprintln!("usage: figure3 [fuzz_budget] [threads] [nodedup] [--json <path>]");
+    eprintln!("usage: figure3 [fuzz_budget] [threads] [nodedup] [norep] [--json <path>]");
     std::process::exit(2);
 }
 
@@ -102,6 +102,7 @@ fn main() {
     let mut pos: Vec<String> = Vec::new();
     let mut json_path: Option<String> = None;
     let mut nodedup = false;
+    let mut norep = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -112,6 +113,7 @@ fn main() {
                 }));
             }
             "nodedup" => nodedup = true,
+            "norep" => norep = true,
             s if s.starts_with('-') => {
                 eprintln!("unknown flag {s:?}");
                 usage();
@@ -126,10 +128,11 @@ fn main() {
     let fuzz_budget: u64 = parse_pos(pos.first(), "fuzz budget", 8000);
     let threads: usize = parse_pos(pos.get(1), "thread count", 1);
     let dedup = !nodedup;
-    let ace_cfg = TestConfig { stop_on_first: true, dedup, ..TestConfig::default() }
+    let rep_check = !norep;
+    let ace_cfg = TestConfig { stop_on_first: true, dedup, rep_check, ..TestConfig::default() }
         .with_threads(threads);
-    let fuzz_cfg = TestConfig { dedup, ..TestConfig::fuzzing() }.with_threads(threads);
-    eprintln!("threads = {threads}, dedup = {dedup}");
+    let fuzz_cfg = TestConfig { dedup, rep_check, ..TestConfig::fuzzing() }.with_threads(threads);
+    eprintln!("threads = {threads}, dedup = {dedup}, rep_check = {rep_check}");
 
     // One representative instance per unique bug (fix group).
     let mut seen_groups = std::collections::BTreeSet::new();
@@ -147,6 +150,7 @@ fn main() {
     let mut fuzz_series: Vec<(u32, Duration, u64)> = Vec::new();
     let (mut states_total, mut dedup_total) = (0u64, 0u64);
     let (mut memo_total, mut prefix_total, mut saved_total) = (0u64, 0u64, 0u64);
+    let mut rep_totals = [0u64; 3];
     let (mut subtree_total, mut depth_max) = (0u64, 0u64);
     let mut worker_hits: Vec<u64> = Vec::new();
     let mut sandbox_totals = [0u64; 4];
@@ -157,6 +161,9 @@ fn main() {
                 states_total += h.states;
                 dedup_total += h.dedup_hits;
                 memo_total += h.memo_hits;
+                rep_totals[0] += h.rep_classes;
+                rep_totals[1] += h.rep_skipped;
+                rep_totals[2] += h.rep_expansions;
                 prefix_total += h.prefix_hits;
                 saved_total += h.prefix_ops_saved;
                 subtree_total += h.sched_subtrees;
@@ -183,6 +190,9 @@ fn main() {
             states_total += h.states;
             dedup_total += h.dedup_hits;
             memo_total += h.memo_hits;
+            rep_totals[0] += h.rep_classes;
+            rep_totals[1] += h.rep_skipped;
+            rep_totals[2] += h.rep_expansions;
             sandbox_totals[0] += h.recovery_panics;
             sandbox_totals[1] += h.recovery_hangs;
             sandbox_totals[2] += h.sandbox_retries;
@@ -242,6 +252,16 @@ fn main() {
         dedup_total,
         100.0 * dedup_total as f64 / states_total.max(1) as f64
     );
+    let checked_total = states_total - dedup_total - rep_totals[1];
+    println!(
+        "representative-state checking: {} classes, {} states skipped, {} expansions \
+         ({} states actually checked, {:.1}% of non-dup)",
+        rep_totals[0],
+        rep_totals[1],
+        rep_totals[2],
+        checked_total,
+        100.0 * checked_total as f64 / (states_total - dedup_total).max(1) as f64
+    );
     let k = ace_series.len().min(fuzz_series.len());
     if k > 0 {
         let ace_k: u64 = ace_series[..k].iter().map(|&(_, _, w)| w).sum();
@@ -299,6 +319,16 @@ fn main() {
                         "states_per_sec",
                         Json::F(states_total as f64 / total_secs.max(1e-9)),
                     ),
+                ]),
+            ),
+            (
+                "rep_check",
+                Json::Obj(vec![
+                    ("states", Json::U(states_total)),
+                    ("checked", Json::U(checked_total)),
+                    ("classes", Json::U(rep_totals[0])),
+                    ("skipped", Json::U(rep_totals[1])),
+                    ("expansions", Json::U(rep_totals[2])),
                 ]),
             ),
             ("campaign_resume", campaign_resume_bench()),

@@ -175,7 +175,7 @@ pub struct WRes {
     pub name: String,
     /// Counters copied from [`TestOutcome`], in a fixed order (see
     /// [`COUNTER_NAMES`]).
-    pub counters: [u64; 12],
+    pub counters: [u64; 15],
     /// Sorted, deduplicated crash-state bitmap bits this workload set
     /// (folded `state_keys` — see `TestConfig::collect_state_keys`).
     pub state_bits: Vec<u64>,
@@ -192,8 +192,10 @@ pub struct WRes {
     pub ops: Option<Vec<String>>,
 }
 
-/// Names of the [`WRes::counters`] slots, in order.
-pub const COUNTER_NAMES: [&str; 12] = [
+/// Names of the [`WRes::counters`] slots, in order. The three `rep_*`
+/// slots were appended after the 12-slot layout shipped; [`WRes::from_jval`]
+/// still accepts 12-counter journal lines (older stores) by zero-padding.
+pub const COUNTER_NAMES: [&str; 15] = [
     "crash_points",
     "crash_states",
     "dedup_hits",
@@ -206,6 +208,9 @@ pub const COUNTER_NAMES: [&str; 12] = [
     "recovery_hangs",
     "sandbox_retries",
     "fuel_exhausted",
+    "rep_classes",
+    "rep_skipped",
+    "rep_expansions",
 ];
 
 impl WRes {
@@ -244,6 +249,9 @@ impl WRes {
                 out.recovery_hangs,
                 out.sandbox_retries,
                 out.fuel_exhausted,
+                out.rep_classes,
+                out.rep_skipped,
+                out.rep_expansions,
             ],
             state_bits,
             cov_bits,
@@ -285,10 +293,11 @@ impl WRes {
     /// Parses a result back.
     pub fn from_jval(v: &JVal) -> Result<Self, String> {
         let counters_arr = v.get("counters").and_then(JVal::as_arr).ok_or("wres: missing counters")?;
-        if counters_arr.len() != 12 {
-            return Err(format!("wres: expected 12 counters, got {}", counters_arr.len()));
+        // 12 = the pre-rep_check layout (older stores); missing slots stay 0.
+        if counters_arr.len() != 15 && counters_arr.len() != 12 {
+            return Err(format!("wres: expected 12 or 15 counters, got {}", counters_arr.len()));
         }
-        let mut counters = [0u64; 12];
+        let mut counters = [0u64; 15];
         for (slot, c) in counters.iter_mut().zip(counters_arr) {
             *slot = c.as_u64().ok_or("wres: bad counter")?;
         }
@@ -358,7 +367,7 @@ mod tests {
     fn sample() -> WRes {
         WRes {
             name: "seq1-0007".into(),
-            counters: [9, 120, 40, 3, 1, 14, 2, 3, 0, 0, 0, 0],
+            counters: [9, 120, 40, 3, 1, 14, 2, 3, 0, 0, 0, 0, 5, 60, 2],
             state_bits: vec![1, 5, 4095],
             cov_bits: vec![0, 77],
             cov_new: vec![0x0123_4567_89ab_cdef, u64::MAX],
@@ -392,6 +401,18 @@ mod tests {
         let back = WRes::from_jval(&crate::jsonout::parse(&no_ops.to_jval().render()).unwrap())
             .unwrap();
         assert_eq!(back, no_ops);
+    }
+
+    #[test]
+    fn wres_accepts_legacy_twelve_counter_lines() {
+        // A journal written before the rep_check counters existed carries
+        // 12-element counter arrays; they parse with the rep slots zeroed.
+        let legacy = r#"{"name":"w","counters":[9,120,40,3,1,14,2,3,0,0,0,0],"state_bits":[],"cov_bits":[],"cov_new":[],"reports":[]}"#;
+        let w = WRes::from_jval(&crate::jsonout::parse(legacy).unwrap()).unwrap();
+        assert_eq!(w.counters[..12], [9, 120, 40, 3, 1, 14, 2, 3, 0, 0, 0, 0]);
+        assert_eq!(w.counters[12..], [0, 0, 0], "rep slots default to zero");
+        let bad = legacy.replace("[9,120,40,3,1,14,2,3,0,0,0,0]", "[9,120,40]");
+        assert!(WRes::from_jval(&crate::jsonout::parse(&bad).unwrap()).is_err());
     }
 
     #[test]

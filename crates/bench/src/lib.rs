@@ -262,6 +262,15 @@ pub struct HuntResult {
     pub dedup_hits: u64,
     /// Crash states that reused cross-point artifacts until the find.
     pub memo_hits: u64,
+    /// Behavioral classes claimed by a representative state until the find
+    /// (see `TestConfig::rep_check`).
+    pub rep_classes: u64,
+    /// Crash states skipped because their class representative already
+    /// checked clean, until the find.
+    pub rep_skipped: u64,
+    /// Crash states checked because their class representative reported a
+    /// violation (class expansion), until the find.
+    pub rep_expansions: u64,
     /// Workloads resumed from a cached execution prefix until the find.
     pub prefix_hits: u64,
     /// Oracle + record operations skipped by prefix resumes until the find.
@@ -327,6 +336,7 @@ impl WithKind for AceHunt<'_> {
         let mut states = 0u64;
         let mut dedup = 0u64;
         let mut memo = 0u64;
+        let mut rep = [0u64; 3];
         let mut prefix = 0u64;
         let mut saved = 0u64;
         let mut subtrees = 0u64;
@@ -356,6 +366,9 @@ impl WithKind for AceHunt<'_> {
                 states += out.crash_states;
                 dedup += out.dedup_hits;
                 memo += out.memo_hits;
+                rep[0] += out.rep_classes;
+                rep[1] += out.rep_skipped;
+                rep[2] += out.rep_expansions;
                 prefix += out.prefix_hits;
                 saved += out.prefix_ops_saved;
                 subtrees += out.sched_subtrees;
@@ -378,6 +391,9 @@ impl WithKind for AceHunt<'_> {
                             traced: out.traced_bugs.contains(&self.bug),
                             dedup_hits: dedup,
                             memo_hits: memo,
+                            rep_classes: rep[0],
+                            rep_skipped: rep[1],
+                            rep_expansions: rep[2],
                             prefix_hits: prefix,
                             prefix_ops_saved: saved,
                             sched_subtrees: subtrees,
@@ -430,6 +446,7 @@ impl WithKind for FuzzHunt<'_> {
         let mut states = 0u64;
         let mut dedup = 0u64;
         let mut memo = 0u64;
+        let mut rep = [0u64; 3];
         let mut sandbox_counts = [0u64; 4];
         let mut phase = PhaseTotals::default();
         let mut done = 0u64;
@@ -442,6 +459,9 @@ impl WithKind for FuzzHunt<'_> {
                 states += out.crash_states;
                 dedup += out.dedup_hits;
                 memo += out.memo_hits;
+                rep[0] += out.rep_classes;
+                rep[1] += out.rep_skipped;
+                rep[2] += out.rep_expansions;
                 sandbox_counts[0] += out.recovery_panics;
                 sandbox_counts[1] += out.recovery_hangs;
                 sandbox_counts[2] += out.sandbox_retries;
@@ -467,6 +487,9 @@ impl WithKind for FuzzHunt<'_> {
                             traced: out.traced_bugs.contains(&self.bug),
                             dedup_hits: dedup,
                             memo_hits: memo,
+                            rep_classes: rep[0],
+                            rep_skipped: rep[1],
+                            rep_expansions: rep[2],
                             prefix_hits: 0,
                             prefix_ops_saved: 0,
                             sched_subtrees: 0,
@@ -524,6 +547,15 @@ pub struct SuiteStats {
     pub dedup_hits: u64,
     /// Crash states that reused cross-point artifacts.
     pub memo_hits: u64,
+    /// Behavioral classes claimed by a representative state (see
+    /// `TestConfig::rep_check`).
+    pub rep_classes: u64,
+    /// Crash states skipped because their class representative already
+    /// checked clean.
+    pub rep_skipped: u64,
+    /// Crash states checked because their class representative reported a
+    /// violation (class expansion).
+    pub rep_expansions: u64,
     /// Workloads resumed from a cached execution prefix.
     pub prefix_hits: u64,
     /// Oracle + record operations skipped by prefix resumes.
@@ -575,6 +607,9 @@ impl WithKind for SuiteRun<'_> {
                 s.crash_states += out.crash_states;
                 s.dedup_hits += out.dedup_hits;
                 s.memo_hits += out.memo_hits;
+                s.rep_classes += out.rep_classes;
+                s.rep_skipped += out.rep_skipped;
+                s.rep_expansions += out.rep_expansions;
                 s.prefix_hits += out.prefix_hits;
                 s.prefix_ops_saved += out.prefix_ops_saved;
                 s.sched_subtrees += out.sched_subtrees;
@@ -1207,6 +1242,9 @@ pub fn hunt_json(hit: Option<&HuntResult>, workloads: u64, states: u64) -> jsono
             ("traced", Json::B(h.traced)),
             ("dedup_hits", Json::U(h.dedup_hits)),
             ("memo_hits", Json::U(h.memo_hits)),
+            ("rep_classes", Json::U(h.rep_classes)),
+            ("rep_skipped", Json::U(h.rep_skipped)),
+            ("rep_expansions", Json::U(h.rep_expansions)),
             ("prefix_hits", Json::U(h.prefix_hits)),
             ("prefix_ops_saved", Json::U(h.prefix_ops_saved)),
             ("subtrees", Json::U(h.sched_subtrees)),

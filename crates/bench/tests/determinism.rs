@@ -32,12 +32,17 @@ fn full_seq1_nova_layers_do_not_change_outcomes() {
     impl WithKind for Diff {
         type Out = ();
         fn call<K: FsKind>(self, kind: K) {
-            let on = TestConfig::default();
+            // rep_check is pinned off on both sides: its skip set depends on
+            // the check-scope context, which this test varies (scoped_check
+            // on vs off), so per-state coverage would legitimately differ.
+            // The rep layer has its own differentials in tests/repcheck.rs.
+            let on = TestConfig { rep_check: false, ..TestConfig::default() };
             let off = TestConfig {
                 prefix_cache: false,
                 scoped_check: false,
                 delta_replay: false,
                 cross_dedup: false,
+                rep_check: false,
                 ..TestConfig::default()
             };
             let mut sched = Scheduler::new(&kind, &on);
@@ -78,6 +83,10 @@ fn suite_counters_identical_across_layer_combinations() {
             ..TestConfig::default()
         },
     ];
+    // rep_check stays at its default (on) in every combination: the skip
+    // set varies with the scope context, but skipped states still commit
+    // `crash_states`, and a sound congruence means the *reports* never move
+    // — so this doubles as a rep-layer soundness witness across layer mixes.
     let base = run_suite(FsName::Nova, BugSet::fixed(), ws.clone(), &configs[3]);
     for cfg in &configs[..3] {
         let s = run_suite(FsName::Nova, BugSet::fixed(), ws.clone(), cfg);
@@ -90,12 +99,14 @@ fn suite_counters_identical_across_layer_combinations() {
     }
 }
 
-/// The composed-fast-paths matrix: `{threads} × {prefix_cache on/off}` on
-/// seq-1 must give identical outcomes and identical aggregate counters. The
+/// The composed-fast-paths matrix: `{threads} × {rep_check on/off} ×
+/// {prefix_cache on/off}` on seq-1 must give identical outcomes within each
+/// `rep_check` setting, and identical *reports* across the two settings (the
+/// rep layer may only skip states its representative proved clean). The
 /// thread axis honors `CHIPMUNK_MATRIX_THREADS` (comma-separated; CI runs the
 /// matrix again at `threads=4`) and defaults to the issue's `1, 2, 8`.
 #[test]
-fn matrix_threads_by_prefix_cache_is_byte_identical() {
+fn matrix_threads_by_rep_check_by_prefix_cache_is_byte_identical() {
     let thread_axis: Vec<usize> = std::env::var("CHIPMUNK_MATRIX_THREADS")
         .ok()
         .map(|s| {
@@ -105,42 +116,75 @@ fn matrix_threads_by_prefix_cache_is_byte_identical() {
         })
         .unwrap_or_else(|| vec![1, 2, 8]);
     let ws: Vec<Workload> = seq1(AceMode::Strong).into_iter().take(16).collect();
-    let base = run_suite(
-        FsName::Nova,
-        BugSet::fixed(),
-        ws.clone(),
-        &TestConfig::default().with_threads(thread_axis[0]),
+    // One baseline per rep_check setting: the skip set changes which states
+    // are fully checked (memo_hits shrink when a skip wins over a memo), but
+    // everything a sweep *reports* must be setting-independent.
+    let mk_base = |rep_check: bool| {
+        run_suite(
+            FsName::Nova,
+            BugSet::fixed(),
+            ws.clone(),
+            &TestConfig { rep_check, ..TestConfig::default().with_threads(thread_axis[0]) },
+        )
+    };
+    let bases = [mk_base(true), mk_base(false)];
+    assert!(bases[0].prefix_hits > 0, "the cache must engage in the matrix's first cell");
+    assert!(bases[0].sched_subtrees > 0, "the scheduler must have partitioned the suite");
+    assert!(bases[0].rep_classes > 0, "rep_check must engage in the matrix's first cell");
+    assert!(bases[0].rep_skipped > 0, "rep_check must skip states on seq-1");
+    assert_eq!(bases[1].rep_classes, 0, "rep_check off must leave the counters at zero");
+    assert_eq!(bases[1].rep_skipped, 0);
+    assert_eq!(bases[1].rep_expansions, 0);
+    // Cross-setting soundness: same states, same verdicts.
+    assert_eq!(bases[0].crash_points, bases[1].crash_points);
+    assert_eq!(bases[0].crash_states, bases[1].crash_states);
+    assert_eq!(bases[0].dedup_hits, bases[1].dedup_hits);
+    assert_eq!(bases[0].reports, bases[1].reports);
+    assert_eq!(bases[0].inflight, bases[1].inflight);
+    assert_eq!(
+        format!("{:?}", bases[0].bug_reports),
+        format!("{:?}", bases[1].bug_reports),
+        "rep_check must not move a single report"
     );
-    assert!(base.prefix_hits > 0, "the cache must engage in the matrix's first cell");
-    assert!(base.sched_subtrees > 0, "the scheduler must have partitioned the suite");
     for &threads in &thread_axis {
-        for prefix_cache in [true, false] {
-            let cfg = TestConfig { prefix_cache, ..TestConfig::default().with_threads(threads) };
-            let s = run_suite(FsName::Nova, BugSet::fixed(), ws.clone(), &cfg);
-            let cell = format!("threads={threads} prefix_cache={prefix_cache}");
-            assert_eq!(s.workloads, base.workloads, "{cell}");
-            assert_eq!(s.crash_points, base.crash_points, "{cell}");
-            assert_eq!(s.crash_states, base.crash_states, "{cell}");
-            assert_eq!(s.dedup_hits, base.dedup_hits, "{cell}");
-            assert_eq!(s.memo_hits, base.memo_hits, "{cell}");
-            assert_eq!(s.reports, base.reports, "{cell}");
-            assert_eq!(s.inflight, base.inflight, "{cell}");
-            assert_eq!(
-                format!("{:?}", s.bug_reports),
-                format!("{:?}", base.bug_reports),
-                "bug trajectories diverged at {cell}"
-            );
-            if prefix_cache {
-                // The prefix counters themselves are thread-count-invariant:
-                // subtree partitioning is a pure function of the batch and
-                // groups move to workers wholesale.
-                assert_eq!(s.prefix_hits, base.prefix_hits, "{cell}");
-                assert_eq!(s.prefix_ops_saved, base.prefix_ops_saved, "{cell}");
-                assert_eq!(s.sched_subtrees, base.sched_subtrees, "{cell}");
-                assert_eq!(s.sched_subtree_max_depth, base.sched_subtree_max_depth, "{cell}");
-            } else {
-                assert_eq!(s.prefix_hits, 0, "{cell}");
-                assert_eq!(s.prefix_ops_saved, 0, "{cell}");
+        for (bi, rep_check) in [true, false].into_iter().enumerate() {
+            let base = &bases[bi];
+            for prefix_cache in [true, false] {
+                let cfg = TestConfig {
+                    prefix_cache,
+                    rep_check,
+                    ..TestConfig::default().with_threads(threads)
+                };
+                let s = run_suite(FsName::Nova, BugSet::fixed(), ws.clone(), &cfg);
+                let cell =
+                    format!("threads={threads} rep_check={rep_check} prefix_cache={prefix_cache}");
+                assert_eq!(s.workloads, base.workloads, "{cell}");
+                assert_eq!(s.crash_points, base.crash_points, "{cell}");
+                assert_eq!(s.crash_states, base.crash_states, "{cell}");
+                assert_eq!(s.dedup_hits, base.dedup_hits, "{cell}");
+                assert_eq!(s.memo_hits, base.memo_hits, "{cell}");
+                assert_eq!(s.rep_classes, base.rep_classes, "{cell}");
+                assert_eq!(s.rep_skipped, base.rep_skipped, "{cell}");
+                assert_eq!(s.rep_expansions, base.rep_expansions, "{cell}");
+                assert_eq!(s.reports, base.reports, "{cell}");
+                assert_eq!(s.inflight, base.inflight, "{cell}");
+                assert_eq!(
+                    format!("{:?}", s.bug_reports),
+                    format!("{:?}", base.bug_reports),
+                    "bug trajectories diverged at {cell}"
+                );
+                if prefix_cache {
+                    // The prefix counters themselves are thread-count-invariant:
+                    // subtree partitioning is a pure function of the batch and
+                    // groups move to workers wholesale.
+                    assert_eq!(s.prefix_hits, base.prefix_hits, "{cell}");
+                    assert_eq!(s.prefix_ops_saved, base.prefix_ops_saved, "{cell}");
+                    assert_eq!(s.sched_subtrees, base.sched_subtrees, "{cell}");
+                    assert_eq!(s.sched_subtree_max_depth, base.sched_subtree_max_depth, "{cell}");
+                } else {
+                    assert_eq!(s.prefix_hits, 0, "{cell}");
+                    assert_eq!(s.prefix_ops_saved, 0, "{cell}");
+                }
             }
         }
     }

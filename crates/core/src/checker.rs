@@ -130,11 +130,14 @@ pub fn mount_state<K: FsKind, D: PmBackend>(
     Ok((fs, tree))
 }
 
-/// The scope the tree walk should use. A full walk is required whenever the
-/// tree outlives this one comparison (cross-point memoization) or the
-/// validation mode needs to run the full comparison against it.
+/// The scope the tree walk should use. A full walk is required only when
+/// scoped checking is off or the validation mode needs to run the full
+/// comparison against the tree. `cross_dedup` no longer forces a full walk:
+/// memoized trees record the scope they were walked under, and reuse at a
+/// later point checks scope compatibility instead (a successful covering
+/// walk substitutes; anything else re-checks fresh).
 pub fn walk_scope(cfg: &TestConfig, scope: &Scope) -> Scope {
-    if !cfg.scoped_check || cfg.scoped_validate || cfg.cross_dedup {
+    if !cfg.scoped_check || cfg.scoped_validate {
         Scope::Full
     } else {
         scope.clone()

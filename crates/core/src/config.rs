@@ -104,6 +104,30 @@ pub struct TestConfig {
     /// bit-identical at any thread count. Requires `sandbox`. `None`
     /// disables the watchdog.
     pub recovery_fuel: Option<u64>,
+    /// Representative-state checking: cluster crash states by a behavioral
+    /// signature ([`crashgen::behavior_sig`](crate::crashgen::behavior_sig)
+    /// plus the crash point's check context), run the full check pipeline
+    /// only on the first state of each class, and skip the rest as long as
+    /// the representative stayed violation-free. A class whose
+    /// representative reports *any* violation expands: every later member
+    /// is checked exhaustively, so no bug is ever reported from an
+    /// unchecked state and a hit class degrades to today's exhaustive
+    /// behavior. Class tables are per workload, updated only at canonical
+    /// commit, and live in prefix-cache checkpoints — outcomes are
+    /// bit-identical across thread counts and `prefix_cache` settings.
+    /// Unlike the exact-image fast paths this one is lossy by design
+    /// (Pathfinder-style representative testing): a violation unique to a
+    /// skipped member of a clean class would be missed, which CI pins
+    /// against the 25-bug corpus (zero missed bugs) and the
+    /// `CHIPMUNK_REP_VALIDATE` cross-check. Counted by `rep_classes` /
+    /// `rep_skipped` / `rep_expansions`.
+    pub rep_check: bool,
+    /// Debug mode for `rep_check`: force-check every state the
+    /// representative layer would skip and panic if one of them reports a
+    /// violation (the signature failed to be a checker congruence). The
+    /// committed outcome stays byte-identical to plain `rep_check` runs.
+    /// Also enabled process-wide by setting `CHIPMUNK_REP_VALIDATE=1`.
+    pub rep_validate: bool,
     /// Record the content key of every committed crash state into
     /// [`TestOutcome::state_keys`](crate::TestOutcome), in canonical commit
     /// order (the campaign store folds them into its persistent per-FS
@@ -144,6 +168,8 @@ impl Default for TestConfig {
             par_prefix: true,
             sandbox: true,
             recovery_fuel: Some(DEFAULT_RECOVERY_FUEL),
+            rep_check: true,
+            rep_validate: false,
             collect_state_keys: false,
         }
     }
@@ -175,7 +201,9 @@ impl TestConfig {
     /// `prefix_cache`, `delta_replay`, `cross_dedup`, `scoped_check`,
     /// `par_prefix`) are deliberately absent: they are observationally
     /// identical by construction, so a bundle replays correctly under any of
-    /// them.
+    /// them. `rep_check` is absent too: bundles replay one pinned crash
+    /// state through the single-state path, which never consults the
+    /// representative layer.
     pub fn semantic_knobs(&self) -> Vec<(&'static str, String)> {
         fn opt(v: Option<u64>) -> String {
             match v {
@@ -250,6 +278,8 @@ mod tests {
         assert!(c.par_prefix);
         assert!(c.sandbox);
         assert_eq!(c.recovery_fuel, Some(DEFAULT_RECOVERY_FUEL));
+        assert!(c.rep_check);
+        assert!(!c.rep_validate);
         assert!(!c.collect_state_keys);
     }
 
@@ -274,5 +304,7 @@ mod tests {
         assert_eq!(dst.recovery_fuel, None);
         assert!(dst.set_knob("threads", "4").is_err());
         assert!(dst.set_knob("cap", "many").is_err());
+        // Perf-only knobs never round-trip through bundles.
+        assert!(dst.set_knob("rep_check", "true").is_err());
     }
 }

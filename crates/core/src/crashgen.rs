@@ -283,12 +283,58 @@ impl<'a> SubsetWalker<'a> {
 pub fn state_key(writes: &[PendingWrite], subset: &[usize]) -> u128 {
     let mut order = subset.to_vec();
     order.sort_unstable();
-    // Latest-writer-wins: walk the subset in reverse program order and keep,
-    // for each write, only the byte ranges not covered by a later write.
-    let mut segs: Vec<(u64, &[u8])> = Vec::new();
+    let segs = effective_segs(writes, &order, &[]);
+    // Key = XOR of a structural term per maximal contiguous run plus the
+    // word-wise content scan of each segment (zero words skipped — replayed
+    // bytes are mostly sparse). Different segmentations of the same byte
+    // image produce the same maximal runs and the same per-byte terms, so
+    // they hash identically; the run term keeps an all-zero run distinct
+    // from an unwritten one. Unlike the old byte-at-a-time FNV feed, every
+    // segment is scanned 8 bytes per step straight out of the borrowed
+    // write data — no per-subset image materialization.
+    let mut key: ImageKey = 0;
+    let mut i = 0;
+    while i < segs.len() {
+        let start = segs[i].0;
+        let mut end = start;
+        while i < segs.len() && segs[i].0 == end {
+            key ^= pmem::span_key(end, segs[i].1);
+            end += segs[i].1.len() as u64;
+            i += 1;
+        }
+        key ^= pmem::run_term(start, end - start);
+    }
+    key
+}
+
+/// One latest-writer-wins segment: absolute offset, the surviving bytes,
+/// and whether they came from a data-classed write (see [`DATA_SIG_BYTES`]).
+type Seg<'a> = (u64, &'a [u8], bool);
+
+/// A non-temporal write at least this large is treated as file data by the
+/// behavioral signature, mirroring the paper's file-data heuristic in
+/// [`coalesce`]. When the crash point's check relaxes data tears
+/// (`DataRelax::Torn` on an FS without read-path data checksums, with every
+/// in-flight write attributable to the relaxed op), data-classed writes are
+/// dropped from the signature entirely — the comparison accepts any mix of
+/// their old/new/zero bytes, so neither their content nor their membership
+/// can change a verdict. Everywhere else they sign content-exact, like
+/// metadata.
+pub const DATA_SIG_BYTES: usize = 256;
+
+/// Latest-writer-wins segments of `absorbed ++ writes[subset]` in program
+/// order (`absorbed` writes are all included and precede the subset).
+/// `subset` must be sorted ascending. Segments are returned sorted by
+/// offset; each carries the data-class flag of its originating write.
+fn effective_segs<'a>(
+    writes: &'a [PendingWrite],
+    subset: &[usize],
+    absorbed: &'a [PendingWrite],
+) -> Vec<Seg<'a>> {
+    let mut segs: Vec<Seg<'a>> = Vec::new();
     let mut covered: Vec<(u64, u64)> = Vec::new(); // sorted, disjoint [start, end)
-    for &i in order.iter().rev() {
-        let w = &writes[i];
+    let mut visit = |w: &'a PendingWrite| {
+        let data_class = w.nt && w.data.len() >= DATA_SIG_BYTES;
         let (ws, we) = (w.off, w.off + w.data.len() as u64);
         let mut cur = ws;
         for &(cs, ce) in covered.iter() {
@@ -300,7 +346,11 @@ pub fn state_key(writes: &[PendingWrite], subset: &[usize]) -> u128 {
             }
             let hole_end = cs.min(we);
             if cur < hole_end {
-                segs.push((cur, &w.data[(cur - ws) as usize..(hole_end - ws) as usize]));
+                segs.push((
+                    cur,
+                    &w.data[(cur - ws) as usize..(hole_end - ws) as usize],
+                    data_class,
+                ));
             }
             cur = cur.max(ce);
             if cur >= we {
@@ -308,38 +358,167 @@ pub fn state_key(writes: &[PendingWrite], subset: &[usize]) -> u128 {
             }
         }
         if cur < we {
-            segs.push((cur, &w.data[(cur - ws) as usize..(we - ws) as usize]));
+            segs.push((cur, &w.data[(cur - ws) as usize..(we - ws) as usize], data_class));
         }
         insert_interval(&mut covered, ws, we);
-    }
-    segs.sort_by_key(|&(o, _)| o);
-    // Hash maximal contiguous runs as (start offset, bytes..., run length),
-    // so different segmentations of the same byte image hash identically.
-    let mut h1: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut h2: u64 = 0x6c62_272e_07bb_0142;
-    let mut feed = |b: u8| {
-        h1 = (h1 ^ b as u64).wrapping_mul(0x100_0000_01b3);
-        h2 = (h2 ^ b as u64).wrapping_mul(0x3f58_76dd_9049_13a5) ^ (h2 >> 29);
     };
-    let mut i = 0;
-    while i < segs.len() {
-        let start = segs[i].0;
-        for b in start.to_le_bytes() {
-            feed(b);
+    // Reverse program order: the subset's writes land after (and therefore
+    // shadow) the already-absorbed ones.
+    for &i in subset.iter().rev() {
+        visit(&writes[i]);
+    }
+    for w in absorbed.iter().rev() {
+        visit(w);
+    }
+    segs.sort_by_key(|&(o, _, _)| o);
+    segs
+}
+
+/// Behavioral signature of a crash state, for representative-state
+/// clustering ([`TestConfig::rep_check`](crate::TestConfig)): the state is
+/// described as the *cumulative* overlay the current op has laid over its
+/// entry image — every write absorbed at a fence since the op began
+/// (`absorbed`), plus the chosen `subset` of the still-in-flight `writes`.
+///
+/// Anchoring the signature at the op's entry image makes it comparable
+/// across the crash points *inside* one op (which share the same oracle
+/// references): the base state at fence k+1 signs identically to the full
+/// in-flight set at fence k, because both are the same cumulative overlay.
+///
+/// Metadata-classed segments (small or store/flush-sourced) contribute
+/// exact position + content terms — a journal commit word with a different
+/// value is a behaviorally different state. Data-classed segments (large
+/// non-temporal writes, see [`DATA_SIG_BYTES`]) depend on `drop_data`: when
+/// the caller has proven the point's check tolerates every byte the data
+/// writes can leave (torn-data relaxation on the written file, no read-path
+/// checksums, all in-flight writes issued by the relaxed op, no data write
+/// shadowing another), they are omitted — content *and* membership — so the
+/// `2^k` data-membership choices collapse into one class per metadata
+/// shape. Otherwise data segments sign content-exact like metadata, under a
+/// distinct tag so a data run can never alias a metadata run.
+pub fn behavior_sig(
+    writes: &[PendingWrite],
+    subset: &[usize],
+    absorbed: &[PendingWrite],
+    drop_data: bool,
+) -> u128 {
+    let mut order = subset.to_vec();
+    order.sort_unstable();
+    let segs = effective_segs(writes, &order, absorbed);
+    let mut sig: u128 = 0;
+    for &(off, bytes, data_class) in &segs {
+        let len = bytes.len() as u64;
+        if data_class && drop_data {
+            continue;
         }
-        let mut end = start;
-        while i < segs.len() && segs[i].0 == end {
-            for &b in segs[i].1 {
-                feed(b);
-            }
-            end += segs[i].1.len() as u64;
-            i += 1;
-        }
-        for b in (end - start).to_le_bytes() {
-            feed(b);
+        let tag = if data_class { DATA_TAG } else { META_TAG };
+        sig ^= pmem::run_term(tag ^ off, len);
+        sig ^= pmem::span_key(off, bytes);
+    }
+    sig
+}
+
+/// Signature tag for metadata-classed segments.
+const META_TAG: u64 = 0x5da2_7d06_a1b2_c3d4;
+/// Signature tag for data-classed segments.
+const DATA_TAG: u64 = 0x9e11_83c5_4f6e_7a80;
+
+/// Per-crash-point cache for [`behavior_sig`].
+///
+/// Signing hashes every member write's content, and a crash point signs
+/// every one of its (often hundreds of) subsets — re-hashing a 4 KiB data
+/// write per subset dominates the whole representative layer's cost. When
+/// no two writes (in-flight or absorbed) overlap in bytes, latest-writer-
+/// wins segmentation is the identity: every visited write survives whole,
+/// so a subset's signature is the XOR of one precomputed term per member
+/// plus the constant absorbed term — `O(|subset|)` XORs per state. Points
+/// with overlapping writes fall back to [`behavior_sig`] verbatim, so the
+/// cached signature is bit-identical to the direct one everywhere.
+pub struct SigCache<'a> {
+    writes: &'a [PendingWrite],
+    absorbed: &'a [PendingWrite],
+    drop_data: bool,
+    /// One term per in-flight write plus the folded absorbed term; `None`
+    /// when some pair of writes overlaps (fall back to [`behavior_sig`]).
+    fast: Option<(Vec<u128>, u128)>,
+}
+
+impl<'a> SigCache<'a> {
+    /// Precomputes per-write terms for one crash point.
+    pub fn new(writes: &'a [PendingWrite], absorbed: &'a [PendingWrite], drop_data: bool) -> Self {
+        let mut spans: Vec<(u64, u64)> = writes
+            .iter()
+            .chain(absorbed)
+            .filter(|w| !w.data.is_empty())
+            .map(|w| (w.off, w.off + w.data.len() as u64))
+            .collect();
+        spans.sort_unstable();
+        let overlap = spans.windows(2).any(|p| p[1].0 < p[0].1);
+        let fast = (!overlap).then(|| {
+            let term = |w: &PendingWrite| write_term(w, drop_data);
+            (
+                writes.iter().map(term).collect(),
+                absorbed.iter().map(term).fold(0, |a, t| a ^ t),
+            )
+        });
+        SigCache { writes, absorbed, drop_data, fast }
+    }
+
+    /// [`behavior_sig`] of `subset`, served from the cache when possible.
+    pub fn sig(&self, subset: &[usize]) -> u128 {
+        match &self.fast {
+            Some((terms, abs)) => subset.iter().fold(*abs, |a, &i| a ^ terms[i]),
+            None => behavior_sig(self.writes, subset, self.absorbed, self.drop_data),
         }
     }
-    ((h1 as u128) << 64) | h2 as u128
+}
+
+/// The signature contribution of one whole (unshadowed) write.
+fn write_term(w: &PendingWrite, drop_data: bool) -> u128 {
+    let data_class = w.nt && w.data.len() >= DATA_SIG_BYTES;
+    if w.data.is_empty() || (data_class && drop_data) {
+        return 0;
+    }
+    let tag = if data_class { DATA_TAG } else { META_TAG };
+    pmem::run_term(tag ^ w.off, w.data.len() as u64) ^ pmem::span_key(w.off, &w.data)
+}
+
+/// Whether dropping the in-flight data-classed writes from a behavioral
+/// signature could hide an intermediate value the torn-data relaxation does
+/// not tolerate.
+///
+/// Within a class all metadata writes are fixed and only data membership
+/// varies, so a member state's byte at any position is either whatever the
+/// representative (the fewest-data-writes member) already exposed there —
+/// any violation in that is caught on the representative and expands the
+/// class — or the value of the last applied data write covering it. The
+/// latter is always tolerated when it is the position's *final* data value
+/// (the checker's `new`), zero (explicitly tolerated, the zero-fill of a
+/// freshly allocated block), or equal to every later writer's byte. So the
+/// drop is only unsafe when an earlier data write holds, somewhere a later
+/// data write also covers, a byte that is neither zero nor the later
+/// write's byte: a subset applying the earlier but not the later writer
+/// would surface it. Absorbed writes need no veto — they are applied in
+/// every member, representative included.
+///
+/// Membership in `subset` cannot influence any of this, so it is decided
+/// once per crash point.
+pub fn data_shadowing_unsafe(writes: &[PendingWrite]) -> bool {
+    let data: Vec<&PendingWrite> =
+        writes.iter().filter(|w| w.nt && w.data.len() >= DATA_SIG_BYTES).collect();
+    for (i, early) in data.iter().enumerate() {
+        for late in &data[i + 1..] {
+            let s = early.off.max(late.off);
+            let e = (early.off + early.data.len() as u64).min(late.off + late.data.len() as u64);
+            for p in s..e {
+                let a = early.data[(p - early.off) as usize];
+                if a != 0 && a != late.data[(p - late.off) as usize] {
+                    return true;
+                }
+            }
+        }
+    }
+    false
 }
 
 /// Merges `[ws, we)` into a sorted list of disjoint intervals.
@@ -389,6 +568,40 @@ pub fn describe_subset(writes: &[PendingWrite], subset: &[usize]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sig_cache_matches_behavior_sig_exactly() {
+        // A deterministic pseudo-random byte per (seed, index).
+        let byte = |seed: u64, i: u64| -> u8 {
+            (seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(i).wrapping_mul(0x2545_f491_4f6c_dd1d) >> 56) as u8
+        };
+        let wr = |seed: u64, off: u64, len: usize, nt: bool| PendingWrite {
+            off,
+            data: (0..len as u64).map(|i| byte(seed, i)).collect(),
+            nt,
+        };
+        // Disjoint, overlapping, shadowing, empty, and data-classed writes;
+        // absorbed writes both clear of and under the in-flight ones.
+        let cases: Vec<(Vec<PendingWrite>, Vec<PendingWrite>)> = vec![
+            (vec![wr(1, 0, 16, false), wr(2, 64, 8, true), wr(3, 512, 300, true)], vec![]),
+            (vec![wr(4, 10, 30, false), wr(5, 20, 40, true), wr(6, 25, 5, false)], vec![]),
+            (vec![wr(7, 0, 8, false), wr(8, 0, 8, false)], vec![wr(9, 100, 8, true)]),
+            (vec![wr(10, 40, 0, false), wr(11, 48, 8, true)], vec![wr(12, 48, 4, false)]),
+            (vec![wr(13, 0, 256, true), wr(14, 1024, 256, true)], vec![wr(15, 4096, 16, false)]),
+        ];
+        for (writes, absorbed) in &cases {
+            for drop_data in [false, true] {
+                let cache = SigCache::new(writes, absorbed, drop_data);
+                for subset in enumerate_subsets(writes.len(), None, u64::MAX) {
+                    assert_eq!(
+                        cache.sig(&subset),
+                        behavior_sig(writes, &subset, absorbed, drop_data),
+                        "writes {writes:?} subset {subset:?} drop {drop_data}"
+                    );
+                }
+            }
+        }
+    }
 
     #[test]
     fn subsets_of_three_exhaustive() {
@@ -537,6 +750,93 @@ mod tests {
         // The empty subset is the base state and keys consistently.
         assert_eq!(state_key(&writes, &[]), state_key(&writes, &[]));
         assert_ne!(state_key(&writes, &[]), state_key(&writes, &[0]));
+    }
+
+    #[test]
+    fn behavior_sig_is_cumulative_across_fence_absorption() {
+        // The op writes A then B with a fence between them. At the fence,
+        // pending {A, B}'s full-set state must sign identically to the base
+        // state of the next point, where A and B are already absorbed.
+        let a = PendingWrite { off: 64, data: vec![7u8; 8], nt: false };
+        let b = PendingWrite { off: 128, data: vec![9u8; 8], nt: false };
+        let both = vec![a.clone(), b.clone()];
+        let full_at_fence = behavior_sig(&both, &[0, 1], &[], false);
+        let base_after = behavior_sig(&[], &[], &both, false);
+        assert_eq!(full_at_fence, base_after);
+        // Partial absorption composes the same way.
+        let half = behavior_sig(std::slice::from_ref(&b), &[0], std::slice::from_ref(&a), false);
+        assert_eq!(half, full_at_fence);
+        // And subsets remain distinct from the full set.
+        assert_ne!(behavior_sig(&both, &[0], &[], false), full_at_fence);
+    }
+
+    #[test]
+    fn behavior_sig_drops_data_writes_under_torn_relaxation() {
+        let meta = PendingWrite { off: 0, data: 3u64.to_le_bytes().to_vec(), nt: false };
+        let data_a = PendingWrite { off: 4096, data: vec![1u8; 4096], nt: true };
+        let data_b = PendingWrite { off: 4096, data: vec![2u8; 4096], nt: true };
+        let md_a = vec![meta.clone(), data_a.clone()];
+        // With the torn-data drop, data membership is invisible: the
+        // metadata-only subset and the metadata+data subset are one class...
+        assert_eq!(behavior_sig(&md_a, &[0], &[], true), behavior_sig(&md_a, &[0, 1], &[], true));
+        // ...as is the same shape with different data content...
+        let md_b = vec![meta.clone(), data_b.clone()];
+        assert_eq!(behavior_sig(&md_a, &[0, 1], &[], true), behavior_sig(&md_b, &[0, 1], &[], true));
+        // ...but the exact image key still tells the states apart.
+        assert_ne!(state_key(&md_a, &[0, 1]), state_key(&md_b, &[0, 1]));
+        // A data-only subset signs like the absorbed-only base.
+        assert_eq!(behavior_sig(&md_a, &[1], &[], true), behavior_sig(&[], &[], &[], true));
+    }
+
+    #[test]
+    fn behavior_sig_keeps_data_content_exact_without_the_relaxation() {
+        // Outside a proven-tolerant point (fortis checksums, foreign pending
+        // writes, overlapping data writes) data bytes sign exactly.
+        let data_a = PendingWrite { off: 4096, data: vec![1u8; 4096], nt: true };
+        let data_b = PendingWrite { off: 4096, data: vec![2u8; 4096], nt: true };
+        assert_ne!(
+            behavior_sig(std::slice::from_ref(&data_a), &[0], &[], false),
+            behavior_sig(std::slice::from_ref(&data_b), &[0], &[], false)
+        );
+    }
+
+    #[test]
+    fn behavior_sig_keeps_metadata_content_exact() {
+        // An 8-byte store with a different value (journal tail: n vs 0) is a
+        // behaviorally different state and must never share a class.
+        let tail_set = PendingWrite { off: 0, data: 3u64.to_le_bytes().to_vec(), nt: false };
+        let tail_clear = PendingWrite { off: 0, data: 0u64.to_le_bytes().to_vec(), nt: false };
+        assert_ne!(
+            behavior_sig(std::slice::from_ref(&tail_set), &[0], &[], true),
+            behavior_sig(std::slice::from_ref(&tail_clear), &[0], &[], true)
+        );
+        // Small nt writes count as metadata too, even under the data drop.
+        let nt_small_a = PendingWrite { off: 64, data: vec![5u8; 32], nt: true };
+        let nt_small_b = PendingWrite { off: 64, data: vec![6u8; 32], nt: true };
+        assert_ne!(
+            behavior_sig(std::slice::from_ref(&nt_small_a), &[0], &[], true),
+            behavior_sig(std::slice::from_ref(&nt_small_b), &[0], &[], true)
+        );
+    }
+
+    #[test]
+    fn data_shadowing_unsafe_tolerates_zero_fill_but_not_rewrites() {
+        let d = |off: u64, byte: u8| PendingWrite { off, data: vec![byte; 4096], nt: true };
+        let meta = PendingWrite { off: 0, data: vec![1u8; 8], nt: false };
+        // Disjoint data writes (and any number of metadata writes) are fine.
+        assert!(!data_shadowing_unsafe(&[d(4096, 1), meta.clone(), d(8192, 2)]));
+        // Zero-fill of a fresh block later covered by content is tolerated
+        // (a subset applying only the fill leaves tolerated zero bytes), as
+        // is rewriting the same bytes.
+        assert!(!data_shadowing_unsafe(&[d(4096, 0), d(4096, 7)]));
+        assert!(!data_shadowing_unsafe(&[d(4096, 7), d(4096, 7)]));
+        // A nonzero intermediate value a later data write replaces is not:
+        // a subset with only the earlier write would surface it.
+        assert!(data_shadowing_unsafe(&[d(4096, 5), d(4096, 7)]));
+        assert!(data_shadowing_unsafe(&[d(4096, 5), d(6144, 7)]));
+        // Metadata overlapping data is not a data/data shadow.
+        let small = PendingWrite { off: 4100, data: vec![2u8; 8], nt: false };
+        assert!(!data_shadowing_unsafe(&[d(4096, 3), small]));
     }
 
     #[test]

@@ -15,10 +15,12 @@ use crate::{
     checker::{probe_state, walk_scope, CheckKind, DataRelax},
     config::TestConfig,
     crashgen::{
-        apply_subset, coalesce, describe_subset, enumerate_subsets_ordered, PendingWrite,
-        SubsetWalker,
+        apply_subset, coalesce, data_shadowing_unsafe, describe_subset,
+        enumerate_subsets_ordered,
+        PendingWrite, SigCache, SubsetWalker,
     },
     exec::{Executor, OpResult},
+    footprint::{FpSet, FP_MIN_STATES, FP_WORD_CAP},
     oracle::{alias_set, build_oracle, Oracle, Scope, Tree},
     report::{BugReport, CrashPhase, Stage, Violation},
     sandbox,
@@ -83,6 +85,18 @@ pub struct TestOutcome {
     /// Crash states whose check hit fuel exhaustion at any point, including
     /// hangs that the slow-path re-check subsequently cleared.
     pub fuel_exhausted: u64,
+    /// Behavioral classes created by representative-state checking (see
+    /// [`TestConfig::rep_check`]): each counts one state that was checked on
+    /// the full path as its class's representative.
+    pub rep_classes: u64,
+    /// Crash states skipped because their behavioral class already had a
+    /// violation-free representative; they commit a synthesized clean
+    /// verdict without mounting.
+    pub rep_skipped: u64,
+    /// Crash states force-checked because their class's representative (or a
+    /// later checked member) reported a violation — the class expanded back
+    /// to exhaustive checking.
+    pub rep_expansions: u64,
     /// In-flight write counts observed at each crash point (before
     /// coalescing) — the data behind Observation 7.
     pub inflight_sizes: Vec<usize>,
@@ -379,6 +393,16 @@ pub(crate) struct ReplayEngine<'a, K: FsKind> {
     pub memo: CrossMemo,
     /// In-flight writes since the last fence.
     pub pending: Vec<PendingWrite>,
+    /// Writes absorbed into `base` (fences crossed, or eADR stores applied)
+    /// since the current op began — cleared at every `SyscallBegin`. The
+    /// behavioral signature hashes these alongside a state's subset so the
+    /// signature is anchored at the base image *as of op start*: the state
+    /// after fence `k` absorbs signs identically whether its writes are
+    /// still pending or already in `base`. Kept in the same
+    /// coalesced/uncoalesced form the subset enumeration uses.
+    pub op_absorbed: Vec<PendingWrite>,
+    /// Behavioral class table ([`TestConfig::rep_check`]).
+    pub rep: RepTable,
     /// Which ops still have writes in `pending` (for scope computation).
     pub pending_seqs: BTreeSet<usize>,
     /// Whether any pending write predates the first marker.
@@ -445,6 +469,8 @@ impl<'a, K: FsKind> ReplayEngine<'a, K> {
             base_key: 0,
             memo: CrossMemo::default(),
             pending: Vec::new(),
+            op_absorbed: Vec::new(),
+            rep: RepTable::default(),
             pending_seqs: BTreeSet::new(),
             pending_unknown: false,
             cur_op: None,
@@ -487,6 +513,7 @@ impl<'a, K: FsKind> ReplayEngine<'a, K> {
             LogEntry::Marker(Marker::SyscallBegin(OpRecord { seq, .. })) => {
                 self.started = true;
                 self.cur_op = Some(*seq);
+                self.op_absorbed.clear();
             }
             LogEntry::Marker(Marker::SyscallEnd { seq, .. }) => {
                 self.cur_op = None;
@@ -551,6 +578,14 @@ impl<'a, K: FsKind> ReplayEngine<'a, K> {
                 for w in &pending {
                     self.apply_base(w.off, &w.data);
                 }
+                // Absorbed writes keep contributing to behavioral signatures
+                // (in the same shape the subset enumeration saw them) until
+                // the next op begins.
+                if self.cfg.coalesce_data {
+                    self.op_absorbed.extend(coalesce(&pending));
+                } else {
+                    self.op_absorbed.extend(pending);
+                }
                 self.pending_seqs.clear();
                 self.pending_unknown = false;
             }
@@ -563,6 +598,7 @@ impl<'a, K: FsKind> ReplayEngine<'a, K> {
                     // visible *between* the stores that make it up; see bug
                     // 19.)
                     self.apply_base(w.off, &w.data);
+                    self.op_absorbed.push(w);
                     if self.started && self.guarantees.strong {
                         let Some(out) = out else { return };
                         match self.cur_op {
@@ -624,6 +660,18 @@ impl<'a, K: FsKind> ReplayEngine<'a, K> {
         }
         let scope = self.scope_for(seq);
         let pending: &[PendingWrite] = if no_pending { &[] } else { &self.pending };
+        // Torn-data drop precondition (see [`crashgen::behavior_sig`]): the
+        // check tolerates any old/new/zero byte mix in the written file, the
+        // FS cannot turn torn data into a read error, and every in-flight
+        // write is attributable to the relaxed op (a leftover unfenced write
+        // from an earlier op could belong to a different, exactly-compared
+        // file). `visit_crash_point` still vetoes it if data writes shadow
+        // each other at this point.
+        let torn_drop = self.cfg.rep_check
+            && matches!(check, CheckKind::Atomicity { relax: DataRelax::Torn(_), .. })
+            && !self.guarantees.data_checksums
+            && !self.pending_unknown
+            && self.pending_seqs.iter().all(|&s| s == seq);
         visit_crash_point(
             self.kind,
             self.workload,
@@ -631,12 +679,15 @@ impl<'a, K: FsKind> ReplayEngine<'a, K> {
             &self.base,
             self.base_key,
             pending,
+            &self.op_absorbed,
             seq,
             phase,
             check,
             check_base,
+            torn_drop,
             &scope,
             &mut self.memo,
+            &mut self.rep,
             out,
             &mut self.stop,
         );
@@ -765,6 +816,10 @@ pub fn check_one_state<K: FsKind>(
 struct StateArtifacts {
     /// Mount + tree-walk outcome (check stages 1–2).
     pre: Result<Arc<Tree>, Violation>,
+    /// The scope the memoized walk ran under. Reuse at a later point
+    /// requires compatibility (see [`memo_walk_compatible`]); before scoped
+    /// walks composed with `cross_dedup` this was always `Full`.
+    walked: Scope,
     /// Coverage hit during mount + walk.
     cov_mw: Arc<HashSet<u64>>,
     /// Injected-bug trace hit during mount + walk.
@@ -807,6 +862,184 @@ impl CrossMemo {
         }
         self.map.insert(key, art);
     }
+}
+
+/// Per-workload class table for representative-state checking
+/// ([`TestConfig::rep_check`]): behavioral signature → whether any checked
+/// member of the class reported a violation. Bounded like [`CrossMemo`]:
+/// once the cap is reached no new classes form (those states simply check
+/// normally). The table is frozen while a crash point is in flight — new
+/// classes claimed during a point are folded in after its canonical commit
+/// walk — so plans are identical for any thread count.
+#[derive(Default, Clone)]
+pub(crate) struct RepTable {
+    map: HashMap<u128, bool>,
+}
+
+const REP_CAP: usize = 1 << 16;
+
+impl RepTable {
+    fn get(&self, sig: &u128) -> Option<bool> {
+        self.map.get(sig).copied()
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn insert(&mut self, sig: u128, violated: bool) {
+        if self.map.len() >= REP_CAP && !self.map.contains_key(&sig) {
+            return;
+        }
+        *self.map.entry(sig).or_insert(false) |= violated;
+    }
+}
+
+/// How the representative layer treats one crash state. `NoRep` states (rep
+/// off, in-point duplicates, table at cap) check normally with no class
+/// accounting.
+#[derive(Clone, Copy, PartialEq)]
+enum RepPlan {
+    NoRep,
+    /// First member of a new class: checked as its representative.
+    Claim,
+    /// Class has a violation-free representative: commit synthesized clean.
+    Skip,
+    /// Class is known violated: force-check (graceful degradation).
+    Expand,
+    /// Class was claimed earlier at this same point by the held index;
+    /// resolves to `Skip`/`Expand` once the claimer's verdict is known.
+    Defer(usize),
+}
+
+/// Plans one non-duplicate state against the frozen class table plus the
+/// claims made earlier at this point. Called in canonical state order on
+/// both the serial and the parallel path, so claims and cap decisions are
+/// identical for any thread count.
+fn plan_rep(sig: u128, rep: &RepTable, claims: &mut HashMap<u128, usize>, i: usize) -> RepPlan {
+    if let Some(&r) = claims.get(&sig) {
+        RepPlan::Defer(r)
+    } else if let Some(v) = rep.get(&sig) {
+        if v {
+            RepPlan::Expand
+        } else {
+            RepPlan::Skip
+        }
+    } else if rep.len() + claims.len() >= REP_CAP {
+        RepPlan::NoRep
+    } else {
+        claims.insert(sig, i);
+        RepPlan::Claim
+    }
+}
+
+/// Folds the classes claimed at one crash point into the table, keyed by
+/// their representative's committed verdict. Claims were admitted under the
+/// combined cap, so insertion order (HashMap iteration) cannot change which
+/// of them land.
+fn fold_claims(claims: HashMap<u128, usize>, results: &[Option<CheckRes>], rep: &mut RepTable) {
+    for (sig, idx) in claims {
+        if let Some(r) = &results[idx] {
+            rep.insert(sig, r.violation.is_some());
+        }
+    }
+}
+
+// Distinct term namespaces for the crash-point context hash.
+const CTX_SEQ: u64 = 0x7b4d_1f2e_9c6a_5d30;
+const CTX_CHECK: u64 = 0x1c9a_7e55_3b21_d6f4;
+const CTX_TARGET: u64 = 0x642e_0b8a_f17c_3d59;
+const CTX_SCOPE: u64 = 0xd3ab_56c1_88ee_0f27;
+const CTX_DROP: u64 = 0x21f7_c4e9_0a5d_b863;
+
+fn path_term(tag: u64, p: &str) -> u128 {
+    pmem::span_key(0, p.as_bytes()) ^ pmem::run_term(tag, p.len() as u64)
+}
+
+/// The check-context half of a behavioral signature: everything besides the
+/// replayed overlay that can change a state's verdict. Two states may share
+/// a class only when they are checked at the same op (`seq` pins the oracle
+/// trees the check references), under the same check kind and relaxation,
+/// and with the same comparison scope. Together with
+/// [`crashgen::behavior_sig`]'s anchoring at the base image as of op start,
+/// equal signatures mean "same check applied to behaviorally equal images".
+fn rep_context(seq: usize, phase: CrashPhase, check: &CheckKind<'_>, scope: &Scope) -> u128 {
+    let mut h = pmem::run_term(CTX_SEQ ^ (seq as u64), phase as u64);
+    let (ck, relax, target) = match check {
+        CheckKind::Synchrony { .. } => (1u64, 0u64, None),
+        CheckKind::Atomicity { relax, .. } => match relax {
+            DataRelax::None => (2, 0, None),
+            DataRelax::Torn(t) => (2, 1, Some(*t)),
+            DataRelax::Atomic(t) => (2, 2, Some(*t)),
+        },
+        CheckKind::WeakFsync { target, .. } => (3, 0, *target),
+    };
+    h ^= pmem::run_term(CTX_CHECK ^ ck, relax);
+    if let Some(t) = target {
+        h ^= path_term(CTX_TARGET, t);
+    }
+    match scope {
+        Scope::Full => h ^= pmem::run_term(CTX_SCOPE, u64::MAX),
+        Scope::Paths(set) => {
+            for p in set {
+                h ^= path_term(CTX_SCOPE, p);
+            }
+        }
+    }
+    h
+}
+
+/// Whether skipped states must be force-checked and asserted clean
+/// ([`TestConfig::rep_validate`], or `CHIPMUNK_REP_VALIDATE=1` for a whole
+/// process).
+fn rep_validate_on(cfg: &TestConfig) -> bool {
+    static ENV: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    cfg.rep_validate
+        || *ENV.get_or_init(|| {
+            std::env::var("CHIPMUNK_REP_VALIDATE").is_ok_and(|v| v == "1")
+        })
+}
+
+/// The committed result of a representative skip: clean, no artifacts, no
+/// instrumentation (the state was never mounted).
+fn synth_clean() -> CheckRes {
+    CheckRes {
+        violation: None,
+        cov: vec![],
+        trace: vec![],
+        art: None,
+        memo_hit: false,
+        sandbox_retry: false,
+        fuel_fired: false,
+    }
+}
+
+/// `rep_validate` debug path: fully check a state the representative layer
+/// is about to skip and panic if it reports a violation (the behavioral
+/// signature failed to be a checker congruence). Runs on a private overlay
+/// with fresh sinks, so the committed outcome is untouched.
+#[allow(clippy::too_many_arguments)]
+fn validate_skip<K: FsKind>(
+    kind: &K,
+    base: &[u8],
+    writes: &[PendingWrite],
+    subset: &[usize],
+    check: &CheckKind<'_>,
+    cfg: &TestConfig,
+    scope: &Scope,
+    sig: u128,
+) {
+    let fresh = kind.with_options(kind.options().with_fresh_sinks());
+    let mut cow = CowDevice::new(base);
+    apply_subset(&mut cow, writes, subset);
+    let r = check_staged(&fresh, cow, check, cfg, scope, false);
+    let r = finalize_check(kind, base, writes, subset, check, cfg, r);
+    assert!(
+        r.violation.is_none(),
+        "rep_validate: skipped state {subset:?} (class {sig:#034x}) reports {:?} while its \
+         representative was clean",
+        r.violation
+    );
 }
 
 /// The result of checking one crash state on a fresh-sink factory clone:
@@ -854,6 +1087,7 @@ fn decide(
     seen: &mut HashMap<ImageKey, usize>,
     memo: &CrossMemo,
     cfg: &TestConfig,
+    ws: &Scope,
 ) -> Decision {
     match seen.entry(key) {
         std::collections::hash_map::Entry::Occupied(e) => {
@@ -868,10 +1102,24 @@ fn decide(
         std::collections::hash_map::Entry::Vacant(v) => {
             v.insert(i);
             match memo.get(&key) {
-                Some(a) if cfg.cross_dedup => Decision::Memo(a.clone()),
+                Some(a) if cfg.cross_dedup && memo_walk_compatible(a, ws) => {
+                    Decision::Memo(a.clone())
+                }
                 _ => Decision::Fresh,
             }
         }
+    }
+}
+
+/// Whether a memoized walk can stand in for this point's walk under `ws`. A
+/// *successful* walk under a covering scope read (at least) every byte this
+/// point's comparison can touch, so its tree substitutes exactly. A *failed*
+/// walk is only equivalent when the scopes match: a wider walk may fail on
+/// corrupt file data that a narrower walk never reads.
+fn memo_walk_compatible(a: &StateArtifacts, ws: &Scope) -> bool {
+    match &a.pre {
+        Ok(_) => a.walked.covers(ws),
+        Err(_) => &a.walked == ws,
     }
 }
 
@@ -898,6 +1146,7 @@ fn check_staged<K: FsKind, D: pmem::PmBackend>(
                 trace: vec![trace_mw.clone()],
                 art: (want_art && memoizable).then_some(StateArtifacts {
                     pre: Err(v),
+                    walked: ws,
                     cov_mw,
                     trace_mw,
                     probe: None,
@@ -936,7 +1185,7 @@ fn check_staged<K: FsKind, D: pmem::PmBackend>(
         cov,
         trace,
         art: (want_art && memoizable)
-            .then_some(StateArtifacts { pre: Ok(tree), cov_mw, trace_mw, probe: probe_art }),
+            .then_some(StateArtifacts { pre: Ok(tree), walked: ws, cov_mw, trace_mw, probe: probe_art }),
         memo_hit: false,
         sandbox_retry: false,
         fuel_fired: false,
@@ -1175,6 +1424,14 @@ fn commit_state<K: FsKind>(
 ///   earlier crash point reuses that state's mount/walk/probe artifacts,
 ///   re-running only the (point-specific) oracle comparison.
 ///
+/// On top of the exact layers sits representative-state checking
+/// ([`TestConfig::rep_check`]): states are clustered by behavioral
+/// signature ([`rep_context`] ⊕ [`crashgen::behavior_sig`]); only the first
+/// member of each class is checked, later members commit a synthesized
+/// clean verdict while the class stays violation-free, and a violated class
+/// expands back to exhaustive checking. Plans are fixed per point against
+/// the frozen class table, so this too is thread-count-invariant.
+///
 /// Serially (`threads <= 1`) the states of a point are visited by a single
 /// undo-logged overlay that steps between adjacent subsets by applying and
 /// undoing only the writes they differ in ([`TestConfig::delta_replay`]);
@@ -1192,12 +1449,15 @@ fn visit_crash_point<K: FsKind>(
     base: &[u8],
     base_key: ImageKey,
     pending: &[PendingWrite],
+    absorbed: &[PendingWrite],
     seq: usize,
     phase: CrashPhase,
     check: &CheckKind<'_>,
     check_base: bool,
+    torn_drop: bool,
     scope: &Scope,
     memo: &mut CrossMemo,
+    rep: &mut RepTable,
     out: &mut TestOutcome,
     stop: &mut bool,
 ) {
@@ -1230,9 +1490,35 @@ fn visit_crash_point<K: FsKind>(
         collect_keys: cfg.collect_state_keys,
     };
     let want_art = cfg.cross_dedup;
+    let ws = walk_scope(cfg, scope);
     let threads = cfg.threads.max(1);
     let mut results: Vec<Option<CheckRes>> = Vec::with_capacity(subsets.len());
     results.resize_with(subsets.len(), || None);
+
+    // Representative layer: one behavioral signature per state. Classes are
+    // planned in canonical state order against the table frozen at point
+    // entry (claims made at this point resolve through the claimer's
+    // verdict), identically on the serial and the parallel path.
+    let rep_on = cfg.rep_check;
+    let sigs: Vec<u128> = if rep_on {
+        // The torn-data drop additionally requires that no data write
+        // leaves an intermediate value a later data write replaces (zero
+        // fill and same-byte rewrites are tolerated; anything else would
+        // escape the old/new/zero tolerance). Membership-independent, so
+        // decided per point; the drop mode is folded into the context hash
+        // so a dropped-data class can never alias an exact-data one.
+        let drop_data = torn_drop && !data_shadowing_unsafe(&writes);
+        let mut ctx_h = rep_context(seq, phase, check, scope);
+        if drop_data {
+            ctx_h ^= pmem::run_term(CTX_DROP, 1);
+        }
+        let cache = SigCache::new(&writes, absorbed, drop_data);
+        subsets.iter().map(|s| ctx_h ^ cache.sig(s)).collect()
+    } else {
+        Vec::new()
+    };
+    let mut claims: HashMap<u128, usize> = HashMap::new();
+    let mut fp = FpSet::default();
 
     if threads <= 1 {
         // Serial: one interleaved walk. The walker's undo-logged overlay is
@@ -1245,16 +1531,57 @@ fn visit_crash_point<K: FsKind>(
         for i in 0..subsets.len() {
             walker.goto(&writes, &subsets[i]);
             let key = walker.key();
-            let res = match decide(i, key, &mut seen, memo, cfg) {
-                Decision::Dup(j) => {
-                    let r = results[j].as_ref().expect("dedup source precedes its reuse");
-                    if commit_state(kind, &ctx, r, key, true, &subsets[i], || describe_subset(&writes, &subsets[i]), memo, out)
-                    {
-                        *stop = true;
-                        return;
-                    }
-                    continue;
+            let decision = decide(i, key, &mut seen, memo, cfg, &ws);
+            if let Decision::Dup(j) = &decision {
+                let r = results[*j].as_ref().expect("dedup source precedes its reuse");
+                if commit_state(kind, &ctx, r, key, true, &subsets[i], || describe_subset(&writes, &subsets[i]), memo, out)
+                {
+                    *stop = true;
+                    return;
                 }
+                continue;
+            }
+            let plan = if rep_on { plan_rep(sigs[i], rep, &mut claims, i) } else { RepPlan::NoRep };
+            // In the serial walk a class's claimer has always committed
+            // before its later members, so deferrals resolve immediately.
+            let plan = match plan {
+                RepPlan::Defer(r) => {
+                    let claimer =
+                        results[r].as_ref().expect("claimer precedes its class members");
+                    if claimer.violation.is_some() { RepPlan::Expand } else { RepPlan::Skip }
+                }
+                p => p,
+            };
+            if plan == RepPlan::Skip {
+                if rep_validate_on(cfg) {
+                    validate_skip(kind, base, &writes, &subsets[i], check, cfg, scope, sigs[i]);
+                }
+                let res = synth_clean();
+                commit_state(kind, &ctx, &res, key, false, &subsets[i], || describe_subset(&writes, &subsets[i]), memo, out);
+                out.rep_skipped += 1;
+                results[i] = Some(res);
+                continue;
+            }
+            // Footprint layer: a state whose image agrees with a recorded
+            // clean footprint on every line that check actually read
+            // provably replays the recorder's execution bit for bit — skip
+            // it clean. Expansion states are excluded (mirroring the
+            // parallel plan, which cannot know claimer verdicts up front).
+            let fp_eligible =
+                rep_on && subsets.len() >= FP_MIN_STATES && plan != RepPlan::Expand;
+            if fp_eligible && fp.matches(base, &writes, &subsets[i]) {
+                if rep_validate_on(cfg) {
+                    validate_skip(kind, base, &writes, &subsets[i], check, cfg, scope, sigs[i]);
+                }
+                let res = synth_clean();
+                commit_state(kind, &ctx, &res, key, false, &subsets[i], || describe_subset(&writes, &subsets[i]), memo, out);
+                out.rep_skipped += 1;
+                results[i] = Some(res);
+                continue;
+            }
+            let record = fp_eligible && fp.want_record() && matches!(decision, Decision::Fresh);
+            let res = match decision {
+                Decision::Dup(_) => unreachable!("handled above"),
                 Decision::Memo(art) => {
                     let fresh = kind.with_options(kind.options().with_fresh_sinks());
                     let r = resolve_memo_hit(&art, check, cfg, scope, |tree| {
@@ -1273,33 +1600,67 @@ fn visit_crash_point<K: FsKind>(
                 }
                 Decision::Fresh => {
                     let fresh = kind.with_options(kind.options().with_fresh_sinks());
-                    let r = if cfg.delta_replay {
+                    let (r, lines) = if cfg.delta_replay {
                         let mark = walker.mark();
-                        let r = check_staged(
-                            &fresh,
-                            &mut *walker.device(),
-                            check,
-                            cfg,
-                            scope,
-                            want_art,
-                        );
+                        let (r, lines) = if record {
+                            let mut t = pmem::ReadTracker::new(walker.device(), FP_WORD_CAP);
+                            let r = check_staged(&fresh, &mut t, check, cfg, scope, want_art);
+                            let lines = t.clean_words();
+                            (r, lines)
+                        } else {
+                            let r = check_staged(
+                                &fresh,
+                                &mut *walker.device(),
+                                check,
+                                cfg,
+                                scope,
+                                want_art,
+                            );
+                            (r, None)
+                        };
                         walker.undo_to(mark);
-                        r
+                        (r, lines)
                     } else {
                         let mut cow = CowDevice::new(base);
                         apply_subset(&mut cow, &writes, &subsets[i]);
-                        check_staged(&fresh, cow, check, cfg, scope, want_art)
+                        if record {
+                            let mut t = pmem::ReadTracker::new(cow, FP_WORD_CAP);
+                            let r = check_staged(&fresh, &mut t, check, cfg, scope, want_art);
+                            let lines = t.clean_words();
+                            (r, lines)
+                        } else {
+                            (check_staged(&fresh, cow, check, cfg, scope, want_art), None)
+                        }
                     };
-                    finalize_check(kind, base, &writes, &subsets[i], check, cfg, r)
+                    let r = finalize_check(kind, base, &writes, &subsets[i], check, cfg, r);
+                    if record {
+                        // A failed attempt (overflow, violation, sandbox
+                        // retry) closes recording for the point: together
+                        // with the entry cap this bounds the recorder
+                        // checks the parallel pre-pass mirrors serially.
+                        match lines {
+                            Some(l) if !r.sandbox_retry && r.violation.is_none() => {
+                                fp.record(l, base, &writes, &subsets[i]);
+                            }
+                            _ => fp.give_up(),
+                        }
+                    }
+                    r
                 }
             };
             let s = commit_state(kind, &ctx, &res, key, false, &subsets[i], || describe_subset(&writes, &subsets[i]), memo, out);
+            match plan {
+                RepPlan::Claim => out.rep_classes += 1,
+                RepPlan::Expand => out.rep_expansions += 1,
+                _ => {}
+            }
             results[i] = Some(res);
             if s {
                 *stop = true;
                 return;
             }
         }
+        fold_claims(claims, &results, rep);
         return;
     }
 
@@ -1317,8 +1678,57 @@ fn visit_crash_point<K: FsKind>(
     let plan: Vec<Decision> = keys
         .iter()
         .enumerate()
-        .map(|(i, &k)| decide(i, k, &mut seen, memo, cfg))
+        .map(|(i, &k)| decide(i, k, &mut seen, memo, cfg, &ws))
         .collect();
+    let mut rep_plans: Vec<RepPlan> = (0..subsets.len())
+        .map(|i| {
+            if !rep_on || matches!(plan[i], Decision::Dup(_)) {
+                RepPlan::NoRep
+            } else {
+                plan_rep(sigs[i], rep, &mut claims, i)
+            }
+        })
+        .collect();
+
+    // Footprint layer: entry evolution must match the serial walk, so the
+    // plan is drawn in canonical order with recorder states checked eagerly
+    // (at most [`crate::footprint::FP_MAX_ENTRIES`] of them, so the serial
+    // prefix stays negligible). States matching a recorded clean footprint
+    // are skipped; recorder results land in `results` and are committed by
+    // the ordered walk below like any other.
+    let mut fp_skips = vec![false; subsets.len()];
+    if rep_on && subsets.len() >= FP_MIN_STATES {
+        for i in 0..subsets.len() {
+            if matches!(plan[i], Decision::Dup(_))
+                || !matches!(rep_plans[i], RepPlan::Claim | RepPlan::NoRep)
+            {
+                continue;
+            }
+            if fp.matches(base, &writes, &subsets[i]) {
+                fp_skips[i] = true;
+                continue;
+            }
+            if !fp.want_record() || !matches!(plan[i], Decision::Fresh) {
+                continue;
+            }
+            let fresh = kind.with_options(kind.options().with_fresh_sinks());
+            let mut cow = CowDevice::new(base);
+            apply_subset(&mut cow, &writes, &subsets[i]);
+            let mut t = pmem::ReadTracker::new(cow, FP_WORD_CAP);
+            let r = check_staged(&fresh, &mut t, check, cfg, scope, want_art);
+            let lines = t.clean_words();
+            let r = finalize_check(kind, base, &writes, &subsets[i], check, cfg, r);
+            match lines {
+                Some(l) if !r.sandbox_retry && r.violation.is_none() => {
+                    fp.record(l, base, &writes, &subsets[i]);
+                }
+                // A failed attempt closes recording (see the serial path),
+                // bounding this serial pre-pass at FP_MAX_ENTRIES checks.
+                _ => fp.give_up(),
+            }
+            results[i] = Some(r);
+        }
+    }
 
     let check_one = |i: usize| -> CheckRes {
         let fresh = kind.with_options(kind.options().with_fresh_sinks());
@@ -1341,60 +1751,116 @@ fn visit_crash_point<K: FsKind>(
     // With stop-on-first, checking everything up front wastes work past the
     // winner; process bounded speculation windows instead. Window size only
     // trades wasted work against parallelism — it never changes the outcome.
+    let run_batch = |todo: &[usize], results: &mut Vec<Option<CheckRes>>| {
+        if todo.len() <= 1 {
+            for &i in todo {
+                results[i] = Some(check_one(i));
+            }
+            return;
+        }
+        let per = todo.len().div_ceil(threads);
+        let check_one = &check_one;
+        std::thread::scope(|sc| {
+            let handles: Vec<(&[usize], _)> = todo
+                .chunks(per)
+                .map(|shard| {
+                    let h = sc.spawn(move || {
+                        shard.iter().map(|&i| (i, check_one(i))).collect::<Vec<_>>()
+                    });
+                    (shard, h)
+                })
+                .collect();
+            for (shard, h) in handles {
+                match h.join() {
+                    Ok(rs) => {
+                        for (i, r) in rs {
+                            results[i] = Some(r);
+                        }
+                    }
+                    Err(_) => {
+                        // A worker died outside the per-stage sandbox
+                        // (sandbox off, or a harness bug): fail only the
+                        // affected items. Re-check the shard one state
+                        // at a time so the survivors keep their real
+                        // verdicts and only the panicking state reports
+                        // a worker-stage diagnostic.
+                        for &i in shard {
+                            let r = sandbox::guarded(Stage::Worker, || check_one(i))
+                                .unwrap_or_else(|v| CheckRes {
+                                    violation: Some(v),
+                                    cov: vec![],
+                                    trace: vec![],
+                                    art: None,
+                                    memo_hit: false,
+                                    sandbox_retry: false,
+                                    fuel_fired: false,
+                                });
+                            results[i] = Some(r);
+                        }
+                    }
+                }
+            }
+        });
+    };
+
     let window = if cfg.stop_on_first { (threads * 4).max(4) } else { subsets.len() };
     let mut pos = 0usize;
     while pos < subsets.len() {
         let hi = (pos + window).min(subsets.len());
-        let todo: Vec<usize> =
-            (pos..hi).filter(|&i| !matches!(plan[i], Decision::Dup(_))).collect();
-        if todo.len() <= 1 {
-            for &i in &todo {
-                results[i] = Some(check_one(i));
-            }
-        } else {
-            let per = todo.len().div_ceil(threads);
-            let check_one = &check_one;
-            std::thread::scope(|sc| {
-                let handles: Vec<(&[usize], _)> = todo
-                    .chunks(per)
-                    .map(|shard| {
-                        let h = sc.spawn(move || {
-                            shard.iter().map(|&i| (i, check_one(i))).collect::<Vec<_>>()
-                        });
-                        (shard, h)
-                    })
-                    .collect();
-                for (shard, h) in handles {
-                    match h.join() {
-                        Ok(rs) => {
-                            for (i, r) in rs {
-                                results[i] = Some(r);
-                            }
-                        }
-                        Err(_) => {
-                            // A worker died outside the per-stage sandbox
-                            // (sandbox off, or a harness bug): fail only the
-                            // affected items. Re-check the shard one state
-                            // at a time so the survivors keep their real
-                            // verdicts and only the panicking state reports
-                            // a worker-stage diagnostic.
-                            for &i in shard {
-                                let r = sandbox::guarded(Stage::Worker, || check_one(i))
-                                    .unwrap_or_else(|v| CheckRes {
-                                        violation: Some(v),
-                                        cov: vec![],
-                                        trace: vec![],
-                                        art: None,
-                                        memo_hit: false,
-                                        sandbox_retry: false,
-                                        fuel_fired: false,
-                                    });
-                                results[i] = Some(r);
-                            }
-                        }
-                    }
+        // Phase 1: everything that must be checked regardless of class
+        // outcomes — representatives, known expansions, unclassified states.
+        // Footprint recorders already checked in the pre-pass are excluded,
+        // as are footprint skips.
+        let todo: Vec<usize> = (pos..hi)
+            .filter(|&i| {
+                results[i].is_none()
+                    && !fp_skips[i]
+                    && !matches!(plan[i], Decision::Dup(_))
+                    && !matches!(rep_plans[i], RepPlan::Skip | RepPlan::Defer(_))
+            })
+            .collect();
+        run_batch(&todo, &mut results);
+
+        // Materialize the footprint skips before deferral resolution: a
+        // deferred member's claimer may itself be a footprint skip, whose
+        // (clean) verdict must be readable below.
+        for i in pos..hi {
+            if fp_skips[i] && results[i].is_none() {
+                if rep_validate_on(cfg) {
+                    validate_skip(kind, base, &writes, &subsets[i], check, cfg, scope, sigs[i]);
                 }
-            });
+                results[i] = Some(synth_clean());
+            }
+        }
+
+        // Phase 2: deferred class members. Their claimer's verdict is now
+        // known (claimers precede members canonically, so they ran in this
+        // window's phase 1 or an earlier window); members of violated
+        // classes expand and get checked, the rest skip.
+        let mut todo2: Vec<usize> = Vec::new();
+        for (i, plan) in rep_plans.iter_mut().enumerate().take(hi).skip(pos) {
+            if let RepPlan::Defer(r) = *plan {
+                let claimer =
+                    results[r].as_ref().expect("claimer checked no later than its members");
+                *plan = if claimer.violation.is_some() {
+                    todo2.push(i);
+                    RepPlan::Expand
+                } else {
+                    RepPlan::Skip
+                };
+            }
+        }
+        run_batch(&todo2, &mut results);
+
+        // Materialize the skips so duplicate replays and the commit walk
+        // read every state uniformly.
+        for i in pos..hi {
+            if rep_plans[i] == RepPlan::Skip && results[i].is_none() {
+                if rep_validate_on(cfg) {
+                    validate_skip(kind, base, &writes, &subsets[i], check, cfg, scope, sigs[i]);
+                }
+                results[i] = Some(synth_clean());
+            }
         }
 
         // Ordered commit walk over this window.
@@ -1405,14 +1871,31 @@ fn visit_crash_point<K: FsKind>(
                 }
                 _ => (results[i].as_ref().expect("checked in this window"), false),
             };
-            if commit_state(kind, &ctx, res, keys[i], dup, &subsets[i], || describe_subset(&writes, &subsets[i]), memo, out)
-            {
+            let s = commit_state(kind, &ctx, res, keys[i], dup, &subsets[i], || describe_subset(&writes, &subsets[i]), memo, out);
+            if !dup {
+                if fp_skips[i] {
+                    // A footprint skip trumps the class plan: a skipped
+                    // claimer still folds its class (clean) at point exit,
+                    // but it never checked, so it is not a counted class.
+                    out.rep_skipped += 1;
+                } else {
+                    match rep_plans[i] {
+                        RepPlan::Claim => out.rep_classes += 1,
+                        RepPlan::Skip => out.rep_skipped += 1,
+                        RepPlan::Expand => out.rep_expansions += 1,
+                        RepPlan::NoRep => {}
+                        RepPlan::Defer(_) => unreachable!("deferrals resolve before commit"),
+                    }
+                }
+            }
+            if s {
                 *stop = true;
                 return;
             }
         }
         pos = hi;
     }
+    fold_claims(claims, &results, rep);
 }
 
 #[cfg(test)]

@@ -48,6 +48,7 @@ pub mod checker;
 pub mod config;
 pub mod crashgen;
 pub mod exec;
+pub(crate) mod footprint;
 pub mod harness;
 pub mod oracle;
 pub mod prefix;

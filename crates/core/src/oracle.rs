@@ -44,6 +44,19 @@ impl Scope {
     pub fn is_full(&self) -> bool {
         matches!(self, Scope::Full)
     }
+
+    /// Whether every path in scope for `other` is also in scope here.
+    ///
+    /// Used by cross-state artifact reuse: a tree walked under scope `a` can
+    /// stand in for a walk under scope `b` only when `a.covers(&b)` — the
+    /// wider walk compared file contents everywhere the narrower one would.
+    pub fn covers(&self, other: &Scope) -> bool {
+        match (self, other) {
+            (Scope::Full, _) => true,
+            (Scope::Paths(_), Scope::Full) => false,
+            (Scope::Paths(a), Scope::Paths(b)) => b.is_subset(a),
+        }
+    }
 }
 
 /// Snapshot of one file or directory.
@@ -653,7 +666,7 @@ mod tests {
             self.clone()
         }
         fn guarantees(&self) -> vfs::Guarantees {
-            vfs::Guarantees { strong: false, atomic_data_writes: false }
+            vfs::Guarantees { strong: false, atomic_data_writes: false, data_checksums: false }
         }
         fn mkfs<D: PmBackend>(&self, _dev: D) -> Result<Self::Fs<D>, FsError> {
             Ok(ModelWithDev(ModelFs::new()))

@@ -44,7 +44,7 @@ use crate::{
     config::TestConfig,
     crashgen::PendingWrite,
     exec::{Executor, OpResult},
-    harness::{push_report, test_workload, CrossMemo, ReplayEngine, TestOutcome},
+    harness::{push_report, test_workload, CrossMemo, RepTable, ReplayEngine, TestOutcome},
     oracle::{snapshot_tree, Oracle, Tree},
     report::{BugReport, CrashPhase, Violation},
 };
@@ -70,15 +70,24 @@ struct TapeSeg {
 #[derive(Clone)]
 struct ReplayCkpt {
     pending: Vec<PendingWrite>,
+    /// Writes absorbed since the current op began (behavioral-signature
+    /// anchoring; see `ReplayEngine::op_absorbed`).
+    op_absorbed: Vec<PendingWrite>,
     pending_seqs: BTreeSet<usize>,
     pending_unknown: bool,
     last_done: Option<usize>,
     started: bool,
     memo: CrossMemo,
+    /// Behavioral class table — checkpointed so prefix splices preserve the
+    /// classes the shared prefix established.
+    rep: RepTable,
     crash_points: u64,
     crash_states: u64,
     dedup_hits: u64,
     memo_hits: u64,
+    rep_classes: u64,
+    rep_skipped: u64,
+    rep_expansions: u64,
     recovery_panics: u64,
     recovery_hangs: u64,
     sandbox_retries: u64,
@@ -260,15 +269,20 @@ impl<K: FsKind> PrefixCache<K> {
             record_ckpts: vec![PhaseCkpt { fs: rfs, ex: Executor::new(), cov: r_cov, trace: r_trace }],
             replay: vec![ReplayCkpt {
                 pending: engine.pending.clone(),
+                op_absorbed: engine.op_absorbed.clone(),
                 pending_seqs: engine.pending_seqs.clone(),
                 pending_unknown: engine.pending_unknown,
                 last_done: engine.last_done,
                 started: engine.started,
                 memo: CrossMemo::default(),
+                rep: RepTable::default(),
                 crash_points: 0,
                 crash_states: 0,
                 dedup_hits: 0,
                 memo_hits: 0,
+                rep_classes: 0,
+                rep_skipped: 0,
+                rep_expansions: 0,
                 recovery_panics: 0,
                 recovery_hangs: 0,
                 sandbox_retries: 0,
@@ -432,6 +446,9 @@ impl<K: FsKind> PrefixCache<K> {
             crash_states: ck.crash_states,
             dedup_hits: ck.dedup_hits,
             memo_hits: ck.memo_hits,
+            rep_classes: ck.rep_classes,
+            rep_skipped: ck.rep_skipped,
+            rep_expansions: ck.rep_expansions,
             recovery_panics: ck.recovery_panics,
             recovery_hangs: ck.recovery_hangs,
             sandbox_retries: ck.sandbox_retries,
@@ -457,7 +474,9 @@ impl<K: FsKind> PrefixCache<K> {
             engine.base = std::mem::take(&mut st.base);
             engine.base_key = st.base_key;
             engine.memo = ck.memo.clone();
+            engine.rep = ck.rep.clone();
             engine.pending = ck.pending.clone();
+            engine.op_absorbed = ck.op_absorbed.clone();
             engine.pending_seqs = ck.pending_seqs.clone();
             engine.pending_unknown = ck.pending_unknown;
             engine.last_done = ck.last_done;
@@ -520,6 +539,9 @@ impl<K: FsKind> PrefixCache<K> {
         out.crash_states = chk.crash_states;
         out.dedup_hits = chk.dedup_hits;
         out.memo_hits = chk.memo_hits;
+        out.rep_classes = chk.rep_classes;
+        out.rep_skipped = chk.rep_skipped;
+        out.rep_expansions = chk.rep_expansions;
         out.recovery_panics = chk.recovery_panics;
         out.recovery_hangs = chk.recovery_hangs;
         out.sandbox_retries = chk.sandbox_retries;
@@ -550,15 +572,20 @@ impl<K: FsKind> PrefixCache<K> {
     fn snap_replay(engine: &ReplayEngine<'_, K>, chk: &TestOutcome, check_kind: &K) -> ReplayCkpt {
         ReplayCkpt {
             pending: engine.pending.clone(),
+            op_absorbed: engine.op_absorbed.clone(),
             pending_seqs: engine.pending_seqs.clone(),
             pending_unknown: engine.pending_unknown,
             last_done: engine.last_done,
             started: engine.started,
             memo: engine.memo.clone(),
+            rep: engine.rep.clone(),
             crash_points: chk.crash_points,
             crash_states: chk.crash_states,
             dedup_hits: chk.dedup_hits,
             memo_hits: chk.memo_hits,
+            rep_classes: chk.rep_classes,
+            rep_skipped: chk.rep_skipped,
+            rep_expansions: chk.rep_expansions,
             recovery_panics: chk.recovery_panics,
             recovery_hangs: chk.recovery_hangs,
             sandbox_retries: chk.sandbox_retries,
@@ -622,6 +649,9 @@ mod tests {
                 o.crash_states,
                 o.dedup_hits,
                 o.memo_hits,
+                o.rep_classes,
+                o.rep_skipped,
+                o.rep_expansions,
                 o.recovery_panics,
                 o.recovery_hangs,
                 o.sandbox_retries,

@@ -59,7 +59,7 @@ impl FsKind for Ext4DaxKind {
     }
 
     fn guarantees(&self) -> Guarantees {
-        Guarantees { strong: false, atomic_data_writes: false }
+        Guarantees { strong: false, atomic_data_writes: false, data_checksums: false }
     }
 
     fn mkfs<D: PmBackend>(&self, dev: D) -> FsResult<Self::Fs<D>> {

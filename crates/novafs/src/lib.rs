@@ -80,8 +80,10 @@ impl FsKind for NovaKind {
         // NOVA is synchronous and atomic for metadata; data writes are
         // copy-on-write and effectively atomic per write, but NOVA does not
         // guarantee multi-block write atomicity, so Chipmunk applies the
-        // relaxed data check.
-        Guarantees { strong: true, atomic_data_writes: false }
+        // relaxed data check. Fortis additionally checksums file data, so
+        // torn bytes can flip a read into an error: data content stays
+        // verdict-relevant there.
+        Guarantees { strong: true, atomic_data_writes: false, data_checksums: self.fortis }
     }
 
     fn mkfs<D: PmBackend>(&self, dev: D) -> FsResult<Self::Fs<D>> {

@@ -57,25 +57,66 @@ pub fn byte_term(off: u64, byte: u8) -> ImageKey {
 /// inner `byte_term` mix runs only on the sparse nonzero residue. The key is
 /// bit-identical to the per-byte definition.
 pub fn image_key(img: &[u8]) -> ImageKey {
+    span_key(0, img)
+}
+
+/// Content key of the contiguous span `data` placed at absolute offset
+/// `off`: XOR of [`byte_term`] over the span. This is [`image_key`]
+/// re-based to an arbitrary offset, with the same word-wise zero-skipping
+/// scan, for hashing one replayed run at a time (`crashgen::state_key`
+/// keys each latest-writer-wins run without materializing a full image).
+/// Bit-identical to the per-byte definition.
+pub fn span_key(off: u64, data: &[u8]) -> ImageKey {
     let mut key = 0;
-    let mut chunks = img.chunks_exact(8);
-    let mut off = 0u64;
+    let mut chunks = data.chunks_exact(8);
+    let mut at = off;
     for w in chunks.by_ref() {
         if u64::from_le_bytes(w.try_into().expect("8-byte chunk")) != 0 {
             for (i, &b) in w.iter().enumerate() {
                 if b != 0 {
-                    key ^= byte_term(off + i as u64, b);
+                    key ^= byte_term(at + i as u64, b);
                 }
             }
         }
-        off += 8;
+        at += 8;
     }
     for (i, &b) in chunks.remainder().iter().enumerate() {
         if b != 0 {
-            key ^= byte_term(off + i as u64, b);
+            key ^= byte_term(at + i as u64, b);
         }
     }
     key
+}
+
+const SEED_RUN_LO: u64 = 0xa409_3822_299f_31d0;
+const SEED_RUN_HI: u64 = 0x082e_fa98_ec4e_6c89;
+
+/// Structural term for "the run `[off, off + len)` holds replayed bytes",
+/// independent of the bytes themselves. XORed alongside [`span_key`] when
+/// keying crash states so a run of all-zero content (whose byte terms are
+/// all 0) is still distinguished from the run never having been written.
+#[inline]
+pub fn run_term(off: u64, len: u64) -> ImageKey {
+    let lo = splitmix64(splitmix64(off ^ SEED_RUN_LO) ^ len);
+    let hi = splitmix64(splitmix64(off ^ SEED_RUN_HI) ^ len);
+    ((hi as ImageKey) << 64) | lo as ImageKey
+}
+
+const SEED_WORD_LO: u64 = 0x4528_21e6_38d0_1377;
+const SEED_WORD_HI: u64 = 0xbe54_66cf_34e9_0c6c;
+
+/// Content term for the 8-byte word holding `val` at absolute offset `off`:
+/// the word-granular analogue of [`byte_term`], one splitmix cascade per
+/// word instead of one per nonzero byte. Unlike [`byte_term`], a zero word
+/// contributes a nonzero term, so a XOR of word terms also certifies *which*
+/// words it covers. Seeded independently of every other term family and
+/// never mixed with them — word-term keys are only ever compared to other
+/// word-term keys (`chipmunk`'s footprint projections).
+#[inline]
+pub fn word_term(off: u64, val: u64) -> ImageKey {
+    let lo = splitmix64(splitmix64(off ^ SEED_WORD_LO) ^ val);
+    let hi = splitmix64(splitmix64(off ^ SEED_WORD_HI) ^ val);
+    ((hi as ImageKey) << 64) | lo as ImageKey
 }
 
 /// Key delta for overwriting the bytes `old` at `off` with `new`
@@ -189,6 +230,43 @@ mod tests {
                 (0..len).map(|i| if i % 5 == 0 { 0 } else { (i * 31 % 256) as u8 }).collect();
             assert_eq!(image_key(&img), image_key_naive(&img), "len={len}");
         }
+    }
+
+    fn span_key_naive(off: u64, data: &[u8]) -> ImageKey {
+        let mut key = 0;
+        for (i, &b) in data.iter().enumerate() {
+            key ^= byte_term(off + i as u64, b);
+        }
+        key
+    }
+
+    #[test]
+    fn span_key_matches_naive_on_all_lengths_and_offsets() {
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 63, 64, 100, 257] {
+            let data: Vec<u8> =
+                (0..len).map(|i| if i % 5 == 0 { 0 } else { (i * 31 % 256) as u8 }).collect();
+            // Unaligned offsets must not change the scan result: terms are
+            // per absolute byte position, not per word boundary.
+            for off in [0u64, 1, 3, 8, 13, 4096] {
+                assert_eq!(span_key(off, &data), span_key_naive(off, &data), "len={len} off={off}");
+            }
+        }
+    }
+
+    #[test]
+    fn span_key_composes_into_image_key() {
+        let img: Vec<u8> = (0..200).map(|i| (i * 7 % 256) as u8).collect();
+        let (a, b) = img.split_at(77);
+        assert_eq!(span_key(0, a) ^ span_key(77, b), image_key(&img));
+    }
+
+    #[test]
+    fn run_term_distinguishes_offset_and_length() {
+        assert_ne!(run_term(0, 8), run_term(8, 8));
+        assert_ne!(run_term(0, 8), run_term(0, 16));
+        assert_ne!(run_term(0, 0), run_term(0, 1));
+        // And it never degenerates to zero for a zero-length run at 0.
+        assert_ne!(run_term(0, 0), 0);
     }
 
     #[test]

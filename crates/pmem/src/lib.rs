@@ -44,6 +44,7 @@ pub mod fault;
 pub mod fork;
 pub mod hash;
 pub mod shared;
+pub mod track;
 
 pub use backend::{PmBackend, CACHE_LINE, WORD};
 pub use cost::{FuelExhausted, FuelGuard, PmStats, SimCost};
@@ -51,5 +52,6 @@ pub use fault::{FaultDevice, FaultPlan, FaultRole};
 pub use cow::{CowDevice, UndoMark};
 pub use device::{InflightKind, InflightWrite, PmDevice};
 pub use fork::ForkDevice;
-pub use hash::{byte_term, image_key, write_delta, ImageKey};
+pub use hash::{byte_term, image_key, run_term, span_key, word_term, write_delta, ImageKey};
 pub use shared::{SharedDev, Window};
+pub use track::ReadTracker;

@@ -1,0 +1,325 @@
+//! [`ReadTracker`]: a transparent [`PmBackend`] wrapper recording which
+//! *clean* device words a mounted file system reads.
+//!
+//! The harness's footprint memoization (see `chipmunk::harness`) checks one
+//! crash state while recording the set of device lines the whole check —
+//! mount recovery, tree walk, oracle comparison, usability probe — actually
+//! consumed from the *crash image* (as opposed to bytes the checker itself
+//! wrote first). Because the checker is deterministic, any other image that
+//! agrees with the recorded one on exactly those lines drives the identical
+//! execution and therefore reaches the identical verdict.
+//!
+//! The tracking rule that makes this an induction-proof footprint:
+//!
+//! * every byte range passed to [`PmBackend::read`] is recorded at
+//!   [`WORD`] granularity (the 8-byte PM atomicity unit — fine enough that
+//!   reading one inode field does not drag its neighbors into the
+//!   footprint), **except** sub-ranges the checker has
+//!   already overwritten through this wrapper (dirty-byte exclusion — those
+//!   bytes are a function of the execution so far, not of the image);
+//! * writes ([`PmBackend::store`], [`PmBackend::memcpy_nt`],
+//!   [`PmBackend::memset_nt`]) mark their exact byte ranges dirty;
+//! * dirty exclusion is byte-precise while recording is word-coarse, so
+//!   the recorded set can only *over*-approximate the true dependency — a
+//!   conservative direction (a match demands more agreement than strictly
+//!   necessary, never less).
+//!
+//! The wrapper changes no behavior: all operations forward to the inner
+//! backend (including cost accounting), so verdicts, coverage, and the fuel
+//! watchdog are bit-identical with and without it. A `cap` bounds the
+//! recorded set; once exceeded the tracker stops recording and
+//! [`ReadTracker::clean_words`] returns `None` (callers then give up on
+//! footprinting rather than hold giant word vectors).
+//!
+//! Internally clean reads are kept as coalesced *byte intervals* — one
+//! `O(log n)` map operation per read instead of one set insert per word —
+//! and expanded to word indices only once, at collection time. Recording is
+//! on the hot path of every footprint-recorder check, so this matters.
+
+use std::{
+    cell::{Cell, RefCell},
+    collections::BTreeMap,
+};
+
+use crate::{
+    backend::{PmBackend, WORD},
+    cost::SimCost,
+};
+
+/// See the module docs. Construct with [`ReadTracker::new`], run the check
+/// with the tracker as the device (or `&mut` it), then collect
+/// [`ReadTracker::clean_words`].
+pub struct ReadTracker<D> {
+    inner: D,
+    /// Coalesced byte ranges (start → end) read before being dirtied.
+    /// `RefCell` because [`PmBackend::read`] takes `&self`; backends are
+    /// single-threaded by contract (`Send`, not `Sync`).
+    clean: RefCell<BTreeMap<u64, u64>>,
+    /// Total bytes covered by `clean` (kept incrementally for the cap).
+    covered: Cell<u64>,
+    /// The clean range most recently grown — checkers re-read the same
+    /// blocks constantly (page-cache peeks, per-entry header reads), so most
+    /// reads land inside it and skip the map entirely.
+    last_clean: Cell<(u64, u64)>,
+    /// Coalesced byte ranges (start → end) the checker wrote.
+    dirty: BTreeMap<u64, u64>,
+    /// Recording stops (and the clean set is discarded) past this many words.
+    cap: usize,
+    overflowed: Cell<bool>,
+}
+
+impl<D: PmBackend> ReadTracker<D> {
+    /// Wraps `inner`, recording up to `cap` clean words.
+    pub fn new(inner: D, cap: usize) -> Self {
+        ReadTracker {
+            inner,
+            clean: RefCell::new(BTreeMap::new()),
+            covered: Cell::new(0),
+            last_clean: Cell::new((0, 0)),
+            dirty: BTreeMap::new(),
+            cap,
+            overflowed: Cell::new(false),
+        }
+    }
+
+    /// The recorded clean-read words, sorted ascending — or `None` if the
+    /// set overflowed `cap` (footprinting should be abandoned).
+    pub fn clean_words(&self) -> Option<Vec<u32>> {
+        if self.overflowed.get() {
+            return None;
+        }
+        let clean = self.clean.borrow();
+        let mut words: Vec<u32> = Vec::new();
+        for (&s, &e) in clean.iter() {
+            let w0 = (s / WORD) as u32;
+            let w1 = ((e - 1) / WORD) as u32;
+            // Two ranges separated by a sub-word gap can share a boundary
+            // word; ranges are sorted, so a duplicate can only be the last
+            // word pushed.
+            let start = if words.last() == Some(&w0) { w0 + 1 } else { w0 };
+            words.extend(start..=w1);
+            if words.len() > self.cap {
+                return None;
+            }
+        }
+        Some(words)
+    }
+
+    /// Records the clean sub-ranges of a read of `[off, off + len)`.
+    fn record_read(&self, off: u64, len: u64) {
+        if len == 0 || self.overflowed.get() {
+            return;
+        }
+        let end = off + len;
+        // Fast path: the whole read lies in an already-recorded clean range
+        // (recording it again is a no-op — clean ranges only grow, and a
+        // word once recorded clean stays recorded even if later dirtied).
+        let (ls, le) = self.last_clean.get();
+        if off >= ls && end <= le {
+            return;
+        }
+        let mut pos = off;
+        // Skip a dirty interval already covering the start.
+        if let Some((_, &e)) = self.dirty.range(..=pos).next_back() {
+            if e > pos {
+                pos = e.min(end);
+            }
+        }
+        let mut clean = self.clean.borrow_mut();
+        for (&s, &e) in self.dirty.range(pos..end) {
+            if s > pos {
+                self.last_clean.set(Self::push_range(&mut clean, &self.covered, pos, s));
+            }
+            pos = e.min(end);
+            if pos >= end {
+                break;
+            }
+        }
+        if pos < end {
+            self.last_clean.set(Self::push_range(&mut clean, &self.covered, pos, end));
+        }
+        // Bytes covered bound the word count from below; once even that
+        // exceeds the cap the exact count can only be larger — stop.
+        if self.covered.get() / WORD > self.cap as u64 {
+            self.overflowed.set(true);
+            clean.clear();
+        }
+    }
+
+    /// Inserts `[start, end)` (`start < end`), coalescing touching ranges
+    /// and keeping the covered-byte total current. Returns the coalesced
+    /// range the insertion landed in.
+    fn push_range(
+        clean: &mut BTreeMap<u64, u64>,
+        covered: &Cell<u64>,
+        start: u64,
+        end: u64,
+    ) -> (u64, u64) {
+        let mut s = start;
+        let mut e = end;
+        let mut absorbed = 0;
+        if let Some((&ps, &pe)) = clean.range(..=s).next_back() {
+            if pe >= s {
+                if pe >= e {
+                    return (ps, pe); // already covered
+                }
+                s = ps;
+                e = e.max(pe);
+                absorbed += pe - ps;
+                clean.remove(&ps);
+            }
+        }
+        let keys: Vec<u64> = clean.range(s..=e).map(|(&k, _)| k).collect();
+        for k in keys {
+            let ke = clean.remove(&k).expect("interval present");
+            absorbed += ke - k;
+            e = e.max(ke);
+        }
+        clean.insert(s, e);
+        covered.set(covered.get() + (e - s) - absorbed);
+        (s, e)
+    }
+
+    /// Marks `[off, off + len)` dirty, coalescing adjacent intervals.
+    fn mark_dirty(&mut self, off: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let mut start = off;
+        let mut end = off + len;
+        if let Some((&s, &e)) = self.dirty.range(..=start).next_back() {
+            if e >= start {
+                if e >= end {
+                    return; // already covered
+                }
+                start = s;
+                end = end.max(e);
+                self.dirty.remove(&s);
+            }
+        }
+        while let Some((&s, &e)) = self.dirty.range(start..=end).next() {
+            self.dirty.remove(&s);
+            end = end.max(e);
+        }
+        self.dirty.insert(start, end);
+    }
+}
+
+impl<D: PmBackend> PmBackend for ReadTracker<D> {
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn read(&self, off: u64, buf: &mut [u8]) {
+        self.record_read(off, buf.len() as u64);
+        self.inner.read(off, buf);
+    }
+
+    fn store(&mut self, off: u64, data: &[u8]) {
+        self.mark_dirty(off, data.len() as u64);
+        self.inner.store(off, data);
+    }
+
+    fn memcpy_nt(&mut self, off: u64, data: &[u8]) {
+        self.mark_dirty(off, data.len() as u64);
+        self.inner.memcpy_nt(off, data);
+    }
+
+    fn memset_nt(&mut self, off: u64, val: u8, len: u64) {
+        self.mark_dirty(off, len);
+        self.inner.memset_nt(off, val, len);
+    }
+
+    fn flush(&mut self, off: u64, len: u64) {
+        self.inner.flush(off, len);
+    }
+
+    fn fence(&mut self) {
+        self.inner.fence();
+    }
+
+    fn note_media_read(&mut self, len: u64) {
+        self.inner.note_media_read(len);
+    }
+
+    fn sim_cost(&self) -> SimCost {
+        self.inner.sim_cost()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PmDevice;
+
+    fn tracker(len: u64) -> ReadTracker<PmDevice> {
+        ReadTracker::new(PmDevice::new(len), 1 << 16)
+    }
+
+    #[test]
+    fn clean_reads_are_recorded_per_word() {
+        let t = tracker(4096);
+        let mut b = [0u8; 8];
+        t.read(0, &mut b);
+        t.read(130, &mut b); // [130, 138): straddles words 16 and 17
+        let mut big = [0u8; 200];
+        t.read(250, &mut big); // [250, 450): words 31..=56
+        let mut want = vec![0, 16, 17];
+        want.extend(31..=56u32);
+        assert_eq!(t.clean_words().unwrap(), want);
+    }
+
+    #[test]
+    fn dirty_bytes_are_excluded_byte_precisely() {
+        let mut t = tracker(4096);
+        t.store(64, &[1u8; 64]); // exactly words 8..=15
+        let mut b = [0u8; 64];
+        t.read(64, &mut b); // fully dirty: not recorded
+        assert_eq!(t.clean_words().unwrap(), Vec::<u32>::new());
+        // A read overlapping dirty and clean bytes records the clean words.
+        let mut b2 = [0u8; 128];
+        t.read(64, &mut b2); // [64,192): dirty [64,128), clean [128,192)
+        assert_eq!(t.clean_words().unwrap(), (16..=23).collect::<Vec<u32>>());
+        // Sub-word dirty range: the clean tail of the word still records it.
+        t.store(256, &[2u8; 4]);
+        let mut b3 = [0u8; 8];
+        t.read(256, &mut b3); // dirty [256,260), clean [260,264) in word 32
+        let mut want: Vec<u32> = (16..=23).collect();
+        want.push(32);
+        assert_eq!(t.clean_words().unwrap(), want);
+    }
+
+    #[test]
+    fn dirty_intervals_coalesce_across_write_kinds() {
+        let mut t = tracker(4096);
+        t.memcpy_nt(100, &[1u8; 20]);
+        t.memset_nt(120, 0, 30);
+        t.store(90, &[3u8; 10]);
+        let mut b = [0u8; 60];
+        t.read(90, &mut b); // [90,150) fully dirty
+        assert_eq!(t.clean_words().unwrap(), Vec::<u32>::new());
+        let mut b2 = [0u8; 70];
+        t.read(90, &mut b2); // [90,160): clean tail [150,160) → words 18, 19
+        assert_eq!(t.clean_words().unwrap(), vec![18, 19]);
+    }
+
+    #[test]
+    fn overflow_discards_the_set() {
+        let t = ReadTracker::new(PmDevice::new(1 << 20), 4);
+        let mut b = [0u8; 8];
+        for i in 0..6u64 {
+            t.read(i * 8, &mut b);
+        }
+        assert!(t.clean_words().is_none());
+    }
+
+    #[test]
+    fn forwarding_preserves_device_contents() {
+        let mut t = tracker(4096);
+        t.memcpy_nt(10, b"hello");
+        t.fence();
+        let mut b = [0u8; 5];
+        t.read(10, &mut b);
+        assert_eq!(&b, b"hello");
+    }
+}

@@ -57,7 +57,7 @@ impl FsKind for PmfsKind {
     }
 
     fn guarantees(&self) -> Guarantees {
-        Guarantees { strong: true, atomic_data_writes: false }
+        Guarantees { strong: true, atomic_data_writes: false, data_checksums: false }
     }
 
     fn mkfs<D: PmBackend>(&self, dev: D) -> FsResult<Self::Fs<D>> {

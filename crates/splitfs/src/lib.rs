@@ -72,7 +72,7 @@ impl FsKind for SplitFsKind {
 
     fn guarantees(&self) -> Guarantees {
         // Strict mode: synchronous and atomic, including data writes.
-        Guarantees { strong: true, atomic_data_writes: true }
+        Guarantees { strong: true, atomic_data_writes: true, data_checksums: false }
     }
 
     fn mkfs<D: PmBackend>(&self, dev: D) -> FsResult<Self::Fs<D>> {

@@ -104,6 +104,12 @@ pub struct Guarantees {
     /// Whether data writes are guaranteed atomic (WineFS strict mode,
     /// SplitFS strict mode).
     pub atomic_data_writes: bool,
+    /// Whether the file system validates file-data checksums on the read
+    /// path (NOVA-Fortis). When set, torn data surfaces as read errors
+    /// rather than tolerated content, so data bytes are verdict-relevant
+    /// even under the checker's torn-data relaxation and representative
+    /// clustering must keep them exact.
+    pub data_checksums: bool,
 }
 
 /// Construction options shared by all file systems.

@@ -66,7 +66,7 @@ impl FsKind for WineFsKind {
     }
 
     fn guarantees(&self) -> Guarantees {
-        Guarantees { strong: true, atomic_data_writes: self.strict }
+        Guarantees { strong: true, atomic_data_writes: self.strict, data_checksums: false }
     }
 
     fn mkfs<D: PmBackend>(&self, dev: D) -> FsResult<Self::Fs<D>> {

@@ -58,7 +58,7 @@ impl FsKind for XfsDaxKind {
     }
 
     fn guarantees(&self) -> Guarantees {
-        Guarantees { strong: false, atomic_data_writes: false }
+        Guarantees { strong: false, atomic_data_writes: false, data_checksums: false }
     }
 
     fn mkfs<D: PmBackend>(&self, dev: D) -> FsResult<Self::Fs<D>> {
