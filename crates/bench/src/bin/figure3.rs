@@ -154,6 +154,7 @@ fn main() {
     let (mut subtree_total, mut depth_max) = (0u64, 0u64);
     let mut worker_hits: Vec<u64> = Vec::new();
     let mut sandbox_totals = [0u64; 4];
+    let mut oracle_totals = [0u64; 2];
     let mut phase_total = PhaseTotals::default();
     for info in &uniques {
         if info.ace_findable {
@@ -178,6 +179,8 @@ fn main() {
                 sandbox_totals[1] += h.recovery_hangs;
                 sandbox_totals[2] += h.sandbox_retries;
                 sandbox_totals[3] += h.fuel_exhausted;
+                oracle_totals[0] += h.oracle_subtrees_pruned;
+                oracle_totals[1] += h.oracle_snap_bytes_shared;
                 phase_total.oracle += h.phase.oracle;
                 phase_total.record += h.phase.record;
                 phase_total.check += h.phase.check;
@@ -197,6 +200,8 @@ fn main() {
             sandbox_totals[1] += h.recovery_hangs;
             sandbox_totals[2] += h.sandbox_retries;
             sandbox_totals[3] += h.fuel_exhausted;
+            oracle_totals[0] += h.oracle_subtrees_pruned;
+            oracle_totals[1] += h.oracle_snap_bytes_shared;
             phase_total.oracle += h.phase.oracle;
             phase_total.record += h.phase.record;
             phase_total.check += h.phase.check;
@@ -308,6 +313,8 @@ fn main() {
                     ("recovery_hangs", Json::U(sandbox_totals[1])),
                     ("sandbox_retries", Json::U(sandbox_totals[2])),
                     ("fuel_exhausted", Json::U(sandbox_totals[3])),
+                    ("oracle_subtrees_pruned", Json::U(oracle_totals[0])),
+                    ("oracle_snap_bytes_shared", Json::U(oracle_totals[1])),
                     (
                         "per_worker_prefix_hits",
                         Json::Arr(worker_hits.iter().map(|&v| Json::U(v)).collect()),

@@ -464,7 +464,7 @@ pub struct Merged {
     /// Workloads merged.
     pub workloads: u64,
     /// Summed counters (see [`super::wire::COUNTER_NAMES`]).
-    pub totals: [u64; 15],
+    pub totals: [u64; 17],
     /// Total violation reports.
     pub reports: u64,
     /// Bits set in the persistent crash-state bitmap.
@@ -483,7 +483,7 @@ pub struct Merged {
 pub fn merge(store: &CampaignStore) -> Result<Merged, String> {
     let spec = &store.spec;
     let total = spec.total_tasks();
-    let mut totals = [0u64; 15];
+    let mut totals = [0u64; 17];
     let mut workloads = 0u64;
     let mut fingerprint = 0u64;
     let mut reports: Vec<JVal> = Vec::new();

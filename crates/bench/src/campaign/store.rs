@@ -274,7 +274,7 @@ mod tests {
     fn wres(name: &str) -> WRes {
         WRes {
             name: name.into(),
-            counters: [1; 15],
+            counters: [1; 17],
             state_bits: vec![2],
             cov_bits: vec![],
             cov_new: vec![],

@@ -175,7 +175,7 @@ pub struct WRes {
     pub name: String,
     /// Counters copied from [`TestOutcome`], in a fixed order (see
     /// [`COUNTER_NAMES`]).
-    pub counters: [u64; 15],
+    pub counters: [u64; 17],
     /// Sorted, deduplicated crash-state bitmap bits this workload set
     /// (folded `state_keys` — see `TestConfig::collect_state_keys`).
     pub state_bits: Vec<u64>,
@@ -193,9 +193,10 @@ pub struct WRes {
 }
 
 /// Names of the [`WRes::counters`] slots, in order. The three `rep_*`
-/// slots were appended after the 12-slot layout shipped; [`WRes::from_jval`]
-/// still accepts 12-counter journal lines (older stores) by zero-padding.
-pub const COUNTER_NAMES: [&str; 15] = [
+/// slots were appended after the 12-slot layout shipped, and the two
+/// `oracle_*` slots after the 15-slot one; [`WRes::from_jval`] still
+/// accepts 12- and 15-counter journal lines (older stores) by zero-padding.
+pub const COUNTER_NAMES: [&str; 17] = [
     "crash_points",
     "crash_states",
     "dedup_hits",
@@ -211,6 +212,8 @@ pub const COUNTER_NAMES: [&str; 15] = [
     "rep_classes",
     "rep_skipped",
     "rep_expansions",
+    "oracle_subtrees_pruned",
+    "oracle_snap_bytes_shared",
 ];
 
 impl WRes {
@@ -252,6 +255,8 @@ impl WRes {
                 out.rep_classes,
                 out.rep_skipped,
                 out.rep_expansions,
+                out.oracle_subtrees_pruned,
+                out.oracle_snap_bytes_shared,
             ],
             state_bits,
             cov_bits,
@@ -293,11 +298,12 @@ impl WRes {
     /// Parses a result back.
     pub fn from_jval(v: &JVal) -> Result<Self, String> {
         let counters_arr = v.get("counters").and_then(JVal::as_arr).ok_or("wres: missing counters")?;
-        // 12 = the pre-rep_check layout (older stores); missing slots stay 0.
-        if counters_arr.len() != 15 && counters_arr.len() != 12 {
-            return Err(format!("wres: expected 12 or 15 counters, got {}", counters_arr.len()));
+        // 12 (pre-rep_check) and 15 (pre-shared_oracle) are older layouts;
+        // missing slots stay 0.
+        if ![17, 15, 12].contains(&counters_arr.len()) {
+            return Err(format!("wres: expected 12, 15 or 17 counters, got {}", counters_arr.len()));
         }
-        let mut counters = [0u64; 15];
+        let mut counters = [0u64; 17];
         for (slot, c) in counters.iter_mut().zip(counters_arr) {
             *slot = c.as_u64().ok_or("wres: bad counter")?;
         }
@@ -367,7 +373,7 @@ mod tests {
     fn sample() -> WRes {
         WRes {
             name: "seq1-0007".into(),
-            counters: [9, 120, 40, 3, 1, 14, 2, 3, 0, 0, 0, 0, 5, 60, 2],
+            counters: [9, 120, 40, 3, 1, 14, 2, 3, 0, 0, 0, 0, 5, 60, 2, 180, 4096],
             state_bits: vec![1, 5, 4095],
             cov_bits: vec![0, 77],
             cov_new: vec![0x0123_4567_89ab_cdef, u64::MAX],

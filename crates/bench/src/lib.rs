@@ -296,6 +296,12 @@ pub struct HuntResult {
     /// Crash states whose committed verdict involved an exhausted fuel
     /// budget.
     pub fuel_exhausted: u64,
+    /// Oracle-diff node comparisons skipped by the shared-oracle hash fast
+    /// path until the find (see `TestConfig::shared_oracle`).
+    pub oracle_subtrees_pruned: u64,
+    /// File-data bytes oracle snapshots shared with their predecessor
+    /// instead of re-copying, until the find.
+    pub oracle_snap_bytes_shared: u64,
     /// Cumulative per-phase wall time over the committed workloads.
     pub phase: PhaseTotals,
 }
@@ -342,6 +348,7 @@ impl WithKind for AceHunt<'_> {
         let mut subtrees = 0u64;
         let mut max_depth = 0u64;
         let mut sandbox_counts = [0u64; 4];
+        let mut oracle_counts = [0u64; 2];
         let mut phase = PhaseTotals::default();
         let seq3: Box<dyn Iterator<Item = Workload>> = if mode == AceMode::Strong {
             Box::new(seq3_metadata().step_by(37).take(self.max_seq3))
@@ -377,6 +384,8 @@ impl WithKind for AceHunt<'_> {
                 sandbox_counts[1] += out.recovery_hangs;
                 sandbox_counts[2] += out.sandbox_retries;
                 sandbox_counts[3] += out.fuel_exhausted;
+                oracle_counts[0] += out.oracle_subtrees_pruned;
+                oracle_counts[1] += out.oracle_snap_bytes_shared;
                 phase.add(&out.timing);
                 if let Some(r) = out.reports.first() {
                     return (
@@ -403,6 +412,8 @@ impl WithKind for AceHunt<'_> {
                             recovery_hangs: sandbox_counts[1],
                             sandbox_retries: sandbox_counts[2],
                             fuel_exhausted: sandbox_counts[3],
+                            oracle_subtrees_pruned: oracle_counts[0],
+                            oracle_snap_bytes_shared: oracle_counts[1],
                             phase,
                         }),
                         workloads,
@@ -448,6 +459,7 @@ impl WithKind for FuzzHunt<'_> {
         let mut memo = 0u64;
         let mut rep = [0u64; 3];
         let mut sandbox_counts = [0u64; 4];
+        let mut oracle_counts = [0u64; 2];
         let mut phase = PhaseTotals::default();
         let mut done = 0u64;
         while done < self.budget {
@@ -466,6 +478,8 @@ impl WithKind for FuzzHunt<'_> {
                 sandbox_counts[1] += out.recovery_hangs;
                 sandbox_counts[2] += out.sandbox_retries;
                 sandbox_counts[3] += out.fuel_exhausted;
+                oracle_counts[0] += out.oracle_subtrees_pruned;
+                oracle_counts[1] += out.oracle_snap_bytes_shared;
                 phase.add(&out.timing);
                 let mut new = 0;
                 for &h in &cov {
@@ -499,6 +513,8 @@ impl WithKind for FuzzHunt<'_> {
                             recovery_hangs: sandbox_counts[1],
                             sandbox_retries: sandbox_counts[2],
                             fuel_exhausted: sandbox_counts[3],
+                            oracle_subtrees_pruned: oracle_counts[0],
+                            oracle_snap_bytes_shared: oracle_counts[1],
                             phase,
                         }),
                         done,
@@ -578,6 +594,12 @@ pub struct SuiteStats {
     /// Crash states whose committed verdict involved an exhausted fuel
     /// budget.
     pub fuel_exhausted: u64,
+    /// Oracle-diff node comparisons skipped by the shared-oracle hash fast
+    /// path (see `TestConfig::shared_oracle`).
+    pub oracle_subtrees_pruned: u64,
+    /// File-data bytes oracle snapshots shared with their predecessor
+    /// instead of re-copying.
+    pub oracle_snap_bytes_shared: u64,
     /// Cumulative per-phase wall times.
     pub phase: PhaseTotals,
     /// Every violation report, in workload order (determinism witnesses
@@ -618,6 +640,8 @@ impl WithKind for SuiteRun<'_> {
                 s.recovery_hangs += out.recovery_hangs;
                 s.sandbox_retries += out.sandbox_retries;
                 s.fuel_exhausted += out.fuel_exhausted;
+                s.oracle_subtrees_pruned += out.oracle_subtrees_pruned;
+                s.oracle_snap_bytes_shared += out.oracle_snap_bytes_shared;
                 s.phase.add(&out.timing);
                 s.reports += out.reports.len() as u64;
                 s.bug_reports.extend(out.reports);
@@ -1253,6 +1277,8 @@ pub fn hunt_json(hit: Option<&HuntResult>, workloads: u64, states: u64) -> jsono
             ("recovery_hangs", Json::U(h.recovery_hangs)),
             ("sandbox_retries", Json::U(h.sandbox_retries)),
             ("fuel_exhausted", Json::U(h.fuel_exhausted)),
+            ("oracle_subtrees_pruned", Json::U(h.oracle_subtrees_pruned)),
+            ("oracle_snap_bytes_shared", Json::U(h.oracle_snap_bytes_shared)),
             (
                 "per_worker_prefix_hits",
                 Json::Arr(h.per_worker_prefix_hits.iter().map(|&v| Json::U(v)).collect()),

@@ -5,7 +5,7 @@
 //! bit-identically across thread counts and fast-path configurations.
 
 use bench::{run_batch, run_batch_cached, Scheduler};
-use chipmunk::{test_workload, TestConfig, TestOutcome, Violation};
+use chipmunk::{test_workload, Stage, TestConfig, TestOutcome, Violation};
 use novafs::NovaKind;
 use pmem::FaultPlan;
 use vfs::{fs::FsOptions, ChaosKind, Op, Workload};
@@ -70,6 +70,47 @@ fn mount_hang_trips_the_fuel_watchdog() {
     assert_eq!(out.reports.len(), 1, "{:?}", out.reports);
     match &out.reports[0].violation {
         Violation::RecoveryHang { payload, .. } => {
+            assert!(payload.contains("fuel budget of 300000"), "{payload}");
+        }
+        other => panic!("wrong class: {other:?}"),
+    }
+}
+
+/// A panic planted in the post-mount tree walk — above the device layer,
+/// where `mount_panic_at` cannot reach — surfaces as a single deduplicated
+/// `recovery-panic` finding attributed to the Walk stage, and the sweep
+/// still visits every crash state.
+#[test]
+fn walk_panic_becomes_one_walk_stage_report() {
+    let kind = chaos_nova(FaultPlan { walk_panic_at: Some(2), ..FaultPlan::none() });
+    let out = test_workload(&kind, &creat_one(), &TestConfig::default());
+    assert!(out.crash_states > 0, "sweep must still cover the crash states");
+    assert!(out.recovery_panics > 0, "every walk panicked");
+    assert_eq!(out.recovery_hangs, 0);
+    assert_eq!(out.reports.len(), 1, "identical walk panics must dedup: {:?}", out.reports);
+    match &out.reports[0].violation {
+        Violation::RecoveryPanic { stage, payload } => {
+            assert_eq!(*stage, Stage::Walk, "fault fired above mount, inside the walk");
+            assert!(payload.contains("injected panic at walk probe 2"), "{payload}");
+        }
+        other => panic!("wrong class: {other:?}"),
+    }
+}
+
+/// A walk that spins forever on its n-th probe burns the shared mount+walk
+/// fuel budget and is reported as a Walk-stage `recovery-hang`.
+#[test]
+fn walk_hang_trips_the_fuel_watchdog() {
+    let kind = chaos_nova(FaultPlan { walk_hang_at: Some(2), ..FaultPlan::none() });
+    let cfg = TestConfig { recovery_fuel: Some(300_000), ..TestConfig::default() };
+    let out = test_workload(&kind, &creat_one(), &cfg);
+    assert!(out.crash_states > 0);
+    assert!(out.recovery_hangs > 0, "the watchdog must fire");
+    assert_eq!(out.recovery_panics, 0);
+    assert_eq!(out.reports.len(), 1, "{:?}", out.reports);
+    match &out.reports[0].violation {
+        Violation::RecoveryHang { stage, payload } => {
+            assert_eq!(*stage, Stage::Walk);
             assert!(payload.contains("fuel budget of 300000"), "{payload}");
         }
         other => panic!("wrong class: {other:?}"),

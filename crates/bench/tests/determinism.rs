@@ -10,7 +10,7 @@ use vfs::{
     fs::{FsKind, FsOptions},
     BugSet, FsName, Workload,
 };
-use workloads::ace::{seq1, AceMode};
+use workloads::ace::{seq1, seq2, AceMode};
 
 use proptest::prelude::*;
 
@@ -185,6 +185,70 @@ fn matrix_threads_by_rep_check_by_prefix_cache_is_byte_identical() {
                     assert_eq!(s.prefix_hits, 0, "{cell}");
                     assert_eq!(s.prefix_ops_saved, 0, "{cell}");
                 }
+            }
+        }
+    }
+}
+
+/// The shared-oracle matrix: `{threads 1, 4} × {rep_check on/off} ×
+/// {shared_oracle on/off}` on seq-1 must report identically everywhere, and
+/// within each `(rep_check, shared_oracle)` setting every counter —
+/// including the two oracle counters themselves — must be thread-count
+/// invariant. The oracle counters may differ across `rep_check` settings
+/// (skipped states run fewer diffs) but must be zero exactly when
+/// `shared_oracle` is off.
+#[test]
+fn matrix_threads_by_rep_check_by_shared_oracle_is_byte_identical() {
+    // Write-led seq-2 pairs, not seq-1: sharing needs a snapshot advance
+    // across an op that leaves some earlier file's *data* untouched. One-op
+    // workloads never have one (their only advance creates the workload's
+    // first file), and the creat-led pairs at the head of seq-2 only ever
+    // hold empty files. Pair index 15*56 starts the (write, op_j) block.
+    let ws: Vec<Workload> = seq2(AceMode::Strong).skip(15 * 56).take(16).collect();
+    for rep_check in [true, false] {
+        for shared_oracle in [true, false] {
+            let mut cells = Vec::new();
+            for threads in [1usize, 4] {
+                let cfg = TestConfig {
+                    rep_check,
+                    shared_oracle,
+                    ..TestConfig::default().with_threads(threads)
+                };
+                let s = run_suite(FsName::Nova, BugSet::fixed(), ws.clone(), &cfg);
+                if shared_oracle {
+                    assert!(
+                        s.oracle_snap_bytes_shared > 0,
+                        "snapshot sharing must engage at threads={threads}"
+                    );
+                    assert!(
+                        s.oracle_subtrees_pruned > 0,
+                        "hash pruning must engage at threads={threads}"
+                    );
+                } else {
+                    assert_eq!(s.oracle_snap_bytes_shared, 0);
+                    assert_eq!(s.oracle_subtrees_pruned, 0);
+                }
+                cells.push((threads, s));
+            }
+            let (_, base) = &cells[0];
+            for (threads, s) in &cells[1..] {
+                let cell = format!(
+                    "threads={threads} rep_check={rep_check} shared_oracle={shared_oracle}"
+                );
+                assert_eq!(s.crash_points, base.crash_points, "{cell}");
+                assert_eq!(s.crash_states, base.crash_states, "{cell}");
+                assert_eq!(s.dedup_hits, base.dedup_hits, "{cell}");
+                assert_eq!(s.memo_hits, base.memo_hits, "{cell}");
+                assert_eq!(s.rep_skipped, base.rep_skipped, "{cell}");
+                assert_eq!(s.reports, base.reports, "{cell}");
+                assert_eq!(s.inflight, base.inflight, "{cell}");
+                assert_eq!(s.oracle_subtrees_pruned, base.oracle_subtrees_pruned, "{cell}");
+                assert_eq!(s.oracle_snap_bytes_shared, base.oracle_snap_bytes_shared, "{cell}");
+                assert_eq!(
+                    format!("{:?}", s.bug_reports),
+                    format!("{:?}", base.bug_reports),
+                    "bug trajectories diverged at {cell}"
+                );
             }
         }
     }

@@ -1,0 +1,73 @@
+//! Differential witnesses for the structurally-shared oracle
+//! (`TestConfig::shared_oracle`): building snapshots incrementally with
+//! content-hashed, `Arc`-shared subtrees — and pruning hash-equal subtrees
+//! out of the oracle diffs — is a pure performance optimization. A sweep
+//! with it on must find exactly the same violations, from the same states,
+//! with the same counters, as the deep-copy oracle it replaced.
+
+use std::collections::BTreeSet;
+
+use bench::hunt_with_ace;
+use chipmunk::TestConfig;
+use vfs::bugs::bug_table;
+
+/// The whole injected-bug corpus, hunted with ACE at 1 and 4 worker
+/// threads, shared oracle on vs off: found-ness, the full first report,
+/// and every count to the find must be byte-identical, while the off side
+/// leaves both oracle counters at zero.
+#[test]
+fn corpus_shared_oracle_on_vs_off_identical_verdicts() {
+    let mut seen_groups = BTreeSet::new();
+    let mut found = 0u64;
+    let mut pruned_total = 0u64;
+    let mut shared_total = 0u64;
+    for info in bug_table().iter().filter(|b| seen_groups.insert(b.fix_group)) {
+        if !info.ace_findable {
+            continue;
+        }
+        let bug = info.id.number();
+        for threads in [1usize, 4] {
+            let on = TestConfig {
+                stop_on_first: true,
+                ..TestConfig::default().with_threads(threads)
+            };
+            let off = TestConfig { shared_oracle: false, ..on.clone() };
+            let (a, aw, astates) = hunt_with_ace(info.id, &on, 400);
+            let (b, bw, bstates) = hunt_with_ace(info.id, &off, 400);
+            let cell = format!("bug {bug} threads={threads}");
+            assert_eq!(a.is_some(), b.is_some(), "{cell}: found-ness diverged");
+            assert_eq!(aw, bw, "{cell}: workloads to the find diverged");
+            assert_eq!(astates, bstates, "{cell}: crash states diverged");
+            if let (Some(a), Some(b)) = (&a, &b) {
+                assert_eq!(a.class, b.class, "{cell}: violation class diverged");
+                assert_eq!(
+                    format!("{:?}", a.report),
+                    format!("{:?}", b.report),
+                    "{cell}: first report diverged"
+                );
+                assert_eq!(a.workloads, b.workloads, "{cell}");
+                assert_eq!(a.states, b.states, "{cell}");
+                assert_eq!(a.dedup_hits, b.dedup_hits, "{cell}");
+                assert_eq!(a.memo_hits, b.memo_hits, "{cell}");
+                assert_eq!(a.rep_skipped, b.rep_skipped, "{cell}");
+                assert_eq!(a.prefix_hits, b.prefix_hits, "{cell}");
+                assert_eq!(
+                    b.oracle_subtrees_pruned, 0,
+                    "{cell}: the deep-copy oracle must not prune"
+                );
+                assert_eq!(
+                    b.oracle_snap_bytes_shared, 0,
+                    "{cell}: the deep-copy oracle must not share"
+                );
+                if threads == 1 {
+                    found += 1;
+                    pruned_total += a.oracle_subtrees_pruned;
+                    shared_total += a.oracle_snap_bytes_shared;
+                }
+            }
+        }
+    }
+    assert!(found > 0, "the corpus hunt must find bugs");
+    assert!(pruned_total > 0, "hash pruning must engage across the corpus");
+    assert!(shared_total > 0, "snapshot sharing must engage across the corpus");
+}

@@ -23,7 +23,7 @@ use crate::{
     config::TestConfig,
     crashgen::{apply_subset, PendingWrite},
     oracle::{
-        diff_atomic_write_scoped, diff_relaxed_write_scoped, diff_trees_scoped,
+        diff_atomic_write_pruned, diff_relaxed_write_pruned, diff_trees_pruned,
         snapshot_tree_scoped, NodeSnap, Scope, Tree,
     },
     report::Violation,
@@ -105,7 +105,8 @@ pub fn check_mounted<K: FsKind, D: PmBackend>(
         Ok(x) => x,
         Err(v) => return Some(v),
     };
-    if let Some(v) = crate::sandbox::compare(&tree, check, cfg, scope) {
+    let mut pruned = 0;
+    if let Some(v) = crate::sandbox::compare(&tree, check, cfg, scope, &mut pruned) {
         return Some(v);
     }
     if cfg.probe {
@@ -148,18 +149,21 @@ pub fn walk_scope(cfg: &TestConfig, scope: &Scope) -> Scope {
 /// full otherwise, and — under `scoped_validate` — both, panicking if their
 /// verdicts disagree (the full verdict wins). The tree must have been
 /// walked with [`walk_scope`] so every byte the comparison needs is real.
+/// `pruned` counts node comparisons the hash fast path skipped (see
+/// [`TestConfig::shared_oracle`]).
 pub fn compare_checked(
     tree: &Tree,
     check: &CheckKind<'_>,
     cfg: &TestConfig,
     scope: &Scope,
+    pruned: &mut u64,
 ) -> Option<Violation> {
     if !cfg.scoped_check {
-        return compare_state(tree, check, cfg, &Scope::Full);
+        return compare_state(tree, check, cfg, &Scope::Full, pruned);
     }
     if cfg.scoped_validate {
-        let full = compare_state(tree, check, cfg, &Scope::Full);
-        let scoped = compare_state(tree, check, cfg, scope);
+        let full = compare_state(tree, check, cfg, &Scope::Full, pruned);
+        let scoped = compare_state(tree, check, cfg, scope, pruned);
         assert_eq!(
             full.is_some(),
             scoped.is_some(),
@@ -168,7 +172,7 @@ pub fn compare_checked(
         );
         return full;
     }
-    compare_state(tree, check, cfg, scope)
+    compare_state(tree, check, cfg, scope, pruned)
 }
 
 /// Runs the usability probe (stage 4) on a mounted crash state.
@@ -177,43 +181,51 @@ pub fn probe_state<F: FileSystem>(fs: &mut F, tree: &Tree) -> Option<Violation> 
 }
 
 /// Pure oracle comparison of a walked tree; file contents outside `scope`
-/// are not compared (structure and metadata always are).
+/// are not compared (structure and metadata always are). With
+/// `cfg.shared_oracle` the tree diffs skip hash-equal node pairs, counting
+/// each skip into `pruned` — verdicts are identical either way.
 pub fn compare_state(
     tree: &Tree,
     check: &CheckKind<'_>,
     cfg: &TestConfig,
     scope: &Scope,
+    pruned: &mut u64,
 ) -> Option<Violation> {
+    let prune = cfg.shared_oracle;
     match check {
         CheckKind::Atomicity { prev, cur, relax } => {
-            let vs_cur = diff_trees_scoped(tree, cur, cfg.compare_ino, scope);
+            let vs_cur = diff_trees_pruned(tree, cur, cfg.compare_ino, scope, prune, pruned);
             let vs_cur = vs_cur?; // matches post-state: atomic
-            let vs_prev = diff_trees_scoped(tree, prev, cfg.compare_ino, scope);
+            let vs_prev = diff_trees_pruned(tree, prev, cfg.compare_ino, scope, prune, pruned);
             let Some(vs_prev) = vs_prev else {
                 return None; // matches pre-state: atomic
             };
             match relax {
                 DataRelax::Torn(target) => {
-                    let relaxed = diff_relaxed_write_scoped(
+                    let relaxed = diff_relaxed_write_pruned(
                         tree,
                         prev,
                         cur,
                         target,
                         cfg.compare_ino,
                         scope,
+                        prune,
+                        pruned,
                     )?;
                     Some(Violation::AtomicityViolation(format!(
                         "torn data write exceeds allowed states: {relaxed}"
                     )))
                 }
                 DataRelax::Atomic(target) => {
-                    let relaxed = diff_atomic_write_scoped(
+                    let relaxed = diff_atomic_write_pruned(
                         tree,
                         prev,
                         cur,
                         target,
                         cfg.compare_ino,
                         scope,
+                        prune,
+                        pruned,
                     )?;
                     Some(Violation::AtomicityViolation(relaxed))
                 }
@@ -223,10 +235,13 @@ pub fn compare_state(
                 ))),
             }
         }
-        CheckKind::Synchrony { cur } => diff_trees_scoped(tree, cur, cfg.compare_ino, scope)
-            .map(|d| Violation::SynchronyViolation(format!("completed syscall not durable: {d}"))),
+        CheckKind::Synchrony { cur } => {
+            diff_trees_pruned(tree, cur, cfg.compare_ino, scope, prune, pruned).map(|d| {
+                Violation::SynchronyViolation(format!("completed syscall not durable: {d}"))
+            })
+        }
         CheckKind::WeakFsync { cur, target } => match target {
-            None => diff_trees_scoped(tree, cur, cfg.compare_ino, scope).map(|d| {
+            None => diff_trees_pruned(tree, cur, cfg.compare_ino, scope, prune, pruned).map(|d| {
                 Violation::SynchronyViolation(format!("state after sync() not durable: {d}"))
             }),
             Some(path) => {
@@ -236,7 +251,7 @@ pub fn compare_state(
                     (None, Some(_)) => Some(Violation::SynchronyViolation(format!(
                         "{path} missing after fsync"
                     ))),
-                    (Some(a), Some(e)) => diff_file_weak(path, a, e).map(|d| {
+                    (Some(a), Some(e)) => diff_file_weak(path, &a.node, &e.node).map(|d| {
                         Violation::SynchronyViolation(format!("fsynced file not durable: {d}"))
                     }),
                     // The file does not exist in the oracle either (fsync of
@@ -280,7 +295,7 @@ fn probe<F: FileSystem>(fs: &mut F, tree: &Tree) -> Option<Violation> {
     let mut n = 0;
     let mut probes = Vec::new();
     for (path, node) in tree {
-        if matches!(node, NodeSnap::Dir { .. }) {
+        if matches!(node.node.as_ref(), NodeSnap::Dir { .. }) {
             let p = if path == "/" {
                 format!("/probe_{n}")
             } else {
@@ -297,7 +312,7 @@ fn probe<F: FileSystem>(fs: &mut F, tree: &Tree) -> Option<Violation> {
     }
     // Delete every pre-existing file, then the probe files.
     for (path, node) in tree {
-        if matches!(node, NodeSnap::File { .. }) {
+        if matches!(node.node.as_ref(), NodeSnap::File { .. }) {
             if let Err(e) = fs.unlink(path) {
                 return Some(Violation::UnusableState(format!(
                     "probe unlink({path}) failed: {e}"

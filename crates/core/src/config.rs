@@ -128,6 +128,19 @@ pub struct TestConfig {
     /// committed outcome stays byte-identical to plain `rep_check` runs.
     /// Also enabled process-wide by setting `CHIPMUNK_REP_VALIDATE=1`.
     pub rep_validate: bool,
+    /// Structurally-shared oracle snapshots: build each per-op oracle tree
+    /// by advancing the previous snapshot across the op's footprint
+    /// (re-walking only the paths the op could have touched, sharing every
+    /// untouched node by `Arc`) instead of deep-walking the whole tree per
+    /// op, and let the diffs skip nodes whose content hashes match the
+    /// oracle's. Hash equality uses the same 128-bit-collision assumption
+    /// the dedup/memo layers already make; an op whose footprint cannot be
+    /// named falls back to a full walk. Observationally identical to
+    /// `false` — verdicts, reports and semantic counters are unchanged —
+    /// except for wall time, memory, and the `oracle_subtrees_pruned` /
+    /// `oracle_snap_bytes_shared` counters, so the knob stays out of
+    /// [`semantic_knobs`](Self::semantic_knobs).
+    pub shared_oracle: bool,
     /// Record the content key of every committed crash state into
     /// [`TestOutcome::state_keys`](crate::TestOutcome), in canonical commit
     /// order (the campaign store folds them into its persistent per-FS
@@ -170,6 +183,7 @@ impl Default for TestConfig {
             recovery_fuel: Some(DEFAULT_RECOVERY_FUEL),
             rep_check: true,
             rep_validate: false,
+            shared_oracle: true,
             collect_state_keys: false,
         }
     }
@@ -280,6 +294,7 @@ mod tests {
         assert_eq!(c.recovery_fuel, Some(DEFAULT_RECOVERY_FUEL));
         assert!(c.rep_check);
         assert!(!c.rep_validate);
+        assert!(c.shared_oracle);
         assert!(!c.collect_state_keys);
     }
 
@@ -306,5 +321,6 @@ mod tests {
         assert!(dst.set_knob("cap", "many").is_err());
         // Perf-only knobs never round-trip through bundles.
         assert!(dst.set_knob("rep_check", "true").is_err());
+        assert!(dst.set_knob("shared_oracle", "true").is_err());
     }
 }

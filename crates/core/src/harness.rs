@@ -21,7 +21,7 @@ use crate::{
     },
     exec::{Executor, OpResult},
     footprint::{FpSet, FP_MIN_STATES, FP_WORD_CAP},
-    oracle::{alias_set, build_oracle, Oracle, Scope, Tree},
+    oracle::{alias_set, build_oracle, op_paths, Oracle, Scope, Tree},
     report::{BugReport, CrashPhase, Stage, Violation},
     sandbox,
 };
@@ -85,6 +85,15 @@ pub struct TestOutcome {
     /// Crash states whose check hit fuel exhaustion at any point, including
     /// hangs that the slow-path re-check subsequently cleared.
     pub fuel_exhausted: u64,
+    /// Node comparisons the oracle diffs skipped because the two nodes'
+    /// content hashes matched (see [`TestConfig::shared_oracle`]). Like the
+    /// other per-state counters this is committed in canonical order, so it
+    /// is identical at every thread count for a fixed configuration.
+    pub oracle_subtrees_pruned: u64,
+    /// File-data bytes oracle snapshots shared with their predecessor
+    /// instead of re-reading and re-storing (see
+    /// [`TestConfig::shared_oracle`]; 0 with the knob off).
+    pub oracle_snap_bytes_shared: u64,
     /// Behavioral classes created by representative-state checking (see
     /// [`TestConfig::rep_check`]): each counts one state that was checked on
     /// the full path as its class's representative.
@@ -150,7 +159,7 @@ pub fn test_workload<K: FsKind>(kind: &K, workload: &Workload, cfg: &TestConfig)
 
     // ---- 1. Oracle ----
     let t_oracle = Instant::now();
-    let oracle = match build_oracle(kind, workload, cfg.device_size) {
+    let oracle = match build_oracle(kind, workload, cfg) {
         Ok(o) => o,
         Err(e) => {
             push_report(
@@ -171,6 +180,7 @@ pub fn test_workload<K: FsKind>(kind: &K, workload: &Workload, cfg: &TestConfig)
     };
 
     out.timing.oracle = t_oracle.elapsed();
+    out.oracle_snap_bytes_shared = oracle.snap_bytes_shared;
 
     // ---- 2. Recorded run ----
     let t_record = Instant::now();
@@ -314,35 +324,6 @@ fn crash_scope(
         }
     }
     Scope::Paths(set)
-}
-
-/// The paths an op addresses, or `None` when its footprint is unbounded
-/// (`sync`) or unresolvable (a slot op whose descriptor never resolved).
-fn op_paths<'a>(op: &'a vfs::Op, target: Option<&'a str>) -> Option<Vec<&'a str>> {
-    use vfs::Op;
-    match op {
-        Op::Sync | Op::SetCpu { .. } => None,
-        Op::Creat { path }
-        | Op::Mkdir { path }
-        | Op::Rmdir { path }
-        | Op::Unlink { path }
-        | Op::Remove { path }
-        | Op::Truncate { path, .. }
-        | Op::WritePath { path, .. }
-        | Op::FallocPath { path, .. }
-        | Op::FsyncPath { path }
-        | Op::Open { path, .. }
-        | Op::SetXattr { path, .. }
-        | Op::RemoveXattr { path, .. } => Some(vec![path]),
-        Op::Link { old, new } | Op::Rename { old, new } => Some(vec![old, new]),
-        Op::Close { .. }
-        | Op::Write { .. }
-        | Op::Pwrite { .. }
-        | Op::Falloc { .. }
-        | Op::Fsync { .. }
-        | Op::Fdatasync { .. }
-        | Op::Read { .. } => target.map(|t| vec![t]),
-    }
 }
 
 fn insert_with_parent(set: &mut BTreeSet<String>, p: &str) {
@@ -766,8 +747,8 @@ pub fn check_one_state<K: FsKind>(
 ) -> Result<StateProbe, String> {
     let guarantees = kind.guarantees();
     kind.options().trace.clear();
-    let oracle = build_oracle(kind, workload, cfg.device_size)
-        .map_err(|e| format!("oracle run failed: {e}"))?;
+    let oracle =
+        build_oracle(kind, workload, cfg).map_err(|e| format!("oracle run failed: {e}"))?;
 
     let log = LogHandle::new();
     let dev = PmDevice::new(cfg.device_size);
@@ -1011,6 +992,7 @@ fn synth_clean() -> CheckRes {
         memo_hit: false,
         sandbox_retry: false,
         fuel_fired: false,
+        pruned: 0,
     }
 }
 
@@ -1059,6 +1041,9 @@ struct CheckRes {
     /// The fuel watchdog fired while checking this state (pre- or
     /// post-retry).
     fuel_fired: bool,
+    /// Node comparisons skipped by the shared-oracle hash fast path while
+    /// checking this state (see [`TestConfig::shared_oracle`]).
+    pruned: u64,
 }
 
 /// Whether a staged verdict came from the sandbox (panic/hang) rather than
@@ -1154,13 +1139,15 @@ fn check_staged<K: FsKind, D: pmem::PmBackend>(
                 memo_hit: false,
                 sandbox_retry: false,
                 fuel_fired: false,
+                pruned: 0,
             };
         }
     };
     let cov_mw = Arc::new(fresh.options().cov.snapshot());
     let trace_mw = Arc::new(fresh.options().trace.snapshot());
     let tree = Arc::new(tree);
-    let verdict = sandbox::compare(&tree, check, cfg, scope);
+    let mut pruned = 0;
+    let verdict = sandbox::compare(&tree, check, cfg, scope, &mut pruned);
     let mut probe_art = None;
     let violation = match verdict {
         Some(v) => Some(v),
@@ -1189,6 +1176,7 @@ fn check_staged<K: FsKind, D: pmem::PmBackend>(
         memo_hit: false,
         sandbox_retry: false,
         fuel_fired: false,
+        pruned,
     }
 }
 
@@ -1237,7 +1225,7 @@ fn resolve_memo_hit(
     scope: &Scope,
     probe_fill: impl FnOnce(&Tree) -> ProbeArtifacts,
 ) -> CheckRes {
-    let plain = |violation: Option<Violation>| CheckRes {
+    let plain = |violation: Option<Violation>, pruned: u64| CheckRes {
         violation,
         cov: vec![art.cov_mw.clone()],
         trace: vec![art.trace_mw.clone()],
@@ -1245,11 +1233,13 @@ fn resolve_memo_hit(
         memo_hit: true,
         sandbox_retry: false,
         fuel_fired: false,
+        pruned,
     };
+    let mut pruned = 0;
     match &art.pre {
-        Err(v) => plain(Some(v.clone())),
-        Ok(tree) => match sandbox::compare(tree, check, cfg, scope) {
-            Some(v) => plain(Some(v)),
+        Err(v) => plain(Some(v.clone()), 0),
+        Ok(tree) => match sandbox::compare(tree, check, cfg, scope, &mut pruned) {
+            Some(v) => plain(Some(v), pruned),
             None if cfg.probe => {
                 let (p, fill) = match &art.probe {
                     Some(p) => (p.clone(), None),
@@ -1276,9 +1266,10 @@ fn resolve_memo_hit(
                     memo_hit: true,
                     sandbox_retry: false,
                     fuel_fired: false,
+                    pruned,
                 }
             }
-            None => plain(None),
+            None => plain(None, pruned),
         },
     }
 }
@@ -1378,6 +1369,7 @@ fn commit_state<K: FsKind>(
     if res.fuel_fired {
         out.fuel_exhausted += 1;
     }
+    out.oracle_subtrees_pruned += res.pruned;
     for c in &res.cov {
         kind.options().cov.absorb(c);
     }
@@ -1794,6 +1786,7 @@ fn visit_crash_point<K: FsKind>(
                                     memo_hit: false,
                                     sandbox_retry: false,
                                     fuel_fired: false,
+                                    pruned: 0,
                                 });
                             results[i] = Some(r);
                         }

@@ -34,6 +34,7 @@
 //! construction, so the checkpointed replay state is thread-count-invariant.
 
 use std::collections::{BTreeSet, HashSet};
+use std::sync::Arc;
 use std::time::Instant;
 
 use pmem::{ForkDevice, ImageKey};
@@ -45,7 +46,7 @@ use crate::{
     crashgen::PendingWrite,
     exec::{Executor, OpResult},
     harness::{push_report, test_workload, CrossMemo, RepTable, ReplayEngine, TestOutcome},
-    oracle::{snapshot_tree, Oracle, Tree},
+    oracle::{advance_snapshot, snapshot_tree, Oracle, Tree},
     report::{BugReport, CrashPhase, Violation},
 };
 
@@ -92,6 +93,7 @@ struct ReplayCkpt {
     recovery_hangs: u64,
     sandbox_retries: u64,
     fuel_exhausted: u64,
+    oracle_subtrees_pruned: u64,
     inflight: Vec<usize>,
     state_keys: Vec<u64>,
     /// Reports carry the *cached* workload's name; splicing re-labels them.
@@ -110,7 +112,14 @@ struct ReplayCkpt {
 struct CacheState<K: FsKind> {
     ops: Vec<Op>,
     /// `snaps[j]` is the oracle tree after `j` ops (`ops.len() + 1` trees).
-    snaps: Vec<Tree>,
+    /// With [`TestConfig::shared_oracle`] adjacent trees structurally share
+    /// unchanged nodes, so keeping every boundary costs O(changes), not
+    /// O(tree) per op.
+    snaps: Vec<Arc<Tree>>,
+    /// Cumulative [`Oracle::snap_bytes_shared`] through boundary `j`
+    /// (`ops.len() + 1` entries), so a spliced resume reports the same
+    /// counter as an uncached run.
+    snap_shared: Vec<u64>,
     results: Vec<OpResult>,
     rec_results: Vec<OpResult>,
     /// The full recorded write log, and for each boundary the index of the
@@ -249,7 +258,7 @@ impl<K: FsKind> PrefixCache<K> {
         // Replay stage: fast-forward the base image through the mkfs writes
         // (no markers yet, so no crash points exist in this span).
         let dummy_w = Workload::new("", vec![]);
-        let dummy_oracle = Oracle { snaps: vec![], results: vec![] };
+        let dummy_oracle = Oracle { snaps: vec![], results: vec![], snap_bytes_shared: 0 };
         let guarantees = self.check_kind.guarantees();
         let mut engine =
             ReplayEngine::new(&self.check_kind, &dummy_w, cfg, &dummy_oracle, &[], guarantees);
@@ -259,7 +268,8 @@ impl<K: FsKind> PrefixCache<K> {
 
         self.state = Some(CacheState {
             ops: Vec::new(),
-            snaps: vec![root_snap],
+            snaps: vec![Arc::new(root_snap)],
+            snap_shared: vec![0],
             results: Vec::new(),
             rec_results: Vec::new(),
             boundary_pos: vec![log.len()],
@@ -287,6 +297,7 @@ impl<K: FsKind> PrefixCache<K> {
                 recovery_hangs: 0,
                 sandbox_retries: 0,
                 fuel_exhausted: 0,
+                oracle_subtrees_pruned: 0,
                 inflight: Vec::new(),
                 state_keys: Vec::new(),
                 reports: Vec::new(),
@@ -328,16 +339,25 @@ impl<K: FsKind> PrefixCache<K> {
         let t_oracle = Instant::now();
         self.oracle_kind.options().cov.absorb(&st.oracle_ckpts[k].cov);
         self.oracle_kind.options().trace.absorb(&st.oracle_ckpts[k].trace);
-        let mut snaps: Vec<Tree> = st.snaps[..=k].to_vec();
+        let mut snaps: Vec<Arc<Tree>> = st.snaps[..=k].to_vec();
+        let mut snap_shared: Vec<u64> = st.snap_shared[..=k].to_vec();
         let mut results: Vec<OpResult> = st.results[..k].to_vec();
         let mut ofs = self.oracle_kind.fork_fs(&st.oracle_ckpts[k].fs)?;
         let mut oex = st.oracle_ckpts[k].ex.clone();
         st.oracle_ckpts.truncate(k + 1);
         for (seq, op) in w.ops.iter().enumerate().skip(k) {
-            results.push(oex.exec(&mut ofs, op, seq));
+            let r = oex.exec(&mut ofs, op, seq);
             // An oracle snapshot failure is reported by the plain path with
             // its own early-return shape; fall back rather than imitate it.
-            snaps.push(snapshot_tree(&ofs).ok()?);
+            let (next, shared) = if cfg.shared_oracle {
+                let prev = snaps.last().expect("root snapshot present");
+                advance_snapshot(&ofs, prev, op, r.target.as_deref()).ok()?
+            } else {
+                (Arc::new(snapshot_tree(&ofs).ok()?), 0)
+            };
+            snaps.push(next);
+            snap_shared.push(snap_shared.last().expect("root entry present") + shared);
+            results.push(r);
             let fork = self.oracle_kind.fork_fs(&ofs)?;
             st.oracle_ckpts.push(PhaseCkpt {
                 fs: std::mem::replace(&mut ofs, fork),
@@ -347,7 +367,9 @@ impl<K: FsKind> PrefixCache<K> {
             });
         }
         out.timing.oracle = t_oracle.elapsed();
-        let oracle = Oracle { snaps, results };
+        let snap_bytes_shared = *snap_shared.last().expect("root entry present");
+        let oracle = Oracle { snaps, results, snap_bytes_shared };
+        out.oracle_snap_bytes_shared = oracle.snap_bytes_shared;
 
         // ---- 2. Record: resume from boundary k ----
         let t_record = Instant::now();
@@ -453,6 +475,7 @@ impl<K: FsKind> PrefixCache<K> {
             recovery_hangs: ck.recovery_hangs,
             sandbox_retries: ck.sandbox_retries,
             fuel_exhausted: ck.fuel_exhausted,
+            oracle_subtrees_pruned: ck.oracle_subtrees_pruned,
             inflight_sizes: ck.inflight.clone(),
             state_keys: ck.state_keys.clone(),
             reports: ck
@@ -546,6 +569,7 @@ impl<K: FsKind> PrefixCache<K> {
         out.recovery_hangs = chk.recovery_hangs;
         out.sandbox_retries = chk.sandbox_retries;
         out.fuel_exhausted = chk.fuel_exhausted;
+        out.oracle_subtrees_pruned = chk.oracle_subtrees_pruned;
         out.inflight_sizes = chk.inflight_sizes;
         out.state_keys = chk.state_keys;
         for r in chk.reports {
@@ -556,6 +580,8 @@ impl<K: FsKind> PrefixCache<K> {
         st.ops = w.ops.clone();
         st.snaps.truncate(k + 1);
         st.snaps.extend(oracle.snaps[k + 1..].iter().cloned());
+        st.snap_shared.truncate(k + 1);
+        st.snap_shared.extend(snap_shared[k + 1..].iter().copied());
         st.results.truncate(k);
         st.results.extend(oracle.results[k..].iter().cloned());
         st.rec_results = rec_results;
@@ -590,6 +616,7 @@ impl<K: FsKind> PrefixCache<K> {
             recovery_hangs: chk.recovery_hangs,
             sandbox_retries: chk.sandbox_retries,
             fuel_exhausted: chk.fuel_exhausted,
+            oracle_subtrees_pruned: chk.oracle_subtrees_pruned,
             inflight: chk.inflight_sizes.clone(),
             state_keys: chk.state_keys.clone(),
             reports: chk.reports.clone(),

@@ -145,20 +145,32 @@ pub fn mount_walk<K: FsKind, D: PmBackend>(
 
 /// Stage-3 oracle comparison under the sandbox. `scoped_validate`'s
 /// disagreement panic is an intentional harness assertion, so that debug
-/// mode keeps aborting loudly even with the sandbox on.
+/// mode keeps aborting loudly even with the sandbox on. `pruned` counts
+/// hash-pruned node comparisons (see [`TestConfig::shared_oracle`]).
 pub fn compare<'a>(
     tree: &Tree,
     check: &CheckKind<'a>,
     cfg: &TestConfig,
     scope: &Scope,
+    pruned: &mut u64,
 ) -> Option<Violation> {
     if !cfg.sandbox || cfg.scoped_validate {
-        return compare_checked(tree, check, cfg, scope);
+        return compare_checked(tree, check, cfg, scope, pruned);
     }
-    match guarded(Stage::Compare, || compare_checked(tree, check, cfg, scope)) {
-        Ok(v) => v,
+    let mut p = 0;
+    let r = match guarded(Stage::Compare, || {
+        let mut inner = 0;
+        let v = compare_checked(tree, check, cfg, scope, &mut inner);
+        (v, inner)
+    }) {
+        Ok((v, inner)) => {
+            p = inner;
+            v
+        }
         Err(v) => Some(v),
-    }
+    };
+    *pruned += p;
+    r
 }
 
 /// Stage-4 usability probe under the sandbox and fuel watchdog.

@@ -3,11 +3,11 @@
 //! states are always accepted) and completeness (states containing bytes
 //! no crash could produce are always rejected).
 
-use chipmunk::oracle::{diff_atomic_write, diff_relaxed_write, NodeSnap, Tree};
+use chipmunk::oracle::{diff_atomic_write, diff_relaxed_write, NodeSnap, SnapEntry, Tree};
 use proptest::prelude::*;
 
-fn file(ino: u64, nlink: u64, data: &[u8]) -> NodeSnap {
-    NodeSnap::File { ino, nlink, size: data.len() as u64, data: data.to_vec() }
+fn file(ino: u64, nlink: u64, data: &[u8]) -> SnapEntry {
+    SnapEntry::new(NodeSnap::File { ino, nlink, size: data.len() as u64, data: data.to_vec() })
 }
 
 /// Builds the minimal oracle tree: root plus one file at `/f` (and, when
@@ -20,7 +20,7 @@ fn tree(data: &[u8], linked: bool) -> Tree {
         entries.push("g".into());
         t.insert("/g".into(), file(7, nlink, data));
     }
-    t.insert("/".into(), NodeSnap::Dir { ino: 1, nlink: 2, entries });
+    t.insert("/".into(), SnapEntry::new(NodeSnap::Dir { ino: 1, nlink: 2, entries }));
     t.insert("/f".into(), file(7, nlink, data));
     t
 }
@@ -123,8 +123,12 @@ proptest! {
         let mut prev = tree(&old, false);
         let mut cur = tree(&new, false);
         for t in [&mut prev, &mut cur] {
-            if let Some(NodeSnap::Dir { entries, .. }) = t.get_mut("/") {
-                entries.push("b".into());
+            if let Some(e) = t.get_mut("/") {
+                if let NodeSnap::Dir { ino, nlink, entries } = e.node.as_ref() {
+                    let mut entries = entries.clone();
+                    entries.push("b".into());
+                    *e = SnapEntry::new(NodeSnap::Dir { ino: *ino, nlink: *nlink, entries });
+                }
             }
             t.insert("/b".into(), file(9, 1, &bystander));
         }

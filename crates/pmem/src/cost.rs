@@ -9,22 +9,51 @@
 //! is the relative cost of journaled versus in-place update sequences, which
 //! is dominated by the counts of flushes, fences, and media reads — exactly
 //! what this model accounts.
+//!
+//! # Calibration
+//!
+//! `cargo run --release -p bench --example fuel_calibrate` re-measures, on
+//! the current host, the wall-clock cost of each primitive below and of one
+//! *fuel unit* (the deterministic watchdog's currency, [`op_units`]), and
+//! prints the scale factor between simulated and host time. Each constant's
+//! doc records both its published-Optane source and the host-measured
+//! figure from the 2026-08 calibration run (AMD EPYC container, release
+//! build) so future re-runs have a baseline to diff against. The simulated
+//! constants are *not* adjusted to the host — they model Optane, and only
+//! their ratios matter — but the fuel budget is sanity-checked against wall
+//! time: at the measured ~12 ns of host wall per fuel unit (store+flush+
+//! fence mix on `CowDevice`), the default 50 M-unit recovery budget
+//! (`chipmunk::config::DEFAULT_RECOVERY_FUEL`) bounds a hung recovery at
+//! roughly 0.6 s of host time per crash state, slow enough to never fire
+//! on a healthy walk and fast enough that a sweep over thousands of
+//! hanging states still terminates.
 
 /// Latency charged per cache line written back (`clwb` + eventual write).
+/// Optane: ~62 ns effective per line under write-back streams (Yang et al.,
+/// FAST '20). Host 2026-08: simulating store(64B)+flush costs ~160 ns wall
+/// (dominated by line-capture bookkeeping, sim charge 71 ns).
 pub const FLUSH_LINE_NS: u64 = 62;
 
 /// Latency charged per cache line issued as a non-temporal store.
+/// Optane: ~55 ns per 64 B `movnt` line (Izraelevitz et al. 2019). Host
+/// 2026-08: simulating one nt line costs ~80 ns wall.
 pub const NT_LINE_NS: u64 = 55;
 
 /// Latency charged per store fence (drain of the write-pending queue).
+/// Optane: `sfence` + WPQ drain ~100-200 ns depending on queue depth (Yang
+/// et al., FAST '20); 160 ns sits mid-range. Host 2026-08: simulating a
+/// fence costs ~10 ns wall (empty queue).
 pub const FENCE_NS: u64 = 160;
 
 /// Latency charged per cached store word (hits the cache; cheap).
+/// DRAM-cached store, ~1 ns/word on any modern core; the value only needs
+/// to be small relative to the persistence ops above.
 pub const STORE_WORD_NS: u64 = 1;
 
 /// Latency charged per cache line of an explicit media read (a read that
 /// semantically must come from PM, e.g. read-validate before an in-place
-/// update).
+/// update). Optane: ~170 ns idle random 64 B read latency (Izraelevitz et
+/// al. 2019). Host 2026-08: simulating one media-read line costs ~7 ns wall.
 pub const MEDIA_READ_LINE_NS: u64 = 170;
 
 use std::cell::Cell;
@@ -131,6 +160,13 @@ impl Drop for FuelGuard {
 /// Whether a fuel budget is currently armed on this thread.
 pub fn fuel_armed() -> bool {
     FUEL.with(Cell::get).is_some()
+}
+
+/// Fuel remaining on this thread's armed budget, or `None` when disarmed.
+/// `budget - fuel_remaining()` measures the units a region consumed — the
+/// calibration example uses exactly that to price one unit in wall time.
+pub fn fuel_remaining() -> Option<u64> {
+    FUEL.with(Cell::get)
 }
 
 /// Fuel units charged for one device op touching `len` bytes: one unit per

@@ -9,11 +9,10 @@
 //! constructing a crash state never copies the whole device and rolling back
 //! checker mutations is just dropping the overlay.
 
-use std::collections::HashMap;
-
 use crate::{
     backend::PmBackend,
     cost::{self, SimCost},
+    fxmap::FxHashMap,
 };
 
 /// Overlay page size.
@@ -45,20 +44,20 @@ pub type UndoMark = usize;
 /// the overlay from scratch per state.
 pub struct CowDevice<'a> {
     base: &'a [u8],
-    pages: HashMap<u64, Box<[u8]>>,
+    pages: FxHashMap<u64, Box<[u8]>>,
     undo: Option<Vec<UndoRecord>>,
 }
 
 impl<'a> CowDevice<'a> {
     /// Creates an overlay over `base`.
     pub fn new(base: &'a [u8]) -> Self {
-        CowDevice { base, pages: HashMap::new(), undo: None }
+        CowDevice { base, pages: FxHashMap::default(), undo: None }
     }
 
     /// Creates an overlay over `base` that records pre-images, enabling
     /// [`CowDevice::mark`] / [`CowDevice::undo_to`].
     pub fn new_with_undo(base: &'a [u8]) -> Self {
-        CowDevice { base, pages: HashMap::new(), undo: Some(Vec::new()) }
+        CowDevice { base, pages: FxHashMap::default(), undo: Some(Vec::new()) }
     }
 
     /// Applies `data` at `off` (used by the replayer to lay a subset of

@@ -41,6 +41,13 @@ pub struct FaultPlan {
     /// Record lineage: tear the n-th write-class op, persisting only the
     /// first half of its leading 8-byte word and dropping the rest.
     pub torn_store_at: Option<u64>,
+    /// Mount lineages: panic when the post-mount tree walk issues its n-th
+    /// probe (`readdir` or `stat`). Models file-system code that crashes
+    /// only when recovery's lazily-rebuilt structures are first traversed.
+    pub walk_panic_at: Option<u64>,
+    /// Mount lineages: spin forever (burning watchdog fuel) at the walk's
+    /// n-th probe. Models a traversal that loops on a corrupt structure.
+    pub walk_hang_at: Option<u64>,
 }
 
 impl FaultPlan {
@@ -194,6 +201,65 @@ impl<D: PmBackend> PmBackend for FaultDevice<D> {
     fn sim_cost(&self) -> SimCost {
         self.inner.sim_cost()
     }
+}
+
+// ---------------------------------------------------------------------------
+// Walker-probe faults.
+//
+// The tree walk runs above the device layer — `readdir`/`stat` calls on the
+// mounted file system — so device-op indices cannot address it precisely.
+// Instead the chaos FS kind arms a thread-local probe plan on each
+// Mount-lineage mount (resetting the counter, which keeps firing a pure
+// function of the crash-state image: mount and walk always run back-to-back
+// on one thread), and the walker ticks it once per probe. Non-chaos kinds
+// never arm it, and the Record lineage (`mkfs`, whose file system the oracle
+// walks) explicitly disarms it, so oracle-side walks are never perturbed.
+
+thread_local! {
+    static WALK_FAULTS: Cell<WalkFaults> = const {
+        Cell::new(WalkFaults { panic_at: None, hang_at: None, probes: 0 })
+    };
+}
+
+#[derive(Clone, Copy)]
+struct WalkFaults {
+    panic_at: Option<u64>,
+    hang_at: Option<u64>,
+    probes: u64,
+}
+
+/// Arms (or, with two `None`s, disarms) walker-probe faults on the calling
+/// thread and resets the probe counter. Called by the chaos FS kind at every
+/// mount so each walk lineage counts its probes from zero.
+pub fn arm_walk_faults(panic_at: Option<u64>, hang_at: Option<u64>) {
+    WALK_FAULTS.with(|w| w.set(WalkFaults { panic_at, hang_at, probes: 0 }));
+}
+
+/// Counts one walker probe (`readdir` or `stat`) and fires any armed fault
+/// at its 1-based index. A no-op on threads where nothing is armed.
+pub fn walk_probe() {
+    WALK_FAULTS.with(|w| {
+        let mut st = w.get();
+        if st.panic_at.is_none() && st.hang_at.is_none() {
+            return;
+        }
+        st.probes += 1;
+        let n = st.probes;
+        w.set(st);
+        if st.panic_at == Some(n) {
+            panic!("chaos: injected panic at walk probe {n}");
+        }
+        if st.hang_at == Some(n) {
+            if cost::fuel_armed() {
+                // A looping traversal still burns watchdog fuel until
+                // FuelExhausted unwinds it.
+                loop {
+                    cost::tick(64);
+                }
+            }
+            panic!("chaos: injected hang at walk probe {n} (no fuel watchdog armed)");
+        }
+    });
 }
 
 /// Bytes that survive a torn write: half of the leading 8-byte word (real PM

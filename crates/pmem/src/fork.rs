@@ -23,9 +23,9 @@
 //! by the number of clone points with intervening writes, i.e. the cached
 //! prefix depth — single digits in practice.
 
-use std::{collections::HashMap, sync::Arc};
+use std::sync::Arc;
 
-use crate::{backend::PmBackend, cost::SimCost};
+use crate::{backend::PmBackend, cost::SimCost, fxmap::FxHashMap};
 
 /// Overlay page size.
 const PAGE: u64 = 4096;
@@ -47,7 +47,7 @@ pub struct ForkDevice {
     len: u64,
     /// Overlay layers, oldest first. The last layer is written to when
     /// uniquely owned; a shared last layer is frozen by pushing a new one.
-    layers: Vec<Arc<HashMap<u64, Box<[u8]>>>>,
+    layers: Vec<Arc<FxHashMap<u64, Box<[u8]>>>>,
 }
 
 impl ForkDevice {
@@ -91,7 +91,7 @@ impl ForkDevice {
         if !top_has {
             let content = self.read_page(pno);
             if !top_unique {
-                self.layers.push(Arc::new(HashMap::new()));
+                self.layers.push(Arc::new(FxHashMap::default()));
             }
             let top = Arc::get_mut(self.layers.last_mut().expect("pushed")).expect("unique top");
             top.insert(pno, content);
@@ -104,7 +104,7 @@ impl ForkDevice {
 
     /// Merges every layer into one privately-owned bottom layer.
     fn flatten(&mut self) {
-        let mut merged: HashMap<u64, Box<[u8]>> = HashMap::new();
+        let mut merged: FxHashMap<u64, Box<[u8]>> = FxHashMap::default();
         for layer in &self.layers {
             for (&pno, page) in layer.iter() {
                 merged.insert(pno, page.clone());

@@ -119,6 +119,66 @@ pub fn word_term(off: u64, val: u64) -> ImageKey {
     ((hi as ImageKey) << 64) | lo as ImageKey
 }
 
+const SEED_SNAP_LO: u64 = 0xc0ac_29b7_c97c_50dd;
+const SEED_SNAP_HI: u64 = 0x3f84_d5b5_b547_0917;
+
+/// [`byte_term`] in the snapshot-node namespace: same injective `(off,
+/// byte)` layout, independent seeds. Zero bytes contribute 0, so the
+/// word-skipping scan below applies unchanged.
+#[inline]
+fn snap_byte_term(off: u64, byte: u8) -> ImageKey {
+    if byte == 0 {
+        return 0;
+    }
+    debug_assert!(off < 1 << 56);
+    let x = (off << 8) | byte as u64;
+    let lo = splitmix64(x ^ SEED_SNAP_LO);
+    let hi = splitmix64(x ^ SEED_SNAP_HI);
+    ((hi as ImageKey) << 64) | lo as ImageKey
+}
+
+/// Content key of a framed record — `head` followed by `body` at
+/// consecutive offsets — for the oracle's snapshot-node hashes
+/// (`chipmunk::oracle`). The caller frames the record (fixed-width header,
+/// length-prefixed variable parts), so key equality certifies the full
+/// serialized form including trailing zero bytes (a closing length term
+/// covers what the zero-skipping byte terms cannot).
+///
+/// Seeded independently of every other term family and never mixed with
+/// them: a snapshot-node key can never collide into `image_key` dedup keys
+/// or `word_term` footprint projections.
+pub fn snap_key(head: &[u8], body: &[u8]) -> ImageKey {
+    let mut key = snap_span(0, head) ^ snap_span(head.len() as u64, body);
+    let total = (head.len() + body.len()) as u64;
+    let lo = splitmix64(splitmix64(total ^ SEED_SNAP_LO) ^ SEED_SNAP_HI);
+    let hi = splitmix64(splitmix64(total ^ SEED_SNAP_HI) ^ SEED_SNAP_LO);
+    key ^= ((hi as ImageKey) << 64) | lo as ImageKey;
+    key
+}
+
+/// [`span_key`]'s word-skipping scan over the snapshot-node term family.
+fn snap_span(off: u64, data: &[u8]) -> ImageKey {
+    let mut key = 0;
+    let mut chunks = data.chunks_exact(8);
+    let mut at = off;
+    for w in chunks.by_ref() {
+        if u64::from_le_bytes(w.try_into().expect("8-byte chunk")) != 0 {
+            for (i, &b) in w.iter().enumerate() {
+                if b != 0 {
+                    key ^= snap_byte_term(at + i as u64, b);
+                }
+            }
+        }
+        at += 8;
+    }
+    for (i, &b) in chunks.remainder().iter().enumerate() {
+        if b != 0 {
+            key ^= snap_byte_term(at + i as u64, b);
+        }
+    }
+    key
+}
+
 /// Key delta for overwriting the bytes `old` at `off` with `new`
 /// (`old.len() == new.len()`). XOR the result into a maintained key.
 ///
@@ -267,6 +327,25 @@ mod tests {
         assert_ne!(run_term(0, 0), run_term(0, 1));
         // And it never degenerates to zero for a zero-length run at 0.
         assert_ne!(run_term(0, 0), 0);
+    }
+
+    #[test]
+    fn snap_key_frames_and_namespaces() {
+        // Framing is positional over head||body: the same concatenation
+        // splits to the same key, different contents or lengths do not.
+        assert_eq!(snap_key(b"ab", b"cd"), snap_key(b"ab", b"cd"));
+        assert_eq!(
+            snap_span(0, b"abcd"),
+            snap_span(0, b"ab") ^ snap_span(2, b"cd"),
+            "snap spans compose positionally"
+        );
+        assert_ne!(snap_key(b"ab", b"cd"), snap_key(b"ab", b"ce"));
+        // Trailing zeros are invisible to byte terms but not to the key.
+        assert_ne!(snap_key(b"a", b"\0"), snap_key(b"a", b""));
+        assert_ne!(snap_key(b"", b""), 0);
+        // Independent namespace: identical bytes key differently than the
+        // image family.
+        assert_ne!(snap_key(b"", b"xyz"), span_key(0, b"xyz"));
     }
 
     #[test]

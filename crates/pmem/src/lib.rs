@@ -42,16 +42,18 @@ pub mod cow;
 pub mod device;
 pub mod fault;
 pub mod fork;
+pub mod fxmap;
 pub mod hash;
 pub mod shared;
 pub mod track;
 
 pub use backend::{PmBackend, CACHE_LINE, WORD};
-pub use cost::{FuelExhausted, FuelGuard, PmStats, SimCost};
+pub use cost::{fuel_remaining, FuelExhausted, FuelGuard, PmStats, SimCost};
 pub use fault::{FaultDevice, FaultPlan, FaultRole};
 pub use cow::{CowDevice, UndoMark};
 pub use device::{InflightKind, InflightWrite, PmDevice};
 pub use fork::ForkDevice;
-pub use hash::{byte_term, image_key, run_term, span_key, word_term, write_delta, ImageKey};
+pub use fxmap::{FxBuildHasher, FxHashMap};
+pub use hash::{byte_term, image_key, run_term, snap_key, span_key, word_term, write_delta, ImageKey};
 pub use shared::{SharedDev, Window};
 pub use track::ReadTracker;

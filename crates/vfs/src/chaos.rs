@@ -72,10 +72,16 @@ impl<K: FsKind> FsKind for ChaosKind<K> {
     }
 
     fn mkfs<D: PmBackend>(&self, dev: D) -> FsResult<Self::Fs<D>> {
+        // The oracle walks the mkfs'd (Record-lineage) file system; its
+        // probes must never fire walk faults.
+        pmem::fault::arm_walk_faults(None, None);
         self.inner.mkfs(FaultDevice::new(dev, self.plan, FaultRole::Record))
     }
 
     fn mount<D: PmBackend>(&self, dev: D) -> FsResult<Self::Fs<D>> {
+        // Mount and the post-mount walk run back-to-back on this thread;
+        // arming here resets the probe counter per walk lineage.
+        pmem::fault::arm_walk_faults(self.plan.walk_panic_at, self.plan.walk_hang_at);
         self.inner.mount(FaultDevice::new(dev, self.plan, FaultRole::Mount))
     }
 

@@ -8,9 +8,7 @@
 //! it tracks which blocks are dirty and whether they are metadata
 //! (journaled) or file data (written in place, ordered mode).
 
-use std::collections::HashMap;
-
-use pmem::PmBackend;
+use pmem::{FxHashMap, PmBackend};
 
 /// Cache block size (one page).
 pub const BLOCK: u64 = 4096;
@@ -35,7 +33,7 @@ struct Page {
 /// A write-back page cache over device blocks.
 #[derive(Debug, Clone, Default)]
 pub struct PageCache {
-    pages: HashMap<u64, Page>,
+    pages: FxHashMap<u64, Page>,
 }
 
 impl PageCache {

@@ -16,7 +16,7 @@ use crate::{
     journal,
     layout::{
         ioff, itype, sboff, tlist, Geometry, RawDentry, BLOCK, DEFAULT_CPUS, DENTRY_NAME_MAX,
-        DENTRY_SIZE, INODE_SIZE, MAGIC, MAX_FILE_BLOCKS, NDIRECT, ROOT_INO,
+        DENTRY_SIZE, INODE_SIZE, MAGIC, MAX_FILE_BLOCKS, NDIRECT, PTRS_PER_BLOCK, ROOT_INO,
     },
 };
 
@@ -194,15 +194,13 @@ impl<D: PmBackend> WineFs<D> {
                 fs.clear_inode_raw(ino);
                 continue;
             }
-            for idx in 0..MAX_FILE_BLOCKS {
-                if let Some(b) = fs.get_block(ino, idx) {
-                    if b >= fs.geo.total_blocks {
-                        return Err(FsError::Unmountable(format!(
-                            "inode {ino} maps out-of-range block {b}"
-                        )));
-                    }
-                    used.insert(b);
+            for (_, b) in fs.mapped_from(ino, 0) {
+                if b >= fs.geo.total_blocks {
+                    return Err(FsError::Unmountable(format!(
+                        "inode {ino} maps out-of-range block {b}"
+                    )));
                 }
+                used.insert(b);
             }
             let ind = fs.dev.read_u64(base + ioff::INDIRECT);
             if ind != 0 {
@@ -307,6 +305,49 @@ impl<D: PmBackend> WineFs<D> {
         (1..=self.geo.inode_count)
             .find(|&i| self.iget(i, ioff::FTYPE) == itype::FREE)
             .ok_or(FsError::NoSpace)
+    }
+
+    /// Collects the allocated `(file index, block)` pairs of `ino` from
+    /// index `start` up, in index order. Equivalent to probing
+    /// [`Winefs::get_block`] per index, but reads the indirect pointer once
+    /// and the indirect block with one bulk read — the per-slot re-reads
+    /// dominated mount, stat, and release scans (512 redundant word reads
+    /// per inode).
+    fn mapped_from(&self, ino: u64, start: u64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for idx in start.min(NDIRECT as u64)..NDIRECT as u64 {
+            let b = self.iget(ino, ioff::DIRECT + idx * 8);
+            if b != 0 {
+                out.push((idx, b));
+            }
+        }
+        let ind = self.iget(ino, ioff::INDIRECT);
+        if ind == 0 {
+            return out;
+        }
+        let first = start.saturating_sub(NDIRECT as u64);
+        if ind >= self.geo.total_blocks {
+            // Corrupt indirect pointer: issue the exact per-slot reads the
+            // unbatched path would have, so out-of-range faults (and their
+            // payloads) are unchanged.
+            for e in first..PTRS_PER_BLOCK {
+                let b = self.dev.read_u64(ind * BLOCK + e * 8);
+                if b != 0 {
+                    out.push((NDIRECT as u64 + e, b));
+                }
+            }
+            return out;
+        }
+        let raw = self.dev.read_vec(ind * BLOCK, BLOCK);
+        for e in first..PTRS_PER_BLOCK {
+            let b = u64::from_le_bytes(
+                raw[(e * 8) as usize..(e * 8 + 8) as usize].try_into().expect("8-byte slot"),
+            );
+            if b != 0 {
+                out.push((NDIRECT as u64 + e, b));
+            }
+        }
+        out
     }
 
     fn get_block(&self, ino: u64, idx: u64) -> Option<u64> {
@@ -516,12 +557,7 @@ impl<D: PmBackend> WineFs<D> {
     fn do_truncate_shrink(&mut self, ino: u64, size: u64) -> FsResult<()> {
         let keep = size.div_ceil(BLOCK);
         let ind = self.iget(ino, ioff::INDIRECT);
-        let mut freed: Vec<u64> = Vec::new();
-        for idx in keep..MAX_FILE_BLOCKS {
-            if let Some(b) = self.get_block(ino, idx) {
-                freed.push(b);
-            }
-        }
+        let freed: Vec<u64> = self.mapped_from(ino, keep).into_iter().map(|(_, b)| b).collect();
         let mut plan = UpdatePlan::default();
         plan.word(self.iaddr(ino, ioff::SIZE), size);
         for idx in keep..NDIRECT as u64 {
@@ -611,12 +647,8 @@ impl<D: PmBackend> WineFs<D> {
     fn deferred_release(&mut self, ino: u64) -> FsResult<()> {
         covpoint!(self.cov);
         self.with_trecord(ino, 0, true, |fs| {
-            let mut freed = Vec::new();
-            for idx in 0..MAX_FILE_BLOCKS {
-                if let Some(b) = fs.get_block(ino, idx) {
-                    freed.push(b);
-                }
-            }
+            let freed: Vec<u64> =
+                fs.mapped_from(ino, 0).into_iter().map(|(_, b)| b).collect();
             let ind = fs.iget(ino, ioff::INDIRECT);
             fs.clear_inode_raw(ino);
             for b in freed {
@@ -1138,7 +1170,7 @@ impl<D: PmBackend> FileSystem for WineFs<D> {
     fn stat(&self, path: &str) -> FsResult<Metadata> {
         let ino = self.resolve(path)?;
         let ftype = self.check_live(ino)?;
-        let blocks = (0..MAX_FILE_BLOCKS).filter(|&i| self.get_block(ino, i).is_some()).count();
+        let blocks = self.mapped_from(ino, 0).len();
         Ok(Metadata {
             ino,
             ftype: if ftype == itype::DIR { FileType::Directory } else { FileType::Regular },
