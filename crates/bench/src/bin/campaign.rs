@@ -206,7 +206,10 @@ fn main() {
 /// The store-backed mode: one resumable as-released sweep through the
 /// persistent campaign store, then triage over the merged results. Re-runs
 /// (and `--resume`) skip every journaled workload and re-warm the prefix
-/// cache, so a killed sweep continues instead of starting over.
+/// cache, so a killed sweep continues instead of starting over. Store
+/// errors exit with their mapped codes (2 corrupt, 3 degraded/out of
+/// space, 1 other); the degraded path still prints a read-only triage of
+/// what survived before exiting.
 fn run_store_campaign(dir: &str, resume: bool, threads: usize) {
     let path = std::path::Path::new(dir);
     let store = if resume {
@@ -216,7 +219,7 @@ fn run_store_campaign(dir: &str, resume: bool, threads: usize) {
     }
     .unwrap_or_else(|e| {
         eprintln!("error: {e}");
-        std::process::exit(1);
+        std::process::exit(e.exit_code());
     });
     println!(
         "store campaign at {dir} | fs {} | {} tasks | threads = {threads}",
@@ -224,15 +227,23 @@ fn run_store_campaign(dir: &str, resume: bool, threads: usize) {
         store.spec.total_tasks(),
     );
     let opts = RunOpts { threads, ..RunOpts::default() };
-    let sum = runner::run_worker(&store, &opts).unwrap_or_else(|e| {
+    let (sum, merged) = runner::run_and_merge(&store, &opts).unwrap_or_else(|e| {
         eprintln!("error: {e}");
-        std::process::exit(1);
+        if matches!(e, bench::campaign::hostio::StoreError::Exhausted { .. }) {
+            let audit = runner::merge_read_only(&store);
+            eprintln!(
+                "degraded store triage (read-only): {} tasks committed ({} workloads, \
+                 {} reports); {} corrupt, {} missing",
+                audit.committed,
+                audit.workloads,
+                audit.reports,
+                audit.corrupt.len(),
+                audit.missing.len(),
+            );
+        }
+        std::process::exit(e.exit_code());
     });
     runner::write_summary(&store, &opts, &sum);
-    let merged = runner::merge(&store).unwrap_or_else(|e| {
-        eprintln!("error: {e}");
-        std::process::exit(1);
-    });
     println!(
         "{} workloads ({} resumed from the journal, {} rewarm runs) | {} reports | \
          prefix ops saved {} | fingerprint {:016x}",

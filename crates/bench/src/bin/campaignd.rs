@@ -26,13 +26,25 @@
 //! boundary; killing mid-append is exercised separately and only tears the
 //! journal tail). Unknown flags, malformed numbers, and extra arguments are
 //! fatal (exit 2).
+//!
+//! `--torture HEX` is a *runtime* flag (valid with `--store`, `--resume`,
+//! and `--worker`; never part of the spec): every filesystem touch goes
+//! through a deterministic fault injector seeded with
+//! `fnv1a(worker_id, HEX)` — short writes, EIO, torn appends, lying
+//! writes. The campaign must still converge to the byte-identical
+//! fault-free `campaign.json`, or halt declaring why. Store errors map to
+//! distinct exit codes: 2 for corrupt input, 3 for the degraded
+//! out-of-space mode (after printing a read-only triage of what survived),
+//! 1 for everything else.
 
 use std::path::PathBuf;
 use std::time::Duration;
 
 use bench::campaign::{
+    hostio::{FaultSpec, HostCtx, StoreError},
     runner::{self, RunOpts},
     store::CampaignStore,
+    wire::fnv1a,
     CampaignSpec,
 };
 use bench::jsonout::JVal;
@@ -43,8 +55,10 @@ fn usage() -> ! {
         "usage: campaignd --store <dir> [--fs NAME] [--bug N] [--seq1-take N] [--seq2-step N]\n\
          \x20                [--fuzz-budget N] [--seed HEX] [--batch N] [--cap N|none]\n\
          \x20                [--bitmap-bits N] [--workers N] [--threads N] [--ttl-ms N]\n\
-         \x20      campaignd --resume <dir> [--workers N] [--threads N] [--ttl-ms N]\n\
-         \x20      campaignd --worker --store <dir> [--threads N] [--ttl-ms N] [--worker-id ID] [--die-after N]"
+         \x20                [--torture HEX]\n\
+         \x20      campaignd --resume <dir> [--workers N] [--threads N] [--ttl-ms N] [--torture HEX]\n\
+         \x20      campaignd --worker --store <dir> [--threads N] [--ttl-ms N] [--worker-id ID]\n\
+         \x20                [--die-after N] [--torture HEX]"
     );
     std::process::exit(2);
 }
@@ -68,6 +82,37 @@ fn fail(e: impl std::fmt::Display) -> ! {
     std::process::exit(1);
 }
 
+/// Exits with the error's mapped code (2 corrupt, 3 exhausted, 1 other).
+/// On the degraded out-of-space path, first prints a read-only triage of
+/// the store — ENOSPC stops writes, not the operator's view of what
+/// survived.
+fn fail_store(store: Option<&CampaignStore>, e: StoreError) -> ! {
+    eprintln!("error: {e}");
+    if let (Some(s), StoreError::Exhausted { .. }) = (store, &e) {
+        let audit = runner::merge_read_only(s);
+        eprintln!(
+            "degraded store triage (read-only): {} tasks committed ({} workloads, {} reports); \
+             {} corrupt, {} missing; resume with space freed to finish the campaign",
+            audit.committed,
+            audit.workloads,
+            audit.reports,
+            audit.corrupt.len(),
+            audit.missing.len(),
+        );
+    }
+    std::process::exit(e.exit_code());
+}
+
+/// The host-I/O context for one worker: passthrough normally, the
+/// deterministic fault injector under `--torture` (each worker gets its
+/// own fault schedule, derived from the shared seed and its worker id).
+fn host_ctx(torture: Option<u64>, worker_id: &str) -> HostCtx {
+    match torture {
+        Some(seed) => HostCtx::faulty(FaultSpec::standard(fnv1a(worker_id.as_bytes(), seed))),
+        None => HostCtx::passthrough(),
+    }
+}
+
 fn main() {
     let mut store_dir: Option<PathBuf> = None;
     let mut resume_dir: Option<PathBuf> = None;
@@ -77,6 +122,7 @@ fn main() {
     let mut workers: usize = 2;
     let mut threads: usize = 1;
     let mut ttl_ms: u64 = 5000;
+    let mut torture: Option<u64> = None;
     let mut spec = CampaignSpec::default();
     let mut spec_flags = false;
 
@@ -93,6 +139,13 @@ fn main() {
             "--workers" => workers = parse_num("--workers", &flag_value("--workers", &mut it)),
             "--threads" => threads = parse_num("--threads", &flag_value("--threads", &mut it)),
             "--ttl-ms" => ttl_ms = parse_num("--ttl-ms", &flag_value("--ttl-ms", &mut it)),
+            "--torture" => {
+                let s = flag_value("--torture", &mut it);
+                torture = Some(u64::from_str_radix(&s, 16).unwrap_or_else(|_| {
+                    eprintln!("bad --torture (hex): {s:?}");
+                    usage()
+                }));
+            }
             "--fs" => {
                 spec.fs = flag_value("--fs", &mut it).parse::<FsName>().unwrap_or_else(|e| {
                     eprintln!("{e}");
@@ -175,8 +228,10 @@ fn main() {
             eprintln!("--worker needs --store");
             usage();
         };
-        let store = CampaignStore::open(&dir).unwrap_or_else(|e| fail(e));
-        let sum = runner::run_worker(&store, &opts).unwrap_or_else(|e| fail(e));
+        let io = host_ctx(torture, &opts.worker_id);
+        let store = CampaignStore::open_with(&dir, io).unwrap_or_else(|e| fail_store(None, e));
+        let sum =
+            runner::run_worker(&store, &opts).unwrap_or_else(|e| fail_store(Some(&store), e));
         runner::write_summary(&store, &opts, &sum);
         return;
     }
@@ -185,18 +240,20 @@ fn main() {
         usage();
     }
 
+    let io = host_ctx(torture, "w0");
     let store = match (store_dir, resume_dir) {
         (Some(_), Some(_)) | (None, None) => {
             eprintln!("exactly one of --store / --resume is required");
             usage();
         }
-        (Some(dir), None) => CampaignStore::open_or_init(&dir, &spec).unwrap_or_else(|e| fail(e)),
+        (Some(dir), None) => CampaignStore::open_or_init_with(&dir, &spec, io)
+            .unwrap_or_else(|e| fail_store(None, e)),
         (None, Some(dir)) => {
             if spec_flags {
                 eprintln!("--resume continues the persisted spec; spec flags are not allowed");
                 usage();
             }
-            CampaignStore::open(&dir).unwrap_or_else(|e| fail(e))
+            CampaignStore::open_with(&dir, io).unwrap_or_else(|e| fail_store(None, e))
         }
     };
 
@@ -224,8 +281,8 @@ fn main() {
     let spawned = workers.saturating_sub(1); // this process is worker 0
     let children: Vec<std::process::Child> = (0..spawned)
         .map(|i| {
-            std::process::Command::new(&exe)
-                .arg("--worker")
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.arg("--worker")
                 .arg("--store")
                 .arg(&store.dir)
                 .arg("--threads")
@@ -233,22 +290,33 @@ fn main() {
                 .arg("--ttl-ms")
                 .arg(ttl_ms.to_string())
                 .arg("--worker-id")
-                .arg(format!("w{}", i + 1))
-                .spawn()
-                .unwrap_or_else(|e| fail(format!("spawn worker: {e}")))
+                .arg(format!("w{}", i + 1));
+            if let Some(seed) = torture {
+                cmd.arg("--torture").arg(format!("{seed:x}"));
+            }
+            cmd.spawn().unwrap_or_else(|e| fail(format!("spawn worker: {e}")))
         })
         .collect();
 
     // Worker 0 runs in-process; it also mops up after any child that dies
-    // (dead-pid leases are reclaimed by the stale check).
+    // (dead-pid leases are reclaimed by the stale check). `run_and_merge`
+    // re-runs the worker when the merge quarantines a corrupt committed
+    // result — the re-lease/re-run loop heals the store, bounded.
     let opts = RunOpts { worker_id: "w0".into(), ..opts };
-    let sum = runner::run_worker(&store, &opts).unwrap_or_else(|e| fail(e));
+    let (sum, merged) = match runner::run_and_merge(&store, &opts) {
+        Ok(ok) => ok,
+        Err(e) => {
+            for mut c in children {
+                let _ = c.wait();
+            }
+            fail_store(Some(&store), e)
+        }
+    };
     runner::write_summary(&store, &opts, &sum);
     for mut c in children {
         let _ = c.wait();
     }
 
-    let merged = runner::merge(&store).unwrap_or_else(|e| fail(e));
     let elapsed = started.elapsed();
     let run = JVal::Obj(vec![
         ("workers".into(), JVal::Num(workers as f64)),
@@ -261,12 +329,17 @@ fn main() {
             JVal::Num(sum.journal_workloads_replayed as f64),
         ),
         ("rewarm_runs".into(), JVal::Num(sum.rewarm_runs as f64)),
+        ("tasks_abandoned".into(), JVal::Num(sum.tasks_abandoned as f64)),
+        ("io_retries".into(), JVal::Num(sum.io_retries as f64)),
+        ("backoff_ticks".into(), JVal::Num(sum.backoff_ticks as f64)),
+        ("tasks_quarantined".into(), JVal::Num(sum.tasks_quarantined as f64)),
+        ("faults_injected".into(), JVal::Num(sum.faults_injected as f64)),
+        ("degraded".into(), JVal::Bool(sum.degraded)),
     ]);
-    bench::jsonout::write_atomic(
-        &store.dir.join("run.json").to_string_lossy(),
-        &(run.render() + "\n"),
-    )
-    .unwrap_or_else(|e| fail(e));
+    store
+        .io
+        .write_atomic(&store.dir.join("run.json"), (run.render() + "\n").as_bytes())
+        .unwrap_or_else(|e| fail_store(Some(&store), e));
 
     println!(
         "merged {} workloads | {} crash points, {} crash states | {} reports | \
@@ -289,4 +362,15 @@ fn main() {
         merged.totals[5],
         bench::fmt_dur(elapsed),
     );
+    if torture.is_some() {
+        println!(
+            "torture: {} faults injected | {} io retries, {} backoff ticks | \
+             {} tasks abandoned, {} quarantined",
+            sum.faults_injected,
+            sum.io_retries,
+            sum.backoff_ticks,
+            sum.tasks_abandoned,
+            sum.tasks_quarantined,
+        );
+    }
 }

@@ -30,6 +30,7 @@
 use std::time::Duration;
 
 use bench::campaign::{
+    hostio::{FaultSpec, HostCtx},
     runner::{self, RunOpts},
     store::CampaignStore,
     CampaignSpec,
@@ -86,6 +87,22 @@ fn campaign_resume_bench() -> Json {
     // Kill inside the second ACE task: the resume must splice the first
     // task's committed result *and* the second's partial journal.
     let (sum, warm) = run(&base.join("resumed"), Some(9));
+
+    // Torture lane: the same campaign under the deterministic host-I/O
+    // fault injector (short writes, EIO, torn appends, lying writes). The
+    // retry/abandon/quarantine machinery must still converge to the
+    // byte-identical fault-free document — the store's own
+    // crash-consistency discipline, eaten as dogfood.
+    let torture_dir = base.join("torture");
+    let _ = std::fs::remove_dir_all(&torture_dir);
+    let io = HostCtx::faulty(FaultSpec::standard(0xf16));
+    let tstore = CampaignStore::open_or_init_with(&torture_dir, &spec, io)
+        .expect("init torture store (store.json writes retry through faults)");
+    let (survived, identical, tsum) = match runner::run_and_merge(&tstore, &RunOpts::default()) {
+        Ok((s, m)) => (true, m.doc == cold.doc, s),
+        Err(_) => (false, false, runner::WorkerSummary::default()),
+    };
+
     let doc = Json::Obj(vec![
         ("cold_prefix_ops_saved", Json::U(cold.totals[5])),
         ("resumed_prefix_ops_saved", Json::U(warm.totals[5])),
@@ -93,6 +110,18 @@ fn campaign_resume_bench() -> Json {
         ("journal_workloads_replayed", Json::U(sum.journal_workloads_replayed)),
         ("rewarm_runs", Json::U(sum.rewarm_runs)),
         ("byte_identical", Json::B(cold.doc == warm.doc)),
+        (
+            "torture",
+            Json::Obj(vec![
+                ("survived", Json::B(survived)),
+                ("byte_identical", Json::B(identical)),
+                ("faults_injected", Json::U(tsum.faults_injected)),
+                ("io_retries", Json::U(tsum.io_retries)),
+                ("backoff_ticks", Json::U(tsum.backoff_ticks)),
+                ("tasks_abandoned", Json::U(tsum.tasks_abandoned)),
+                ("tasks_quarantined", Json::U(tsum.tasks_quarantined)),
+            ]),
+        ),
     ]);
     let _ = std::fs::remove_dir_all(&base);
     doc
@@ -155,6 +184,7 @@ fn main() {
     let mut worker_hits: Vec<u64> = Vec::new();
     let mut sandbox_totals = [0u64; 4];
     let mut oracle_totals = [0u64; 2];
+    let mut host_totals = [0u64; 3];
     let mut phase_total = PhaseTotals::default();
     for info in &uniques {
         if info.ace_findable {
@@ -181,6 +211,9 @@ fn main() {
                 sandbox_totals[3] += h.fuel_exhausted;
                 oracle_totals[0] += h.oracle_subtrees_pruned;
                 oracle_totals[1] += h.oracle_snap_bytes_shared;
+                host_totals[0] += h.io_retries;
+                host_totals[1] += h.tasks_quarantined;
+                host_totals[2] += h.degraded_mode;
                 phase_total.oracle += h.phase.oracle;
                 phase_total.record += h.phase.record;
                 phase_total.check += h.phase.check;
@@ -202,6 +235,9 @@ fn main() {
             sandbox_totals[3] += h.fuel_exhausted;
             oracle_totals[0] += h.oracle_subtrees_pruned;
             oracle_totals[1] += h.oracle_snap_bytes_shared;
+            host_totals[0] += h.io_retries;
+            host_totals[1] += h.tasks_quarantined;
+            host_totals[2] += h.degraded_mode;
             phase_total.oracle += h.phase.oracle;
             phase_total.record += h.phase.record;
             phase_total.check += h.phase.check;
@@ -315,6 +351,9 @@ fn main() {
                     ("fuel_exhausted", Json::U(sandbox_totals[3])),
                     ("oracle_subtrees_pruned", Json::U(oracle_totals[0])),
                     ("oracle_snap_bytes_shared", Json::U(oracle_totals[1])),
+                    ("io_retries", Json::U(host_totals[0])),
+                    ("tasks_quarantined", Json::U(host_totals[1])),
+                    ("degraded_mode", Json::U(host_totals[2])),
                     (
                         "per_worker_prefix_hits",
                         Json::Arr(worker_hits.iter().map(|&v| Json::U(v)).collect()),

@@ -18,7 +18,9 @@
 //! `(workload, crash subset)` pair and written as a self-contained repro
 //! bundle (default `repro-bug<N>.json`; override with `--out`). With
 //! `--repro <file>`, the bundle is replayed instead of hunting: exit status
-//! 0 iff the replay reproduces the expected violation class.
+//! 0 iff the replay reproduces the expected violation class, 1 when it
+//! loads but fails to reproduce, 2 when the bundle itself is malformed
+//! (the error names the file, byte offset, and recovery action).
 //!
 //! With `--store <dir>`, the hunt runs as a persistent campaign targeting
 //! just that bug (see `bench::campaign`): an ACE seq-1 sweep plus the fuzz
@@ -109,9 +111,12 @@ fn main() {
             eprintln!("--repro takes no other arguments");
             usage();
         }
+        // A malformed bundle exits 2 (the error names the file, the byte
+        // offset of the first unparsable input, and the recovery action);
+        // a bundle that loads but fails to reproduce exits 1.
         let bundle = ReproBundle::load(&path).unwrap_or_else(|e| {
             eprintln!("error: {e}");
-            std::process::exit(1);
+            std::process::exit(e.exit_code());
         });
         let out = bundle.replay().unwrap_or_else(|e| {
             eprintln!("error: replay failed: {e}");
@@ -151,7 +156,7 @@ fn main() {
             let threads: usize = parse_pos(pos.first(), "thread count", 1);
             let store = CampaignStore::open(std::path::Path::new(&dir)).unwrap_or_else(|e| {
                 eprintln!("error: {e}");
-                std::process::exit(1);
+                std::process::exit(e.exit_code());
             });
             run_store_hunt(store, threads);
         }
@@ -182,7 +187,7 @@ fn main() {
         let store = CampaignStore::open_or_init(std::path::Path::new(&dir), &spec)
             .unwrap_or_else(|e| {
                 eprintln!("error: {e}");
-                std::process::exit(1);
+                std::process::exit(e.exit_code());
             });
         run_store_hunt(store, threads);
     }
@@ -301,7 +306,8 @@ fn main() {
 
 /// Runs (or resumes) a store-backed single-bug hunt campaign to completion
 /// in-process, prints the merged summary and first find, and exits — status
-/// 0 when the sweep finished, 1 on store errors.
+/// 0 when the sweep finished; store errors exit with their mapped codes
+/// (2 corrupt, 3 degraded/out of space, 1 other).
 fn run_store_hunt(store: CampaignStore, threads: usize) -> ! {
     let bug = store.spec.bug.unwrap_or(0);
     println!(
@@ -313,15 +319,11 @@ fn run_store_hunt(store: CampaignStore, threads: usize) -> ! {
         store.spec.fuzz_tasks(),
     );
     let opts = RunOpts { threads, ..RunOpts::default() };
-    let sum = runner::run_worker(&store, &opts).unwrap_or_else(|e| {
+    let (sum, merged) = runner::run_and_merge(&store, &opts).unwrap_or_else(|e| {
         eprintln!("error: {e}");
-        std::process::exit(1);
+        std::process::exit(e.exit_code());
     });
     runner::write_summary(&store, &opts, &sum);
-    let merged = runner::merge(&store).unwrap_or_else(|e| {
-        eprintln!("error: {e}");
-        std::process::exit(1);
-    });
     println!(
         "{} workloads ({} resumed from the journal, {} rewarm runs) | \
          {} crash states, prefix ops saved {} | fingerprint {:016x}",

@@ -31,6 +31,7 @@
 //!    `Scheduler` already pins), so the merged document is byte-identical
 //!    to a serial run at any worker count, kill pattern, or thread count.
 
+pub mod hostio;
 pub mod queue;
 pub mod runner;
 pub mod store;

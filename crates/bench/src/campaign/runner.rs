@@ -37,6 +37,7 @@ use workloads::fuzz::{FuzzConfig, Fuzzer};
 use crate::jsonout::{self, JVal};
 use crate::{dispatch, plan_subtrees, SubtreePlan, WithKind};
 
+use super::hostio::StoreError;
 use super::queue::{Claim, Lease, WorkQueue};
 use super::store::{CampaignStore, TaskJournal};
 use super::wire::{fnv1a, ju, WRes};
@@ -86,6 +87,19 @@ pub struct WorkerSummary {
     /// Cache re-warm runs (re-executions of an already-journaled workload
     /// to rebuild `PrefixCache` state mid-group).
     pub rewarm_runs: u64,
+    /// Tasks abandoned (lease released, task left for a re-claim) because
+    /// of a recoverable host-I/O error.
+    pub tasks_abandoned: u64,
+    /// Host-I/O retries this worker's context performed.
+    pub io_retries: u64,
+    /// Simulated-clock ticks spent in retry backoff.
+    pub backoff_ticks: u64,
+    /// Corrupt committed artifacts moved to `quarantine/`.
+    pub tasks_quarantined: u64,
+    /// Faults the host-I/O injector produced (0 outside torture runs).
+    pub faults_injected: u64,
+    /// The store entered read-only degraded mode (ENOSPC).
+    pub degraded: bool,
     /// The kill hook fired (test runs only).
     pub interrupted: bool,
 }
@@ -99,8 +113,24 @@ impl WorkerSummary {
             ("tasks_resumed".into(), ju(self.tasks_resumed)),
             ("journal_workloads_replayed".into(), ju(self.journal_workloads_replayed)),
             ("rewarm_runs".into(), ju(self.rewarm_runs)),
+            ("tasks_abandoned".into(), ju(self.tasks_abandoned)),
+            ("io_retries".into(), ju(self.io_retries)),
+            ("backoff_ticks".into(), ju(self.backoff_ticks)),
+            ("tasks_quarantined".into(), ju(self.tasks_quarantined)),
+            ("faults_injected".into(), ju(self.faults_injected)),
+            ("degraded".into(), JVal::Bool(self.degraded)),
             ("interrupted".into(), JVal::Bool(self.interrupted)),
         ])
+    }
+
+    /// Copies the host-I/O observability counters out of the store's
+    /// context (called once, when the worker stops).
+    fn absorb_io(&mut self, store: &CampaignStore) {
+        self.io_retries = store.io.io_retries();
+        self.backoff_ticks = store.io.backoff_ticks();
+        self.tasks_quarantined = store.io.tasks_quarantined();
+        self.faults_injected = store.io.faults_injected();
+        self.degraded = store.io.degraded();
     }
 }
 
@@ -109,16 +139,36 @@ enum TaskRun {
     Interrupted,
 }
 
+/// Times one task may be abandoned (recoverable host-I/O failure) before
+/// the worker gives up on the campaign: a task that keeps failing under
+/// retry + re-lease is not going to heal itself.
+const MAX_TASK_ATTEMPTS: u32 = 5;
+
+/// Consecutive no-progress queue passes before the worker declares a
+/// livelock. Generous — each pass sleeps 25ms, so this is minutes of a
+/// genuinely wedged store, never a slow sibling worker (their completed
+/// tasks count as progress on our next pass).
+const MAX_STALLED_PASSES: u32 = 12_000;
+
 /// Runs one worker over the store until every task has a committed result
 /// (or the kill hook fires). Safe to run concurrently with any number of
 /// other workers, in this process or others, on the same store.
-pub fn run_worker(store: &CampaignStore, opts: &RunOpts) -> Result<WorkerSummary, String> {
+///
+/// Error policy: Transient (retry-exhausted) and quarantined-Corrupt
+/// failures **abandon the task** — the lease is released, the failure
+/// counted, and the task re-claimed on a later pass (by this or any other
+/// worker); a task that fails [`MAX_TASK_ATTEMPTS`] times escalates to
+/// Fatal. Exhausted (ENOSPC → degraded read-only store) and Fatal (host
+/// death, unusable store) stop the worker immediately.
+pub fn run_worker(store: &CampaignStore, opts: &RunOpts) -> Result<WorkerSummary, StoreError> {
     let spec = &store.spec;
     let ace_ws = spec.ace_workloads();
     let total = spec.total_tasks();
     let queue = WorkQueue::new(store, &opts.worker_id, opts.ttl);
     let mut budget = opts.kill_after_checkpoints;
     let mut sum = WorkerSummary::default();
+    let mut attempts: BTreeMap<usize, u32> = BTreeMap::new();
+    let mut stalled = 0u32;
 
     loop {
         let mut progressed = false;
@@ -140,31 +190,88 @@ pub fn run_worker(store: &CampaignStore, opts: &RunOpts) -> Result<WorkerSummary
                 Claim::Claimed(l) => l,
                 Claim::Busy | Claim::Done => continue,
             };
-            match run_task(store, id, kind, &ace_ws, &lease, opts, &mut budget, &mut sum)? {
-                TaskRun::Complete(results) => {
-                    store.write_result(id, &results)?;
+            let step = run_task(store, id, kind, &ace_ws, &lease, opts, &mut budget, &mut sum)
+                .and_then(|run| match run {
+                    TaskRun::Complete(results) => {
+                        store.write_result(id, &results)?;
+                        Ok(true)
+                    }
+                    TaskRun::Interrupted => Ok(false),
+                });
+            match step {
+                Ok(true) => {
                     lease.release();
                     sum.tasks_run += 1;
                     progressed = true;
                 }
-                TaskRun::Interrupted => {
+                Ok(false) => {
                     // Drop the lease without releasing it (`Lease` has no
                     // Drop) — that is what a kill does; a successor (often
                     // this very process) reclaims it via the stale check.
                     sum.interrupted = true;
+                    sum.absorb_io(store);
                     return Ok(sum);
+                }
+                Err(e) if e.task_recoverable() => {
+                    // Abandon: release the lease and let the normal claim
+                    // loop re-run the task (journaled progress is kept —
+                    // the successor splices it). A quarantined dependency
+                    // lands here too: its completion marker is gone, so
+                    // the id-order pass re-runs the dependency first.
+                    lease.release();
+                    sum.tasks_abandoned += 1;
+                    let n = attempts.entry(id).or_insert(0);
+                    *n += 1;
+                    if *n >= MAX_TASK_ATTEMPTS {
+                        sum.absorb_io(store);
+                        return Err(StoreError::fatal(format!(
+                            "task {id} abandoned {n} times; last error: {e}"
+                        )));
+                    }
+                    progressed = true; // re-claim next pass without sleeping
+                }
+                Err(e) => {
+                    sum.absorb_io(store);
+                    return Err(e);
                 }
             }
         }
         if all_done {
             break;
         }
-        if !progressed {
+        if progressed {
+            stalled = 0;
+        } else {
             // Someone else holds the remaining leases (or a fuzz dependency
             // is still running elsewhere): wait for heartbeats to resolve.
+            // A dead injector or wedged store must not spin forever.
+            if store.io.crashed() {
+                sum.absorb_io(store);
+                return Err(StoreError::fatal("host crashed; worker cannot make progress"));
+            }
+            // ENOSPC surfacing through the lease path is swallowed by the
+            // claim loop (a refused create just means "not ours"), so the
+            // degraded flag is the only signal — a full disk can never
+            // un-stall us.
+            if store.io.degraded() {
+                sum.absorb_io(store);
+                return Err(StoreError::Exhausted {
+                    op: "claim",
+                    path: store.dir.display().to_string(),
+                    detail: "store is out of space; switching to read-only degraded mode".into(),
+                });
+            }
+            stalled += 1;
+            if stalled > MAX_STALLED_PASSES {
+                sum.absorb_io(store);
+                return Err(StoreError::fatal(format!(
+                    "queue made no progress for {MAX_STALLED_PASSES} passes; giving up"
+                )));
+            }
             std::thread::sleep(Duration::from_millis(25));
         }
     }
+    sum.absorb_io(store);
     Ok(sum)
 }
 
@@ -187,7 +294,7 @@ fn run_task(
     opts: &RunOpts,
     budget: &mut Option<u64>,
     sum: &mut WorkerSummary,
-) -> Result<TaskRun, String> {
+) -> Result<TaskRun, StoreError> {
     match kind {
         TaskKind::Ace { start, len } => {
             let ws = &ace_ws[start..start + len];
@@ -195,12 +302,12 @@ fn run_task(
                 ws.iter().map(|w| w.ops.iter().map(|o| o.describe()).collect()).collect();
             let plan = plan_subtrees(&keys);
             let sig = ace_plan_sig(id, &keys, &plan);
-            let state = TaskJournal::recover(&store.journal_path(id), sig);
+            let state = TaskJournal::recover(&store.io, &store.journal_path(id), sig)?;
             if !state.done.is_empty() {
                 sum.tasks_resumed += 1;
                 sum.journal_workloads_replayed += state.done.len() as u64;
             }
-            let mut journal = TaskJournal::open(&store.journal_path(id), &state, sig)?;
+            let mut journal = TaskJournal::open(&store.io, &store.journal_path(id), &state, sig)?;
             let cfg = store.spec.ace_cfg(opts.threads);
             dispatch(
                 store.spec.fs,
@@ -221,22 +328,24 @@ fn run_task(
         }
         TaskKind::Fuzz { index } => {
             let sig = fuzz_plan_sig(id, &store.spec, index);
-            let state = TaskJournal::recover(&store.journal_path(id), sig);
+            let state = TaskJournal::recover(&store.io, &store.journal_path(id), sig)?;
             if !state.done.is_empty() {
                 sum.tasks_resumed += 1;
                 sum.journal_workloads_replayed += state.done.len() as u64;
             }
-            let mut journal = TaskJournal::open(&store.journal_path(id), &state, sig)?;
+            let mut journal = TaskJournal::open(&store.io, &store.journal_path(id), &state, sig)?;
             // Replay material: every earlier fuzz batch's committed results,
-            // in order (their existence gates claiming this task).
+            // in order (their existence gates claiming this task). The
+            // verified loader quarantines a corrupt dependency, clearing its
+            // completion marker — the abandon path then re-runs it first.
             let first_fuzz = id - index as usize;
             let mut prior = Vec::new();
             for t in first_fuzz..id {
-                prior.push(
-                    store
-                        .load_result(t)?
-                        .ok_or_else(|| format!("fuzz task {t} claimed before its dependency"))?,
-                );
+                prior.push(store.load_result_verified(t)?.ok_or(StoreError::Transient {
+                    op: "load-dependency",
+                    path: store.result_path(t).display().to_string(),
+                    detail: format!("fuzz task {t} lost its result while task {id} was claimed"),
+                })?);
             }
             let len = FUZZ_TASK_LEN.min(store.spec.fuzz_budget - index * FUZZ_TASK_LEN) as usize;
             let cfg = store.spec.fuzz_cfg(opts.threads);
@@ -331,7 +440,7 @@ struct AceTask<'a> {
 }
 
 impl WithKind for AceTask<'_> {
-    type Out = Result<TaskRun, String>;
+    type Out = Result<TaskRun, StoreError>;
 
     fn call<K: FsKind>(mut self, kind: K) -> Self::Out {
         let mut cache = PrefixCache::new(&kind, self.cfg);
@@ -396,7 +505,7 @@ struct FuzzTask<'a> {
 }
 
 impl WithKind for FuzzTask<'_> {
-    type Out = Result<TaskRun, String>;
+    type Out = Result<TaskRun, StoreError>;
 
     fn call<K: FsKind>(mut self, kind: K) -> Self::Out {
         let mut fuzzer = Fuzzer::new(self.spec.fuzz_seed, FuzzConfig::default());
@@ -464,7 +573,7 @@ pub struct Merged {
     /// Workloads merged.
     pub workloads: u64,
     /// Summed counters (see [`super::wire::COUNTER_NAMES`]).
-    pub totals: [u64; 17],
+    pub totals: [u64; 20],
     /// Total violation reports.
     pub reports: u64,
     /// Bits set in the persistent crash-state bitmap.
@@ -479,11 +588,13 @@ pub struct Merged {
 
 /// Merges all committed task results in canonical (task, batch-index)
 /// order, writes `campaign.json`, the coverage bitmaps, and the corpus
-/// entries, and returns the totals. Fails if any task is incomplete.
-pub fn merge(store: &CampaignStore) -> Result<Merged, String> {
+/// entries, and returns the totals. Fails if any task is incomplete; a
+/// corrupt result file is quarantined (clearing that task's completion
+/// marker) and reported as Corrupt so the caller can re-run the task.
+pub fn merge(store: &CampaignStore) -> Result<Merged, StoreError> {
     let spec = &store.spec;
     let total = spec.total_tasks();
-    let mut totals = [0u64; 17];
+    let mut totals = [0u64; 20];
     let mut workloads = 0u64;
     let mut fingerprint = 0u64;
     let mut reports: Vec<JVal> = Vec::new();
@@ -493,9 +604,9 @@ pub fn merge(store: &CampaignStore) -> Result<Merged, String> {
     let set = |map: &mut [u8], bit: u64| map[(bit / 8) as usize] |= 1 << (bit % 8);
 
     for id in 0..total {
-        let results = store
-            .load_result(id)?
-            .ok_or_else(|| format!("task {id} has no committed result; campaign incomplete"))?;
+        let results = store.load_result_verified(id)?.ok_or_else(|| {
+            StoreError::fatal(format!("task {id} has no committed result; campaign incomplete"))
+        })?;
         for res in &results {
             workloads += 1;
             fingerprint = fnv1a(res.to_jval().render().as_bytes(), fingerprint);
@@ -523,18 +634,15 @@ pub fn merge(store: &CampaignStore) -> Result<Merged, String> {
                     ("ops".into(), JVal::Arr(ops.iter().map(|l| JVal::Str(l.clone())).collect())),
                 ]);
                 let path = store.dir.join("corpus").join(format!("{}.json", res.name));
-                jsonout::write_atomic(&path.to_string_lossy(), &(entry.render() + "\n"))
-                    .map_err(|e| e.to_string())?;
+                store.io.write_atomic(&path, (entry.render() + "\n").as_bytes())?;
                 corpus_entries += 1;
             }
         }
     }
     let state_bits_set = state_map.iter().map(|b| b.count_ones() as u64).sum();
     let cov_bits_set = cov_map.iter().map(|b| b.count_ones() as u64).sum();
-    jsonout::write_atomic_bytes(&store.dir.join("coverage/state.bits").to_string_lossy(), &state_map)
-        .map_err(|e| e.to_string())?;
-    jsonout::write_atomic_bytes(&store.dir.join("coverage/cov.bits").to_string_lossy(), &cov_map)
-        .map_err(|e| e.to_string())?;
+    store.io.write_atomic(&store.dir.join("coverage/state.bits"), &state_map)?;
+    store.io.write_atomic(&store.dir.join("coverage/cov.bits"), &cov_map)?;
 
     let totals_obj = JVal::Obj(
         super::wire::COUNTER_NAMES
@@ -557,8 +665,7 @@ pub fn merge(store: &CampaignStore) -> Result<Merged, String> {
     ])
     .render()
         + "\n";
-    jsonout::write_atomic(&store.dir.join("campaign.json").to_string_lossy(), &doc)
-        .map_err(|e| e.to_string())?;
+    store.io.write_atomic(&store.dir.join("campaign.json"), doc.as_bytes())?;
 
     Ok(Merged {
         doc,
@@ -570,4 +677,79 @@ pub fn merge(store: &CampaignStore) -> Result<Merged, String> {
         corpus_entries,
         fingerprint,
     })
+}
+
+/// What [`merge_read_only`] found: the store's health, without writing a
+/// single byte. This is the triage surface for a degraded (read-only)
+/// store — ENOSPC stops [`merge`], not the operator's ability to see what
+/// survived.
+#[derive(Debug, Default)]
+pub struct MergeAudit {
+    /// Tasks with a parseable committed result.
+    pub committed: u64,
+    /// Tasks whose result file exists but does not parse (left in place —
+    /// a read-only audit never quarantines).
+    pub corrupt: Vec<usize>,
+    /// Tasks with no committed result.
+    pub missing: Vec<usize>,
+    /// Violation reports across all parseable results.
+    pub reports: u64,
+    /// Workloads across all parseable results.
+    pub workloads: u64,
+}
+
+/// Read-only audit of the store: counts committed/corrupt/missing tasks
+/// and surviving reports without writing anything. Serves `--resume`
+/// triage when the store is in degraded (read-only) mode.
+pub fn merge_read_only(store: &CampaignStore) -> MergeAudit {
+    let total = store.spec.total_tasks();
+    let mut audit = MergeAudit::default();
+    for id in 0..total {
+        match store.load_result(id) {
+            Ok(Some(results)) => {
+                audit.committed += 1;
+                audit.workloads += results.len() as u64;
+                audit.reports += results.iter().map(|r| r.reports.len() as u64).sum::<u64>();
+            }
+            Ok(None) => audit.missing.push(id),
+            Err(_) => audit.corrupt.push(id),
+        }
+    }
+    audit
+}
+
+/// Rounds of worker + merge before [`run_and_merge`] concludes the store
+/// cannot converge. Each round only recurs when merge found (and
+/// quarantined) a corrupt artifact, so this bounds healing, not work.
+const MAX_MERGE_ROUNDS: u32 = 4;
+
+/// Runs a worker to completion, then merges — and if the merge finds a
+/// corrupt committed result (quarantining it), runs another worker pass to
+/// re-produce the quarantined task and merges again, up to
+/// [`MAX_MERGE_ROUNDS`] rounds. The returned summary is the final round's;
+/// its host-I/O counters are cumulative (they live on the shared context).
+pub fn run_and_merge(
+    store: &CampaignStore,
+    opts: &RunOpts,
+) -> Result<(WorkerSummary, Merged), StoreError> {
+    let mut rounds = 0u32;
+    loop {
+        let sum = run_worker(store, opts)?;
+        if sum.interrupted {
+            return Err(StoreError::fatal("worker interrupted before the campaign completed"));
+        }
+        match merge(store) {
+            Ok(merged) => return Ok((sum, merged)),
+            Err(e @ StoreError::Corrupt { .. }) if e.task_recoverable() => {
+                rounds += 1;
+                if rounds >= MAX_MERGE_ROUNDS {
+                    return Err(StoreError::fatal(format!(
+                        "merge kept finding corrupt results after {rounds} repair rounds; \
+                         last error: {e}"
+                    )));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }

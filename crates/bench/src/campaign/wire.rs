@@ -175,7 +175,7 @@ pub struct WRes {
     pub name: String,
     /// Counters copied from [`TestOutcome`], in a fixed order (see
     /// [`COUNTER_NAMES`]).
-    pub counters: [u64; 17],
+    pub counters: [u64; 20],
     /// Sorted, deduplicated crash-state bitmap bits this workload set
     /// (folded `state_keys` — see `TestConfig::collect_state_keys`).
     pub state_bits: Vec<u64>,
@@ -193,10 +193,17 @@ pub struct WRes {
 }
 
 /// Names of the [`WRes::counters`] slots, in order. The three `rep_*`
-/// slots were appended after the 12-slot layout shipped, and the two
-/// `oracle_*` slots after the 15-slot one; [`WRes::from_jval`] still
-/// accepts 12- and 15-counter journal lines (older stores) by zero-padding.
-pub const COUNTER_NAMES: [&str; 17] = [
+/// slots were appended after the 12-slot layout shipped, the two
+/// `oracle_*` slots after the 15-slot one, and the three host-I/O
+/// observability slots (`io_retries` / `tasks_quarantined` /
+/// `degraded_mode`) after the 17-slot one; [`WRes::from_jval`] still
+/// accepts 12-, 15- and 17-counter journal lines (older stores) by
+/// zero-padding. The host-I/O slots are always 0 in journaled per-workload
+/// results — the in-memory harness performs no host I/O, and stamping
+/// host-level numbers into `WRes` would break the byte-identical-merge
+/// invariant under fault injection; real host-I/O counts travel in the
+/// worker summaries and `run.json` instead.
+pub const COUNTER_NAMES: [&str; 20] = [
     "crash_points",
     "crash_states",
     "dedup_hits",
@@ -214,6 +221,9 @@ pub const COUNTER_NAMES: [&str; 17] = [
     "rep_expansions",
     "oracle_subtrees_pruned",
     "oracle_snap_bytes_shared",
+    "io_retries",
+    "tasks_quarantined",
+    "degraded_mode",
 ];
 
 impl WRes {
@@ -257,6 +267,9 @@ impl WRes {
                 out.rep_expansions,
                 out.oracle_subtrees_pruned,
                 out.oracle_snap_bytes_shared,
+                out.io_retries,
+                out.tasks_quarantined,
+                out.degraded_mode,
             ],
             state_bits,
             cov_bits,
@@ -298,12 +311,15 @@ impl WRes {
     /// Parses a result back.
     pub fn from_jval(v: &JVal) -> Result<Self, String> {
         let counters_arr = v.get("counters").and_then(JVal::as_arr).ok_or("wres: missing counters")?;
-        // 12 (pre-rep_check) and 15 (pre-shared_oracle) are older layouts;
-        // missing slots stay 0.
-        if ![17, 15, 12].contains(&counters_arr.len()) {
-            return Err(format!("wres: expected 12, 15 or 17 counters, got {}", counters_arr.len()));
+        // 12 (pre-rep_check), 15 (pre-shared_oracle) and 17 (pre-host-io)
+        // are older layouts; missing slots stay 0.
+        if ![20, 17, 15, 12].contains(&counters_arr.len()) {
+            return Err(format!(
+                "wres: expected 12, 15, 17 or 20 counters, got {}",
+                counters_arr.len()
+            ));
         }
-        let mut counters = [0u64; 17];
+        let mut counters = [0u64; 20];
         for (slot, c) in counters.iter_mut().zip(counters_arr) {
             *slot = c.as_u64().ok_or("wres: bad counter")?;
         }
@@ -373,7 +389,7 @@ mod tests {
     fn sample() -> WRes {
         WRes {
             name: "seq1-0007".into(),
-            counters: [9, 120, 40, 3, 1, 14, 2, 3, 0, 0, 0, 0, 5, 60, 2, 180, 4096],
+            counters: [9, 120, 40, 3, 1, 14, 2, 3, 0, 0, 0, 0, 5, 60, 2, 180, 4096, 0, 0, 0],
             state_bits: vec![1, 5, 4095],
             cov_bits: vec![0, 77],
             cov_new: vec![0x0123_4567_89ab_cdef, u64::MAX],
@@ -416,7 +432,7 @@ mod tests {
         let legacy = r#"{"name":"w","counters":[9,120,40,3,1,14,2,3,0,0,0,0],"state_bits":[],"cov_bits":[],"cov_new":[],"reports":[]}"#;
         let w = WRes::from_jval(&crate::jsonout::parse(legacy).unwrap()).unwrap();
         assert_eq!(w.counters[..12], [9, 120, 40, 3, 1, 14, 2, 3, 0, 0, 0, 0]);
-        assert_eq!(w.counters[12..], [0, 0, 0], "rep slots default to zero");
+        assert_eq!(w.counters[12..], [0; 8], "rep/oracle/host-io slots default to zero");
         let bad = legacy.replace("[9,120,40,3,1,14,2,3,0,0,0,0]", "[9,120,40]");
         assert!(WRes::from_jval(&crate::jsonout::parse(&bad).unwrap()).is_err());
     }

@@ -302,6 +302,16 @@ pub struct HuntResult {
     /// File-data bytes oracle snapshots shared with their predecessor
     /// instead of re-copying, until the find.
     pub oracle_snap_bytes_shared: u64,
+    /// Host-I/O retries performed until the find. Always 0 from the
+    /// in-memory harness; populated when a host-backed pipeline (the
+    /// campaign store) carries these counters end to end.
+    pub io_retries: u64,
+    /// Committed artifacts quarantined as corrupt until the find (host
+    /// pipeline only; 0 in-memory).
+    pub tasks_quarantined: u64,
+    /// 1 when the backing store entered read-only degraded mode (host
+    /// pipeline only; 0 in-memory).
+    pub degraded_mode: u64,
     /// Cumulative per-phase wall time over the committed workloads.
     pub phase: PhaseTotals,
 }
@@ -349,6 +359,7 @@ impl WithKind for AceHunt<'_> {
         let mut max_depth = 0u64;
         let mut sandbox_counts = [0u64; 4];
         let mut oracle_counts = [0u64; 2];
+        let mut host_counts = [0u64; 3];
         let mut phase = PhaseTotals::default();
         let seq3: Box<dyn Iterator<Item = Workload>> = if mode == AceMode::Strong {
             Box::new(seq3_metadata().step_by(37).take(self.max_seq3))
@@ -386,6 +397,9 @@ impl WithKind for AceHunt<'_> {
                 sandbox_counts[3] += out.fuel_exhausted;
                 oracle_counts[0] += out.oracle_subtrees_pruned;
                 oracle_counts[1] += out.oracle_snap_bytes_shared;
+                host_counts[0] += out.io_retries;
+                host_counts[1] += out.tasks_quarantined;
+                host_counts[2] += out.degraded_mode;
                 phase.add(&out.timing);
                 if let Some(r) = out.reports.first() {
                     return (
@@ -414,6 +428,9 @@ impl WithKind for AceHunt<'_> {
                             fuel_exhausted: sandbox_counts[3],
                             oracle_subtrees_pruned: oracle_counts[0],
                             oracle_snap_bytes_shared: oracle_counts[1],
+                            io_retries: host_counts[0],
+                            tasks_quarantined: host_counts[1],
+                            degraded_mode: host_counts[2],
                             phase,
                         }),
                         workloads,
@@ -460,6 +477,7 @@ impl WithKind for FuzzHunt<'_> {
         let mut rep = [0u64; 3];
         let mut sandbox_counts = [0u64; 4];
         let mut oracle_counts = [0u64; 2];
+        let mut host_counts = [0u64; 3];
         let mut phase = PhaseTotals::default();
         let mut done = 0u64;
         while done < self.budget {
@@ -480,6 +498,9 @@ impl WithKind for FuzzHunt<'_> {
                 sandbox_counts[3] += out.fuel_exhausted;
                 oracle_counts[0] += out.oracle_subtrees_pruned;
                 oracle_counts[1] += out.oracle_snap_bytes_shared;
+                host_counts[0] += out.io_retries;
+                host_counts[1] += out.tasks_quarantined;
+                host_counts[2] += out.degraded_mode;
                 phase.add(&out.timing);
                 let mut new = 0;
                 for &h in &cov {
@@ -515,6 +536,9 @@ impl WithKind for FuzzHunt<'_> {
                             fuel_exhausted: sandbox_counts[3],
                             oracle_subtrees_pruned: oracle_counts[0],
                             oracle_snap_bytes_shared: oracle_counts[1],
+                            io_retries: host_counts[0],
+                            tasks_quarantined: host_counts[1],
+                            degraded_mode: host_counts[2],
                             phase,
                         }),
                         done,
@@ -600,6 +624,14 @@ pub struct SuiteStats {
     /// File-data bytes oracle snapshots shared with their predecessor
     /// instead of re-copying.
     pub oracle_snap_bytes_shared: u64,
+    /// Host-I/O retries (0 from the in-memory harness; carried for the
+    /// campaign store's host-level counter pipeline).
+    pub io_retries: u64,
+    /// Committed artifacts quarantined as corrupt (0 in-memory).
+    pub tasks_quarantined: u64,
+    /// 1 when the backing store entered read-only degraded mode (0
+    /// in-memory).
+    pub degraded_mode: u64,
     /// Cumulative per-phase wall times.
     pub phase: PhaseTotals,
     /// Every violation report, in workload order (determinism witnesses
@@ -642,6 +674,9 @@ impl WithKind for SuiteRun<'_> {
                 s.fuel_exhausted += out.fuel_exhausted;
                 s.oracle_subtrees_pruned += out.oracle_subtrees_pruned;
                 s.oracle_snap_bytes_shared += out.oracle_snap_bytes_shared;
+                s.io_retries += out.io_retries;
+                s.tasks_quarantined += out.tasks_quarantined;
+                s.degraded_mode += out.degraded_mode;
                 s.phase.add(&out.timing);
                 s.reports += out.reports.len() as u64;
                 s.bug_reports.extend(out.reports);
@@ -686,8 +721,6 @@ pub fn fmt_dur(d: Duration) -> String {
 /// Minimal JSON document builder for the binaries' `--json` flags (the
 /// workspace is dependency-frozen, so no serde).
 pub mod jsonout {
-    use std::io::Write;
-
     /// Writes `contents` to `path` atomically: the bytes go to a `.tmp`
     /// sibling first and are renamed over the target only once fully
     /// written, so a failure mid-write leaves any existing file at `path`
@@ -697,53 +730,22 @@ pub mod jsonout {
     /// after it — without the directory fsync the rename itself is not
     /// durable, so a real crash could lose the "atomically" written file
     /// (the very bug class this workspace exists to catch).
+    ///
+    /// Delegates to the process-wide passthrough
+    /// [`crate::campaign::hostio::HostCtx`], so every artifact emitter in
+    /// the workspace goes through the same audited write path as the
+    /// campaign store (fault injection exercises that path directly in the
+    /// `hostio` tests).
     pub fn write_atomic(path: &str, contents: &str) -> std::io::Result<()> {
-        write_atomic_impl(path, contents.as_bytes(), None)
+        write_atomic_bytes(path, contents.as_bytes())
     }
 
     /// [`write_atomic`] for binary contents (the campaign store's coverage
     /// bitmaps are raw bit arrays, not JSON).
     pub fn write_atomic_bytes(path: &str, contents: &[u8]) -> std::io::Result<()> {
-        write_atomic_impl(path, contents, None)
-    }
-
-    /// Fsyncs the directory containing `path` (best effort on platforms
-    /// where directories cannot be opened; Linux supports it).
-    fn fsync_parent_dir(path: &str) -> std::io::Result<()> {
-        let parent = match std::path::Path::new(path).parent() {
-            Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
-            _ => std::path::PathBuf::from("."),
-        };
-        std::fs::File::open(&parent)?.sync_all()
-    }
-
-    /// `fail_after` simulates an I/O failure after that many bytes (test
-    /// hook for the mid-write-crash guarantee).
-    fn write_atomic_impl(
-        path: &str,
-        contents: &[u8],
-        fail_after: Option<usize>,
-    ) -> std::io::Result<()> {
-        let tmp = format!("{path}.tmp");
-        let res = (|| {
-            let mut f = std::fs::File::create(&tmp)?;
-            if let Some(n) = fail_after {
-                f.write_all(&contents[..n.min(contents.len())])?;
-                return Err(std::io::Error::other("simulated mid-write failure"));
-            }
-            f.write_all(contents)?;
-            f.sync_all()
-        })();
-        match res {
-            Ok(()) => {
-                std::fs::rename(&tmp, path)?;
-                fsync_parent_dir(path)
-            }
-            Err(e) => {
-                let _ = std::fs::remove_file(&tmp);
-                Err(e)
-            }
-        }
+        crate::campaign::hostio::default_ctx()
+            .write_atomic(std::path::Path::new(path), contents)
+            .map_err(std::io::Error::other)
     }
 
     /// A JSON value. Objects preserve field order.
@@ -1156,23 +1158,23 @@ pub mod jsonout {
 
         #[test]
         fn atomic_write_survives_mid_write_failure() {
+            // The mid-write fault matrix (short writes, EIO, torn appends,
+            // lying writes) lives in `campaign::hostio`'s tests against the
+            // same context this function delegates to; here we only pin the
+            // caller-visible contract: overwrite-in-place works and leaves
+            // no temp file behind.
             let dir = std::env::temp_dir();
             let path = dir
                 .join(format!("chipmunk-atomic-{}.json", std::process::id()))
                 .to_string_lossy()
                 .into_owned();
             write_atomic(&path, "{\"old\": true}\n").expect("initial write");
-            let err = write_atomic_impl(&path, b"{\"new\": true}\n", Some(4))
-                .expect_err("simulated failure must surface");
-            assert!(err.to_string().contains("simulated"), "{err}");
-            let kept = std::fs::read_to_string(&path).expect("target must survive");
-            assert_eq!(kept, "{\"old\": true}\n", "old contents must be intact");
-            assert!(
-                !std::path::Path::new(&format!("{path}.tmp")).exists(),
-                "failed temp file must be cleaned up"
-            );
             write_atomic(&path, "{\"new\": true}\n").expect("second write");
             assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"new\": true}\n");
+            assert!(
+                !std::path::Path::new(&format!("{path}.tmp")).exists(),
+                "temp file must not outlive the rename"
+            );
             let _ = std::fs::remove_file(&path);
         }
 
@@ -1180,18 +1182,15 @@ pub mod jsonout {
         fn atomic_write_syncs_parent_directory() {
             // The rename is only durable once the parent directory is
             // fsynced; exercise both parent shapes (explicit directory and
-            // bare filename, which syncs ".").
+            // a bare filename, whose parent resolves to ".").
             let dir = std::env::temp_dir().join(format!("chipmunk-dirsync-{}", std::process::id()));
             std::fs::create_dir_all(&dir).unwrap();
             let nested = dir.join("out.json").to_string_lossy().into_owned();
             write_atomic(&nested, "{}\n").expect("write in fresh directory");
             assert_eq!(std::fs::read_to_string(&nested).unwrap(), "{}\n");
-            fsync_parent_dir("bare-filename-no-parent.json").expect("'.' fallback must sync");
-            // A mid-write failure must not leave the directory entry either.
-            let gone = dir.join("never.json").to_string_lossy().into_owned();
-            write_atomic_impl(&gone, b"{\"x\": 1}\n", Some(2)).expect_err("simulated failure");
-            assert!(!std::path::Path::new(&gone).exists());
-            assert!(!std::path::Path::new(&format!("{gone}.tmp")).exists());
+            let bare = format!("chipmunk-bare-{}.json", std::process::id());
+            write_atomic(&bare, "{}\n").expect("'.' parent fallback must sync");
+            let _ = std::fs::remove_file(&bare);
             let _ = std::fs::remove_file(&nested);
             let _ = std::fs::remove_dir(&dir);
         }
@@ -1279,6 +1278,9 @@ pub fn hunt_json(hit: Option<&HuntResult>, workloads: u64, states: u64) -> jsono
             ("fuel_exhausted", Json::U(h.fuel_exhausted)),
             ("oracle_subtrees_pruned", Json::U(h.oracle_subtrees_pruned)),
             ("oracle_snap_bytes_shared", Json::U(h.oracle_snap_bytes_shared)),
+            ("io_retries", Json::U(h.io_retries)),
+            ("tasks_quarantined", Json::U(h.tasks_quarantined)),
+            ("degraded_mode", Json::U(h.degraded_mode)),
             (
                 "per_worker_prefix_hits",
                 Json::Arr(h.per_worker_prefix_hits.iter().map(|&v| Json::U(v)).collect()),

@@ -20,6 +20,7 @@ use vfs::{
 };
 
 use crate::{
+    campaign::hostio::{RecoveryAction, StoreError},
     dispatch,
     jsonout::{self, JVal, Json},
     WithKind,
@@ -265,10 +266,16 @@ impl ReproBundle {
         jsonout::write_atomic(path, &self.to_json().render())
     }
 
-    /// Reads and parses a bundle from `path`.
-    pub fn load(path: &str) -> Result<ReproBundle, String> {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        ReproBundle::parse(&text).map_err(|e| format!("{path}: {e}"))
+    /// Reads and parses a bundle from `path`. A malformed bundle comes back
+    /// as [`StoreError::Corrupt`] naming the file, the byte offset (when
+    /// the parser pinned one), and the recovery action — `hunt --repro`
+    /// maps that to exit code 2 (distinct from a reproducible-but-failed
+    /// replay, which exits 1).
+    pub fn load(path: &str) -> Result<ReproBundle, StoreError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| StoreError::fatal(format!("{path}: {e}")))?;
+        ReproBundle::parse(&text)
+            .map_err(|e| StoreError::corrupt(std::path::Path::new(path), e, RecoveryAction::Fatal))
     }
 
     /// Replays the bundle: re-runs the workload's oracle and recorded run,

@@ -38,7 +38,7 @@ fn opts(threads: usize) -> RunOpts {
 }
 
 /// Runs a fresh campaign to completion and returns the merged document.
-fn baseline(dir: &Path, threads: usize) -> (String, [u64; 17]) {
+fn baseline(dir: &Path, threads: usize) -> (String, [u64; 20]) {
     let store = CampaignStore::open_or_init(dir, &small_spec()).unwrap();
     let sum = runner::run_worker(&store, &opts(threads)).unwrap();
     assert!(!sum.interrupted);

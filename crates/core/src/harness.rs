@@ -106,6 +106,20 @@ pub struct TestOutcome {
     /// later checked member) reported a violation — the class expanded back
     /// to exhaustive checking.
     pub rep_expansions: u64,
+    /// Host-I/O retries performed while persisting this outcome. Always 0
+    /// from the in-memory harness (it touches no host storage); the slot
+    /// exists so host-level tooling (the campaign store's fault-injected
+    /// persistence layer) can fold its retry counts through the same
+    /// counter pipeline as every other statistic.
+    pub io_retries: u64,
+    /// Committed artifacts quarantined as corrupt while persisting this
+    /// outcome. Always 0 from the in-memory harness; see
+    /// [`TestOutcome::io_retries`].
+    pub tasks_quarantined: u64,
+    /// 1 when the persistence layer entered read-only degraded mode
+    /// (ENOSPC) during this outcome. Always 0 from the in-memory harness;
+    /// see [`TestOutcome::io_retries`].
+    pub degraded_mode: u64,
     /// In-flight write counts observed at each crash point (before
     /// coalescing) — the data behind Observation 7.
     pub inflight_sizes: Vec<usize>,
